@@ -1,0 +1,72 @@
+// Ablation A4: incremental index maintenance (paper §III-B discussion —
+// the paper sketches the S⁺/S⁻ approach but reports no numbers). We
+// measure the amortised cost of DynamicDeltaIndex edge insertions and
+// removals against rebuilding the decomposition from scratch.
+
+#include <cstdio>
+#include <set>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/maintenance.h"
+
+int main() {
+  const uint32_t updates = std::max(20u, abcs::bench::NumQueries());
+  std::printf(
+      "Ablation A4: incremental maintenance vs rebuild (%u updates per "
+      "dataset)\n",
+      updates);
+  std::printf("%-5s %8s %14s %14s %12s %10s\n", "name", "delta",
+              "insert(s/op)", "remove(s/op)", "rebuild(s)", "speedup");
+  for (const char* name : {"BS", "GH", "AR", "PA"}) {
+    const abcs::DatasetSpec& spec = *abcs::FindDataset(name);
+    abcs::BipartiteGraph g;
+    if (!abcs::MakeDataset(spec, &g).ok()) return 1;
+
+    abcs::Timer timer;
+    abcs::DynamicDeltaIndex dyn(g);
+    const double build_s = timer.Seconds();
+
+    abcs::Rng rng(777);
+    std::set<std::pair<abcs::VertexId, abcs::VertexId>> present;
+    for (const abcs::Edge& e : g.Edges()) present.insert({e.u, e.v});
+
+    // Remove and re-insert random existing edges (keeps the graph's shape
+    // stationary so per-op costs are comparable).
+    std::vector<std::pair<abcs::VertexId, abcs::VertexId>> victims;
+    {
+      std::vector<std::pair<abcs::VertexId, abcs::VertexId>> all(
+          present.begin(), present.end());
+      rng.Shuffle(all);
+      victims.assign(all.begin(), all.begin() + updates);
+    }
+    std::vector<abcs::Weight> weights;
+    for (const auto& [u, v] : victims) {
+      (void)u;
+      (void)v;
+      weights.push_back(1.0 + rng.NextBounded(50));
+    }
+
+    timer.Reset();
+    for (const auto& [u, v] : victims) {
+      if (!dyn.RemoveEdge(u, v).ok()) return 1;
+    }
+    const double remove_s = timer.Seconds() / updates;
+
+    timer.Reset();
+    for (std::size_t i = 0; i < victims.size(); ++i) {
+      if (!dyn.InsertEdge(victims[i].first, victims[i].second, weights[i])
+               .ok()) {
+        return 1;
+      }
+    }
+    const double insert_s = timer.Seconds() / updates;
+
+    const double per_update = (insert_s + remove_s) / 2.0;
+    std::printf("%-5s %8u %14.3e %14.3e %12.3f %9.1fx\n", name, dyn.delta(),
+                insert_s, remove_s, build_s,
+                build_s / (per_update > 0 ? per_update : 1e-12));
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 11: index sizes (MB). I_v and I_δ are built and measured; the
+// basic indexes are reported from the exact O(m) size estimator (the paper
+// likewise reports "expected size" for builds that did not finish).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/basic_index.h"
+#include "core/bicore_index.h"
+#include "core/delta_index.h"
+
+int main() {
+  std::printf("Figure 11: index size (MB; Ia/Ib from exact estimator)\n");
+  std::printf("%-5s %10s %12s %12s %10s\n", "name", "Iv", "Ia_bs", "Ib_bs",
+              "Idelta");
+  constexpr double kMb = 1024.0 * 1024.0;
+  // One stored basic-index entry: (to, eid, offset) = 12 bytes.
+  constexpr double kEntryBytes = 12.0;
+  for (const abcs::DatasetSpec& spec : abcs::AllDatasets()) {
+    const abcs::bench::PreparedDataset ds = abcs::bench::Prepare(spec);
+    const abcs::BicoreIndex iv =
+        abcs::BicoreIndex::Build(ds.graph, &ds.decomp);
+    const abcs::DeltaIndex idelta =
+        abcs::DeltaIndex::Build(ds.graph, &ds.decomp);
+    const double ia_mb =
+        static_cast<double>(abcs::BasicIndex::EstimateEntries(
+            ds.graph, abcs::BasicIndexSide::kAlpha)) *
+        kEntryBytes / kMb;
+    const double ib_mb =
+        static_cast<double>(abcs::BasicIndex::EstimateEntries(
+            ds.graph, abcs::BasicIndexSide::kBeta)) *
+        kEntryBytes / kMb;
+    std::printf("%-5s %10.2f %12.2f %12.2f %10.2f\n", spec.name.c_str(),
+                static_cast<double>(iv.MemoryBytes()) / kMb, ia_mb, ib_mb,
+                static_cast<double>(idelta.MemoryBytes()) / kMb);
+  }
+  return 0;
+}

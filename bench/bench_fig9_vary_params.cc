@@ -1,0 +1,76 @@
+// Figure 9: (α,β)-community retrieval time varying α and β on EN-like and
+// SO-like datasets.
+//  (a)/(b): α = β = c·δ, c ∈ {0.1 .. 0.9}
+//  (c):     α = 0.5δ fixed, β = c·δ   (EN)
+//  (d):     β = 0.5δ fixed, α = c·δ   (SO)
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/bicore_index.h"
+#include "core/delta_index.h"
+#include "core/online_query.h"
+
+namespace {
+
+void RunSeries(const abcs::bench::PreparedDataset& ds, const char* label,
+               bool vary_both, bool vary_beta) {
+  const uint32_t queries = abcs::bench::NumQueries();
+  const abcs::BicoreIndex iv = abcs::BicoreIndex::Build(ds.graph, &ds.decomp);
+  const abcs::DeltaIndex idelta =
+      abcs::DeltaIndex::Build(ds.graph, &ds.decomp);
+  std::printf("%s (avg over up to %u queries, seconds)\n", label, queries);
+  std::printf("%5s %6s %6s %12s %12s %12s\n", "c", "alpha", "beta", "Qo",
+              "Qv", "Qopt");
+  for (double c = 0.1; c <= 0.91; c += 0.1) {
+    uint32_t alpha, beta;
+    if (vary_both) {
+      alpha = beta = abcs::bench::ScaledParam(ds.delta(), c);
+    } else if (vary_beta) {
+      alpha = abcs::bench::ScaledParam(ds.delta(), 0.5);
+      beta = abcs::bench::ScaledParam(ds.delta(), c);
+    } else {
+      alpha = abcs::bench::ScaledParam(ds.delta(), c);
+      beta = abcs::bench::ScaledParam(ds.delta(), 0.5);
+    }
+    const std::vector<abcs::VertexId> qs =
+        abcs::bench::SampleCoreVertices(ds, alpha, beta, queries, 777);
+    if (qs.empty()) {
+      std::printf("%5.1f %6u %6u   (empty core)\n", c, alpha, beta);
+      continue;
+    }
+    double online_s = 0, bicore_s = 0, opt_s = 0;
+    for (abcs::VertexId q : qs) {
+      abcs::Timer timer;
+      (void)abcs::QueryCommunityOnline(ds.graph, q, alpha, beta);
+      online_s += timer.Seconds();
+      timer.Reset();
+      (void)iv.QueryCommunity(q, alpha, beta);
+      bicore_s += timer.Seconds();
+      timer.Reset();
+      (void)idelta.QueryCommunity(q, alpha, beta);
+      opt_s += timer.Seconds();
+    }
+    const double n = static_cast<double>(qs.size());
+    std::printf("%5.1f %6u %6u %12.3e %12.3e %12.3e\n", c, alpha, beta,
+                online_s / n, bicore_s / n, opt_s / n);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const abcs::bench::PreparedDataset en =
+      abcs::bench::Prepare(*abcs::FindDataset("EN"));
+  const abcs::bench::PreparedDataset so =
+      abcs::bench::Prepare(*abcs::FindDataset("SO"));
+  RunSeries(en, "Figure 9(a): EN, alpha=beta=c*delta", true, false);
+  RunSeries(so, "Figure 9(b): SO, alpha=beta=c*delta", true, false);
+  RunSeries(en, "Figure 9(c): EN, alpha=0.5*delta, beta=c*delta", false,
+            true);
+  RunSeries(so, "Figure 9(d): SO, alpha=c*delta, beta=0.5*delta", false,
+            false);
+  return 0;
+}

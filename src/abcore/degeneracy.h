@@ -1,0 +1,25 @@
+#ifndef ABCS_ABCORE_DEGENERACY_H_
+#define ABCS_ABCORE_DEGENERACY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief Unipartite k-core numbers of every vertex, computed by the O(m)
+/// bin-sort peeling algorithm of Khaouid et al. (the paper's [21]).
+///
+/// Because both layers of a (τ,τ)-core carry the same degree threshold τ,
+/// the (τ,τ)-core of a bipartite graph equals its unipartite τ-core, so
+/// `core[v] ≥ τ  ⇔  v ∈ (τ,τ)-core`.
+std::vector<uint32_t> KCoreNumbers(const BipartiteGraph& g);
+
+/// The degeneracy δ of `g` (Definition 7): the largest τ with a nonempty
+/// (τ,τ)-core, i.e. the maximum k-core number. 0 for an empty graph.
+uint32_t Degeneracy(const BipartiteGraph& g);
+
+}  // namespace abcs
+
+#endif  // ABCS_ABCORE_DEGENERACY_H_

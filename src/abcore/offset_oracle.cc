@@ -1,0 +1,81 @@
+#include "abcore/offset_oracle.h"
+
+#include <algorithm>
+
+namespace abcs {
+
+uint32_t OffsetOracle::AlphaOffset(VertexId v, uint32_t alpha) const {
+  if (alpha == 0) return 0;
+  const uint32_t delta = decomp_->delta;
+  if (delta == 0) return 0;
+  if (alpha <= delta) return decomp_->sa[alpha - 1][v];
+  // α > δ: the answer is the largest stored β with s_b(v,β) ≥ α; the
+  // predicate is monotone (non-increasing in β), so binary search.
+  uint32_t lo = 1, hi = delta, best = 0;
+  while (lo <= hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (decomp_->sb[mid - 1][v] >= alpha) {
+      best = mid;
+      lo = mid + 1;
+    } else {
+      if (mid == 1) break;
+      hi = mid - 1;
+    }
+  }
+  return best;
+}
+
+uint32_t OffsetOracle::BetaOffset(VertexId v, uint32_t beta) const {
+  if (beta == 0) return 0;
+  const uint32_t delta = decomp_->delta;
+  if (delta == 0) return 0;
+  if (beta <= delta) return decomp_->sb[beta - 1][v];
+  uint32_t lo = 1, hi = delta, best = 0;
+  while (lo <= hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (decomp_->sa[mid - 1][v] >= beta) {
+      best = mid;
+      lo = mid + 1;
+    } else {
+      if (mid == 1) break;
+      hi = mid - 1;
+    }
+  }
+  return best;
+}
+
+bool OffsetOracle::InCore(VertexId v, uint32_t alpha, uint32_t beta) const {
+  if (alpha == 0 || beta == 0) return false;
+  if (std::min(alpha, beta) > decomp_->delta) return false;  // Lemma 4
+  if (alpha <= beta) return AlphaOffset(v, alpha) >= beta;
+  return BetaOffset(v, beta) >= alpha;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> OffsetOracle::Skyline(
+    VertexId v) const {
+  // Walk α upward while v is in some (α,1)-core; s_a(v,·) is
+  // non-increasing, so maximal pairs are exactly where it strictly drops.
+  std::vector<std::pair<uint32_t, uint32_t>> skyline;
+  const uint32_t amax = BetaOffset(v, 1);  // largest α with v ∈ (α,1)-core
+  uint32_t alpha = 1;
+  while (alpha <= amax) {
+    const uint32_t beta = AlphaOffset(v, alpha);
+    if (beta == 0) break;
+    // Find the largest α' with the same s_a value (galloping then binary
+    // search keeps this O(k log amax) for a k-point skyline).
+    uint32_t lo = alpha, hi = amax;
+    while (lo < hi) {
+      const uint32_t mid = lo + (hi - lo + 1) / 2;
+      if (AlphaOffset(v, mid) == beta) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    skyline.emplace_back(lo, beta);
+    alpha = lo + 1;
+  }
+  return skyline;
+}
+
+}  // namespace abcs

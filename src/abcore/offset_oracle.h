@@ -1,0 +1,52 @@
+#ifndef ABCS_ABCORE_OFFSET_ORACLE_H_
+#define ABCS_ABCORE_OFFSET_ORACLE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "abcore/offsets.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief Constant-space-per-query answers to "is v in the (α,β)-core?"
+/// and "what is s_a(v,α) / s_b(v,β)?" for *arbitrary* α, β — not just the
+/// τ ≤ δ levels stored in the decomposition.
+///
+/// The duality behind it (paper Fig. 4): for α > δ every nonempty
+/// (α,β)-core has β ≤ δ, so
+///
+///     s_a(v, α) = max{ β ≤ δ : s_b(v, β) ≥ α }      (α > δ)
+///
+/// and s_b(v,β) ≥ α is non-increasing in β, so the max is found by binary
+/// search over the stored β levels in O(log δ). Symmetrically for s_b.
+class OffsetOracle {
+ public:
+  /// The decomposition must outlive the oracle.
+  explicit OffsetOracle(const BicoreDecomposition* decomp)
+      : decomp_(decomp) {}
+
+  uint32_t delta() const { return decomp_->delta; }
+
+  /// s_a(v, α) for any α ≥ 1 (0 when v is in no (α,·)-core).
+  uint32_t AlphaOffset(VertexId v, uint32_t alpha) const;
+
+  /// s_b(v, β) for any β ≥ 1.
+  uint32_t BetaOffset(VertexId v, uint32_t beta) const;
+
+  /// True iff v belongs to the (α,β)-core.
+  bool InCore(VertexId v, uint32_t alpha, uint32_t beta) const;
+
+  /// The vertex's core skyline: maximal (α,β) pairs such that v is in the
+  /// (α,β)-core but in neither the (α+1,β)- nor (α,β+1)-core. Sorted by
+  /// increasing α. Characterises every core v belongs to.
+  std::vector<std::pair<uint32_t, uint32_t>> Skyline(VertexId v) const;
+
+ private:
+  const BicoreDecomposition* decomp_;
+};
+
+}  // namespace abcs
+
+#endif  // ABCS_ABCORE_OFFSET_ORACLE_H_

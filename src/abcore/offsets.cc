@@ -1,0 +1,199 @@
+#include "abcore/offsets.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "abcore/degeneracy.h"
+
+namespace abcs {
+
+namespace {
+
+/// Shared level-wise peeling kernel.
+///
+/// One side of the bipartition is *fixed*: its vertices must keep degree
+/// ≥ k throughout (upper for α-offsets, lower for β-offsets). The other
+/// side is *ranked*: peeling proceeds in levels L = 1, 2, ... and the level
+/// at which a vertex dies is its offset — the maximal second core parameter
+/// for which it is still in the core. Fixed-side deaths during level L also
+/// record offset L. Vertices eliminated while establishing the initial
+/// (k,1)- or (1,k)-core get offset 0.
+///
+/// Runs in O(m) using degree buckets with lazy (re-push on decrement)
+/// entries.
+std::vector<uint32_t> ComputeOffsetsImpl(const BipartiteGraph& g, uint32_t k,
+                                         bool fix_upper,
+                                         const std::vector<uint8_t>* scope) {
+  const uint32_t n = g.NumVertices();
+  std::vector<uint32_t> offset(n, 0);
+  std::vector<uint8_t> alive(n, 1);
+  std::vector<uint32_t> deg(n, 0);
+
+  auto in_scope = [&](VertexId v) { return scope == nullptr || (*scope)[v]; };
+  auto is_fixed = [&](VertexId v) { return g.IsUpper(v) == fix_upper; };
+
+  uint32_t alive_count = 0;
+  uint32_t max_ranked_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!in_scope(v)) {
+      alive[v] = 0;
+      continue;
+    }
+    uint32_t d = 0;
+    if (scope == nullptr) {
+      d = g.Degree(v);
+    } else {
+      for (const Arc& a : g.Neighbors(v)) {
+        if ((*scope)[a.to]) ++d;
+      }
+    }
+    deg[v] = d;
+    ++alive_count;
+    if (!is_fixed(v)) max_ranked_deg = std::max(max_ranked_deg, d);
+  }
+
+  // Initial peel: fixed side needs deg >= k, ranked side needs deg >= 1.
+  std::vector<VertexId> queue;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!alive[v]) continue;
+    const uint32_t need = is_fixed(v) ? k : 1;
+    if (deg[v] < need) {
+      alive[v] = 0;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    VertexId v = queue.back();
+    queue.pop_back();
+    --alive_count;
+    for (const Arc& a : g.Neighbors(v)) {
+      VertexId w = a.to;
+      if (!alive[w]) continue;
+      --deg[w];
+      const uint32_t need = is_fixed(w) ? k : 1;
+      if (deg[w] < need) {
+        alive[w] = 0;
+        queue.push_back(w);
+      }
+    }
+  }
+
+  // Bucket the surviving ranked-side vertices by current degree.
+  std::vector<std::vector<VertexId>> buckets(max_ranked_deg + 2);
+  for (VertexId v = 0; v < n; ++v) {
+    if (alive[v] && !is_fixed(v)) buckets[deg[v]].push_back(v);
+  }
+
+  for (uint32_t level = 1; level <= max_ranked_deg && alive_count > 0;
+       ++level) {
+    // Invariant: every alive ranked vertex has deg >= level, so removal
+    // candidates sit exactly in buckets[level] (stale entries are skipped).
+    for (std::size_t i = 0; i < buckets[level].size(); ++i) {
+      VertexId v = buckets[level][i];
+      if (!alive[v] || deg[v] != level) continue;
+      alive[v] = 0;
+      offset[v] = level;
+      queue.push_back(v);
+      while (!queue.empty()) {
+        VertexId x = queue.back();
+        queue.pop_back();
+        --alive_count;
+        for (const Arc& a : g.Neighbors(x)) {
+          VertexId w = a.to;
+          if (!alive[w]) continue;
+          --deg[w];
+          if (is_fixed(w)) {
+            if (deg[w] < k) {
+              alive[w] = 0;
+              offset[w] = level;
+              queue.push_back(w);
+            }
+          } else if (deg[w] <= level) {
+            alive[w] = 0;
+            offset[w] = level;
+            queue.push_back(w);
+          } else {
+            buckets[deg[w]].push_back(w);
+          }
+        }
+      }
+    }
+    buckets[level].clear();
+  }
+  return offset;
+}
+
+}  // namespace
+
+std::vector<uint32_t> ComputeAlphaOffsets(const BipartiteGraph& g,
+                                          uint32_t alpha) {
+  return ComputeOffsetsImpl(g, alpha, /*fix_upper=*/true, nullptr);
+}
+
+std::vector<uint32_t> ComputeBetaOffsets(const BipartiteGraph& g,
+                                         uint32_t beta) {
+  return ComputeOffsetsImpl(g, beta, /*fix_upper=*/false, nullptr);
+}
+
+std::vector<uint32_t> ComputeAlphaOffsetsScoped(
+    const BipartiteGraph& g, uint32_t alpha,
+    const std::vector<uint8_t>& scope) {
+  return ComputeOffsetsImpl(g, alpha, /*fix_upper=*/true, &scope);
+}
+
+std::vector<uint32_t> ComputeBetaOffsetsScoped(
+    const BipartiteGraph& g, uint32_t beta,
+    const std::vector<uint8_t>& scope) {
+  return ComputeOffsetsImpl(g, beta, /*fix_upper=*/false, &scope);
+}
+
+BicoreDecomposition ComputeBicoreDecomposition(const BipartiteGraph& g) {
+  BicoreDecomposition d;
+  uint32_t delta = 0;
+  for (uint32_t c : KCoreNumbers(g)) delta = std::max(delta, c);
+  d.delta = delta;
+  d.sa.reserve(delta);
+  d.sb.reserve(delta);
+  for (uint32_t tau = 1; tau <= delta; ++tau) {
+    d.sa.push_back(ComputeAlphaOffsets(g, tau));
+    d.sb.push_back(ComputeBetaOffsets(g, tau));
+  }
+  return d;
+}
+
+BicoreDecomposition ComputeBicoreDecompositionParallel(
+    const BipartiteGraph& g, unsigned num_threads) {
+  BicoreDecomposition d;
+  uint32_t delta = 0;
+  for (uint32_t c : KCoreNumbers(g)) delta = std::max(delta, c);
+  d.delta = delta;
+  d.sa.resize(delta);
+  d.sb.resize(delta);
+  if (delta == 0) return d;
+
+  if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
+  num_threads = std::max(1u, std::min(num_threads, 2 * delta));
+
+  // 2δ independent tasks: task 2k computes sa at τ=k+1, task 2k+1 sb.
+  std::atomic<uint32_t> next_task{0};
+  auto worker = [&]() {
+    for (;;) {
+      const uint32_t task = next_task.fetch_add(1);
+      if (task >= 2 * delta) return;
+      const uint32_t tau = task / 2 + 1;
+      if (task % 2 == 0) {
+        d.sa[tau - 1] = ComputeAlphaOffsets(g, tau);
+      } else {
+        d.sb[tau - 1] = ComputeBetaOffsets(g, tau);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  return d;
+}
+
+}  // namespace abcs

@@ -1,0 +1,68 @@
+#ifndef ABCS_ABCORE_OFFSETS_H_
+#define ABCS_ABCORE_OFFSETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief α-offsets `s_a(·, α)` for a fixed α (Definition 6).
+///
+/// `result[v]` is the maximal β such that `v` is contained in the
+/// (α,β)-core, or 0 if `v` is not even in the (α,1)-core. Defined for
+/// vertices of *both* layers. Computed by level-wise peeling of the
+/// (α,1)-core in O(m).
+std::vector<uint32_t> ComputeAlphaOffsets(const BipartiteGraph& g,
+                                          uint32_t alpha);
+
+/// β-offsets `s_b(·, β)` for a fixed β: `result[v]` is the maximal α such
+/// that `v` is in the (α,β)-core (0 if not in the (1,β)-core).
+std::vector<uint32_t> ComputeBetaOffsets(const BipartiteGraph& g,
+                                         uint32_t beta);
+
+/// \brief α-offsets restricted to a vertex subset (`scope[v]` nonzero):
+/// computes `s_a(·, α)` of the subgraph induced by the scope. Used by
+/// component-local index maintenance. Vertices outside the scope keep
+/// offset value `keep_out` (callers pass their previously known offsets
+/// separately; this function returns offsets only for in-scope vertices,
+/// with out-of-scope entries set to 0).
+std::vector<uint32_t> ComputeAlphaOffsetsScoped(const BipartiteGraph& g,
+                                                uint32_t alpha,
+                                                const std::vector<uint8_t>& scope);
+
+/// Scoped variant of ComputeBetaOffsets (see ComputeAlphaOffsetsScoped).
+std::vector<uint32_t> ComputeBetaOffsetsScoped(const BipartiteGraph& g,
+                                               uint32_t beta,
+                                               const std::vector<uint8_t>& scope);
+
+/// \brief The degeneracy-bounded bicore decomposition: α- and β-offsets for
+/// every τ ∈ [1, δ].
+///
+/// By Lemma 4 every nonempty (α,β)-core has min(α,β) ≤ δ, so this table
+/// determines membership of *any* (α,β)-core:
+/// `v ∈ (α,β)-core ⇔ (α ≤ β ? sa[α-1][v] ≥ β : sb[β-1][v] ≥ α)` whenever
+/// min(α,β) ≤ δ, and the core is empty otherwise. Computed in O(δ·m); this
+/// is the shared substrate of the bicore index I_v and the
+/// degeneracy-bounded index I_δ.
+struct BicoreDecomposition {
+  uint32_t delta = 0;
+  /// sa[τ-1][v] = s_a(v, τ) for τ ∈ [1, δ].
+  std::vector<std::vector<uint32_t>> sa;
+  /// sb[τ-1][v] = s_b(v, τ) for τ ∈ [1, δ].
+  std::vector<std::vector<uint32_t>> sb;
+};
+
+/// Computes the full δ-bounded decomposition (Algorithm 3's offset phase).
+BicoreDecomposition ComputeBicoreDecomposition(const BipartiteGraph& g);
+
+/// Parallel variant: the 2δ per-level peels are independent, so they are
+/// distributed over `num_threads` worker threads (0 = hardware
+/// concurrency). Bit-identical to the serial result.
+BicoreDecomposition ComputeBicoreDecompositionParallel(
+    const BipartiteGraph& g, unsigned num_threads = 0);
+
+}  // namespace abcs
+
+#endif  // ABCS_ABCORE_OFFSETS_H_

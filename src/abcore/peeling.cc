@@ -1,0 +1,54 @@
+#include "abcore/peeling.h"
+
+namespace abcs {
+
+void PeelInPlace(const BipartiteGraph& g, uint32_t alpha, uint32_t beta,
+                 std::vector<uint32_t>& deg, std::vector<uint8_t>& alive,
+                 std::vector<VertexId>* removed) {
+  const uint32_t n = g.NumVertices();
+  std::vector<VertexId> queue;
+  queue.reserve(64);
+  auto threshold = [&](VertexId v) { return g.IsUpper(v) ? alpha : beta; };
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (alive[v] && deg[v] < threshold(v)) {
+      alive[v] = 0;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    VertexId v = queue.back();
+    queue.pop_back();
+    if (removed) removed->push_back(v);
+    for (const Arc& a : g.Neighbors(v)) {
+      if (!alive[a.to]) continue;
+      if (--deg[a.to] < threshold(a.to)) {
+        alive[a.to] = 0;
+        queue.push_back(a.to);
+      }
+    }
+  }
+}
+
+CoreResult ComputeAlphaBetaCore(const BipartiteGraph& g, uint32_t alpha,
+                                uint32_t beta) {
+  const uint32_t n = g.NumVertices();
+  std::vector<uint32_t> deg(n);
+  for (VertexId v = 0; v < n; ++v) deg[v] = g.Degree(v);
+  CoreResult result;
+  result.alive.assign(n, 1);
+  PeelInPlace(g, alpha, beta, deg, result.alive);
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (!result.alive[v]) continue;
+    if (g.IsUpper(v)) {
+      ++result.num_upper;
+      result.num_edges += deg[v];
+    } else {
+      ++result.num_lower;
+    }
+  }
+  return result;
+}
+
+}  // namespace abcs

@@ -1,0 +1,39 @@
+#include "common/dsu.h"
+
+#include <numeric>
+
+namespace abcs {
+
+Dsu::Dsu(std::size_t n) : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+uint32_t Dsu::Find(uint32_t x) {
+  uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    uint32_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+uint32_t Dsu::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return ra;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return ra;
+}
+
+void Dsu::Reset() {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+  std::fill(size_.begin(), size_.end(), 1u);
+  num_sets_ = parent_.size();
+}
+
+}  // namespace abcs

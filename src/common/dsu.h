@@ -1,0 +1,47 @@
+#ifndef ABCS_COMMON_DSU_H_
+#define ABCS_COMMON_DSU_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace abcs {
+
+/// \brief Disjoint-set union (union–find) with union by size and full path
+/// compression.
+///
+/// Used by SCS-Expand (paper §IV-B) to maintain the connected subgraphs of
+/// the growing graph `G*` in amortised near-constant time, and by the
+/// generators/tests for connectivity checks.
+class Dsu {
+ public:
+  /// Creates `n` singleton sets `{0}, {1}, ..., {n-1}`.
+  explicit Dsu(std::size_t n);
+
+  /// Returns the representative of `x`'s set (with path compression).
+  uint32_t Find(uint32_t x);
+
+  /// Merges the sets of `a` and `b`. Returns the surviving root, or the
+  /// common root if they were already merged.
+  uint32_t Union(uint32_t a, uint32_t b);
+
+  /// True iff `a` and `b` are in the same set.
+  bool Same(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// Number of elements in `x`'s set.
+  uint32_t SizeOf(uint32_t x) { return size_[Find(x)]; }
+
+  /// Number of disjoint sets remaining.
+  std::size_t num_sets() const { return num_sets_; }
+
+  /// Resets every element to a singleton (reusing allocations).
+  void Reset();
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  std::size_t num_sets_;
+};
+
+}  // namespace abcs
+
+#endif  // ABCS_COMMON_DSU_H_

@@ -1,0 +1,81 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace abcs {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  for (auto& s : s_) s = SplitMix64(seed);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's nearly-divisionless method would be overkill; simple rejection
+  // sampling keeps the distribution exactly uniform.
+  uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (have_gauss_) {
+    have_gauss_ = false;
+    return gauss_cache_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  gauss_cache_ = r * std::sin(theta);
+  have_gauss_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::NextSkewNormal(double alpha) {
+  // Azzalini (1985): if (X0, X1) are iid N(0,1) and d = alpha/sqrt(1+a^2),
+  // then d*|X0| + sqrt(1-d^2)*X1 is skew-normal with shape alpha.
+  double d = alpha / std::sqrt(1.0 + alpha * alpha);
+  double x0 = NextGaussian();
+  double x1 = NextGaussian();
+  return d * std::fabs(x0) + std::sqrt(1.0 - d * d) * x1;
+}
+
+}  // namespace abcs

@@ -1,0 +1,80 @@
+#ifndef ABCS_COMMON_STATUS_H_
+#define ABCS_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace abcs {
+
+/// \brief Result of a fallible operation (RocksDB-style, no exceptions).
+///
+/// Library code never throws; operations that can fail (IO, malformed input,
+/// out-of-range query vertices) return a `Status`. The common idiom is
+///
+///     ABCS_RETURN_NOT_OK(DoSomething());
+///
+/// which propagates the first error upward.
+class Status {
+ public:
+  /// Error taxonomy. Keep small; callers branch on it rarely.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIOError,
+    kCorruption,
+    kNotSupported,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers; each carries a human-readable message.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>", for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define ABCS_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::abcs::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+}  // namespace abcs
+
+#endif  // ABCS_COMMON_STATUS_H_

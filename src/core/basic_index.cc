@@ -1,0 +1,133 @@
+#include "core/basic_index.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "abcore/offsets.h"
+#include "common/timer.h"
+
+namespace abcs {
+
+Status BasicIndex::Build(const BipartiteGraph& g, BasicIndexSide side,
+                         const BasicIndexBuildOptions& options,
+                         BasicIndex* out) {
+  Timer timer;
+  BasicIndex index;
+  index.graph_ = &g;
+  index.side_ = side;
+  index.max_level_ = (side == BasicIndexSide::kAlpha) ? g.MaxUpperDegree()
+                                                      : g.MaxLowerDegree();
+  const uint32_t n = g.NumVertices();
+  index.lists_.resize(n);
+  for (VertexLists& vl : index.lists_) vl.level_start.push_back(0);
+
+  std::size_t total_entries = 0;
+  for (uint32_t level = 1; level <= index.max_level_; ++level) {
+    const std::vector<uint32_t> offset =
+        (side == BasicIndexSide::kAlpha) ? ComputeAlphaOffsets(g, level)
+                                         : ComputeBetaOffsets(g, level);
+    bool any = false;
+    for (VertexId u = 0; u < n; ++u) {
+      if (offset[u] < 1) continue;
+      any = true;
+      VertexLists& vl = index.lists_[u];
+      // Levels are contiguous (cores nest), so this level extends the list.
+      const uint32_t begin = vl.level_start.back();
+      for (const Arc& a : g.Neighbors(u)) {
+        if (offset[a.to] >= 1) {
+          vl.entries.push_back(Entry{a.to, a.eid, offset[a.to]});
+        }
+      }
+      std::sort(vl.entries.begin() + begin, vl.entries.end(),
+                [](const Entry& x, const Entry& y) {
+                  if (x.offset != y.offset) return x.offset > y.offset;
+                  return x.to < y.to;
+                });
+      vl.level_start.push_back(static_cast<uint32_t>(vl.entries.size()));
+      vl.self_offset.push_back(offset[u]);
+      total_entries += vl.entries.size() - begin;
+    }
+    if (!any) break;  // all higher levels are empty too
+    if (timer.Seconds() > options.max_seconds) {
+      return Status::NotSupported("basic index build exceeded time budget");
+    }
+    if (total_entries > options.max_entries) {
+      return Status::NotSupported("basic index build exceeded entry budget");
+    }
+  }
+  *out = std::move(index);
+  return Status::OK();
+}
+
+std::size_t BasicIndex::EstimateEntries(const BipartiteGraph& g,
+                                        BasicIndexSide side) {
+  // An arc (u → v) is stored at every level ℓ where both endpoints are in
+  // the (ℓ,1)-core (α side) resp. (1,ℓ)-core (β side); the largest such ℓ
+  // per vertex is its offset at the other parameter fixed to 1.
+  const std::vector<uint32_t> reach = (side == BasicIndexSide::kAlpha)
+                                          ? ComputeBetaOffsets(g, 1)
+                                          : ComputeAlphaOffsets(g, 1);
+  std::size_t total = 0;
+  for (const Edge& e : g.Edges()) {
+    total += 2ull * std::min(reach[e.u], reach[e.v]);
+  }
+  return total;
+}
+
+Subgraph BasicIndex::QueryCommunity(VertexId q, uint32_t alpha, uint32_t beta,
+                                    QueryStats* stats) const {
+  Subgraph result;
+  const BipartiteGraph& g = *graph_;
+  if (q >= g.NumVertices()) return result;
+
+  const uint32_t level = (side_ == BasicIndexSide::kAlpha) ? alpha : beta;
+  const uint32_t need = (side_ == BasicIndexSide::kAlpha) ? beta : alpha;
+  if (level == 0 || need == 0 || level > max_level_) return result;
+
+  auto has_level = [&](VertexId v) {
+    return lists_[v].level_start.size() > level;
+  };
+  if (!has_level(q) || lists_[q].self_offset[level - 1] < need) {
+    return result;  // q is not in the (α,β)-core
+  }
+
+  std::vector<uint8_t> visited(g.NumVertices(), 0);
+  std::deque<VertexId> queue{q};
+  visited[q] = 1;
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    const VertexLists& vl = lists_[u];
+    const uint32_t begin = vl.level_start[level - 1];
+    const uint32_t end = vl.level_start[level];
+    for (uint32_t i = begin; i < end; ++i) {
+      const Entry& entry = vl.entries[i];
+      if (stats) ++stats->touched_arcs;
+      if (entry.offset < need) break;  // sorted: rest is below threshold
+      if (!g.IsUpper(u)) result.edges.push_back(entry.eid);
+      if (!visited[entry.to]) {
+        visited[entry.to] = 1;
+        queue.push_back(entry.to);
+      }
+    }
+  }
+  return result;
+}
+
+std::size_t BasicIndex::NumEntries() const {
+  std::size_t total = 0;
+  for (const VertexLists& vl : lists_) total += vl.entries.size();
+  return total;
+}
+
+std::size_t BasicIndex::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const VertexLists& vl : lists_) {
+    bytes += vl.entries.size() * sizeof(Entry);
+    bytes += vl.level_start.size() * sizeof(uint32_t);
+    bytes += vl.self_offset.size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace abcs

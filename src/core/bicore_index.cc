@@ -1,0 +1,103 @@
+#include "core/bicore_index.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace abcs {
+
+BicoreIndex BicoreIndex::Build(const BipartiteGraph& g,
+                               const BicoreDecomposition* decomp) {
+  BicoreDecomposition local;
+  if (decomp == nullptr) {
+    local = ComputeBicoreDecomposition(g);
+    decomp = &local;
+  }
+
+  BicoreIndex index;
+  index.graph_ = &g;
+  index.delta_ = decomp->delta;
+  index.alpha_side_.resize(decomp->delta);
+  index.beta_side_.resize(decomp->delta);
+  const uint32_t n = g.NumVertices();
+
+  for (uint32_t tau = 1; tau <= decomp->delta; ++tau) {
+    const std::vector<uint32_t>& sa = decomp->sa[tau - 1];
+    const std::vector<uint32_t>& sb = decomp->sb[tau - 1];
+    auto& av = index.alpha_side_[tau - 1];
+    auto& bv = index.beta_side_[tau - 1];
+    for (VertexId v = 0; v < n; ++v) {
+      if (sa[v] >= 1) av.push_back(Entry{v, sa[v]});
+      if (sb[v] >= 1) bv.push_back(Entry{v, sb[v]});
+    }
+    auto by_offset_desc = [](const Entry& a, const Entry& b) {
+      if (a.offset != b.offset) return a.offset > b.offset;
+      return a.v < b.v;
+    };
+    std::sort(av.begin(), av.end(), by_offset_desc);
+    std::sort(bv.begin(), bv.end(), by_offset_desc);
+  }
+  return index;
+}
+
+std::vector<VertexId> BicoreIndex::QueryCoreVertices(
+    uint32_t alpha, uint32_t beta, QueryStats* stats) const {
+  std::vector<VertexId> out;
+  if (alpha == 0 || beta == 0) return out;
+  const uint32_t tau = std::min(alpha, beta);
+  if (tau > delta_) return out;
+
+  // Prefix of the side indexed by min(α,β), thresholded by the other value.
+  const bool use_alpha_side = alpha <= beta;
+  const std::vector<Entry>& list =
+      use_alpha_side ? alpha_side_[alpha - 1] : beta_side_[beta - 1];
+  const uint32_t need = use_alpha_side ? beta : alpha;
+  for (const Entry& entry : list) {
+    if (stats) ++stats->touched_arcs;
+    if (entry.offset < need) break;
+    out.push_back(entry.v);
+  }
+  return out;
+}
+
+Subgraph BicoreIndex::QueryCommunity(VertexId q, uint32_t alpha,
+                                     uint32_t beta, QueryStats* stats) const {
+  Subgraph result;
+  const BipartiteGraph& g = *graph_;
+  if (q >= g.NumVertices()) return result;
+
+  std::vector<VertexId> core = QueryCoreVertices(alpha, beta, stats);
+  std::vector<uint8_t> in_core(g.NumVertices(), 0);
+  for (VertexId v : core) in_core[v] = 1;
+  if (!in_core[q]) return result;
+
+  // BFS from q over the original adjacency; arcs to vertices outside the
+  // core are inspected (and counted) but not followed — the overhead Qopt
+  // eliminates.
+  std::vector<uint8_t> visited(g.NumVertices(), 0);
+  std::deque<VertexId> queue{q};
+  visited[q] = 1;
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    for (const Arc& a : g.Neighbors(v)) {
+      if (stats) ++stats->touched_arcs;
+      if (!in_core[a.to]) continue;
+      if (!g.IsUpper(v)) result.edges.push_back(a.eid);
+      if (!visited[a.to]) {
+        visited[a.to] = 1;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return result;
+}
+
+std::size_t BicoreIndex::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& side : {&alpha_side_, &beta_side_}) {
+    for (const auto& list : *side) bytes += list.size() * sizeof(Entry);
+  }
+  return bytes;
+}
+
+}  // namespace abcs

@@ -1,0 +1,68 @@
+#ifndef ABCS_CORE_BICORE_INDEX_H_
+#define ABCS_CORE_BICORE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "abcore/offsets.h"
+#include "core/query_stats.h"
+#include "core/subgraph.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief The bicore index `I_v` (Liu et al., WWW'19 — the paper's [15]):
+/// vertex-only (α,β)-core membership, organised by the degeneracy bound.
+///
+/// For every τ ∈ [1, δ] it stores the vertices of the (τ,1)-core sorted by
+/// decreasing α-offset and the vertices of the (1,τ)-core sorted by
+/// decreasing β-offset, so `V(R_{α,β})` is a prefix of one of the lists and
+/// is retrieved in optimal O(|V(R_{α,β})|) time.
+///
+/// Because only vertex membership is stored, retrieving the
+/// *(α,β)-community* (`Qv`, see `QueryCommunity`) must BFS over the
+/// original graph and inspect arcs that leave the community — this is the
+/// non-optimality the paper's `I_δ` removes.
+class BicoreIndex {
+ public:
+  BicoreIndex() = default;
+
+  /// Builds the index in O(δ·m). If `decomp` is non-null it is used instead
+  /// of recomputing the offset table (benches share one decomposition
+  /// across index builds). The graph must outlive the index.
+  static BicoreIndex Build(const BipartiteGraph& g,
+                           const BicoreDecomposition* decomp = nullptr);
+
+  /// Degeneracy of the indexed graph.
+  uint32_t delta() const { return delta_; }
+
+  /// Vertex set of the (α,β)-core, in O(|V(R_{α,β})|). Empty when the core
+  /// is empty (in particular whenever min(α,β) > δ).
+  std::vector<VertexId> QueryCoreVertices(uint32_t alpha, uint32_t beta,
+                                          QueryStats* stats = nullptr) const;
+
+  /// `Qv`: the (α,β)-community of `q`, via core vertex retrieval plus BFS
+  /// over the graph restricted to core vertices.
+  Subgraph QueryCommunity(VertexId q, uint32_t alpha, uint32_t beta,
+                          QueryStats* stats = nullptr) const;
+
+  /// Bytes used by the index payload (Fig. 11).
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct Entry {
+    VertexId v;
+    uint32_t offset;  ///< s_a(v,τ) or s_b(v,τ)
+  };
+
+  const BipartiteGraph* graph_ = nullptr;
+  uint32_t delta_ = 0;
+  /// alpha_side_[τ-1]: vertices with s_a(·,τ) ≥ 1, sorted by s_a desc.
+  std::vector<std::vector<Entry>> alpha_side_;
+  /// beta_side_[τ-1]: vertices with s_b(·,τ) ≥ 1, sorted by s_b desc.
+  std::vector<std::vector<Entry>> beta_side_;
+};
+
+}  // namespace abcs
+
+#endif  // ABCS_CORE_BICORE_INDEX_H_

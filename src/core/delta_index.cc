@@ -1,0 +1,121 @@
+#include "core/delta_index.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace abcs {
+
+DeltaIndex DeltaIndex::Build(const BipartiteGraph& g,
+                             const BicoreDecomposition* decomp) {
+  BicoreDecomposition local;
+  if (decomp == nullptr) {
+    local = ComputeBicoreDecomposition(g);
+    decomp = &local;
+  }
+
+  DeltaIndex index;
+  index.graph_ = &g;
+  index.delta_ = decomp->delta;
+  const uint32_t n = g.NumVertices();
+
+  // Level count per vertex: the largest τ ≤ δ with v ∈ (τ,τ)-core; levels
+  // are contiguous because (τ,τ)-cores nest.
+  std::vector<uint32_t> num_levels(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    uint32_t levels = 0;
+    while (levels < decomp->delta && decomp->sa[levels][v] >= levels + 1) {
+      ++levels;
+    }
+    num_levels[v] = levels;
+  }
+
+  auto by_offset_desc = [](const Entry& x, const Entry& y) {
+    if (x.offset != y.offset) return x.offset > y.offset;
+    return x.to < y.to;
+  };
+
+  for (const bool alpha_side : {true, false}) {
+    Half& half = alpha_side ? index.alpha_half_ : index.beta_half_;
+    half.table_base.reserve(n + 1);
+    half.table_base.push_back(0);
+    for (VertexId u = 0; u < n; ++u) {
+      for (uint32_t tau = 1; tau <= num_levels[u]; ++tau) {
+        const std::vector<uint32_t>& off =
+            alpha_side ? decomp->sa[tau - 1] : decomp->sb[tau - 1];
+        half.level_start.push_back(
+            static_cast<uint32_t>(half.entries.size()));
+        half.self_offset.push_back(off[u]);
+        const std::size_t begin = half.entries.size();
+        for (const Arc& arc : g.Neighbors(u)) {
+          // α half keeps neighbours with s_a ≥ τ; β half needs s_b > τ
+          // (entries at exactly τ can never satisfy a β-side query).
+          const uint32_t o = off[arc.to];
+          if (alpha_side ? (o >= tau) : (o > tau)) {
+            half.entries.push_back(Entry{arc.to, arc.eid, o});
+          }
+        }
+        std::sort(half.entries.begin() + begin, half.entries.end(),
+                  by_offset_desc);
+      }
+      half.level_start.push_back(
+          static_cast<uint32_t>(half.entries.size()));
+      half.table_base.push_back(
+          static_cast<uint32_t>(half.level_start.size()));
+    }
+  }
+  return index;
+}
+
+Subgraph DeltaIndex::QueryImpl(VertexId q, uint32_t level, uint32_t need,
+                               const Half& half, QueryStats* stats) const {
+  Subgraph result;
+  const BipartiteGraph& g = *graph_;
+  if (half.NumLevels(q) < level) return result;  // q ∉ (τ,τ)-core
+  if (half.self_offset[half.table_base[q] - q + level - 1] < need) {
+    return result;  // q ∉ (α,β)-core
+  }
+
+  std::vector<uint8_t> visited(g.NumVertices(), 0);
+  std::deque<VertexId> queue{q};
+  visited[q] = 1;
+  uint64_t touched = 0;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    const uint32_t table = half.table_base[u] + level - 1;
+    const uint32_t begin = half.level_start[table];
+    const uint32_t end = half.level_start[table + 1];
+    const bool emit = !g.IsUpper(u);
+    for (uint32_t i = begin; i < end; ++i) {
+      const Entry& entry = half.entries[i];
+      ++touched;
+      if (entry.offset < need) break;  // sorted: early terminate
+      if (emit) result.edges.push_back(entry.eid);
+      if (!visited[entry.to]) {
+        visited[entry.to] = 1;
+        queue.push_back(entry.to);
+      }
+    }
+  }
+  if (stats) stats->touched_arcs += touched;
+  return result;
+}
+
+Subgraph DeltaIndex::QueryCommunity(VertexId q, uint32_t alpha, uint32_t beta,
+                                    QueryStats* stats) const {
+  if (graph_ == nullptr || q >= graph_->NumVertices() || alpha == 0 ||
+      beta == 0) {
+    return Subgraph{};
+  }
+  if (std::min(alpha, beta) > delta_) return Subgraph{};  // Lemma 4
+  if (alpha <= beta) {
+    return QueryImpl(q, /*level=*/alpha, /*need=*/beta, alpha_half_, stats);
+  }
+  return QueryImpl(q, /*level=*/beta, /*need=*/alpha, beta_half_, stats);
+}
+
+std::size_t DeltaIndex::MemoryBytes() const {
+  return alpha_half_.Bytes() + beta_half_.Bytes();
+}
+
+}  // namespace abcs

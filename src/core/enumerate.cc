@@ -1,0 +1,39 @@
+#include "core/enumerate.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "abcore/peeling.h"
+#include "common/dsu.h"
+
+namespace abcs {
+
+std::vector<Subgraph> EnumerateCommunities(const BipartiteGraph& g,
+                                           uint32_t alpha, uint32_t beta) {
+  const CoreResult core = ComputeAlphaBetaCore(g, alpha, beta);
+  std::vector<Subgraph> out;
+  if (core.Empty()) return out;
+
+  Dsu dsu(g.NumVertices());
+  for (const Edge& e : g.Edges()) {
+    if (core.alive[e.u] && core.alive[e.v]) dsu.Union(e.u, e.v);
+  }
+
+  // Components keyed by root, ordered by first appearance over the edge
+  // scan below; re-sorted by smallest member id for a stable API.
+  std::unordered_map<uint32_t, std::size_t> slot_of_root;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.GetEdge(e);
+    if (!core.alive[ed.u] || !core.alive[ed.v]) continue;
+    const uint32_t root = dsu.Find(ed.u);
+    auto [it, inserted] = slot_of_root.emplace(root, out.size());
+    if (inserted) out.emplace_back();
+    out[it->second].edges.push_back(e);
+  }
+  std::sort(out.begin(), out.end(), [](const Subgraph& a, const Subgraph& b) {
+    return a.edges.front() < b.edges.front();
+  });
+  return out;
+}
+
+}  // namespace abcs

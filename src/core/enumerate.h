@@ -1,0 +1,24 @@
+#ifndef ABCS_CORE_ENUMERATE_H_
+#define ABCS_CORE_ENUMERATE_H_
+
+#include <vector>
+
+#include "core/subgraph.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief All (α,β)-connected components of `g` (Definition 2) — every
+/// (α,β)-community without fixing a query vertex.
+///
+/// One peel + one DSU pass: O(m + n). Components are returned in
+/// ascending order of their smallest vertex id; each Subgraph lists the
+/// component's edges. Useful for whole-graph analyses (e.g. counting
+/// communities per parameter setting) and as a test oracle for the
+/// query-based retrieval.
+std::vector<Subgraph> EnumerateCommunities(const BipartiteGraph& g,
+                                           uint32_t alpha, uint32_t beta);
+
+}  // namespace abcs
+
+#endif  // ABCS_CORE_ENUMERATE_H_

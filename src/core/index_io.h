@@ -1,0 +1,39 @@
+#ifndef ABCS_CORE_INDEX_IO_H_
+#define ABCS_CORE_INDEX_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/delta_index.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief Binary serialisation of the degeneracy-bounded index `I_δ`.
+///
+/// Building `I_δ` costs O(δ·m); persisting it lets a service answer
+/// community queries immediately after start-up. The format is a flat
+/// little-endian dump with a magic header and format version:
+///
+///     "ABCSIDX1" | delta | nU | nL | m | per-vertex α-half | β-half
+///
+/// The file embeds the graph's shape (vertex/edge counts) and a topology
+/// checksum; `LoadDeltaIndex` fails with `Corruption` when the file does
+/// not match the supplied graph, so a stale index cannot silently serve
+/// wrong communities.
+Status SaveDeltaIndex(const DeltaIndex& index, const BipartiteGraph& g,
+                      const std::string& path);
+
+/// Loads an index previously written by SaveDeltaIndex; `g` must be the
+/// same graph the index was built from (checked via counts + checksum).
+/// The graph must outlive the returned index.
+Status LoadDeltaIndex(const std::string& path, const BipartiteGraph& g,
+                      DeltaIndex* out);
+
+/// Topology checksum used for index/graph matching (FNV-1a over the edge
+/// list; weights are excluded because I_δ stores none).
+uint64_t GraphTopologyChecksum(const BipartiteGraph& g);
+
+}  // namespace abcs
+
+#endif  // ABCS_CORE_INDEX_IO_H_

@@ -1,0 +1,415 @@
+#include "core/maintenance.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "abcore/offsets.h"
+#include "graph/graph_builder.h"
+
+namespace abcs {
+
+DynamicDeltaIndex::DynamicDeltaIndex(const BipartiteGraph& g) {
+  num_upper_ = g.NumUpper();
+  const uint32_t n = g.NumVertices();
+  adj_.resize(n);
+  edges_.reserve(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& ed = g.GetEdge(e);
+    edges_.push_back(ed);
+    edge_alive_.push_back(1);
+    adj_[ed.u].push_back(Arc{ed.v, e});
+    adj_[ed.v].push_back(Arc{ed.u, e});
+  }
+  num_alive_edges_ = g.NumEdges();
+
+  BicoreDecomposition decomp = ComputeBicoreDecomposition(g);
+  delta_ = decomp.delta;
+  sa_ = std::move(decomp.sa);
+  sb_ = std::move(decomp.sb);
+}
+
+namespace {
+
+/// Initial scope of an edge update: the endpoints plus every vertex
+/// reachable through vertices whose offset lies in [lo, hi]. Cascades
+/// propagate through vertices that themselves change, so
+///  - removals seed with [1, K]  (drops only hit offsets ≤ K and each drop
+///    is caused by a dropping neighbour, also ≤ K), and
+///  - insertions seed with the classic K-subcore [K, K].
+/// Fixed-side offsets can jump several levels per update, so the seed is
+/// not always sufficient; UpdateLevel grows it with trigger rounds until
+/// the boundary is provably unaffected.
+std::vector<VertexId> CollectScope(const std::vector<std::vector<Arc>>& adj,
+                                   const std::vector<uint32_t>& value,
+                                   uint32_t lo, uint32_t hi,
+                                   std::initializer_list<VertexId> seeds) {
+  std::vector<VertexId> scope;
+  std::vector<VertexId> stack;
+  std::vector<uint8_t> visited(adj.size(), 0);
+  for (VertexId s : seeds) {
+    if (!visited[s]) {
+      visited[s] = 1;
+      stack.push_back(s);
+      scope.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    VertexId x = stack.back();
+    stack.pop_back();
+    for (const Arc& a : adj[x]) {
+      VertexId y = a.to;
+      if (visited[y] || value[y] < lo || value[y] > hi) continue;
+      visited[y] = 1;
+      stack.push_back(y);
+      scope.push_back(y);
+    }
+  }
+  return scope;
+}
+
+}  // namespace
+
+void DynamicDeltaIndex::RecomputeScoped(std::vector<uint32_t>& value,
+                                        uint32_t tau, bool fix_upper,
+                                        const std::vector<VertexId>& scope) {
+  const uint32_t n = NumVertices();
+  auto is_fixed = [&](VertexId x) { return (x < num_upper_) == fix_upper; };
+
+  std::vector<uint8_t> in_scope(n, 0);
+  for (VertexId x : scope) in_scope[x] = 1;
+
+  // Degrees inside the scoped subgraph plus boundary support: an external
+  // neighbour with (unchanged) offset V supports scope vertices for every
+  // level ≤ V, so it contributes to the degree until level V "expires".
+  std::vector<uint32_t> deg(n, 0);
+  std::vector<std::pair<uint32_t, VertexId>> expiry;  // (level, target)
+  uint32_t max_level = 1;
+  for (VertexId x : scope) {
+    uint32_t d = 0;
+    for (const Arc& a : adj_[x]) {
+      VertexId y = a.to;
+      if (in_scope[y]) {
+        ++d;
+      } else if (value[y] >= 1) {
+        ++d;
+        expiry.emplace_back(value[y], x);
+        max_level = std::max(max_level, value[y]);
+      }
+    }
+    deg[x] = d;
+    if (!is_fixed(x)) max_level = std::max(max_level, d);
+  }
+  std::sort(expiry.begin(), expiry.end());
+
+  std::vector<uint8_t> alive(n, 0);
+  for (VertexId x : scope) alive[x] = 1;
+  uint32_t alive_count = static_cast<uint32_t>(scope.size());
+
+  // Level-L removal: x leaves the core while moving to level L+1, so its
+  // new offset is L (0 if it already fails the (τ,1)-level constraints).
+  std::vector<VertexId> cascade;
+  auto remove_at = [&](VertexId x, uint32_t level) {
+    alive[x] = 0;
+    value[x] = level;
+    cascade.push_back(x);
+  };
+  std::vector<std::vector<VertexId>> buckets(max_level + 2);
+  auto run_cascade = [&](uint32_t level) {
+    while (!cascade.empty()) {
+      VertexId x = cascade.back();
+      cascade.pop_back();
+      --alive_count;
+      for (const Arc& a : adj_[x]) {
+        VertexId y = a.to;
+        if (!in_scope[y] || !alive[y]) continue;
+        --deg[y];
+        if (is_fixed(y)) {
+          if (deg[y] < tau) remove_at(y, level);
+        } else if (deg[y] <= level) {
+          remove_at(y, level);
+        } else {
+          buckets[deg[y]].push_back(y);
+        }
+      }
+    }
+  };
+
+  // Initial peel to the (τ,1)- resp. (1,τ)-level: fixed side needs τ,
+  // ranked side needs 1.
+  for (VertexId x : scope) {
+    const uint32_t need = is_fixed(x) ? tau : 1;
+    if (deg[x] < need) remove_at(x, 0);
+  }
+  run_cascade(0);
+
+  for (VertexId x : scope) {
+    if (alive[x] && !is_fixed(x)) buckets[deg[x]].push_back(x);
+  }
+
+  std::size_t expiry_ptr = 0;
+  // Skip boundary supports that vanished during the initial peel: their
+  // holders are dead already, and decrements on dead vertices are ignored
+  // anyway, so the pointer can simply start at level 1.
+  for (uint32_t level = 1; level <= max_level && alive_count > 0; ++level) {
+    // Invariant: alive ranked vertices have deg >= level.
+    for (std::size_t i = 0; i < buckets[level].size(); ++i) {
+      VertexId x = buckets[level][i];
+      if (!alive[x] || deg[x] != level) continue;
+      remove_at(x, level);
+      run_cascade(level);
+    }
+    buckets[level].clear();
+    // Boundary supports with offset == level expire now; the loss still
+    // counts against membership at this level (offset stays `level`).
+    while (expiry_ptr < expiry.size() && expiry[expiry_ptr].first == level) {
+      VertexId x = expiry[expiry_ptr].second;
+      ++expiry_ptr;
+      if (!alive[x]) continue;
+      --deg[x];
+      if (is_fixed(x)) {
+        if (deg[x] < tau) {
+          remove_at(x, level);
+          run_cascade(level);
+        }
+      } else if (deg[x] <= level) {
+        remove_at(x, level);
+        run_cascade(level);
+      } else {
+        buckets[deg[x]].push_back(x);
+      }
+    }
+  }
+  // Defensive: anything still alive survived every level we can justify.
+  for (VertexId x : scope) {
+    if (alive[x]) value[x] = max_level;
+  }
+}
+
+void DynamicDeltaIndex::UpdateLevel(std::vector<uint32_t>& value,
+                                    uint32_t tau, bool fix_upper, VertexId u,
+                                    VertexId v, bool is_insert) {
+  const uint32_t k = std::min(value[u], value[v]);
+  if (!is_insert && k == 0) {
+    return;  // the edge belonged to no level-≥1 core: offsets unchanged
+  }
+  const uint32_t kMax = std::numeric_limits<uint32_t>::max();
+  // Insertion: risers have old offset ≥ K and connect to the edge through
+  // vertices with offset ≥ K, so that whole reachable region is recomputed
+  // at once (mutually-supporting groups must rise together — a smaller
+  // seed grown lazily can get stuck at a lower fixpoint). Removal: every
+  // drop is caused by a dropping neighbour with offset in [1, K], so the
+  // [1, K]-reachable region suffices as the seed.
+  std::vector<VertexId> scope =
+      is_insert ? CollectScope(adj_, value, k, kMax, {u, v})
+                : CollectScope(adj_, value, 1, k, {u, v});
+
+  // Trigger rounds (safety net): recompute the scope against its ORIGINAL
+  // offsets and grow it whenever a changed vertex crossed an out-of-scope
+  // neighbour's critical threshold — i.e. that neighbour's own offset
+  // might move. Terminates because the scope grows strictly; the final
+  // fixpoint is exact because every untouched boundary vertex keeps all
+  // its supports.
+  std::vector<uint8_t> in_scope(adj_.size(), 0);
+  for (VertexId x : scope) in_scope[x] = 1;
+  std::unordered_map<VertexId, uint32_t> saved;
+  for (int round = 0; round < 1024; ++round) {
+    for (VertexId x : scope) saved.try_emplace(x, value[x]);
+    for (const auto& [x, old] : saved) value[x] = old;
+    RecomputeScoped(value, tau, fix_upper, scope);
+
+    bool expanded = false;
+    const std::size_t scope_size = scope.size();
+    for (std::size_t i = 0; i < scope_size; ++i) {
+      const VertexId x = scope[i];
+      const uint32_t old = saved[x];
+      if (value[x] == old) continue;
+      for (const Arc& a : adj_[x]) {
+        const VertexId y = a.to;
+        if (in_scope[y]) continue;
+        const uint64_t vy = value[y];
+        const bool affected = is_insert ? (old < vy + 1 && vy + 1 <= value[x])
+                                        : (value[x] < vy && vy <= old);
+        if (affected) {
+          in_scope[y] = 1;
+          scope.push_back(y);
+          expanded = true;
+        }
+      }
+    }
+    if (!expanded) return;
+  }
+  // Pathological expansion (should not happen): fall back to the whole
+  // connected region so correctness is never at risk.
+  for (const auto& [x, old] : saved) value[x] = old;
+  std::vector<VertexId> full = CollectScope(adj_, value, 0, kMax, {u, v});
+  RecomputeScoped(value, tau, fix_upper, full);
+}
+
+bool DynamicDeltaIndex::KkCoreNonEmpty(uint32_t k) const {
+  const uint32_t n = NumVertices();
+  std::vector<uint32_t> deg(n);
+  std::vector<uint8_t> alive(n, 1);
+  std::vector<VertexId> queue;
+  uint32_t remaining = n;
+  for (VertexId x = 0; x < n; ++x) {
+    deg[x] = static_cast<uint32_t>(adj_[x].size());
+    if (deg[x] < k) {
+      alive[x] = 0;
+      queue.push_back(x);
+    }
+  }
+  while (!queue.empty()) {
+    VertexId x = queue.back();
+    queue.pop_back();
+    --remaining;
+    for (const Arc& a : adj_[x]) {
+      if (!alive[a.to]) continue;
+      if (--deg[a.to] < k) {
+        alive[a.to] = 0;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return remaining > 0;
+}
+
+void DynamicDeltaIndex::MaybeGrowDelta() {
+  while (KkCoreNonEmpty(delta_ + 1)) {
+    ++delta_;
+    const BipartiteGraph snapshot = ExportGraph();
+    sa_.push_back(ComputeAlphaOffsets(snapshot, delta_));
+    sb_.push_back(ComputeBetaOffsets(snapshot, delta_));
+  }
+}
+
+void DynamicDeltaIndex::MaybeShrinkDelta() {
+  while (delta_ >= 1) {
+    const std::vector<uint32_t>& top = sa_[delta_ - 1];
+    bool nonempty = false;
+    for (uint32_t x : top) {
+      if (x >= delta_) {
+        nonempty = true;
+        break;
+      }
+    }
+    if (nonempty) break;
+    sa_.pop_back();
+    sb_.pop_back();
+    --delta_;
+  }
+}
+
+Status DynamicDeltaIndex::InsertEdge(VertexId u, VertexId v, Weight w) {
+  if (u >= num_upper_ || v < num_upper_ || v >= NumVertices()) {
+    return Status::InvalidArgument("endpoints must be (upper, lower)");
+  }
+  for (const Arc& a : adj_[u]) {
+    if (a.to == v) return Status::InvalidArgument("edge already exists");
+  }
+  const EdgeId eid = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, w});
+  edge_alive_.push_back(1);
+  adj_[u].push_back(Arc{v, eid});
+  adj_[v].push_back(Arc{u, eid});
+  ++num_alive_edges_;
+
+  for (uint32_t tau = 1; tau <= delta_; ++tau) {
+    // The new edge can only enter a (τ,·)-core if its fixed-side endpoint
+    // has enough total degree; below that, nothing changes at this τ.
+    if (adj_[u].size() >= tau) {
+      UpdateLevel(sa_[tau - 1], tau, /*fix_upper=*/true, u, v,
+                  /*is_insert=*/true);
+    }
+    if (adj_[v].size() >= tau) {
+      UpdateLevel(sb_[tau - 1], tau, /*fix_upper=*/false, u, v,
+                  /*is_insert=*/true);
+    }
+  }
+  MaybeGrowDelta();
+  return Status::OK();
+}
+
+Status DynamicDeltaIndex::RemoveEdge(VertexId u, VertexId v) {
+  if (u >= num_upper_ || v < num_upper_ || v >= NumVertices()) {
+    return Status::InvalidArgument("endpoints must be (upper, lower)");
+  }
+  EdgeId eid = kInvalidEdge;
+  for (const Arc& a : adj_[u]) {
+    if (a.to == v) {
+      eid = a.eid;
+      break;
+    }
+  }
+  if (eid == kInvalidEdge) return Status::NotFound("edge does not exist");
+
+  auto erase_arc = [&](VertexId from, VertexId to) {
+    auto& list = adj_[from];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].to == to) {
+        list[i] = list.back();
+        list.pop_back();
+        return;
+      }
+    }
+  };
+  erase_arc(u, v);
+  erase_arc(v, u);
+  edge_alive_[eid] = 0;
+  --num_alive_edges_;
+
+  for (uint32_t tau = 1; tau <= delta_; ++tau) {
+    UpdateLevel(sa_[tau - 1], tau, /*fix_upper=*/true, u, v,
+                /*is_insert=*/false);
+    UpdateLevel(sb_[tau - 1], tau, /*fix_upper=*/false, u, v,
+                /*is_insert=*/false);
+  }
+  MaybeShrinkDelta();
+  return Status::OK();
+}
+
+Subgraph DynamicDeltaIndex::QueryCommunity(VertexId q, uint32_t alpha,
+                                           uint32_t beta) const {
+  Subgraph result;
+  if (q >= NumVertices() || alpha == 0 || beta == 0) return result;
+  if (std::min(alpha, beta) > delta_) return result;
+
+  const bool use_alpha = alpha <= beta;
+  const std::vector<uint32_t>& value =
+      use_alpha ? sa_[alpha - 1] : sb_[beta - 1];
+  const uint32_t need = use_alpha ? beta : alpha;
+  if (value[q] < need) return result;
+
+  std::vector<uint8_t> visited(NumVertices(), 0);
+  std::deque<VertexId> queue{q};
+  visited[q] = 1;
+  while (!queue.empty()) {
+    VertexId x = queue.front();
+    queue.pop_front();
+    for (const Arc& a : adj_[x]) {
+      if (value[a.to] < need) continue;
+      if (x >= num_upper_) result.edges.push_back(a.eid);
+      if (!visited[a.to]) {
+        visited[a.to] = 1;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return result;
+}
+
+BipartiteGraph DynamicDeltaIndex::ExportGraph() const {
+  GraphBuilder builder;
+  builder.Reserve(num_upper_, NumVertices() - num_upper_, num_alive_edges_);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (!edge_alive_[e]) continue;
+    builder.AddEdge(edges_[e].u, edges_[e].v - num_upper_, edges_[e].w);
+  }
+  BipartiteGraph out;
+  Status st = builder.Build(&out);
+  (void)st;
+  return out;
+}
+
+}  // namespace abcs

@@ -1,0 +1,111 @@
+#ifndef ABCS_CORE_MAINTENANCE_H_
+#define ABCS_CORE_MAINTENANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/subgraph.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief Dynamically maintained degeneracy-bounded index (paper §III-B,
+/// "Discussion of index maintenance").
+///
+/// Holds a mutable copy of the graph plus the offset tables s_a(·,τ) and
+/// s_b(·,τ) for every τ ≤ δ. Edge insertions and removals update the
+/// offsets *locally* instead of rebuilding:
+///
+///  - Only (τ,β)-cores whose vertex set contains *both* endpoints of the
+///    updated edge can change, so every affected vertex is reachable from
+///    the edge through vertices with offset ≥ K (insertion,
+///    K = min(offset(u), offset(v))) resp. ≥ 1 (removal) — the paper's
+///    S⁺/S⁻ sets, found by a localized BFS.
+///  - The scope is then re-peeled level by level; out-of-scope neighbours
+///    act as boundary supports that expire once the level exceeds their
+///    (provably unchanged) offset, making the local recomputation exact.
+///    Note the classic "±1 per update" k-core bound does NOT hold here:
+///    a fixed-side vertex (threshold τ at every level) can jump multiple
+///    levels when it gains or loses a single high-offset neighbour, which
+///    is why a full scoped re-peel is used instead of a promote/demote
+///    pass.
+///
+/// δ itself may grow or shrink by one per update; growing triggers a full
+/// offset computation for the single new level.
+///
+/// Queries run like `Qopt` but filter neighbours through the offset arrays
+/// (touching all arcs of community vertices, not the sorted-list optimal
+/// form — the static `DeltaIndex` keeps that; this class trades a small
+/// query overhead for updatability).
+///
+/// Correctness of the incremental rules is enforced by property tests that
+/// replay random update streams against full recomputation
+/// (tests/maintenance_test.cc).
+class DynamicDeltaIndex {
+ public:
+  /// Seeds the dynamic index from `g` (the graph is copied; `g` need not
+  /// outlive the index).
+  explicit DynamicDeltaIndex(const BipartiteGraph& g);
+
+  uint32_t delta() const { return delta_; }
+  uint32_t NumUpper() const { return num_upper_; }
+  uint32_t NumVertices() const { return static_cast<uint32_t>(adj_.size()); }
+  /// Number of currently alive edges.
+  uint32_t NumAliveEdges() const { return num_alive_edges_; }
+
+  /// Inserts edge (u, v) with weight `w`; `u` must be an upper vertex and
+  /// `v` a lower vertex (unified ids). Fails if the edge already exists.
+  Status InsertEdge(VertexId u, VertexId v, Weight w);
+
+  /// Removes edge (u, v). Fails if absent.
+  Status RemoveEdge(VertexId u, VertexId v);
+
+  /// The (α,β)-community of q in the current graph. Edge ids refer to this
+  /// index's internal edge table (see `GetEdge`).
+  Subgraph QueryCommunity(VertexId q, uint32_t alpha, uint32_t beta) const;
+
+  /// Internal edge lookup for ids returned by QueryCommunity.
+  const Edge& GetEdge(EdgeId e) const { return edges_[e]; }
+
+  /// Current offset values (1-based τ ≤ delta()); exposed for tests.
+  uint32_t OffsetAlpha(uint32_t tau, VertexId v) const {
+    return sa_[tau - 1][v];
+  }
+  uint32_t OffsetBeta(uint32_t tau, VertexId v) const {
+    return sb_[tau - 1][v];
+  }
+
+  /// Compacts the alive edges into an immutable snapshot (fresh edge ids,
+  /// same vertex ids). Used by tests to cross-check against full rebuilds.
+  BipartiteGraph ExportGraph() const;
+
+ private:
+  /// Updates one offset table after inserting/removing edge (u, v): finds
+  /// the affected scope (the paper's S⁺/S⁻) and re-peels it with boundary
+  /// support from unchanged neighbours.
+  void UpdateLevel(std::vector<uint32_t>& value, uint32_t tau, bool fix_upper,
+                   VertexId u, VertexId v, bool is_insert);
+  /// Exact level-wise re-peel of the scoped subgraph; out-of-scope
+  /// neighbours support scope vertices until the level passes their
+  /// (unchanged) offset.
+  void RecomputeScoped(std::vector<uint32_t>& value, uint32_t tau,
+                       bool fix_upper, const std::vector<VertexId>& scope);
+  void MaybeGrowDelta();
+  void MaybeShrinkDelta();
+  /// True iff the (k,k)-core of the current graph is nonempty.
+  bool KkCoreNonEmpty(uint32_t k) const;
+
+  uint32_t num_upper_ = 0;
+  uint32_t num_alive_edges_ = 0;
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<Edge> edges_;        // slot per EdgeId ever created
+  std::vector<uint8_t> edge_alive_;
+  uint32_t delta_ = 0;
+  std::vector<std::vector<uint32_t>> sa_;  // [τ-1][v]
+  std::vector<std::vector<uint32_t>> sb_;
+};
+
+}  // namespace abcs
+
+#endif  // ABCS_CORE_MAINTENANCE_H_

@@ -1,0 +1,43 @@
+#include "core/online_query.h"
+
+#include <deque>
+
+#include "abcore/peeling.h"
+
+namespace abcs {
+
+Subgraph QueryCommunityOnline(const BipartiteGraph& g, VertexId q,
+                              uint32_t alpha, uint32_t beta,
+                              QueryStats* stats) {
+  Subgraph result;
+  if (q >= g.NumVertices()) return result;
+
+  const uint32_t n = g.NumVertices();
+  std::vector<uint32_t> deg(n);
+  for (VertexId v = 0; v < n; ++v) deg[v] = g.Degree(v);
+  std::vector<uint8_t> alive(n, 1);
+  PeelInPlace(g, alpha, beta, deg, alive);
+  if (stats) stats->touched_arcs += 2ull * g.NumEdges();  // full peel cost
+  if (!alive[q]) return result;
+
+  // BFS from q within the core; collect each edge from its lower endpoint.
+  std::vector<uint8_t> visited(n, 0);
+  std::deque<VertexId> queue{q};
+  visited[q] = 1;
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    for (const Arc& a : g.Neighbors(v)) {
+      if (stats) ++stats->touched_arcs;
+      if (!alive[a.to]) continue;
+      if (!g.IsUpper(v)) result.edges.push_back(a.eid);
+      if (!visited[a.to]) {
+        visited[a.to] = 1;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace abcs

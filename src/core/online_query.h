@@ -1,0 +1,22 @@
+#ifndef ABCS_CORE_ONLINE_QUERY_H_
+#define ABCS_CORE_ONLINE_QUERY_H_
+
+#include "core/query_stats.h"
+#include "core/subgraph.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief The index-free query algorithm `Qo` (Ding et al., CIKM'17 — the
+/// paper's [16]): peel `g` to its (α,β)-core, then BFS from `q` inside the
+/// core collecting the (α,β)-community.
+///
+/// O(m) per query regardless of the community size — the baseline the
+/// indexes beat. Returns an empty subgraph when `q` is not in the core.
+Subgraph QueryCommunityOnline(const BipartiteGraph& g, VertexId q,
+                              uint32_t alpha, uint32_t beta,
+                              QueryStats* stats = nullptr);
+
+}  // namespace abcs
+
+#endif  // ABCS_CORE_ONLINE_QUERY_H_

@@ -1,0 +1,31 @@
+#include "core/profile.h"
+
+#include "core/scs_peel.h"
+
+namespace abcs {
+
+SignificanceProfile ComputeSignificanceProfile(const BipartiteGraph& g,
+                                               const DeltaIndex& index,
+                                               VertexId q, uint32_t max_alpha,
+                                               uint32_t max_beta) {
+  SignificanceProfile profile;
+  profile.max_alpha = max_alpha;
+  profile.max_beta = max_beta;
+  profile.values.assign(static_cast<std::size_t>(max_alpha) * max_beta, 0.0);
+  profile.exists.assign(profile.values.size(), 0);
+  for (uint32_t alpha = 1; alpha <= max_alpha; ++alpha) {
+    for (uint32_t beta = 1; beta <= max_beta; ++beta) {
+      const Subgraph c = index.QueryCommunity(q, alpha, beta);
+      if (c.Empty()) continue;  // all larger β are empty too, but cheap
+      const ScsResult r = ScsPeel(g, c, q, alpha, beta);
+      if (!r.found) continue;
+      const std::size_t cell =
+          static_cast<std::size_t>(alpha - 1) * max_beta + (beta - 1);
+      profile.values[cell] = r.significance;
+      profile.exists[cell] = 1;
+    }
+  }
+  return profile;
+}
+
+}  // namespace abcs

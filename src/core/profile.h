@@ -1,0 +1,45 @@
+#ifndef ABCS_CORE_PROFILE_H_
+#define ABCS_CORE_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/delta_index.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief The significance profile of a query vertex: f(R) for every
+/// (α,β) in [1, max_alpha] × [1, max_beta].
+///
+/// `values[(alpha-1) * max_beta + (beta-1)]` holds f(R) for that cell, and
+/// `exists[...]` records whether a community exists at all. Because any
+/// subgraph feasible at (α,β) is feasible at (α′,β′) with α′ ≤ α, β′ ≤ β,
+/// the profile is non-increasing along both axes — a useful sanity check
+/// and a guide for picking thresholds in applications (e.g. the strongest
+/// (α,β) for which a team/community of the desired strength exists).
+struct SignificanceProfile {
+  uint32_t max_alpha = 0;
+  uint32_t max_beta = 0;
+  std::vector<Weight> values;
+  std::vector<uint8_t> exists;
+
+  Weight At(uint32_t alpha, uint32_t beta) const {
+    return values[(alpha - 1) * max_beta + (beta - 1)];
+  }
+  bool ExistsAt(uint32_t alpha, uint32_t beta) const {
+    return exists[(alpha - 1) * max_beta + (beta - 1)] != 0;
+  }
+};
+
+/// Computes the profile by running SCS-Peel per cell (cells with empty
+/// communities short-circuit via the index). O(max_alpha · max_beta ·
+/// (sort(C) + size(C))) worst case.
+SignificanceProfile ComputeSignificanceProfile(const BipartiteGraph& g,
+                                               const DeltaIndex& index,
+                                               VertexId q, uint32_t max_alpha,
+                                               uint32_t max_beta);
+
+}  // namespace abcs
+
+#endif  // ABCS_CORE_PROFILE_H_

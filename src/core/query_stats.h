@@ -1,0 +1,20 @@
+#ifndef ABCS_CORE_QUERY_STATS_H_
+#define ABCS_CORE_QUERY_STATS_H_
+
+#include <cstdint>
+
+namespace abcs {
+
+/// \brief Work counters for community retrieval.
+///
+/// `touched_arcs` counts adjacency entries examined; the paper's optimality
+/// claim (Lemma 3) is that `Qopt` touches Θ(size(C_{α,β}(q))) entries while
+/// `Qv` also scans arcs leaving the community and `Qo` scans the whole
+/// graph. Tests assert these relationships exactly.
+struct QueryStats {
+  uint64_t touched_arcs = 0;
+};
+
+}  // namespace abcs
+
+#endif  // ABCS_CORE_QUERY_STATS_H_

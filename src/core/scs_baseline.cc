@@ -1,0 +1,17 @@
+#include "core/scs_baseline.h"
+
+#include <numeric>
+
+#include "core/scs_expand.h"
+
+namespace abcs {
+
+ScsResult ScsBaseline(const BipartiteGraph& g, VertexId q, uint32_t alpha,
+                      uint32_t beta, const ScsOptions& options,
+                      ScsStats* stats) {
+  std::vector<EdgeId> pool(g.NumEdges());
+  std::iota(pool.begin(), pool.end(), 0u);
+  return ExpandFromEdges(g, pool, q, alpha, beta, options, stats);
+}
+
+}  // namespace abcs

@@ -1,0 +1,21 @@
+#ifndef ABCS_CORE_SCS_BASELINE_H_
+#define ABCS_CORE_SCS_BASELINE_H_
+
+#include "core/scs_common.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief SCS-Baseline (paper §V-A): expansion over the *whole graph*
+/// instead of C_{α,β}(q).
+///
+/// Identical machinery to SCS-Expand, but the edge pool is E(G), so the
+/// search space is the connected component of `q` in G rather than its
+/// (α,β)-community — the cost the two-step paradigm avoids.
+ScsResult ScsBaseline(const BipartiteGraph& g, VertexId q, uint32_t alpha,
+                      uint32_t beta, const ScsOptions& options = {},
+                      ScsStats* stats = nullptr);
+
+}  // namespace abcs
+
+#endif  // ABCS_CORE_SCS_BASELINE_H_

@@ -1,0 +1,119 @@
+#include "core/scs_binary.h"
+
+#include <algorithm>
+
+namespace abcs {
+
+namespace {
+
+/// Peels the subgraph {edges of lg with weight >= w} to (α,β) stability.
+/// Returns true and fills `alive_edges`/`deg` iff q survives.
+bool FeasibleAt(const LocalGraph& lg, uint32_t lq, uint32_t alpha,
+                uint32_t beta, Weight w, std::vector<uint8_t>* alive_edges,
+                std::vector<uint32_t>* deg, ScsStats* stats) {
+  const uint32_t n = lg.NumVertices();
+  const uint32_t m = lg.NumEdges();
+  auto threshold = [&](uint32_t x) {
+    return lg.IsUpperLocal(x) ? alpha : beta;
+  };
+  alive_edges->assign(m, 0);
+  deg->assign(n, 0);
+  for (uint32_t pos = 0; pos < m; ++pos) {
+    const LocalGraph::LocalEdge& le = lg.edges()[pos];
+    if (le.w >= w) {
+      (*alive_edges)[pos] = 1;
+      ++(*deg)[le.u];
+      ++(*deg)[le.v];
+    }
+  }
+  std::vector<uint32_t> queue;
+  for (uint32_t x = 0; x < n; ++x) {
+    if ((*deg)[x] < threshold(x)) queue.push_back(x);
+  }
+  while (!queue.empty()) {
+    uint32_t x = queue.back();
+    queue.pop_back();
+    if ((*deg)[x] >= threshold(x) || (*deg)[x] == 0) continue;
+    for (const LocalGraph::LocalArc& a : lg.Neighbors(x)) {
+      if (!(*alive_edges)[a.pos]) continue;
+      (*alive_edges)[a.pos] = 0;
+      if (stats) ++stats->edges_processed;
+      --(*deg)[x];
+      --(*deg)[a.to];
+      if ((*deg)[a.to] < threshold(a.to)) queue.push_back(a.to);
+    }
+  }
+  if (stats) ++stats->validations;
+  return (*deg)[lq] >= threshold(lq);
+}
+
+}  // namespace
+
+ScsResult ScsBinary(const BipartiteGraph& g, const Subgraph& community,
+                    VertexId q, uint32_t alpha, uint32_t beta,
+                    ScsStats* stats) {
+  ScsResult result;
+  if (community.Empty() || alpha == 0 || beta == 0) return result;
+  LocalGraph lg(g, community.edges);
+  const uint32_t lq = lg.LocalId(q);
+  if (lq == kInvalidVertex) return result;
+
+  std::vector<Weight> weights;
+  weights.reserve(lg.NumEdges());
+  for (const LocalGraph::LocalEdge& le : lg.edges()) weights.push_back(le.w);
+  std::sort(weights.begin(), weights.end());
+  weights.erase(std::unique(weights.begin(), weights.end()), weights.end());
+
+  std::vector<uint8_t> alive;
+  std::vector<uint32_t> deg;
+
+  // Invariant: feasible at weights[lo] (or infeasible everywhere).
+  if (!FeasibleAt(lg, lq, alpha, beta, weights.front(), &alive, &deg,
+                  stats)) {
+    return result;  // even the whole community does not support q
+  }
+  std::size_t lo = 0, hi = weights.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    std::vector<uint8_t> alive_mid;
+    std::vector<uint32_t> deg_mid;
+    if (FeasibleAt(lg, lq, alpha, beta, weights[mid], &alive_mid, &deg_mid,
+                   stats)) {
+      lo = mid;
+      alive = std::move(alive_mid);
+      deg = std::move(deg_mid);
+    } else {
+      hi = mid - 1;
+    }
+  }
+
+  // Extract q's connected component of the stable subgraph at weights[lo].
+  const uint32_t n = lg.NumVertices();
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<uint32_t> stack{lq};
+  visited[lq] = 1;
+  Weight fmin = weights[lo];
+  bool first = true;
+  while (!stack.empty()) {
+    uint32_t x = stack.back();
+    stack.pop_back();
+    for (const LocalGraph::LocalArc& a : lg.Neighbors(x)) {
+      if (!alive[a.pos]) continue;
+      if (!lg.IsUpperLocal(x)) {
+        result.community.edges.push_back(lg.edges()[a.pos].global);
+        const Weight we = lg.edges()[a.pos].w;
+        fmin = first ? we : std::min(fmin, we);
+        first = false;
+      }
+      if (!visited[a.to]) {
+        visited[a.to] = 1;
+        stack.push_back(a.to);
+      }
+    }
+  }
+  result.significance = fmin;
+  result.found = true;
+  return result;
+}
+
+}  // namespace abcs

@@ -1,0 +1,249 @@
+#include "core/scs_common.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace abcs {
+
+LocalGraph::LocalGraph(const BipartiteGraph& g,
+                       const std::vector<EdgeId>& edges) {
+  // Dense renumbering of the endpoints.
+  std::vector<VertexId> verts;
+  verts.reserve(edges.size() * 2);
+  for (EdgeId e : edges) {
+    const Edge& ed = g.GetEdge(e);
+    verts.push_back(ed.u);
+    verts.push_back(ed.v);
+  }
+  std::sort(verts.begin(), verts.end());
+  verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+
+  global_of_ = verts;
+  is_upper_.resize(verts.size());
+  id_map_.reserve(verts.size());
+  for (uint32_t i = 0; i < verts.size(); ++i) {
+    is_upper_[i] = g.IsUpper(verts[i]) ? 1 : 0;
+    id_map_.emplace_back(verts[i], i);
+  }
+
+  edges_.reserve(edges.size());
+  for (EdgeId e : edges) {
+    const Edge& ed = g.GetEdge(e);
+    edges_.push_back(LocalEdge{LocalId(ed.u), LocalId(ed.v), ed.w, e});
+  }
+
+  const uint32_t n = NumVertices();
+  offsets_.assign(n + 1, 0);
+  for (const LocalEdge& le : edges_) {
+    ++offsets_[le.u + 1];
+    ++offsets_[le.v + 1];
+  }
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+  arcs_.resize(2 * edges_.size());
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (uint32_t pos = 0; pos < edges_.size(); ++pos) {
+    const LocalEdge& le = edges_[pos];
+    arcs_[cursor[le.u]++] = LocalArc{le.v, pos};
+    arcs_[cursor[le.v]++] = LocalArc{le.u, pos};
+  }
+}
+
+uint32_t LocalGraph::LocalId(VertexId global) const {
+  auto it = std::lower_bound(
+      id_map_.begin(), id_map_.end(), global,
+      [](const std::pair<VertexId, uint32_t>& p, VertexId v) {
+        return p.first < v;
+      });
+  if (it == id_map_.end() || it->first != global) return kInvalidVertex;
+  return it->second;
+}
+
+ScsResult PeelToSignificant(const LocalGraph& lg, VertexId q, uint32_t alpha,
+                            uint32_t beta, ScsStats* stats) {
+  ScsResult result;
+  const uint32_t lq = lg.LocalId(q);
+  if (lq == kInvalidVertex || lg.NumEdges() == 0) return result;
+
+  const uint32_t n = lg.NumVertices();
+  const uint32_t m = lg.NumEdges();
+  auto threshold = [&](uint32_t x) { return lg.IsUpperLocal(x) ? alpha : beta; };
+
+  std::vector<uint32_t> deg(n, 0);
+  for (const LocalGraph::LocalEdge& le : lg.edges()) {
+    ++deg[le.u];
+    ++deg[le.v];
+  }
+  std::vector<uint8_t> alive(m, 1);
+
+  std::vector<uint32_t> cascade;
+  auto kill_edges_of = [&](uint32_t x, std::vector<uint32_t>* sink) {
+    for (const LocalGraph::LocalArc& a : lg.Neighbors(x)) {
+      if (!alive[a.pos]) continue;
+      alive[a.pos] = 0;
+      if (sink) sink->push_back(a.pos);
+      if (stats) ++stats->edges_processed;
+      --deg[x];
+      --deg[a.to];
+      if (deg[a.to] < threshold(a.to)) cascade.push_back(a.to);
+    }
+  };
+  auto run_cascade = [&](std::vector<uint32_t>* sink) {
+    while (!cascade.empty()) {
+      uint32_t x = cascade.back();
+      cascade.pop_back();
+      if (deg[x] >= threshold(x) || deg[x] == 0) continue;
+      kill_edges_of(x, sink);
+    }
+  };
+
+  // Stabilise the input: peel vertices below threshold (no restore — these
+  // edges belong to no candidate community).
+  for (uint32_t x = 0; x < n; ++x) {
+    if (deg[x] < threshold(x)) cascade.push_back(x);
+  }
+  run_cascade(nullptr);
+  if (deg[lq] < threshold(lq)) return result;
+
+  // Edge positions sorted by non-decreasing weight.
+  std::vector<uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return lg.edges()[a].w < lg.edges()[b].w;
+  });
+
+  std::vector<uint32_t> batch_removed;  // the paper's edge set S
+  uint32_t i = 0;
+  while (i < m) {
+    // Find the next batch: all alive edges of the minimal remaining weight.
+    while (i < m && !alive[order[i]]) ++i;
+    if (i >= m) break;
+    const Weight wmin = lg.edges()[order[i]].w;
+    batch_removed.clear();
+    uint32_t j = i;
+    while (j < m && lg.edges()[order[j]].w == wmin) {
+      const uint32_t pos = order[j];
+      ++j;
+      if (!alive[pos]) continue;
+      const LocalGraph::LocalEdge& le = lg.edges()[pos];
+      alive[pos] = 0;
+      batch_removed.push_back(pos);
+      if (stats) ++stats->edges_processed;
+      --deg[le.u];
+      --deg[le.v];
+      if (deg[le.u] < threshold(le.u)) cascade.push_back(le.u);
+      if (deg[le.v] < threshold(le.v)) cascade.push_back(le.v);
+    }
+    run_cascade(&batch_removed);
+    i = j;
+
+    if (deg[lq] < threshold(lq)) {
+      // q no longer satisfies the constraint: the state at the start of
+      // this batch is the last valid graph. Restore S and extract q's
+      // connected component — that is R (Theorem 1).
+      for (uint32_t pos : batch_removed) {
+        alive[pos] = 1;
+        ++deg[lg.edges()[pos].u];
+        ++deg[lg.edges()[pos].v];
+      }
+      std::vector<uint8_t> visited(n, 0);
+      std::vector<uint32_t> stack{lq};
+      visited[lq] = 1;
+      Weight fmin = wmin;
+      while (!stack.empty()) {
+        uint32_t x = stack.back();
+        stack.pop_back();
+        for (const LocalGraph::LocalArc& a : lg.Neighbors(x)) {
+          if (!alive[a.pos]) continue;
+          if (!lg.IsUpperLocal(x)) {
+            result.community.edges.push_back(lg.edges()[a.pos].global);
+            fmin = std::min(fmin, lg.edges()[a.pos].w);
+          }
+          if (!visited[a.to]) {
+            visited[a.to] = 1;
+            stack.push_back(a.to);
+          }
+        }
+      }
+      result.significance = fmin;
+      result.found = true;
+      if (stats) ++stats->validations;
+      return result;
+    }
+  }
+  return result;  // q was eliminated during stabilisation — no community
+}
+
+ScsResult ScsBruteForce(const BipartiteGraph& g, VertexId q, uint32_t alpha,
+                        uint32_t beta) {
+  ScsResult result;
+  if (q >= g.NumVertices()) return result;
+
+  std::vector<Weight> weights;
+  weights.reserve(g.NumEdges());
+  for (const Edge& e : g.Edges()) weights.push_back(e.w);
+  std::sort(weights.begin(), weights.end(), std::greater<>());
+  weights.erase(std::unique(weights.begin(), weights.end()), weights.end());
+
+  const uint32_t n = g.NumVertices();
+  for (Weight w : weights) {
+    // Keep edges with weight >= w; peel vertices below threshold.
+    std::vector<uint32_t> deg(n, 0);
+    for (const Edge& e : g.Edges()) {
+      if (e.w >= w) {
+        ++deg[e.u];
+        ++deg[e.v];
+      }
+    }
+    std::vector<uint8_t> dead(n, 0);
+    std::vector<VertexId> queue;
+    auto threshold = [&](VertexId x) { return g.IsUpper(x) ? alpha : beta; };
+    for (VertexId x = 0; x < n; ++x) {
+      if (deg[x] < threshold(x)) {
+        dead[x] = 1;
+        queue.push_back(x);
+      }
+    }
+    while (!queue.empty()) {
+      VertexId x = queue.back();
+      queue.pop_back();
+      for (const Arc& a : g.Neighbors(x)) {
+        if (dead[a.to] || g.GetWeight(a.eid) < w) continue;
+        if (--deg[a.to] < threshold(a.to)) {
+          dead[a.to] = 1;
+          queue.push_back(a.to);
+        }
+      }
+    }
+    if (dead[q]) continue;
+
+    // q survives: its connected component over surviving edges is R.
+    std::vector<uint8_t> visited(n, 0);
+    std::vector<VertexId> stack{q};
+    visited[q] = 1;
+    Weight fmin = 0;
+    bool first = true;
+    while (!stack.empty()) {
+      VertexId x = stack.back();
+      stack.pop_back();
+      for (const Arc& a : g.Neighbors(x)) {
+        if (dead[a.to] || g.GetWeight(a.eid) < w) continue;
+        if (!g.IsUpper(x)) {
+          result.community.edges.push_back(a.eid);
+          const Weight we = g.GetWeight(a.eid);
+          fmin = first ? we : std::min(fmin, we);
+          first = false;
+        }
+        if (!visited[a.to]) {
+          visited[a.to] = 1;
+          stack.push_back(a.to);
+        }
+      }
+    }
+    result.significance = fmin;
+    result.found = true;
+    return result;
+  }
+  return result;
+}
+
+}  // namespace abcs

@@ -1,0 +1,104 @@
+#ifndef ABCS_CORE_SCS_COMMON_H_
+#define ABCS_CORE_SCS_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/subgraph.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// Options shared by the SCS query algorithms.
+struct ScsOptions {
+  /// Expansion parameter ε > 1 controlling how often SCS-Expand validates
+  /// the growing component (paper §IV-B argues ε = 2 minimises total
+  /// validation cost ε/(ε−1)·size(R)).
+  double epsilon = 2.0;
+};
+
+/// Work counters for the SCS algorithms (ablation benches).
+struct ScsStats {
+  uint32_t validations = 0;   ///< full peels run on candidate components
+  uint64_t edges_processed = 0;  ///< edges peeled or expanded
+};
+
+/// Result of a significant (α,β)-community search.
+struct ScsResult {
+  Subgraph community;       ///< R; empty when no community exists
+  Weight significance = 0;  ///< f(R), the maximised minimum edge weight
+  bool found = false;
+};
+
+/// \brief A compact, mutable view of a subgraph used by the SCS kernels:
+/// vertices renumbered densely, CSR adjacency over the subgraph's edges.
+///
+/// Built in O(size(sub)) time (plus an O(n) id map); the SCS algorithms
+/// never touch the full graph again after construction, which is what makes
+/// the two-step paradigm pay off.
+class LocalGraph {
+ public:
+  /// An edge of the local graph; `pos` (its index in `edges()`) doubles as
+  /// the local edge id.
+  struct LocalEdge {
+    uint32_t u;  ///< local id of the upper endpoint
+    uint32_t v;  ///< local id of the lower endpoint
+    Weight w;
+    EdgeId global;  ///< EdgeId in the original graph
+  };
+  struct LocalArc {
+    uint32_t to;   ///< local vertex id
+    uint32_t pos;  ///< local edge id
+  };
+
+  LocalGraph(const BipartiteGraph& g, const std::vector<EdgeId>& edges);
+
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(global_of_.size());
+  }
+  uint32_t NumEdges() const { return static_cast<uint32_t>(edges_.size()); }
+  const std::vector<LocalEdge>& edges() const { return edges_; }
+
+  /// Local id of a global vertex, or kInvalidVertex if absent.
+  uint32_t LocalId(VertexId global) const;
+  VertexId GlobalId(uint32_t local) const { return global_of_[local]; }
+  bool IsUpperLocal(uint32_t local) const { return is_upper_[local] != 0; }
+
+  std::span<const LocalArc> Neighbors(uint32_t local) const {
+    return {arcs_.data() + offsets_[local],
+            offsets_[local + 1] - offsets_[local]};
+  }
+
+ private:
+  std::vector<VertexId> global_of_;
+  std::vector<uint8_t> is_upper_;
+  std::vector<LocalEdge> edges_;
+  std::vector<uint32_t> offsets_;
+  std::vector<LocalArc> arcs_;
+  // Sparse global→local map (sorted pairs, binary searched).
+  std::vector<std::pair<VertexId, uint32_t>> id_map_;
+};
+
+/// \brief The peeling kernel (Algorithm 4 lines 3–23, generalised): finds
+/// the significant (α,β)-community of `q` *within* the edge set of `lg`.
+///
+/// First stabilises the input (removes vertices below their degree
+/// threshold), then repeatedly deletes minimum-weight edge batches with
+/// cascading degree repair until `q` violates its threshold; the state at
+/// the start of the violating batch, restricted to q's connected component,
+/// is R. Returns found = false when `q` is not in any valid subgraph of
+/// `lg`. Used directly by SCS-Peel and as the validation step of
+/// SCS-Expand / SCS-Baseline.
+ScsResult PeelToSignificant(const LocalGraph& lg, VertexId q, uint32_t alpha,
+                            uint32_t beta, ScsStats* stats = nullptr);
+
+/// \brief Reference oracle: tries every distinct weight threshold from the
+/// highest down, keeping edges ≥ w and peeling to (α,β); the first
+/// threshold where `q` survives yields R (q's connected component of the
+/// stable subgraph). O(#weights · m) — test/verification use only.
+ScsResult ScsBruteForce(const BipartiteGraph& g, VertexId q, uint32_t alpha,
+                        uint32_t beta);
+
+}  // namespace abcs
+
+#endif  // ABCS_CORE_SCS_COMMON_H_

@@ -1,0 +1,155 @@
+#include "core/scs_expand.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/dsu.h"
+
+namespace abcs {
+
+namespace {
+
+/// Per-component bookkeeping kept at DSU roots so Lemma 7/8 checks are
+/// O(1) per batch.
+struct ComponentAgg {
+  uint64_t edges = 0;
+  uint32_t num_upper = 0;
+  uint32_t num_lower = 0;
+  uint32_t upper_ok = 0;  ///< upper vertices with deg ≥ α
+  uint32_t lower_ok = 0;  ///< lower vertices with deg ≥ β
+};
+
+}  // namespace
+
+ScsResult ExpandFromEdges(const BipartiteGraph& g,
+                          const std::vector<EdgeId>& pool, VertexId q,
+                          uint32_t alpha, uint32_t beta,
+                          const ScsOptions& options, ScsStats* stats) {
+  ScsResult result;
+  if (pool.empty() || alpha == 0 || beta == 0) return result;
+  LocalGraph lg(g, pool);
+  const uint32_t lq = lg.LocalId(q);
+  if (lq == kInvalidVertex) return result;
+
+  const uint32_t n = lg.NumVertices();
+  const uint32_t m = lg.NumEdges();
+  auto threshold = [&](uint32_t x) {
+    return lg.IsUpperLocal(x) ? alpha : beta;
+  };
+
+  std::vector<uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return lg.edges()[a].w > lg.edges()[b].w;
+  });
+
+  Dsu dsu(n);
+  std::vector<uint32_t> deg(n, 0);
+  std::vector<ComponentAgg> agg(n);
+  std::vector<std::vector<uint32_t>> comp_edges(n);
+
+  auto validate = [&]() -> bool {
+    if (stats) ++stats->validations;
+    const uint32_t r = dsu.Find(lq);
+    std::vector<EdgeId> cedges;
+    cedges.reserve(comp_edges[r].size());
+    for (uint32_t pos : comp_edges[r]) {
+      cedges.push_back(lg.edges()[pos].global);
+    }
+    LocalGraph sub(g, cedges);
+    ScsResult candidate = PeelToSignificant(sub, q, alpha, beta, stats);
+    if (candidate.found) {
+      result = candidate;
+      return true;
+    }
+    return false;
+  };
+
+  uint64_t last_q_edges = 0;
+  uint64_t pre_size = 0;
+  uint32_t i = 0;
+  while (i < m) {
+    const Weight wmax = lg.edges()[order[i]].w;
+    for (; i < m && lg.edges()[order[i]].w == wmax; ++i) {
+      const uint32_t pos = order[i];
+      const LocalGraph::LocalEdge& le = lg.edges()[pos];
+      if (stats) ++stats->edges_processed;
+      for (uint32_t x : {le.u, le.v}) {
+        const uint32_t rx = dsu.Find(x);
+        if (deg[x] == 0) {
+          if (lg.IsUpperLocal(x)) {
+            ++agg[rx].num_upper;
+          } else {
+            ++agg[rx].num_lower;
+          }
+        }
+        ++deg[x];
+        if (deg[x] == threshold(x)) {
+          if (lg.IsUpperLocal(x)) {
+            ++agg[rx].upper_ok;
+          } else {
+            ++agg[rx].lower_ok;
+          }
+        }
+      }
+      const uint32_t ru = dsu.Find(le.u);
+      const uint32_t rv = dsu.Find(le.v);
+      uint32_t r = ru;
+      if (ru != rv) {
+        r = dsu.Union(ru, rv);
+        const uint32_t other = (r == ru) ? rv : ru;
+        agg[r].edges += agg[other].edges;
+        agg[r].num_upper += agg[other].num_upper;
+        agg[r].num_lower += agg[other].num_lower;
+        agg[r].upper_ok += agg[other].upper_ok;
+        agg[r].lower_ok += agg[other].lower_ok;
+        if (comp_edges[other].size() > comp_edges[r].size()) {
+          comp_edges[other].swap(comp_edges[r]);
+        }
+        comp_edges[r].insert(comp_edges[r].end(), comp_edges[other].begin(),
+                             comp_edges[other].end());
+        comp_edges[other].clear();
+        comp_edges[other].shrink_to_fit();
+      }
+      comp_edges[r].push_back(pos);
+      ++agg[r].edges;
+    }
+
+    // A batch of equal-weight edges was added; decide whether to validate.
+    if (deg[lq] == 0) continue;
+    const ComponentAgg& a = agg[dsu.Find(lq)];
+    if (a.edges == last_q_edges) continue;  // C* did not change
+    last_q_edges = a.edges;
+
+    // Lemma 7: αβ − α − β ≤ |E(C*)| − |U(C*)| − |L(C*)|.
+    const int64_t lhs = static_cast<int64_t>(alpha) * beta - alpha - beta;
+    const int64_t rhs = static_cast<int64_t>(a.edges) -
+                        static_cast<int64_t>(a.num_upper) -
+                        static_cast<int64_t>(a.num_lower);
+    if (lhs > rhs) continue;
+    // Lemma 8: enough high-degree vertices on each side, q among them.
+    if (a.lower_ok < alpha || a.upper_ok < beta) continue;
+    if (deg[lq] < threshold(lq)) continue;
+    // Geometric check schedule: validate only after ε-fold growth.
+    if (static_cast<double>(a.edges) <
+        static_cast<double>(pre_size) * options.epsilon) {
+      continue;
+    }
+    pre_size = a.edges;
+    if (validate()) return result;
+  }
+
+  // All edges added; force a final validation (the ε gate may have skipped
+  // the last state, which equals the full pool restricted to q's
+  // component).
+  if (deg[lq] > 0 && validate()) return result;
+  return result;
+}
+
+ScsResult ScsExpand(const BipartiteGraph& g, const Subgraph& community,
+                    VertexId q, uint32_t alpha, uint32_t beta,
+                    const ScsOptions& options, ScsStats* stats) {
+  return ExpandFromEdges(g, community.edges, q, alpha, beta, options, stats);
+}
+
+}  // namespace abcs

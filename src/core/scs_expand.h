@@ -1,0 +1,33 @@
+#ifndef ABCS_CORE_SCS_EXPAND_H_
+#define ABCS_CORE_SCS_EXPAND_H_
+
+#include <vector>
+
+#include "core/scs_common.h"
+#include "core/subgraph.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief SCS-Expand (paper Algorithm 5): grows an empty graph by
+/// maximum-weight edge batches from `community` = C_{α,β}(q), maintaining
+/// connected components with union–find, until the component of `q`
+/// provably may contain R (Lemma 7/8 pruning) and has grown by a factor
+/// ε since the last check — then validates by peeling.
+///
+/// Faster than SCS-Peel when size(R) ≪ size(C_{α,β}(q)) (small α, β).
+ScsResult ScsExpand(const BipartiteGraph& g, const Subgraph& community,
+                    VertexId q, uint32_t alpha, uint32_t beta,
+                    const ScsOptions& options = {}, ScsStats* stats = nullptr);
+
+/// \brief The expansion engine shared by SCS-Expand and SCS-Baseline:
+/// expands over an arbitrary edge pool (the community for Expand, the whole
+/// graph for Baseline).
+ScsResult ExpandFromEdges(const BipartiteGraph& g,
+                          const std::vector<EdgeId>& pool, VertexId q,
+                          uint32_t alpha, uint32_t beta,
+                          const ScsOptions& options, ScsStats* stats);
+
+}  // namespace abcs
+
+#endif  // ABCS_CORE_SCS_EXPAND_H_

@@ -1,0 +1,13 @@
+#include "core/scs_peel.h"
+
+namespace abcs {
+
+ScsResult ScsPeel(const BipartiteGraph& g, const Subgraph& community,
+                  VertexId q, uint32_t alpha, uint32_t beta,
+                  ScsStats* stats) {
+  if (community.Empty()) return ScsResult{};
+  LocalGraph lg(g, community.edges);
+  return PeelToSignificant(lg, q, alpha, beta, stats);
+}
+
+}  // namespace abcs

@@ -1,0 +1,22 @@
+#ifndef ABCS_CORE_SCS_PEEL_H_
+#define ABCS_CORE_SCS_PEEL_H_
+
+#include "core/scs_common.h"
+#include "core/subgraph.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief SCS-Peel (paper Algorithm 4): extracts the significant
+/// (α,β)-community of `q` from its (α,β)-community.
+///
+/// `community` must be C_{α,β}(q) as returned by one of the index queries
+/// (or any edge superset of R that satisfies the degree constraints —
+/// extra edges are peeled away). Sort + peel: O(sort(C) + size(C)).
+ScsResult ScsPeel(const BipartiteGraph& g, const Subgraph& community,
+                  VertexId q, uint32_t alpha, uint32_t beta,
+                  ScsStats* stats = nullptr);
+
+}  // namespace abcs
+
+#endif  // ABCS_CORE_SCS_PEEL_H_

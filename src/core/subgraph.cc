@@ -1,0 +1,100 @@
+#include "core/subgraph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace abcs {
+
+SubgraphStats ComputeStats(const BipartiteGraph& g, const Subgraph& sub) {
+  SubgraphStats stats;
+  if (sub.Empty()) return stats;
+  stats.min_weight = g.GetWeight(sub.edges.front());
+  stats.max_weight = stats.min_weight;
+  double sum = 0.0;
+  std::vector<VertexId> verts = SubgraphVertexSet(g, sub);
+  for (VertexId v : verts) {
+    if (g.IsUpper(v)) {
+      ++stats.num_upper;
+    } else {
+      ++stats.num_lower;
+    }
+  }
+  for (EdgeId e : sub.edges) {
+    Weight w = g.GetWeight(e);
+    stats.min_weight = std::min(stats.min_weight, w);
+    stats.max_weight = std::max(stats.max_weight, w);
+    sum += w;
+  }
+  stats.avg_weight = sum / static_cast<double>(sub.edges.size());
+  return stats;
+}
+
+std::vector<VertexId> SubgraphVertexSet(const BipartiteGraph& g,
+                                        const Subgraph& sub) {
+  std::vector<VertexId> verts;
+  verts.reserve(sub.edges.size() * 2);
+  for (EdgeId e : sub.edges) {
+    const Edge& ed = g.GetEdge(e);
+    verts.push_back(ed.u);
+    verts.push_back(ed.v);
+  }
+  std::sort(verts.begin(), verts.end());
+  verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+  return verts;
+}
+
+bool SameEdgeSet(const Subgraph& a, const Subgraph& b) {
+  if (a.edges.size() != b.edges.size()) return false;
+  std::vector<EdgeId> ea = a.edges, eb = b.edges;
+  std::sort(ea.begin(), ea.end());
+  std::sort(eb.begin(), eb.end());
+  return ea == eb;
+}
+
+bool VerifyCommunity(const BipartiteGraph& g, const Subgraph& sub, VertexId q,
+                     uint32_t alpha, uint32_t beta, std::string* why) {
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  if (sub.Empty()) return fail("subgraph is empty");
+
+  // Local degrees.
+  std::unordered_map<VertexId, uint32_t> deg;
+  for (EdgeId e : sub.edges) {
+    const Edge& ed = g.GetEdge(e);
+    ++deg[ed.u];
+    ++deg[ed.v];
+  }
+  if (!deg.count(q)) return fail("query vertex not in subgraph");
+  for (const auto& [v, d] : deg) {
+    const uint32_t need = g.IsUpper(v) ? alpha : beta;
+    if (d < need) {
+      return fail("vertex " + std::to_string(v) + " has degree " +
+                  std::to_string(d) + " < " + std::to_string(need));
+    }
+  }
+
+  // Connectivity via union-find over the subgraph's vertices.
+  std::unordered_map<VertexId, VertexId> parent;
+  for (const auto& [v, d] : deg) parent[v] = v;
+  auto find = [&](VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (EdgeId e : sub.edges) {
+    const Edge& ed = g.GetEdge(e);
+    VertexId ru = find(ed.u), rv = find(ed.v);
+    if (ru != rv) parent[ru] = rv;
+  }
+  const VertexId rq = find(q);
+  for (const auto& [v, d] : deg) {
+    if (find(v) != rq) return fail("subgraph is not connected");
+  }
+  return true;
+}
+
+}  // namespace abcs

@@ -1,0 +1,56 @@
+#ifndef ABCS_CORE_SUBGRAPH_H_
+#define ABCS_CORE_SUBGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief A subgraph of a `BipartiteGraph`, represented by its edge set.
+///
+/// This is the result type of every community query: the (α,β)-community
+/// `C_{α,β}(q)` returned by the index queries and the significant
+/// (α,β)-community `R` returned by the SCS algorithms. The vertex set is
+/// implied (endpoints of the edges), matching the paper's convention that
+/// communities have no isolated vertices.
+struct Subgraph {
+  std::vector<EdgeId> edges;
+
+  bool Empty() const { return edges.empty(); }
+  /// size(G') in the paper = number of edges.
+  std::size_t Size() const { return edges.size(); }
+};
+
+/// Summary statistics of a subgraph (used by benches and the effectiveness
+/// experiments).
+struct SubgraphStats {
+  uint32_t num_upper = 0;
+  uint32_t num_lower = 0;
+  Weight min_weight = 0.0;  ///< f(G') — the community significance
+  Weight max_weight = 0.0;
+  double avg_weight = 0.0;
+};
+
+/// Computes vertex counts and weight statistics of `sub` in O(|sub|).
+SubgraphStats ComputeStats(const BipartiteGraph& g, const Subgraph& sub);
+
+/// Sorted, de-duplicated vertex set of `sub`.
+std::vector<VertexId> SubgraphVertexSet(const BipartiteGraph& g,
+                                        const Subgraph& sub);
+
+/// True iff `a` and `b` contain the same edge set (order-insensitive).
+bool SameEdgeSet(const Subgraph& a, const Subgraph& b);
+
+/// \brief Checks Definition 5's constraints 1) and 2): `sub` is connected,
+/// contains `q`, every upper vertex has degree ≥ alpha and every lower
+/// vertex degree ≥ beta within `sub`. Populates `*why` with the violated
+/// condition when returning false (may be null).
+bool VerifyCommunity(const BipartiteGraph& g, const Subgraph& sub, VertexId q,
+                     uint32_t alpha, uint32_t beta, std::string* why = nullptr);
+
+}  // namespace abcs
+
+#endif  // ABCS_CORE_SUBGRAPH_H_

@@ -1,0 +1,30 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+
+namespace abcs {
+
+uint32_t BipartiteGraph::MaxUpperDegree() const {
+  uint32_t best = 0;
+  for (VertexId u = 0; u < num_upper_; ++u) best = std::max(best, Degree(u));
+  return best;
+}
+
+uint32_t BipartiteGraph::MaxLowerDegree() const {
+  uint32_t best = 0;
+  for (VertexId v = num_upper_; v < NumVertices(); ++v) {
+    best = std::max(best, Degree(v));
+  }
+  return best;
+}
+
+BipartiteGraph BipartiteGraph::WithWeights(
+    const std::vector<Weight>& weights) const {
+  BipartiteGraph out = *this;
+  for (EdgeId e = 0; e < out.NumEdges() && e < weights.size(); ++e) {
+    out.edges_[e].w = weights[e];
+  }
+  return out;
+}
+
+}  // namespace abcs

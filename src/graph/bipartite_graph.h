@@ -1,0 +1,114 @@
+#ifndef ABCS_GRAPH_BIPARTITE_GRAPH_H_
+#define ABCS_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace abcs {
+
+/// Vertex identifier. Vertices live in a unified id space: upper-layer
+/// vertices occupy `[0, NumUpper())` and lower-layer vertices occupy
+/// `[NumUpper(), NumVertices())`.
+using VertexId = uint32_t;
+
+/// Edge identifier in `[0, NumEdges())`. Each undirected edge has one id
+/// shared by both of its CSR arcs, so per-edge state (weights, deletion
+/// marks) is stored once.
+using EdgeId = uint32_t;
+
+/// Edge weight ("significance" in the paper). Ratings, purchase counts and
+/// RWR relevance scores all fit a double.
+using Weight = double;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// One undirected weighted edge; `u` is always the upper endpoint and `v`
+/// the lower endpoint, both in unified ids.
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  Weight w = 0.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// One adjacency entry: the neighbour on the other layer plus the shared
+/// edge id (used to look up the weight and per-edge algorithm state).
+struct Arc {
+  VertexId to = kInvalidVertex;
+  EdgeId eid = kInvalidEdge;
+};
+
+/// \brief Immutable weighted bipartite graph in CSR form.
+///
+/// Construction goes through `GraphBuilder` (see graph_builder.h), which
+/// deduplicates parallel edges and drops isolated vertices on request. Once
+/// built, the graph is immutable; algorithms that peel edges operate on a
+/// `PeelContext` (abcore/peeling.h) layered over the CSR.
+class BipartiteGraph {
+ public:
+  /// Creates an empty graph (0 vertices, 0 edges).
+  BipartiteGraph() = default;
+
+  BipartiteGraph(const BipartiteGraph&) = default;
+  BipartiteGraph& operator=(const BipartiteGraph&) = default;
+  BipartiteGraph(BipartiteGraph&&) = default;
+  BipartiteGraph& operator=(BipartiteGraph&&) = default;
+
+  /// Number of upper-layer vertices |U(G)|.
+  uint32_t NumUpper() const { return num_upper_; }
+  /// Number of lower-layer vertices |L(G)|.
+  uint32_t NumLower() const { return num_lower_; }
+  /// Total number of vertices n = |U| + |L|.
+  uint32_t NumVertices() const { return num_upper_ + num_lower_; }
+  /// Number of undirected edges m = |E(G)| (= size(G) in the paper).
+  uint32_t NumEdges() const { return static_cast<uint32_t>(edges_.size()); }
+
+  /// True iff `v` lies in the upper layer.
+  bool IsUpper(VertexId v) const { return v < num_upper_; }
+  /// Unified id of the i-th lower vertex.
+  VertexId LowerId(uint32_t i) const { return num_upper_ + i; }
+
+  /// Degree of `v` in G.
+  uint32_t Degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Adjacency of `v` (arcs to the other layer).
+  std::span<const Arc> Neighbors(VertexId v) const {
+    return {arcs_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// The undirected edge with id `e`.
+  const Edge& GetEdge(EdgeId e) const { return edges_[e]; }
+  /// Weight of edge `e`.
+  Weight GetWeight(EdgeId e) const { return edges_[e].w; }
+  /// All edges, indexed by EdgeId.
+  const std::vector<Edge>& Edges() const { return edges_; }
+
+  /// Maximum vertex degree within the upper layer (paper's αmax upper
+  /// bound) — the largest α for which an (α,1)-core can exist.
+  uint32_t MaxUpperDegree() const;
+  /// Maximum vertex degree within the lower layer.
+  uint32_t MaxLowerDegree() const;
+
+  /// Returns a copy of this graph with the same topology but new weights.
+  /// `weights[e]` replaces the weight of EdgeId `e`; used by the weight
+  /// models (graph/weights.h) and the Table III experiment.
+  BipartiteGraph WithWeights(const std::vector<Weight>& weights) const;
+
+ private:
+  friend class GraphBuilder;
+
+  uint32_t num_upper_ = 0;
+  uint32_t num_lower_ = 0;
+  std::vector<uint32_t> offsets_;  // size NumVertices()+1
+  std::vector<Arc> arcs_;          // size 2m
+  std::vector<Edge> edges_;        // size m, indexed by EdgeId
+};
+
+}  // namespace abcs
+
+#endif  // ABCS_GRAPH_BIPARTITE_GRAPH_H_

@@ -1,0 +1,56 @@
+#include "graph/datasets.h"
+
+#include "graph/generators.h"
+
+namespace abcs {
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  // Layer ratios follow Table I; edge counts are scaled so the full bench
+  // suite runs in minutes on a laptop. Skews are tuned per dataset family:
+  // smaller exponent = heavier tail = larger αmax/βmax, mirroring e.g.
+  // EN's αmax of 1.9M vs PA's 951.
+  static const std::vector<DatasetSpec>* kDatasets =
+      new std::vector<DatasetSpec>{
+          {"BS", 7800, 18600, 43000, 2.2, 2.3, WeightModel::kUniform, 101,
+           "orig |E|=433K |U|=77.8K |L|=186K delta=13"},
+          {"GH", 5650, 12100, 44000, 2.4, 2.1, WeightModel::kUniform, 102,
+           "orig |E|=440K |U|=56.5K |L|=121K delta=39"},
+          {"SO", 27250, 4830, 65000, 2.1, 2.0, WeightModel::kUniform, 103,
+           "orig |E|=1.30M |U|=545K |L|=96.6K delta=22"},
+          {"LS", 99, 10800, 44000, 3.0, 2.1, WeightModel::kUniform, 104,
+           "orig |E|=4.41M |U|=992 |L|=1.08M delta=164"},
+          {"DT", 16200, 77, 57000, 2.2, 3.0, WeightModel::kRandomWalk, 105,
+           "orig |E|=5.74M |U|=1.62M |L|=383 delta=73 (RW weights)"},
+          {"AR", 21500, 12300, 57000, 2.1, 2.2, WeightModel::kUniform, 106,
+           "orig |E|=5.74M |U|=2.15M |L|=1.23M delta=26"},
+          {"PA", 14300, 40000, 86000, 2.6, 2.8, WeightModel::kRandomWalk, 107,
+           "orig |E|=8.65M |U|=1.43M |L|=4.00M delta=10 (RW weights)"},
+          {"ML", 1620, 590, 160000, 1.9, 1.9, WeightModel::kUniform, 108,
+           "orig |E|=25.0M |U|=162K |L|=59.0K delta=636"},
+          {"DUI", 1666, 67600, 204000, 2.0, 2.2, WeightModel::kUniform, 109,
+           "orig |E|=102M |U|=833K |L|=33.8M delta=183"},
+          {"EN", 7640, 43000, 244000, 1.8, 2.0, WeightModel::kUniform, 110,
+           "orig |E|=122M |U|=3.82M |L|=21.5M delta=254"},
+          {"DTI", 9020, 67600, 274000, 1.9, 2.2, WeightModel::kUniform, 111,
+           "orig |E|=137M |U|=4.51M |L|=33.8M delta=180"},
+      };
+  return *kDatasets;
+}
+
+const DatasetSpec* FindDataset(const std::string& name) {
+  for (const DatasetSpec& spec : AllDatasets()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+Status MakeDataset(const DatasetSpec& spec, BipartiteGraph* out) {
+  BipartiteGraph topo;
+  ABCS_RETURN_NOT_OK(GenChungLuBipartite(spec.num_upper, spec.num_lower,
+                                         spec.num_edges, spec.skew_upper,
+                                         spec.skew_lower, spec.seed, &topo));
+  *out = ApplyWeightModel(topo, spec.weights, spec.seed * 7919 + 13);
+  return Status::OK();
+}
+
+}  // namespace abcs

@@ -1,0 +1,45 @@
+#ifndef ABCS_GRAPH_DATASETS_H_
+#define ABCS_GRAPH_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+#include "graph/weights.h"
+
+namespace abcs {
+
+/// \brief Specification of one synthetic stand-in for a KONECT dataset from
+/// the paper's Table I.
+///
+/// The originals range from 433K to 137M edges; offline and at laptop scale
+/// we regenerate each with the same layer-size ratios and heavy-tailed
+/// degree distributions at 1/10–1/500 scale (DESIGN.md §5). `name` matches
+/// the paper's abbreviation (BS, GH, SO, LS, DT, AR, PA, ML, DUI, EN, DTI).
+struct DatasetSpec {
+  std::string name;
+  uint32_t num_upper = 0;
+  uint32_t num_lower = 0;
+  uint32_t num_edges = 0;
+  double skew_upper = 2.1;  ///< power-law exponent, upper layer
+  double skew_lower = 2.1;  ///< power-law exponent, lower layer
+  WeightModel weights = WeightModel::kUniform;
+  uint64_t seed = 1;
+  std::string paper_note;  ///< original |E|,|U|,|L|,δ for EXPERIMENTS.md
+};
+
+/// The 11 dataset specs, in the paper's Table I order.
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Spec lookup by paper abbreviation; nullptr if unknown.
+const DatasetSpec* FindDataset(const std::string& name);
+
+/// Generates the dataset (Chung–Lu topology + weight model). Deterministic
+/// for a given spec.
+Status MakeDataset(const DatasetSpec& spec, BipartiteGraph* out);
+
+}  // namespace abcs
+
+#endif  // ABCS_GRAPH_DATASETS_H_

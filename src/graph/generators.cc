@@ -1,0 +1,254 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace abcs {
+
+namespace {
+
+/// Packs (u, v) into one 64-bit key for duplicate rejection.
+uint64_t PairKey(uint32_t u, uint32_t v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+/// Cumulative distribution over power-law expected-degree weights; sampling
+/// is a binary search over the prefix sums.
+class PowerLawSampler {
+ public:
+  PowerLawSampler(uint32_t n, double skew) : cdf_(n) {
+    const double exponent = 1.0 / (skew - 1.0);
+    double acc = 0.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      acc += std::pow(static_cast<double>(i) + 1.0, -exponent);
+      cdf_[i] = acc;
+    }
+  }
+
+  uint32_t Sample(Rng& rng) const {
+    double x = rng.NextDouble() * cdf_.back();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), x);
+    return static_cast<uint32_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Snaps a rating to the half-star grid and clamps to [0.5, 5.0].
+Weight HalfStar(double x) {
+  double snapped = std::round(x * 2.0) / 2.0;
+  return std::clamp(snapped, 0.5, 5.0);
+}
+
+}  // namespace
+
+Status GenErdosRenyiBipartite(uint32_t num_upper, uint32_t num_lower,
+                              uint32_t num_edges, uint64_t seed,
+                              BipartiteGraph* out) {
+  if (num_upper == 0 || num_lower == 0) {
+    return Status::InvalidArgument("layers must be nonempty");
+  }
+  const uint64_t capacity =
+      static_cast<uint64_t>(num_upper) * static_cast<uint64_t>(num_lower);
+  if (num_edges > capacity) {
+    return Status::InvalidArgument("num_edges exceeds |U|*|L|");
+  }
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  GraphBuilder builder;
+  builder.Reserve(num_upper, num_lower, num_edges);
+  while (seen.size() < num_edges) {
+    uint32_t u = static_cast<uint32_t>(rng.NextBounded(num_upper));
+    uint32_t v = static_cast<uint32_t>(rng.NextBounded(num_lower));
+    if (seen.insert(PairKey(u, v)).second) builder.AddEdge(u, v, 1.0);
+  }
+  return builder.Build(out);
+}
+
+Status GenChungLuBipartite(uint32_t num_upper, uint32_t num_lower,
+                           uint32_t num_edges, double skew_upper,
+                           double skew_lower, uint64_t seed,
+                           BipartiteGraph* out) {
+  if (num_upper == 0 || num_lower == 0) {
+    return Status::InvalidArgument("layers must be nonempty");
+  }
+  if (skew_upper <= 1.0 || skew_lower <= 1.0) {
+    return Status::InvalidArgument("skew exponents must be > 1");
+  }
+  const uint64_t capacity =
+      static_cast<uint64_t>(num_upper) * static_cast<uint64_t>(num_lower);
+  if (num_edges > capacity / 2) {
+    return Status::InvalidArgument(
+        "num_edges too close to |U|*|L| for rejection sampling");
+  }
+
+  Rng rng(seed);
+  PowerLawSampler upper(num_upper, skew_upper);
+  PowerLawSampler lower(num_lower, skew_lower);
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  GraphBuilder builder;
+  builder.Reserve(num_upper, num_lower, num_edges);
+  // With heavy skew the hottest pairs saturate; cap the rejection loop and
+  // fall back to uniform pairs for the residue so generation always ends.
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = static_cast<uint64_t>(num_edges) * 64;
+  while (seen.size() < num_edges && attempts < max_attempts) {
+    ++attempts;
+    uint32_t u = upper.Sample(rng);
+    uint32_t v = lower.Sample(rng);
+    if (seen.insert(PairKey(u, v)).second) builder.AddEdge(u, v, 1.0);
+  }
+  while (seen.size() < num_edges) {
+    uint32_t u = static_cast<uint32_t>(rng.NextBounded(num_upper));
+    uint32_t v = static_cast<uint32_t>(rng.NextBounded(num_lower));
+    if (seen.insert(PairKey(u, v)).second) builder.AddEdge(u, v, 1.0);
+  }
+  return builder.Build(out);
+}
+
+PlantedGraph MakePlantedCommunities(const PlantedSpec& spec) {
+  Rng rng(spec.seed);
+  PlantedGraph pg;
+
+  const uint32_t num_blocks = spec.num_genres * spec.blocks_per_genre;
+  const uint32_t fan_users = num_blocks * spec.users_per_block;
+  const uint32_t binge_users = spec.num_genres * spec.binge_users_per_genre;
+  const uint32_t num_users = fan_users + binge_users + spec.casual_users;
+  const uint32_t num_movies = num_blocks * spec.movies_per_block;
+
+  pg.user_block.assign(num_users, -1);
+  pg.user_genre.assign(num_users, -1);
+  pg.movie_block.assign(num_movies, -1);
+  pg.movie_genre.assign(num_movies, -1);
+
+  GraphBuilder builder;
+  builder.Reserve(num_users, num_movies, 0);
+
+  auto block_of = [&](uint32_t genre, uint32_t b) {
+    return genre * spec.blocks_per_genre + b;
+  };
+  auto movie_id = [&](uint32_t block, uint32_t i) {
+    return block * spec.movies_per_block + i;
+  };
+
+  for (uint32_t block = 0; block < num_blocks; ++block) {
+    const int32_t genre = static_cast<int32_t>(block / spec.blocks_per_genre);
+    for (uint32_t i = 0; i < spec.movies_per_block; ++i) {
+      pg.movie_block[movie_id(block, i)] = static_cast<int32_t>(block);
+      pg.movie_genre[movie_id(block, i)] = genre;
+    }
+  }
+
+  // Fans: dense high-rating blocks, plus a few cross-block genre ratings.
+  uint32_t user = 0;
+  for (uint32_t block = 0; block < num_blocks; ++block) {
+    const uint32_t genre = block / spec.blocks_per_genre;
+    for (uint32_t k = 0; k < spec.users_per_block; ++k, ++user) {
+      pg.user_block[user] = static_cast<int32_t>(block);
+      pg.user_genre[user] = static_cast<int32_t>(genre);
+      // Rate a random `intra_fraction` subset of the block's movies
+      // highly; the planted dense core of block 0 is rated completely.
+      const bool in_dense_core = block == 0 && k < spec.dense_core;
+      for (uint32_t i = 0; i < spec.movies_per_block; ++i) {
+        const bool forced = in_dense_core && i < spec.dense_core;
+        if (forced || rng.NextDouble() < spec.intra_fraction) {
+          Weight r = HalfStar(4.5 + 0.6 * rng.NextGaussian());
+          builder.AddEdge(user, movie_id(block, i), std::max(r, Weight{4.0}));
+        }
+      }
+      // Cross-block ratings inside the genre (mid-high, keeps slice
+      // connected without joining the significant community). Always to a
+      // *different* block so intra-block ratings stay uniformly high.
+      if (spec.blocks_per_genre > 1) {
+        for (uint32_t c = 0; c < spec.cross_block_ratings; ++c) {
+          uint32_t offset = 1 + static_cast<uint32_t>(
+                                    rng.NextBounded(spec.blocks_per_genre - 1));
+          uint32_t other = block_of(
+              genre, (block % spec.blocks_per_genre + offset) %
+                         spec.blocks_per_genre);
+          uint32_t mi =
+              static_cast<uint32_t>(rng.NextBounded(spec.movies_per_block));
+          builder.AddEdge(user, movie_id(other, mi),
+                          HalfStar(3.5 + 0.8 * rng.NextGaussian()));
+        }
+      }
+    }
+  }
+
+  // Binge users: fan-like degree inside one block, but low ratings. They
+  // survive the (α,β)-core degree constraint yet drag f(R) down, so the
+  // significant community excludes them (paper Fig. 6(b)'s dislike users).
+  // They also spray `binge_ratings` extra ratings across their genre.
+  for (uint32_t g = 0; g < spec.num_genres; ++g) {
+    for (uint32_t k = 0; k < spec.binge_users_per_genre; ++k, ++user) {
+      pg.user_genre[user] = static_cast<int32_t>(g);
+      const uint32_t home = block_of(
+          g, static_cast<uint32_t>(rng.NextBounded(spec.blocks_per_genre)));
+      for (uint32_t i = 0; i < spec.movies_per_block; ++i) {
+        if (rng.NextDouble() < spec.intra_fraction) {
+          builder.AddEdge(user, movie_id(home, i),
+                          HalfStar(2.75 + 0.5 * rng.NextGaussian()));
+        }
+      }
+      const uint32_t genre_movies =
+          spec.blocks_per_genre * spec.movies_per_block;
+      for (uint32_t c = 0; c < spec.binge_ratings; ++c) {
+        uint32_t mi = static_cast<uint32_t>(rng.NextBounded(genre_movies));
+        uint32_t movie =
+            g * spec.blocks_per_genre * spec.movies_per_block + mi;
+        builder.AddEdge(user, movie,
+                        HalfStar(2.75 + 0.5 * rng.NextGaussian()));
+      }
+    }
+  }
+
+  // Casual users: a few ratings on random movies, mixed quality.
+  for (uint32_t k = 0; k < spec.casual_users; ++k, ++user) {
+    for (uint32_t c = 0; c < spec.casual_ratings; ++c) {
+      uint32_t movie = static_cast<uint32_t>(rng.NextBounded(num_movies));
+      builder.AddEdge(user, movie, HalfStar(0.5 + 4.5 * rng.NextDouble()));
+    }
+  }
+
+  Status st = builder.Build(&pg.graph);
+  (void)st;  // generation from valid parameters cannot fail
+  return pg;
+}
+
+PlantedGraph ExtractGenreSlice(const PlantedGraph& pg, int32_t genre) {
+  const BipartiteGraph& g = pg.graph;
+  std::vector<uint32_t> user_map(g.NumUpper(), kInvalidVertex);
+  std::vector<uint32_t> movie_map(g.NumLower(), kInvalidVertex);
+
+  PlantedGraph out;
+  GraphBuilder builder;
+  uint32_t next_user = 0, next_movie = 0;
+  for (const Edge& e : g.Edges()) {
+    const uint32_t movie_local = e.v - g.NumUpper();
+    if (pg.movie_genre[movie_local] != genre) continue;
+    if (user_map[e.u] == kInvalidVertex) {
+      user_map[e.u] = next_user++;
+      out.user_block.push_back(pg.user_block[e.u]);
+      out.user_genre.push_back(pg.user_genre[e.u]);
+    }
+    if (movie_map[movie_local] == kInvalidVertex) {
+      movie_map[movie_local] = next_movie++;
+      out.movie_block.push_back(pg.movie_block[movie_local]);
+      out.movie_genre.push_back(pg.movie_genre[movie_local]);
+    }
+    builder.AddEdge(user_map[e.u], movie_map[movie_local], e.w);
+  }
+  Status st = builder.Build(&out.graph);
+  (void)st;
+  return out;
+}
+
+}  // namespace abcs

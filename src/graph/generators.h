@@ -1,0 +1,84 @@
+#ifndef ABCS_GRAPH_GENERATORS_H_
+#define ABCS_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief Uniform random bipartite graph: `num_edges` distinct pairs drawn
+/// uniformly from U × L. Weights are 1.0 (attach a model via
+/// `ApplyWeightModel`).
+Status GenErdosRenyiBipartite(uint32_t num_upper, uint32_t num_lower,
+                              uint32_t num_edges, uint64_t seed,
+                              BipartiteGraph* out);
+
+/// \brief Chung–Lu bipartite graph with two-sided power-law expected
+/// degrees.
+///
+/// Vertex i on a layer gets expected-degree weight `(i+1)^(-1/(skew-1))`
+/// (so `skew` plays the role of the power-law exponent γ; real bipartite
+/// networks have γ ≈ 1.8–2.5). Endpoints of each edge are sampled
+/// independently proportional to these weights; duplicate pairs are
+/// rejected until `num_edges` distinct edges exist. This matches the heavy
+/// tails of the KONECT datasets in the paper's Table I (see DESIGN.md §5).
+Status GenChungLuBipartite(uint32_t num_upper, uint32_t num_lower,
+                           uint32_t num_edges, double skew_upper,
+                           double skew_lower, uint64_t seed,
+                           BipartiteGraph* out);
+
+/// Parameters for the planted-community user–movie generator used by the
+/// effectiveness experiments (paper Fig. 6 / Table II on MovieLens).
+struct PlantedSpec {
+  uint32_t num_genres = 4;        ///< genre 0 plays the role of "comedy"
+  uint32_t blocks_per_genre = 3;  ///< fan communities per genre
+  uint32_t users_per_block = 120;
+  uint32_t movies_per_block = 80;
+  /// Fraction of its block's movies a fan rates (drives the core degrees).
+  double intra_fraction = 0.85;
+  /// The first `dense_core` fans of block 0 rate *all* of its first
+  /// `dense_core` movies, planting a complete biclique (the paper's Table
+  /// II compares against a ≥45-per-layer maximal biclique). 0 disables.
+  uint32_t dense_core = 50;
+  /// Fans also rate this many movies from sibling blocks of the same genre,
+  /// keeping the genre slice connected.
+  uint32_t cross_block_ratings = 12;
+  /// Heavy-degree users who watch many movies of a genre but rate them
+  /// poorly (2.0–3.5). They survive the (α,β)-core but not the significant
+  /// community — the paper's "dislike users" (Fig. 6(b)).
+  uint32_t binge_users_per_genre = 40;
+  uint32_t binge_ratings = 90;
+  /// Light users rating a few random popular movies with mixed ratings
+  /// (the C4* noise population).
+  uint32_t casual_users = 1500;
+  uint32_t casual_ratings = 6;
+  uint64_t seed = 42;
+};
+
+/// A planted graph plus its ground-truth labels. Users are upper vertices,
+/// movies lower vertices; labels use layer-local indices. Block/genre id
+/// `-1` marks background (binge/casual) vertices.
+struct PlantedGraph {
+  BipartiteGraph graph;
+  std::vector<int32_t> user_block;
+  std::vector<int32_t> user_genre;
+  std::vector<int32_t> movie_block;
+  std::vector<int32_t> movie_genre;
+};
+
+/// Generates the planted-community rating graph. Ratings are half-star
+/// values in [0.5, 5.0]: fans rate their own genre 4.0–5.0, binge users
+/// 2.0–3.5, casual users uniformly.
+PlantedGraph MakePlantedCommunities(const PlantedSpec& spec);
+
+/// Extracts the subgraph induced by all movies of `genre` (the paper's
+/// "comedy slice"): keeps every rating whose movie has that genre, and
+/// reindexes vertices densely. Label vectors are sliced accordingly.
+PlantedGraph ExtractGenreSlice(const PlantedGraph& pg, int32_t genre);
+
+}  // namespace abcs
+
+#endif  // ABCS_GRAPH_GENERATORS_H_

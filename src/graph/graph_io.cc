@@ -1,0 +1,56 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+
+namespace abcs {
+
+Status LoadEdgeList(const std::string& path, BipartiteGraph* out,
+                    bool zero_based) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  GraphBuilder builder;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '%' || line[0] == '#') continue;
+    std::istringstream ss(line);
+    long long u = 0, v = 0;
+    double w = 1.0;
+    if (!(ss >> u >> v)) {
+      return Status::Corruption(path + ":" + std::to_string(lineno) +
+                                ": malformed edge line");
+    }
+    ss >> w;  // optional
+    if (!zero_based) {
+      --u;
+      --v;
+    }
+    if (u < 0 || v < 0) {
+      return Status::Corruption(path + ":" + std::to_string(lineno) +
+                                ": negative vertex id");
+    }
+    builder.AddEdge(static_cast<uint32_t>(u), static_cast<uint32_t>(v), w);
+  }
+  return builder.Build(out);
+}
+
+Status SaveEdgeList(const BipartiteGraph& g, const std::string& path) {
+  std::ofstream outf(path);
+  if (!outf) return Status::IOError("cannot open " + path + " for writing");
+  // Full round-trip precision for weights (ratings survive exactly; RWR
+  // scores survive to the last bit).
+  outf.precision(17);
+  outf << "% abcs bipartite edge list: u v w (0-based layer-local ids)\n";
+  for (const Edge& e : g.Edges()) {
+    outf << e.u << ' ' << (e.v - g.NumUpper()) << ' ' << e.w << '\n';
+  }
+  if (!outf) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace abcs

@@ -1,0 +1,83 @@
+#include "graph/weights.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace abcs {
+
+std::string WeightModelName(WeightModel model) {
+  switch (model) {
+    case WeightModel::kAllEqual:
+      return "AE";
+    case WeightModel::kUniform:
+      return "UF";
+    case WeightModel::kSkewNormal:
+      return "SK";
+    case WeightModel::kRandomWalk:
+      return "RW";
+  }
+  return "?";
+}
+
+std::vector<double> RandomWalkScores(const BipartiteGraph& g, double restart,
+                                     int iters) {
+  const uint32_t n = g.NumVertices();
+  if (n == 0) return {};
+  std::vector<double> score(n, 1.0 / n);
+  std::vector<double> next(n);
+  for (int it = 0; it < iters; ++it) {
+    std::fill(next.begin(), next.end(), restart / n);
+    for (VertexId v = 0; v < n; ++v) {
+      const uint32_t deg = g.Degree(v);
+      if (deg == 0) continue;
+      const double share = (1.0 - restart) * score[v] / deg;
+      for (const Arc& a : g.Neighbors(v)) next[a.to] += share;
+    }
+    score.swap(next);
+  }
+  return score;
+}
+
+BipartiteGraph ApplyWeightModel(const BipartiteGraph& g, WeightModel model,
+                                uint64_t seed) {
+  const uint32_t m = g.NumEdges();
+  std::vector<Weight> w(m, 1.0);
+  switch (model) {
+    case WeightModel::kAllEqual:
+      break;
+    case WeightModel::kUniform: {
+      Rng rng(seed);
+      for (EdgeId e = 0; e < m; ++e) w[e] = rng.NextUniform(1.0, 100.0);
+      break;
+    }
+    case WeightModel::kSkewNormal: {
+      Rng rng(seed);
+      for (EdgeId e = 0; e < m; ++e) {
+        double x = 50.0 + 15.0 * rng.NextSkewNormal(5.0);
+        w[e] = std::max(0.5, x);
+      }
+      break;
+    }
+    case WeightModel::kRandomWalk: {
+      std::vector<double> score = RandomWalkScores(g, 0.15, 30);
+      double lo = 1e300, hi = -1e300;
+      std::vector<double> raw(m);
+      for (EdgeId e = 0; e < m; ++e) {
+        const Edge& ed = g.GetEdge(e);
+        raw[e] = score[ed.u] + score[ed.v];
+        lo = std::min(lo, raw[e]);
+        hi = std::max(hi, raw[e]);
+      }
+      const double span = (hi > lo) ? (hi - lo) : 1.0;
+      for (EdgeId e = 0; e < m; ++e) {
+        w[e] = 1.0 + 99.0 * (raw[e] - lo) / span;
+      }
+      break;
+    }
+  }
+  return g.WithWeights(w);
+}
+
+}  // namespace abcs

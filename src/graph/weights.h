@@ -1,0 +1,43 @@
+#ifndef ABCS_GRAPH_WEIGHTS_H_
+#define ABCS_GRAPH_WEIGHTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// Edge-weight models from the paper's Table III experiment, plus the
+/// random-walk-with-restart model used to synthesise weights for the
+/// unweighted datasets (DT, PA) in Table I.
+enum class WeightModel {
+  kAllEqual,    ///< AE: every weight is 1.0
+  kUniform,     ///< UF: uniform in [1, 100]
+  kSkewNormal,  ///< SK: skew-normal (mean 50, sd 15, shape 5), clamped > 0
+  kRandomWalk,  ///< RW: node relevance via random walk with restart [23]
+};
+
+/// Human-readable name ("AE", "UF", "SK", "RW").
+std::string WeightModelName(WeightModel model);
+
+/// \brief Returns a copy of `g` whose weights follow `model`.
+///
+/// For `kRandomWalk`, vertex relevance scores are computed by power
+/// iteration of a degree-normalised random walk with restart probability
+/// 0.15 (Tong et al., ICDM'06 — the paper's reference [23]); the weight of
+/// edge (u, v) is the min-max-normalised sum of its endpoints' scores,
+/// scaled to [1, 100]. This mirrors the paper's use of RWR node relevance
+/// to weight unweighted KONECT graphs.
+BipartiteGraph ApplyWeightModel(const BipartiteGraph& g, WeightModel model,
+                                uint64_t seed);
+
+/// Raw RWR relevance scores per vertex (exposed for tests and examples).
+/// `restart` is the teleport probability; `iters` power-iteration rounds.
+std::vector<double> RandomWalkScores(const BipartiteGraph& g, double restart,
+                                     int iters);
+
+}  // namespace abcs
+
+#endif  // ABCS_GRAPH_WEIGHTS_H_

@@ -1,0 +1,205 @@
+#include "models/biclique.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace abcs {
+
+namespace {
+
+/// True iff `needle` appears in v's (sorted) adjacency.
+bool HasNeighbor(const BipartiteGraph& g, VertexId v, VertexId needle) {
+  auto nbrs = g.Neighbors(v);
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), needle,
+      [](const Arc& a, VertexId x) { return a.to < x; });
+  return it != nbrs.end() && it->to == needle;
+}
+
+/// True iff `v` is adjacent to every vertex in `set` (set.size() probes of
+/// v's sorted adjacency).
+bool AdjacentToAll(const BipartiteGraph& g, VertexId v,
+                   const std::vector<VertexId>& set) {
+  for (VertexId x : set) {
+    if (!HasNeighbor(g, v, x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+/// One prefix sweep over `order`: for every prefix S_t computes the common
+/// neighbourhood (vertices adjacent to all of S_t), keeping the prefix
+/// that maximises min(t, |common|). Returns that score and fills
+/// `side_a`/`side_b`.
+uint32_t SweepPrefixes(const BipartiteGraph& g,
+                       const std::vector<VertexId>& order,
+                       std::vector<VertexId>* side_a,
+                       std::vector<VertexId>* side_b) {
+  std::vector<VertexId> common;
+  for (const Arc& a : g.Neighbors(order[0])) common.push_back(a.to);
+  std::sort(common.begin(), common.end());
+
+  uint32_t best_t = 1;
+  uint32_t best_min = std::min<uint32_t>(1, common.size());
+  std::vector<VertexId> best_common = common;
+  std::vector<VertexId> scratch;
+  for (uint32_t t = 2; t <= order.size() && common.size() > 1; ++t) {
+    // Intersect `common` with N(order[t-1]) (both sorted).
+    scratch.clear();
+    auto nbrs = g.Neighbors(order[t - 1]);
+    std::size_t i = 0, j = 0;
+    while (i < common.size() && j < nbrs.size()) {
+      if (common[i] < nbrs[j].to) {
+        ++i;
+      } else if (common[i] > nbrs[j].to) {
+        ++j;
+      } else {
+        scratch.push_back(common[i]);
+        ++i;
+        ++j;
+      }
+    }
+    common.swap(scratch);
+    const uint32_t score = std::min<uint32_t>(t, common.size());
+    if (score > best_min) {
+      best_min = score;
+      best_t = t;
+      best_common = common;
+    }
+  }
+  *side_a = best_common;
+  side_b->assign(order.begin(), order.begin() + best_t);
+  std::sort(side_b->begin(), side_b->end());
+  return best_min;
+}
+
+}  // namespace
+
+Subgraph QueryBicliqueCommunity(const BipartiteGraph& g, VertexId q,
+                                uint32_t min_side) {
+  Subgraph result;
+  if (q >= g.NumVertices() || g.Degree(q) == 0) return result;
+
+  // Round 0: B ⊆ N(q) ordered by degree (high-degree first — most likely
+  // to have large common neighbourhoods).
+  std::vector<VertexId> nq;
+  for (const Arc& a : g.Neighbors(q)) nq.push_back(a.to);
+  std::sort(nq.begin(), nq.end(), [&](VertexId a, VertexId b) {
+    if (g.Degree(a) != g.Degree(b)) return g.Degree(a) > g.Degree(b);
+    return a < b;
+  });
+
+  std::vector<VertexId> side_a, side_b;
+  uint32_t best = SweepPrefixes(g, nq, &side_a, &side_b);
+
+  // Second start: seed with q's strongest co-neighbours (same-layer
+  // vertices sharing the most neighbours with q — the natural "block
+  // around q"), rank N(q) by adjacency into that seed and sweep. This
+  // recovers planted blocks that degree ordering interleaves with hubs.
+  {
+    std::vector<uint32_t> shared(g.NumVertices(), 0);
+    for (const Arc& a : g.Neighbors(q)) {
+      for (const Arc& b : g.Neighbors(a.to)) ++shared[b.to];
+    }
+    std::vector<std::pair<uint32_t, VertexId>> peers;
+    for (VertexId x = 0; x < g.NumVertices(); ++x) {
+      if (x != q && shared[x] > 0 && g.IsUpper(x) == g.IsUpper(q)) {
+        peers.emplace_back(shared[x], x);
+      }
+    }
+    std::sort(peers.begin(), peers.end(), std::greater<>());
+    std::vector<VertexId> seed{q};
+    for (std::size_t i = 0; i < peers.size() && seed.size() < 64; ++i) {
+      seed.push_back(peers[i].second);
+    }
+    std::sort(seed.begin(), seed.end());
+    std::vector<std::pair<uint32_t, VertexId>> ranked;
+    for (VertexId y : nq) {
+      uint32_t hits = 0;
+      for (VertexId x : seed) hits += HasNeighbor(g, y, x);
+      ranked.emplace_back(hits, y);
+    }
+    std::sort(ranked.begin(), ranked.end(), std::greater<>());
+    std::vector<VertexId> order;
+    for (const auto& [hits, y] : ranked) order.push_back(y);
+    std::vector<VertexId> cand_a, cand_b;
+    const uint32_t score = SweepPrefixes(g, order, &cand_a, &cand_b);
+    if (score > best) {
+      best = score;
+      side_a.swap(cand_a);
+      side_b.swap(cand_b);
+    }
+  }
+
+  // Local improvement: re-rank q's neighbours by adjacency to the current
+  // A side and re-sweep — this pulls the members of a dense block to the
+  // front even when global degrees interleave them with outsiders.
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::pair<uint32_t, VertexId>> ranked;
+    ranked.reserve(nq.size());
+    for (VertexId y : nq) {
+      uint32_t hits = 0;
+      for (VertexId x : side_a) hits += HasNeighbor(g, y, x);
+      ranked.emplace_back(hits, y);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    std::vector<VertexId> order;
+    order.reserve(nq.size());
+    for (const auto& [hits, y] : ranked) order.push_back(y);
+    std::vector<VertexId> cand_a, cand_b;
+    const uint32_t score = SweepPrefixes(g, order, &cand_a, &cand_b);
+    if (score <= best) break;
+    best = score;
+    side_a.swap(cand_a);
+    side_b.swap(cand_b);
+  }
+
+  // Extend both sides to maximality (no single vertex can be added).
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    // Candidates for B must be adjacent to q, i.e. in N(q).
+    for (VertexId y : nq) {
+      if (std::binary_search(side_b.begin(), side_b.end(), y)) continue;
+      if (AdjacentToAll(g, y, side_a)) {
+        side_b.insert(
+            std::lower_bound(side_b.begin(), side_b.end(), y), y);
+        grew = true;
+      }
+    }
+    // Candidates for A must be adjacent to some b; scan the smallest b.
+    VertexId pivot = side_b[0];
+    for (VertexId b : side_b) {
+      if (g.Degree(b) < g.Degree(pivot)) pivot = b;
+    }
+    for (const Arc& a : g.Neighbors(pivot)) {
+      VertexId x = a.to;
+      if (std::binary_search(side_a.begin(), side_a.end(), x)) continue;
+      if (AdjacentToAll(g, x, side_b)) {
+        side_a.insert(
+            std::lower_bound(side_a.begin(), side_a.end(), x), x);
+        grew = true;
+      }
+    }
+  }
+
+  if (side_a.size() < min_side || side_b.size() < min_side) return result;
+
+  // Collect the biclique's edges.
+  std::vector<uint8_t> in_b(g.NumVertices(), 0);
+  for (VertexId b : side_b) in_b[b] = 1;
+  for (VertexId a : side_a) {
+    for (const Arc& arc : g.Neighbors(a)) {
+      if (in_b[arc.to]) result.edges.push_back(arc.eid);
+    }
+  }
+  return result;
+}
+
+}  // namespace abcs

@@ -1,0 +1,28 @@
+#ifndef ABCS_MODELS_BICLIQUE_H_
+#define ABCS_MODELS_BICLIQUE_H_
+
+#include <cstdint>
+
+#include "core/subgraph.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief Finds a maximal biclique containing `q` with at least `min_side`
+/// vertices on each layer (the paper's Table II uses min_side = 45),
+/// returned as its edge set. Empty subgraph if none is found.
+///
+/// Greedy construction (a substitution for the exact enumeration of Zhang
+/// et al. [20], which is exponential in the worst case): order q's
+/// neighbours by degree, sweep prefix sets S_t computing the common
+/// neighbourhood, keep the t maximising min(t, |common(S_t)|), then extend
+/// both sides to maximality. Guaranteed to return a *maximal* biclique
+/// containing q (no single vertex can be added), though not necessarily the
+/// maximum one — sufficient for the effectiveness comparison, where only
+/// representative statistics of "a large biclique around q" are reported.
+Subgraph QueryBicliqueCommunity(const BipartiteGraph& g, VertexId q,
+                                uint32_t min_side);
+
+}  // namespace abcs
+
+#endif  // ABCS_MODELS_BICLIQUE_H_

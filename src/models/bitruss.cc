@@ -1,0 +1,150 @@
+#include "models/bitruss.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "models/butterfly.h"
+
+namespace abcs {
+
+namespace {
+
+uint64_t PairKey(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+/// O(1) lookup of the edge id between two vertices (or kInvalidEdge).
+class EdgeLookup {
+ public:
+  explicit EdgeLookup(const BipartiteGraph& g) {
+    map_.reserve(g.NumEdges() * 2);
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      const Edge& ed = g.GetEdge(e);
+      map_.emplace(PairKey(ed.u, ed.v), e);
+    }
+  }
+  EdgeId Find(VertexId u, VertexId v) const {
+    auto it = map_.find(PairKey(u, v));
+    return it == map_.end() ? kInvalidEdge : it->second;
+  }
+
+ private:
+  std::unordered_map<uint64_t, EdgeId> map_;
+};
+
+/// Decrements the supports of the other three edges of every butterfly
+/// containing (u, v), where u is upper and v lower. `on_decrement(e)` is
+/// called once per decrement.
+template <typename Fn>
+void ForEachButterflyMate(const BipartiteGraph& g, const EdgeLookup& lookup,
+                          const std::vector<uint8_t>& alive, VertexId u,
+                          VertexId v, Fn on_decrement) {
+  for (const Arc& av : g.Neighbors(v)) {
+    const VertexId u2 = av.to;  // another upper vertex rating v
+    if (u2 == u || !alive[av.eid]) continue;
+    for (const Arc& au : g.Neighbors(u)) {
+      const VertexId v2 = au.to;  // another lower vertex of u
+      if (v2 == v || !alive[au.eid]) continue;
+      const EdgeId cross = lookup.Find(u2, v2);
+      if (cross == kInvalidEdge || !alive[cross]) continue;
+      // Butterfly {(u,v), (u,v2), (u2,v), (u2,v2)} loses (u,v).
+      on_decrement(av.eid);
+      on_decrement(au.eid);
+      on_decrement(cross);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint64_t> BitrussNumbers(const BipartiteGraph& g) {
+  const uint32_t m = g.NumEdges();
+  std::vector<uint64_t> sup64 = CountButterfliesPerEdge(g);
+  std::vector<uint64_t> phi(m, 0);
+  if (m == 0) return phi;
+  EdgeLookup lookup(g);
+
+  uint64_t max_sup = 0;
+  for (uint64_t s : sup64) max_sup = std::max(max_sup, s);
+  std::vector<std::vector<EdgeId>> buckets(max_sup + 1);
+  for (EdgeId e = 0; e < m; ++e) buckets[sup64[e]].push_back(e);
+
+  std::vector<uint8_t> alive(m, 1);
+  for (uint64_t level = 0; level <= max_sup; ++level) {
+    auto& bucket = buckets[level];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const EdgeId e = bucket[i];
+      if (!alive[e] || sup64[e] != level) continue;  // stale entry
+      alive[e] = 0;
+      phi[e] = level;
+      const Edge& ed = g.GetEdge(e);
+      ForEachButterflyMate(g, lookup, alive, ed.u, ed.v, [&](EdgeId other) {
+        // Clamp at the current level (classic truss-decomposition trick so
+        // already-reached levels never regress).
+        if (sup64[other] > level) {
+          --sup64[other];
+          if (sup64[other] <= level) {
+            sup64[other] = level;
+            bucket.push_back(other);
+          } else {
+            buckets[sup64[other]].push_back(other);
+          }
+        }
+      });
+    }
+    bucket.clear();
+  }
+  return phi;
+}
+
+Subgraph QueryBitrussCommunity(const BipartiteGraph& g, VertexId q,
+                               uint64_t k) {
+  Subgraph result;
+  const uint32_t m = g.NumEdges();
+  if (m == 0 || q >= g.NumVertices()) return result;
+
+  // Targeted peel: drop edges with support < k until stable.
+  std::vector<uint64_t> sup = CountButterfliesPerEdge(g);
+  EdgeLookup lookup(g);
+  // Kill edges one at a time (when popped, not when enqueued) so butterfly
+  // enumeration sees a consistent alive set and supports are decremented
+  // exactly once per destroyed butterfly.
+  std::vector<uint8_t> alive(m, 1);
+  std::vector<EdgeId> queue;
+  for (EdgeId e = 0; e < m; ++e) {
+    if (sup[e] < k) queue.push_back(e);
+  }
+  while (!queue.empty()) {
+    const EdgeId e = queue.back();
+    queue.pop_back();
+    if (!alive[e]) continue;
+    alive[e] = 0;
+    const Edge& ed = g.GetEdge(e);
+    ForEachButterflyMate(g, lookup, alive, ed.u, ed.v, [&](EdgeId other) {
+      if (sup[other] > 0) {
+        --sup[other];
+        if (sup[other] < k) queue.push_back(other);
+      }
+    });
+  }
+
+  // BFS from q over surviving edges.
+  std::vector<uint8_t> visited(g.NumVertices(), 0);
+  std::vector<VertexId> stack{q};
+  visited[q] = 1;
+  while (!stack.empty()) {
+    VertexId x = stack.back();
+    stack.pop_back();
+    for (const Arc& a : g.Neighbors(x)) {
+      if (!alive[a.eid]) continue;
+      if (!g.IsUpper(x)) result.edges.push_back(a.eid);
+      if (!visited[a.to]) {
+        visited[a.to] = 1;
+        stack.push_back(a.to);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace abcs

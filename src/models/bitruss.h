@@ -1,0 +1,29 @@
+#ifndef ABCS_MODELS_BITRUSS_H_
+#define ABCS_MODELS_BITRUSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/subgraph.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief Full bitruss decomposition (Zou, DASFAA'16 / Wang et al.,
+/// ICDE'20 — the paper's [17][18]): `result[e]` is the bitruss number
+/// φ(e), the maximal k such that edge `e` belongs to the k-bitruss (the
+/// maximal subgraph where every edge lies in ≥ k butterflies).
+///
+/// Support peeling with bucket queues; on each edge removal the supports of
+/// the other three edges of every butterfly through it are decremented.
+std::vector<uint64_t> BitrussNumbers(const BipartiteGraph& g);
+
+/// \brief The connected component of `q` in the k-bitruss of `g`
+/// (the bitruss community baseline of the paper's effectiveness study,
+/// used with k = α·β). Empty when q is not in the k-bitruss.
+Subgraph QueryBitrussCommunity(const BipartiteGraph& g, VertexId q,
+                               uint64_t k);
+
+}  // namespace abcs
+
+#endif  // ABCS_MODELS_BITRUSS_H_

@@ -1,0 +1,42 @@
+#include "models/butterfly.h"
+
+namespace abcs {
+
+std::vector<uint64_t> CountButterfliesPerEdge(const BipartiteGraph& g) {
+  const uint32_t m = g.NumEdges();
+  std::vector<uint64_t> bf(m, 0);
+  const uint32_t n = g.NumVertices();
+
+  // For each upper vertex u, count wedges u—v—u' (shared lower neighbours
+  // with every other upper vertex u'), then distribute over u's edges.
+  std::vector<uint32_t> common(n, 0);
+  std::vector<VertexId> touched;
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    touched.clear();
+    for (const Arc& a : g.Neighbors(u)) {
+      for (const Arc& b : g.Neighbors(a.to)) {
+        if (b.to == u) continue;
+        if (common[b.to]++ == 0) touched.push_back(b.to);
+      }
+    }
+    // bf(u,v) = Σ_{u' ∈ N(v)\{u}} (common[u'] − 1).
+    for (const Arc& a : g.Neighbors(u)) {
+      uint64_t count = 0;
+      for (const Arc& b : g.Neighbors(a.to)) {
+        if (b.to == u) continue;
+        count += common[b.to] - 1;
+      }
+      bf[a.eid] = count;
+    }
+    for (VertexId x : touched) common[x] = 0;
+  }
+  return bf;
+}
+
+uint64_t CountButterflies(const BipartiteGraph& g) {
+  uint64_t total = 0;
+  for (uint64_t c : CountButterfliesPerEdge(g)) total += c;
+  return total / 4;
+}
+
+}  // namespace abcs

@@ -1,0 +1,25 @@
+#ifndef ABCS_MODELS_BUTTERFLY_H_
+#define ABCS_MODELS_BUTTERFLY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief Per-edge butterfly (2×2-biclique) counts.
+///
+/// `result[e]` is the number of butterflies containing edge `e`, computed
+/// by wedge aggregation: bf(u,v) = Σ_{u'∈N(v)\{u}} (|N(u)∩N(u')| − 1).
+/// O(Σ_v deg(v)²) over the sparser layer — fine at the effectiveness-study
+/// scale where the bitruss baseline is used.
+std::vector<uint64_t> CountButterfliesPerEdge(const BipartiteGraph& g);
+
+/// Total number of butterflies in `g` (= Σ_e bf(e) / 4, each butterfly has
+/// four edges).
+uint64_t CountButterflies(const BipartiteGraph& g);
+
+}  // namespace abcs
+
+#endif  // ABCS_MODELS_BUTTERFLY_H_

@@ -1,0 +1,52 @@
+#include "models/cstar.h"
+
+#include <vector>
+
+namespace abcs {
+
+Subgraph QueryCStarCommunity(const BipartiteGraph& g, VertexId q,
+                             Weight threshold) {
+  Subgraph result;
+  if (q >= g.NumVertices()) return result;
+
+  // Keep lower vertices with average incident weight >= threshold.
+  std::vector<uint8_t> keep(g.NumVertices(), 0);
+  for (VertexId v = g.NumUpper(); v < g.NumVertices(); ++v) {
+    double sum = 0.0;
+    for (const Arc& a : g.Neighbors(v)) sum += g.GetWeight(a.eid);
+    const uint32_t d = g.Degree(v);
+    if (d > 0 && sum / d >= threshold) keep[v] = 1;
+  }
+  // Upper vertices survive if they touch any kept movie.
+  for (VertexId u = 0; u < g.NumUpper(); ++u) {
+    for (const Arc& a : g.Neighbors(u)) {
+      if (keep[a.to]) {
+        keep[u] = 1;
+        break;
+      }
+    }
+  }
+  if (!keep[q]) return result;
+
+  std::vector<uint8_t> visited(g.NumVertices(), 0);
+  std::vector<VertexId> stack{q};
+  visited[q] = 1;
+  while (!stack.empty()) {
+    VertexId x = stack.back();
+    stack.pop_back();
+    for (const Arc& a : g.Neighbors(x)) {
+      if (!keep[a.to]) continue;
+      // An edge belongs to the induced subgraph iff its movie is kept.
+      const VertexId movie = g.IsUpper(x) ? a.to : x;
+      if (!keep[movie]) continue;
+      if (!g.IsUpper(x)) result.edges.push_back(a.eid);
+      if (!visited[a.to]) {
+        visited[a.to] = 1;
+        stack.push_back(a.to);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace abcs

@@ -1,0 +1,21 @@
+#ifndef ABCS_MODELS_CSTAR_H_
+#define ABCS_MODELS_CSTAR_H_
+
+#include "core/subgraph.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// \brief The paper's `C4*` baseline: the connected component of `q` in the
+/// subgraph induced by all lower vertices (movies) whose *average* incident
+/// edge weight is at least `threshold` (4.0 stars in the paper).
+///
+/// No structure cohesiveness is enforced — one high-rated common movie
+/// suffices to connect two users — which is exactly the weakness the
+/// effectiveness study (Fig. 6, Table II) demonstrates.
+Subgraph QueryCStarCommunity(const BipartiteGraph& g, VertexId q,
+                             Weight threshold);
+
+}  // namespace abcs
+
+#endif  // ABCS_MODELS_CSTAR_H_

@@ -1,0 +1,59 @@
+#include "models/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace abcs {
+
+double BipartiteDensity(const BipartiteGraph& g, const Subgraph& sub) {
+  if (sub.Empty()) return 0.0;
+  const SubgraphStats stats = ComputeStats(g, sub);
+  const double denom = std::sqrt(static_cast<double>(stats.num_upper) *
+                                 static_cast<double>(stats.num_lower));
+  return denom > 0 ? static_cast<double>(sub.Size()) / denom : 0.0;
+}
+
+uint32_t CountDislikeUsers(const BipartiteGraph& g, const Subgraph& sub,
+                           uint32_t alpha, Weight good_threshold) {
+  std::unordered_map<VertexId, uint32_t> good_count;
+  std::unordered_map<VertexId, uint32_t> present;
+  for (EdgeId e : sub.edges) {
+    const Edge& ed = g.GetEdge(e);
+    ++present[ed.u];
+    if (ed.w >= good_threshold) ++good_count[ed.u];
+  }
+  const double required = 0.6 * static_cast<double>(alpha);
+  uint32_t dislike = 0;
+  for (const auto& [u, cnt] : present) {
+    (void)cnt;
+    const auto it = good_count.find(u);
+    const uint32_t good = (it == good_count.end()) ? 0 : it->second;
+    if (static_cast<double>(good) < required) ++dislike;
+  }
+  return dislike;
+}
+
+double JaccardVertexSimilarity(const BipartiteGraph& g, const Subgraph& a,
+                               const Subgraph& b) {
+  std::vector<VertexId> va = SubgraphVertexSet(g, a);
+  std::vector<VertexId> vb = SubgraphVertexSet(g, b);
+  if (va.empty() && vb.empty()) return 1.0;
+  std::vector<VertexId> inter;
+  std::set_intersection(va.begin(), va.end(), vb.begin(), vb.end(),
+                        std::back_inserter(inter));
+  const std::size_t uni = va.size() + vb.size() - inter.size();
+  return uni == 0 ? 1.0
+                  : static_cast<double>(inter.size()) /
+                        static_cast<double>(uni);
+}
+
+double AverageUpperDegree(const BipartiteGraph& g, const Subgraph& sub) {
+  if (sub.Empty()) return 0.0;
+  const SubgraphStats stats = ComputeStats(g, sub);
+  return stats.num_upper == 0 ? 0.0
+                              : static_cast<double>(sub.Size()) /
+                                    static_cast<double>(stats.num_upper);
+}
+
+}  // namespace abcs

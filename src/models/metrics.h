@@ -1,0 +1,32 @@
+#ifndef ABCS_MODELS_METRICS_H_
+#define ABCS_MODELS_METRICS_H_
+
+#include <cstdint>
+
+#include "core/subgraph.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// Bipartite graph density d(G') = |E| / sqrt(|U|·|L|) (Kannan & Vinay —
+/// the paper's [26]); 0 for an empty subgraph.
+double BipartiteDensity(const BipartiteGraph& g, const Subgraph& sub);
+
+/// \brief Number of "dislike users" in `sub` (paper Fig. 6(b)): upper
+/// vertices with fewer than `0.6·alpha` incident sub-edges of weight
+/// ≥ `good_threshold` (a rating of 4.0 in the paper).
+uint32_t CountDislikeUsers(const BipartiteGraph& g, const Subgraph& sub,
+                           uint32_t alpha, Weight good_threshold = 4.0);
+
+/// Jaccard similarity of the vertex sets of two subgraphs (Table II's
+/// `Sim` column). 1.0 when both are empty.
+double JaccardVertexSimilarity(const BipartiteGraph& g, const Subgraph& a,
+                               const Subgraph& b);
+
+/// Average number of lower vertices an upper vertex touches within `sub`
+/// (Table II's `Mavg`): |E(sub)| / |U(sub)|.
+double AverageUpperDegree(const BipartiteGraph& g, const Subgraph& sub);
+
+}  // namespace abcs
+
+#endif  // ABCS_MODELS_METRICS_H_

@@ -1,0 +1,84 @@
+// Model-based test for GraphBuilder / BipartiteGraph: random build
+// sequences are replayed against a simple std::map reference model, then
+// every CSR accessor is checked against the model.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/bipartite_graph.h"
+#include "graph/graph_builder.h"
+
+namespace abcs {
+namespace {
+
+class BuilderModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BuilderModelTest, CsrMatchesMapModel) {
+  Rng rng(GetParam());
+  const uint32_t nu = 1 + static_cast<uint32_t>(rng.NextBounded(30));
+  const uint32_t nl = 1 + static_cast<uint32_t>(rng.NextBounded(30));
+  const int ops = 1 + static_cast<int>(rng.NextBounded(400));
+
+  GraphBuilder builder;
+  std::map<std::pair<uint32_t, uint32_t>, Weight> model;  // kKeepMax
+  for (int i = 0; i < ops; ++i) {
+    const uint32_t u = static_cast<uint32_t>(rng.NextBounded(nu));
+    const uint32_t v = static_cast<uint32_t>(rng.NextBounded(nl));
+    const Weight w = 1.0 + static_cast<double>(rng.NextBounded(1000)) / 7.0;
+    builder.AddEdge(u, v, w);
+    auto [it, inserted] = model.emplace(std::make_pair(u, v), w);
+    if (!inserted) it->second = std::max(it->second, w);
+  }
+  ASSERT_EQ(builder.NumPendingEdges(), static_cast<std::size_t>(ops));
+
+  BipartiteGraph g;
+  ASSERT_TRUE(builder.Build(&g).ok());
+  ASSERT_EQ(g.NumEdges(), model.size());
+
+  // Edge set and weights match the model exactly.
+  std::map<std::pair<uint32_t, uint32_t>, Weight> seen;
+  for (const Edge& e : g.Edges()) {
+    ASSERT_TRUE(g.IsUpper(e.u));
+    ASSERT_FALSE(g.IsUpper(e.v));
+    seen[{e.u, e.v - g.NumUpper()}] = e.w;
+  }
+  EXPECT_EQ(seen, model);
+
+  // Degrees and adjacency agree with the model.
+  std::map<VertexId, std::set<VertexId>> adj_model;
+  for (const auto& [uv, w] : model) {
+    (void)w;
+    adj_model[uv.first].insert(g.NumUpper() + uv.second);
+    adj_model[g.NumUpper() + uv.second].insert(uv.first);
+  }
+  uint64_t arc_count = 0;
+  for (VertexId x = 0; x < g.NumVertices(); ++x) {
+    const auto it = adj_model.find(x);
+    const std::size_t expect = (it == adj_model.end()) ? 0 : it->second.size();
+    ASSERT_EQ(g.Degree(x), expect) << "x=" << x;
+    VertexId prev = 0;
+    bool first = true;
+    for (const Arc& a : g.Neighbors(x)) {
+      ++arc_count;
+      EXPECT_TRUE(it->second.count(a.to)) << "x=" << x << " to=" << a.to;
+      // Sorted adjacency, and the eid round-trips through Edges().
+      if (!first) {
+        EXPECT_LT(prev, a.to);
+      }
+      prev = a.to;
+      first = false;
+      const Edge& e = g.GetEdge(a.eid);
+      EXPECT_TRUE((e.u == x && e.v == a.to) || (e.v == x && e.u == a.to));
+    }
+  }
+  EXPECT_EQ(arc_count, 2ull * g.NumEdges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuilderModelTest,
+                         ::testing::Range<uint64_t>(900, 912));
+
+}  // namespace
+}  // namespace abcs

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/dsu.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace abcs {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad alpha");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad alpha");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad alpha");
+
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), Status::Code::kIOError);
+  EXPECT_EQ(Status::Corruption("x").code(), Status::Code::kCorruption);
+  EXPECT_EQ(Status::NotSupported("x").code(), Status::Code::kNotSupported);
+}
+
+Status Propagates(bool fail) {
+  ABCS_RETURN_NOT_OK(fail ? Status::IOError("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(Propagates(false).ok());
+  Status st = Propagates(true);
+  EXPECT_EQ(st.code(), Status::Code::kIOError);
+  EXPECT_EQ(st.message(), "inner");
+}
+
+// ------------------------------------------------------------------- Dsu --
+
+TEST(DsuTest, SingletonsInitially) {
+  Dsu dsu(5);
+  EXPECT_EQ(dsu.num_sets(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(dsu.Find(i), i);
+    EXPECT_EQ(dsu.SizeOf(i), 1u);
+  }
+}
+
+TEST(DsuTest, UnionMergesAndTracksSize) {
+  Dsu dsu(6);
+  dsu.Union(0, 1);
+  dsu.Union(2, 3);
+  EXPECT_EQ(dsu.num_sets(), 4u);
+  EXPECT_TRUE(dsu.Same(0, 1));
+  EXPECT_FALSE(dsu.Same(0, 2));
+  dsu.Union(1, 3);
+  EXPECT_TRUE(dsu.Same(0, 2));
+  EXPECT_EQ(dsu.SizeOf(3), 4u);
+  EXPECT_EQ(dsu.num_sets(), 3u);
+}
+
+TEST(DsuTest, UnionReturnsSurvivingRoot) {
+  Dsu dsu(4);
+  uint32_t r = dsu.Union(0, 1);
+  EXPECT_EQ(dsu.Find(0), r);
+  EXPECT_EQ(dsu.Find(1), r);
+  // Union of already-merged elements returns the common root.
+  EXPECT_EQ(dsu.Union(0, 1), r);
+  EXPECT_EQ(dsu.num_sets(), 3u);
+}
+
+TEST(DsuTest, ResetRestoresSingletons) {
+  Dsu dsu(4);
+  dsu.Union(0, 1);
+  dsu.Union(2, 3);
+  dsu.Reset();
+  EXPECT_EQ(dsu.num_sets(), 4u);
+  EXPECT_FALSE(dsu.Same(0, 1));
+}
+
+TEST(DsuTest, LargeRandomUnionsMatchReference) {
+  const uint32_t n = 2000;
+  Dsu dsu(n);
+  Rng rng(7);
+  // Reference: naive label propagation.
+  std::vector<uint32_t> label(n);
+  std::iota(label.begin(), label.end(), 0u);
+  for (int i = 0; i < 3000; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.NextBounded(n));
+    uint32_t b = static_cast<uint32_t>(rng.NextBounded(n));
+    dsu.Union(a, b);
+    uint32_t la = label[a], lb = label[b];
+    if (la != lb) {
+      for (auto& l : label) {
+        if (l == lb) l = la;
+      }
+    }
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j : {i / 2, (i + 17) % n}) {
+      EXPECT_EQ(dsu.Same(i, j), label[i] == label[j]);
+    }
+  }
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(7), 7u);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);  // within 10% relative
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(42);
+  const int kDraws = 200000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = rng.NextGaussian();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, SkewNormalIsPositivelySkewed) {
+  Rng rng(43);
+  const int kDraws = 100000;
+  std::vector<double> xs(kDraws);
+  double mean = 0;
+  for (auto& x : xs) {
+    x = rng.NextSkewNormal(5.0);
+    mean += x;
+  }
+  mean /= kDraws;
+  double m2 = 0, m3 = 0;
+  for (double x : xs) {
+    m2 += (x - mean) * (x - mean);
+    m3 += (x - mean) * (x - mean) * (x - mean);
+  }
+  m2 /= kDraws;
+  m3 /= kDraws;
+  const double skewness = m3 / std::pow(m2, 1.5);
+  EXPECT_GT(skewness, 0.5);  // theoretical ≈ 0.85 for alpha = 5
+  EXPECT_LT(skewness, 1.1);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ----------------------------------------------------------------- Timer --
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
+  EXPECT_GE(t.Seconds(), 0.0);
+  EXPECT_GE(t.Millis(), t.Seconds() * 1e3 * 0.5);  // same clock, scaled
+  double before = t.Seconds();
+  t.Reset();
+  EXPECT_LE(t.Seconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace abcs

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "abcore/peeling.h"
+#include "core/delta_index.h"
+#include "core/enumerate.h"
+#include "test_util.h"
+
+namespace abcs {
+namespace {
+
+using ::abcs::testing::MakeGraph;
+using ::abcs::testing::RandomWeightedGraph;
+
+TEST(EnumerateTest, TwoDisjointBlocks) {
+  // Two disjoint 2×2 bicliques plus a pendant edge.
+  BipartiteGraph g = MakeGraph({{0, 0, 1},
+                                {0, 1, 1},
+                                {1, 0, 1},
+                                {1, 1, 1},
+                                {2, 2, 1},
+                                {2, 3, 1},
+                                {3, 2, 1},
+                                {3, 3, 1},
+                                {4, 4, 1}});
+  std::vector<Subgraph> comms = EnumerateCommunities(g, 2, 2);
+  ASSERT_EQ(comms.size(), 2u);
+  EXPECT_EQ(comms[0].Size(), 4u);
+  EXPECT_EQ(comms[1].Size(), 4u);
+  EXPECT_TRUE(EnumerateCommunities(g, 3, 3).empty());
+  // At (1,1) the pendant forms its own component.
+  EXPECT_EQ(EnumerateCommunities(g, 1, 1).size(), 3u);
+}
+
+class EnumeratePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EnumeratePropertyTest, ComponentsPartitionTheCoreAndMatchQueries) {
+  BipartiteGraph g = RandomWeightedGraph(30, 30, 220, GetParam());
+  const DeltaIndex index = DeltaIndex::Build(g);
+  for (uint32_t alpha = 1; alpha <= 4; ++alpha) {
+    for (uint32_t beta = 1; beta <= 4; ++beta) {
+      std::vector<Subgraph> comms = EnumerateCommunities(g, alpha, beta);
+
+      // Components are edge-disjoint and their union is the core's edges.
+      std::set<EdgeId> seen;
+      for (const Subgraph& c : comms) {
+        for (EdgeId e : c.edges) {
+          EXPECT_TRUE(seen.insert(e).second) << "edge in two components";
+        }
+      }
+      const CoreResult core = ComputeAlphaBetaCore(g, alpha, beta);
+      std::size_t core_edges = 0;
+      for (const Edge& e : g.Edges()) {
+        core_edges += (core.alive[e.u] && core.alive[e.v]);
+      }
+      EXPECT_EQ(seen.size(), core_edges);
+
+      // Each component equals the query result of any member vertex.
+      for (const Subgraph& c : comms) {
+        const VertexId member = g.GetEdge(c.edges.front()).u;
+        EXPECT_TRUE(
+            SameEdgeSet(c, index.QueryCommunity(member, alpha, beta)));
+        std::string why;
+        EXPECT_TRUE(VerifyCommunity(g, c, member, alpha, beta, &why)) << why;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnumeratePropertyTest,
+                         ::testing::Values(601, 602, 603));
+
+TEST(EnumerateTest, EmptyGraphAndEmptyCore) {
+  BipartiteGraph g = MakeGraph({{0, 0, 1}});
+  EXPECT_EQ(EnumerateCommunities(g, 1, 1).size(), 1u);
+  EXPECT_TRUE(EnumerateCommunities(g, 2, 1).empty());
+}
+
+}  // namespace
+}  // namespace abcs

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/index_io.h"
+#include "core/online_query.h"
+#include "test_util.h"
+
+namespace abcs {
+namespace {
+
+using ::abcs::testing::RandomWeightedGraph;
+
+class IndexIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/abcs_index_io_test.idx";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(IndexIoTest, SaveLoadRoundTripAnswersIdentically) {
+  BipartiteGraph g = RandomWeightedGraph(40, 40, 400, 17);
+  const DeltaIndex built = DeltaIndex::Build(g);
+  ASSERT_TRUE(SaveDeltaIndex(built, g, path_).ok());
+
+  DeltaIndex loaded;
+  ASSERT_TRUE(LoadDeltaIndex(path_, g, &loaded).ok());
+  EXPECT_EQ(loaded.delta(), built.delta());
+  EXPECT_EQ(loaded.MemoryBytes(), built.MemoryBytes());
+
+  Rng rng(3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const VertexId q = static_cast<VertexId>(rng.NextBounded(80));
+    const uint32_t alpha = 1 + static_cast<uint32_t>(rng.NextBounded(6));
+    const uint32_t beta = 1 + static_cast<uint32_t>(rng.NextBounded(6));
+    EXPECT_TRUE(SameEdgeSet(built.QueryCommunity(q, alpha, beta),
+                            loaded.QueryCommunity(q, alpha, beta)));
+  }
+}
+
+TEST_F(IndexIoTest, RejectsIndexOfDifferentGraph) {
+  BipartiteGraph g1 = RandomWeightedGraph(30, 30, 250, 5);
+  BipartiteGraph g2 = RandomWeightedGraph(30, 30, 250, 6);  // same shape
+  const DeltaIndex built = DeltaIndex::Build(g1);
+  ASSERT_TRUE(SaveDeltaIndex(built, g1, path_).ok());
+  DeltaIndex loaded;
+  const Status st = LoadDeltaIndex(path_, g2, &loaded);
+  EXPECT_EQ(st.code(), Status::Code::kCorruption);
+}
+
+TEST_F(IndexIoTest, RejectsBadMagic) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "NOTANIDXFILE and then some bytes";
+  }
+  BipartiteGraph g = RandomWeightedGraph(10, 10, 40, 7);
+  DeltaIndex loaded;
+  EXPECT_EQ(LoadDeltaIndex(path_, g, &loaded).code(),
+            Status::Code::kCorruption);
+}
+
+TEST_F(IndexIoTest, RejectsTruncatedFile) {
+  BipartiteGraph g = RandomWeightedGraph(20, 20, 120, 8);
+  const DeltaIndex built = DeltaIndex::Build(g);
+  ASSERT_TRUE(SaveDeltaIndex(built, g, path_).ok());
+  // Truncate the payload.
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  DeltaIndex loaded;
+  EXPECT_EQ(LoadDeltaIndex(path_, g, &loaded).code(),
+            Status::Code::kCorruption);
+}
+
+TEST_F(IndexIoTest, MissingFileIsIOError) {
+  BipartiteGraph g = RandomWeightedGraph(10, 10, 40, 9);
+  DeltaIndex loaded;
+  EXPECT_EQ(LoadDeltaIndex("/nonexistent/abc.idx", g, &loaded).code(),
+            Status::Code::kIOError);
+}
+
+TEST(TopologyChecksumTest, SensitiveToTopologyNotWeights) {
+  BipartiteGraph g = RandomWeightedGraph(20, 20, 150, 10);
+  const uint64_t base = GraphTopologyChecksum(g);
+  // Same topology, different weights: checksum unchanged (I_δ stores no
+  // weights, so a reweighted graph may reuse the index).
+  std::vector<Weight> w(g.NumEdges(), 42.0);
+  EXPECT_EQ(GraphTopologyChecksum(g.WithWeights(w)), base);
+  // Different topology: checksum changes.
+  BipartiteGraph g2 = RandomWeightedGraph(20, 20, 150, 11);
+  EXPECT_NE(GraphTopologyChecksum(g2), base);
+}
+
+}  // namespace
+}  // namespace abcs

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "abcore/degeneracy.h"
+#include "abcore/peeling.h"
+#include "core/basic_index.h"
+#include "core/bicore_index.h"
+#include "core/delta_index.h"
+#include "core/online_query.h"
+#include "test_util.h"
+
+namespace abcs {
+namespace {
+
+using ::abcs::testing::MakeGraph;
+using ::abcs::testing::PaperFigure2Graph;
+using ::abcs::testing::RandomWeightedGraph;
+
+/// Independent reference for C_{α,β}(q): fixpoint core + DFS over the core.
+Subgraph NaiveCommunity(const BipartiteGraph& g, VertexId q, uint32_t alpha,
+                        uint32_t beta) {
+  const uint32_t n = g.NumVertices();
+  std::vector<uint8_t> alive(n, 1);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      uint32_t d = 0;
+      for (const Arc& a : g.Neighbors(v)) d += alive[a.to];
+      if (d < (g.IsUpper(v) ? alpha : beta)) {
+        alive[v] = 0;
+        changed = true;
+      }
+    }
+  }
+  Subgraph out;
+  if (q >= n || !alive[q]) return out;
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<VertexId> stack{q};
+  visited[q] = 1;
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    for (const Arc& a : g.Neighbors(v)) {
+      if (!alive[a.to]) continue;
+      if (!g.IsUpper(v)) out.edges.push_back(a.eid);
+      if (!visited[a.to]) {
+        visited[a.to] = 1;
+        stack.push_back(a.to);
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------- cross-query agreement --
+
+class QueryAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryAgreementTest, AllQueryAlgorithmsAgree) {
+  BipartiteGraph g = RandomWeightedGraph(30, 35, 260, GetParam());
+  const BicoreIndex iv = BicoreIndex::Build(g);
+  const DeltaIndex idelta = DeltaIndex::Build(g);
+  BasicIndex ia, ib;
+  ASSERT_TRUE(
+      BasicIndex::Build(g, BasicIndexSide::kAlpha, {}, &ia).ok());
+  ASSERT_TRUE(BasicIndex::Build(g, BasicIndexSide::kBeta, {}, &ib).ok());
+
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const VertexId q =
+        static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    const uint32_t alpha = 1 + static_cast<uint32_t>(rng.NextBounded(6));
+    const uint32_t beta = 1 + static_cast<uint32_t>(rng.NextBounded(6));
+
+    const Subgraph ref = NaiveCommunity(g, q, alpha, beta);
+    const Subgraph qo = QueryCommunityOnline(g, q, alpha, beta);
+    const Subgraph qv = iv.QueryCommunity(q, alpha, beta);
+    const Subgraph qopt = idelta.QueryCommunity(q, alpha, beta);
+    const Subgraph qa = ia.QueryCommunity(q, alpha, beta);
+    const Subgraph qb = ib.QueryCommunity(q, alpha, beta);
+
+    EXPECT_TRUE(SameEdgeSet(ref, qo)) << "Qo  q=" << q << " a=" << alpha
+                                      << " b=" << beta;
+    EXPECT_TRUE(SameEdgeSet(ref, qv)) << "Qv  q=" << q << " a=" << alpha
+                                      << " b=" << beta;
+    EXPECT_TRUE(SameEdgeSet(ref, qopt)) << "Qopt q=" << q << " a=" << alpha
+                                        << " b=" << beta;
+    EXPECT_TRUE(SameEdgeSet(ref, qa)) << "Ia  q=" << q << " a=" << alpha
+                                      << " b=" << beta;
+    EXPECT_TRUE(SameEdgeSet(ref, qb)) << "Ib  q=" << q << " a=" << alpha
+                                      << " b=" << beta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryAgreementTest,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
+
+TEST(QueryAgreementTest, HeavyTailedTopology) {
+  // Chung–Lu hubs stress the per-level adjacency lists (many levels for
+  // hub vertices, none for the tail).
+  BipartiteGraph topo;
+  ASSERT_TRUE(GenChungLuBipartite(120, 120, 1400, 1.9, 2.3, 33, &topo).ok());
+  Rng wr(5);
+  std::vector<Weight> w(topo.NumEdges());
+  for (auto& x : w) x = 1.0 + static_cast<double>(wr.NextBounded(9));
+  const BipartiteGraph g = topo.WithWeights(w);
+
+  const BicoreIndex iv = BicoreIndex::Build(g);
+  const DeltaIndex idelta = DeltaIndex::Build(g);
+  BasicIndex ia;
+  ASSERT_TRUE(BasicIndex::Build(g, BasicIndexSide::kAlpha, {}, &ia).ok());
+
+  Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    const VertexId q =
+        static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    // Mix small, asymmetric and above-δ parameters.
+    const uint32_t alpha = 1 + static_cast<uint32_t>(rng.NextBounded(12));
+    const uint32_t beta = 1 + static_cast<uint32_t>(rng.NextBounded(12));
+    const Subgraph ref = NaiveCommunity(g, q, alpha, beta);
+    EXPECT_TRUE(SameEdgeSet(ref, iv.QueryCommunity(q, alpha, beta)));
+    EXPECT_TRUE(SameEdgeSet(ref, idelta.QueryCommunity(q, alpha, beta)));
+    EXPECT_TRUE(SameEdgeSet(ref, ia.QueryCommunity(q, alpha, beta)));
+  }
+}
+
+// ------------------------------------------------------------ BicoreIndex --
+
+TEST(BicoreIndexTest, CoreVerticesMatchPeeling) {
+  BipartiteGraph g = RandomWeightedGraph(25, 25, 200, 7);
+  const BicoreIndex iv = BicoreIndex::Build(g);
+  for (uint32_t alpha = 1; alpha <= 5; ++alpha) {
+    for (uint32_t beta = 1; beta <= 5; ++beta) {
+      CoreResult core = ComputeAlphaBetaCore(g, alpha, beta);
+      std::vector<VertexId> verts = iv.QueryCoreVertices(alpha, beta);
+      std::vector<uint8_t> in(g.NumVertices(), 0);
+      for (VertexId v : verts) in[v] = 1;
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        EXPECT_EQ(in[v] != 0, core.alive[v] != 0)
+            << "v=" << v << " a=" << alpha << " b=" << beta;
+      }
+    }
+  }
+}
+
+TEST(BicoreIndexTest, CoreVertexRetrievalIsOutputLinear) {
+  BipartiteGraph g = RandomWeightedGraph(50, 50, 500, 8);
+  const BicoreIndex iv = BicoreIndex::Build(g);
+  for (uint32_t alpha = 1; alpha <= 4; ++alpha) {
+    QueryStats stats;
+    std::vector<VertexId> verts = iv.QueryCoreVertices(alpha, 3, &stats);
+    // Touches exactly |result| entries plus at most one sentinel.
+    EXPECT_LE(stats.touched_arcs, verts.size() + 1);
+  }
+}
+
+TEST(BicoreIndexTest, EmptyAboveDelta) {
+  BipartiteGraph g = RandomWeightedGraph(20, 20, 120, 9);
+  const BicoreIndex iv = BicoreIndex::Build(g);
+  const uint32_t d = iv.delta();
+  EXPECT_EQ(d, Degeneracy(g));
+  EXPECT_TRUE(iv.QueryCoreVertices(d + 1, d + 1).empty());
+  EXPECT_TRUE(iv.QueryCommunity(0, d + 1, d + 1).Empty());
+}
+
+// ------------------------------------------------------------- DeltaIndex --
+
+TEST(DeltaIndexTest, OptimalTouchedArcsProportionalToResult) {
+  // Lemma 3: Qopt touches exactly the arcs of C plus ≤1 sentinel per
+  // visited vertex; Qv additionally scans arcs leaving the community.
+  BipartiteGraph g = PaperFigure2Graph();
+  const DeltaIndex idelta = DeltaIndex::Build(g);
+  const BicoreIndex iv = BicoreIndex::Build(g);
+
+  QueryStats opt_stats, v_stats;
+  const Subgraph copt = idelta.QueryCommunity(2, 2, 2, &opt_stats);
+  const Subgraph cv = iv.QueryCommunity(2, 2, 2, &v_stats);
+  ASSERT_TRUE(SameEdgeSet(copt, cv));
+  ASSERT_EQ(copt.Size(), 16u);  // u1..u4 × v1..v4
+
+  const std::size_t num_vertices = SubgraphVertexSet(g, copt).size();
+  // Each community edge is seen from both endpoints; plus one early-break
+  // sentinel per vertex at most.
+  EXPECT_LE(opt_stats.touched_arcs, 2 * copt.Size() + num_vertices);
+  EXPECT_GE(opt_stats.touched_arcs, 2 * copt.Size());
+}
+
+TEST(DeltaIndexTest, QueryVertexNotInCore) {
+  BipartiteGraph g = PaperFigure2Graph();
+  const DeltaIndex idelta = DeltaIndex::Build(g);
+  // Chain vertices are not in any (2,2)-core.
+  EXPECT_TRUE(idelta.QueryCommunity(10, 2, 2).Empty());
+  // Invalid arguments.
+  EXPECT_TRUE(idelta.QueryCommunity(0, 0, 2).Empty());
+  EXPECT_TRUE(idelta.QueryCommunity(g.NumVertices() + 5, 2, 2).Empty());
+}
+
+TEST(DeltaIndexTest, AsymmetricParametersUseBothHalves) {
+  BipartiteGraph g = RandomWeightedGraph(40, 15, 300, 10);
+  const DeltaIndex idelta = DeltaIndex::Build(g);
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const VertexId q =
+        static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    // Force β < α (β half) and α < β (α half) cases beyond δ of one side.
+    for (auto [alpha, beta] : {std::pair<uint32_t, uint32_t>{7, 2},
+                               {2, 7},
+                               {idelta.delta(), 1},
+                               {1, idelta.delta()}}) {
+      EXPECT_TRUE(SameEdgeSet(NaiveCommunity(g, q, alpha, beta),
+                              idelta.QueryCommunity(q, alpha, beta)))
+          << "q=" << q << " a=" << alpha << " b=" << beta;
+    }
+  }
+}
+
+TEST(DeltaIndexTest, SharedDecompositionGivesSameIndex) {
+  BipartiteGraph g = RandomWeightedGraph(25, 25, 200, 11);
+  BicoreDecomposition decomp = ComputeBicoreDecomposition(g);
+  const DeltaIndex a = DeltaIndex::Build(g, &decomp);
+  const DeltaIndex b = DeltaIndex::Build(g);
+  EXPECT_EQ(a.delta(), b.delta());
+  EXPECT_EQ(a.MemoryBytes(), b.MemoryBytes());
+}
+
+// ------------------------------------------------------------- BasicIndex --
+
+TEST(BasicIndexTest, EstimateMatchesActualEntryCount) {
+  for (uint64_t seed : {21, 22, 23}) {
+    BipartiteGraph g = RandomWeightedGraph(20, 20, 150, seed);
+    for (BasicIndexSide side :
+         {BasicIndexSide::kAlpha, BasicIndexSide::kBeta}) {
+      BasicIndex index;
+      ASSERT_TRUE(BasicIndex::Build(g, side, {}, &index).ok());
+      EXPECT_EQ(BasicIndex::EstimateEntries(g, side), index.NumEntries())
+          << "seed=" << seed;
+    }
+  }
+}
+
+TEST(BasicIndexTest, BuildBudgetExceededReturnsNotSupported) {
+  BipartiteGraph g = RandomWeightedGraph(50, 50, 600, 24);
+  BasicIndexBuildOptions options;
+  options.max_entries = 10;  // absurdly small
+  BasicIndex index;
+  Status st = BasicIndex::Build(g, BasicIndexSide::kAlpha, options, &index);
+  EXPECT_EQ(st.code(), Status::Code::kNotSupported);
+}
+
+TEST(BasicIndexTest, MaxLevelEqualsMaxDegree) {
+  BipartiteGraph g = RandomWeightedGraph(20, 30, 150, 25);
+  BasicIndex ia, ib;
+  ASSERT_TRUE(BasicIndex::Build(g, BasicIndexSide::kAlpha, {}, &ia).ok());
+  ASSERT_TRUE(BasicIndex::Build(g, BasicIndexSide::kBeta, {}, &ib).ok());
+  EXPECT_EQ(ia.max_level(), g.MaxUpperDegree());
+  EXPECT_EQ(ib.max_level(), g.MaxLowerDegree());
+  EXPECT_EQ(ia.side(), BasicIndexSide::kAlpha);
+  EXPECT_EQ(ib.side(), BasicIndexSide::kBeta);
+}
+
+TEST(BasicIndexTest, QueryAboveMaxLevelIsEmpty) {
+  BipartiteGraph g = RandomWeightedGraph(10, 10, 40, 26);
+  BasicIndex ia;
+  ASSERT_TRUE(BasicIndex::Build(g, BasicIndexSide::kAlpha, {}, &ia).ok());
+  EXPECT_TRUE(ia.QueryCommunity(0, ia.max_level() + 1, 1).Empty());
+  EXPECT_TRUE(ia.QueryCommunity(0, 0, 1).Empty());
+}
+
+// ------------------------------------------------------- index size order --
+
+TEST(IndexSizeTest, DeltaIndexSmallerThanBasicOnSkewedGraph) {
+  // A hub-heavy graph: Iα_bs replicates the hub's adjacency once per level
+  // while I_δ stores at most δ levels (the paper's Fig. 11 relationship).
+  BipartiteGraph g;
+  ASSERT_TRUE(GenChungLuBipartite(200, 200, 2500, 1.9, 2.2, 5, &g).ok());
+  BasicIndex ia;
+  ASSERT_TRUE(BasicIndex::Build(g, BasicIndexSide::kAlpha, {}, &ia).ok());
+  const DeltaIndex idelta = DeltaIndex::Build(g);
+  const BicoreIndex iv = BicoreIndex::Build(g);
+  EXPECT_LT(idelta.MemoryBytes(), ia.MemoryBytes());
+  EXPECT_LT(iv.MemoryBytes(), idelta.MemoryBytes());
+}
+
+TEST(IndexTest, PaperFigure2Community) {
+  // Figure 2(b): the (2,2)-community of u3 is the 4×4 block.
+  BipartiteGraph g = PaperFigure2Graph();
+  const DeltaIndex idelta = DeltaIndex::Build(g);
+  const Subgraph c = idelta.QueryCommunity(2, 2, 2);  // u3 has id 2
+  EXPECT_EQ(c.Size(), 16u);
+  std::vector<VertexId> verts = SubgraphVertexSet(g, c);
+  ASSERT_EQ(verts.size(), 8u);
+  for (VertexId v : verts) {
+    if (g.IsUpper(v)) {
+      EXPECT_LT(v, 4u);
+    } else {
+      EXPECT_LT(v - g.NumUpper(), 4u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abcs

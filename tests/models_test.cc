@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "models/biclique.h"
+#include "models/bitruss.h"
+#include "models/butterfly.h"
+#include "models/cstar.h"
+#include "models/metrics.h"
+#include "test_util.h"
+
+namespace abcs {
+namespace {
+
+using ::abcs::testing::MakeGraph;
+using ::abcs::testing::RandomWeightedGraph;
+
+/// O(n²·deg) butterfly reference: common-neighbour pairs.
+uint64_t NaiveButterflies(const BipartiteGraph& g) {
+  uint64_t total = 0;
+  for (VertexId a = 0; a < g.NumUpper(); ++a) {
+    for (VertexId b = a + 1; b < g.NumUpper(); ++b) {
+      uint64_t common = 0;
+      for (const Arc& x : g.Neighbors(a)) {
+        for (const Arc& y : g.Neighbors(b)) {
+          if (x.to == y.to) ++common;
+        }
+      }
+      total += common * (common - 1) / 2;
+    }
+  }
+  return total;
+}
+
+/// Naive per-edge butterfly count by quadruple enumeration.
+std::vector<uint64_t> NaivePerEdge(const BipartiteGraph& g) {
+  std::vector<uint64_t> bf(g.NumEdges(), 0);
+  auto has_edge = [&](VertexId u, VertexId v) -> EdgeId {
+    for (const Arc& a : g.Neighbors(u)) {
+      if (a.to == v) return a.eid;
+    }
+    return kInvalidEdge;
+  };
+  for (VertexId u1 = 0; u1 < g.NumUpper(); ++u1) {
+    for (VertexId u2 = u1 + 1; u2 < g.NumUpper(); ++u2) {
+      std::vector<std::pair<EdgeId, EdgeId>> commons;
+      for (const Arc& a : g.Neighbors(u1)) {
+        const EdgeId other = has_edge(u2, a.to);
+        if (other != kInvalidEdge) commons.push_back({a.eid, other});
+      }
+      for (std::size_t i = 0; i < commons.size(); ++i) {
+        for (std::size_t j = i + 1; j < commons.size(); ++j) {
+          ++bf[commons[i].first];
+          ++bf[commons[i].second];
+          ++bf[commons[j].first];
+          ++bf[commons[j].second];
+        }
+      }
+    }
+  }
+  return bf;
+}
+
+TEST(ButterflyTest, K22HasExactlyOneButterfly) {
+  BipartiteGraph g =
+      MakeGraph({{0, 0, 1}, {0, 1, 1}, {1, 0, 1}, {1, 1, 1}});
+  EXPECT_EQ(CountButterflies(g), 1u);
+  for (uint64_t c : CountButterfliesPerEdge(g)) EXPECT_EQ(c, 1u);
+}
+
+TEST(ButterflyTest, K33Has9Butterflies) {
+  std::vector<std::tuple<uint32_t, uint32_t, Weight>> t;
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t j = 0; j < 3; ++j) t.push_back({i, j, 1.0});
+  }
+  BipartiteGraph g = MakeGraph(t);
+  EXPECT_EQ(CountButterflies(g), 9u);  // C(3,2)² = 9
+  for (uint64_t c : CountButterfliesPerEdge(g)) EXPECT_EQ(c, 4u);
+}
+
+TEST(ButterflyTest, MatchesNaiveOnRandomGraphs) {
+  for (uint64_t seed : {1, 2, 3, 4}) {
+    BipartiteGraph g = RandomWeightedGraph(12, 12, 50, seed);
+    EXPECT_EQ(CountButterflies(g), NaiveButterflies(g)) << "seed=" << seed;
+    EXPECT_EQ(CountButterfliesPerEdge(g), NaivePerEdge(g)) << "seed=" << seed;
+  }
+}
+
+// ---------------------------------------------------------------- bitruss --
+
+TEST(BitrussTest, K33BitrussNumbers) {
+  std::vector<std::tuple<uint32_t, uint32_t, Weight>> t;
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t j = 0; j < 3; ++j) t.push_back({i, j, 1.0});
+  }
+  BipartiteGraph g = MakeGraph(t);
+  for (uint64_t phi : BitrussNumbers(g)) EXPECT_EQ(phi, 4u);
+}
+
+TEST(BitrussTest, NumbersConsistentWithQuery) {
+  // φ(e) ≥ k  ⇔  e survives the targeted k-peel.
+  for (uint64_t seed : {5, 6}) {
+    BipartiteGraph g = RandomWeightedGraph(12, 12, 60, seed);
+    const std::vector<uint64_t> phi = BitrussNumbers(g);
+    uint64_t max_phi = 0;
+    for (uint64_t p : phi) max_phi = std::max(max_phi, p);
+    for (uint64_t k = 1; k <= max_phi + 1; ++k) {
+      // Survivors of the k-peel = edges with φ ≥ k: collect via any q and
+      // union over components by scanning all vertices.
+      std::set<EdgeId> surviving;
+      for (VertexId q = 0; q < g.NumVertices(); ++q) {
+        for (EdgeId e : QueryBitrussCommunity(g, q, k).edges) {
+          surviving.insert(e);
+        }
+      }
+      for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+        EXPECT_EQ(surviving.count(e) > 0, phi[e] >= k)
+            << "seed=" << seed << " k=" << k << " e=" << e;
+      }
+    }
+  }
+}
+
+TEST(BitrussTest, CommunityIsConnectedAndContainsQ) {
+  BipartiteGraph g = RandomWeightedGraph(15, 15, 90, 7);
+  const Subgraph sub = QueryBitrussCommunity(g, 0, 1);
+  if (sub.Empty()) GTEST_SKIP();
+  std::vector<VertexId> verts = SubgraphVertexSet(g, sub);
+  EXPECT_TRUE(std::binary_search(verts.begin(), verts.end(), VertexId{0}));
+}
+
+// --------------------------------------------------------------- biclique --
+
+TEST(BicliqueTest, FindsPlantedBiclique) {
+  // A planted K_{5,5} plus noise pendants.
+  std::vector<std::tuple<uint32_t, uint32_t, Weight>> t;
+  for (uint32_t i = 0; i < 5; ++i) {
+    for (uint32_t j = 0; j < 5; ++j) t.push_back({i, j, 1.0});
+  }
+  t.push_back({5, 0, 1.0});
+  t.push_back({0, 5, 1.0});
+  BipartiteGraph g = MakeGraph(t);
+  const Subgraph sub = QueryBicliqueCommunity(g, 0, 5);
+  ASSERT_FALSE(sub.Empty());
+  const SubgraphStats stats = ComputeStats(g, sub);
+  EXPECT_EQ(stats.num_upper, 5u);
+  EXPECT_EQ(stats.num_lower, 5u);
+  EXPECT_EQ(sub.Size(), 25u);
+}
+
+TEST(BicliqueTest, ResultIsCompleteBipartite) {
+  BipartiteGraph g = RandomWeightedGraph(20, 20, 200, 8);
+  const Subgraph sub = QueryBicliqueCommunity(g, 0, 1);
+  ASSERT_FALSE(sub.Empty());
+  const SubgraphStats stats = ComputeStats(g, sub);
+  EXPECT_EQ(sub.Size(),
+            static_cast<std::size_t>(stats.num_upper) * stats.num_lower);
+  // Contains q.
+  std::vector<VertexId> verts = SubgraphVertexSet(g, sub);
+  EXPECT_TRUE(std::binary_search(verts.begin(), verts.end(), VertexId{0}));
+}
+
+TEST(BicliqueTest, MinSideUnsatisfiableReturnsEmpty) {
+  BipartiteGraph g = MakeGraph({{0, 0, 1.0}, {0, 1, 1.0}});
+  EXPECT_TRUE(QueryBicliqueCommunity(g, 0, 10).Empty());
+}
+
+TEST(BicliqueTest, ResultIsMaximal) {
+  BipartiteGraph g = RandomWeightedGraph(15, 15, 140, 9);
+  const Subgraph sub = QueryBicliqueCommunity(g, 2, 1);
+  ASSERT_FALSE(sub.Empty());
+  std::set<VertexId> a_side, b_side;
+  for (EdgeId e : sub.edges) {
+    const Edge& ed = g.GetEdge(e);
+    const VertexId qside = g.IsUpper(2) ? ed.u : ed.v;
+    const VertexId other = g.IsUpper(2) ? ed.v : ed.u;
+    a_side.insert(qside);
+    b_side.insert(other);
+  }
+  // No vertex outside can be added while keeping completeness.
+  auto adjacent_to_all = [&](VertexId x, const std::set<VertexId>& set) {
+    std::size_t hits = 0;
+    for (const Arc& arc : g.Neighbors(x)) hits += set.count(arc.to);
+    return hits == set.size();
+  };
+  for (VertexId x = 0; x < g.NumVertices(); ++x) {
+    if (g.IsUpper(x) && !a_side.count(x)) {
+      EXPECT_FALSE(adjacent_to_all(x, b_side)) << "x=" << x;
+    }
+    if (!g.IsUpper(x) && !b_side.count(x)) {
+      EXPECT_FALSE(adjacent_to_all(x, a_side)) << "x=" << x;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ cstar --
+
+TEST(CStarTest, KeepsOnlyHighAverageMovies) {
+  // v0 avg 4.5 (kept), v1 avg 2.0 (dropped).
+  BipartiteGraph g = MakeGraph(
+      {{0, 0, 4.0}, {1, 0, 5.0}, {0, 1, 2.0}, {1, 1, 2.0}});
+  const Subgraph sub = QueryCStarCommunity(g, 0, 4.0);
+  ASSERT_EQ(sub.Size(), 2u);
+  for (EdgeId e : sub.edges) {
+    EXPECT_EQ(g.GetEdge(e).v, g.LowerId(0));
+  }
+}
+
+TEST(CStarTest, QueryOutsideReturnsEmpty) {
+  BipartiteGraph g = MakeGraph({{0, 0, 1.0}});
+  EXPECT_TRUE(QueryCStarCommunity(g, 0, 4.0).Empty());
+}
+
+TEST(CStarTest, ComponentOfQOnly) {
+  // Two disjoint high-rated stars; q's component excludes the other.
+  BipartiteGraph g = MakeGraph(
+      {{0, 0, 5.0}, {1, 0, 5.0}, {2, 1, 5.0}, {3, 1, 5.0}});
+  const Subgraph sub = QueryCStarCommunity(g, 0, 4.0);
+  EXPECT_EQ(sub.Size(), 2u);
+}
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(MetricsTest, DensityOfBiclique) {
+  std::vector<std::tuple<uint32_t, uint32_t, Weight>> t;
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = 0; j < 4; ++j) t.push_back({i, j, 1.0});
+  }
+  BipartiteGraph g = MakeGraph(t);
+  Subgraph all;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) all.edges.push_back(e);
+  EXPECT_DOUBLE_EQ(BipartiteDensity(g, all), 16.0 / 4.0);
+  EXPECT_DOUBLE_EQ(AverageUpperDegree(g, all), 4.0);
+  EXPECT_DOUBLE_EQ(BipartiteDensity(g, Subgraph{}), 0.0);
+}
+
+TEST(MetricsTest, DislikeUsers) {
+  // alpha = 5 ⇒ need ≥ 3 good ratings. u0 has 4 good, u1 has 1 good.
+  BipartiteGraph g = MakeGraph({{0, 0, 5.0},
+                                {0, 1, 4.5},
+                                {0, 2, 4.0},
+                                {0, 3, 4.0},
+                                {1, 0, 4.0},
+                                {1, 1, 2.0},
+                                {1, 2, 1.0},
+                                {1, 3, 2.5}});
+  Subgraph all;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) all.edges.push_back(e);
+  EXPECT_EQ(CountDislikeUsers(g, all, 5), 1u);
+  EXPECT_EQ(CountDislikeUsers(g, all, 1), 0u);  // need ≥ 0.6 good ratings
+}
+
+TEST(MetricsTest, JaccardSimilarity) {
+  BipartiteGraph g =
+      MakeGraph({{0, 0, 1.0}, {1, 1, 1.0}, {0, 1, 1.0}});
+  // Edge ids after builder sorting: 0=(u0,v0), 1=(u0,v1), 2=(u1,v1).
+  Subgraph a{{0}};        // vertices {u0, v0}
+  Subgraph b{{0, 2}};     // vertices {u0, v0, u1, v1}
+  EXPECT_DOUBLE_EQ(JaccardVertexSimilarity(g, a, a), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardVertexSimilarity(g, a, b), 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(JaccardVertexSimilarity(g, Subgraph{}, Subgraph{}), 1.0);
+}
+
+TEST(MetricsTest, ComputeStatsBasics) {
+  BipartiteGraph g =
+      MakeGraph({{0, 0, 2.0}, {0, 1, 4.0}, {1, 0, 6.0}});
+  Subgraph all{{0, 1, 2}};
+  const SubgraphStats stats = ComputeStats(g, all);
+  EXPECT_EQ(stats.num_upper, 2u);
+  EXPECT_EQ(stats.num_lower, 2u);
+  EXPECT_DOUBLE_EQ(stats.min_weight, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max_weight, 6.0);
+  EXPECT_DOUBLE_EQ(stats.avg_weight, 4.0);
+}
+
+}  // namespace
+}  // namespace abcs

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "abcore/offset_oracle.h"
+#include "abcore/peeling.h"
+#include "test_util.h"
+
+namespace abcs {
+namespace {
+
+using ::abcs::testing::MakeGraph;
+using ::abcs::testing::RandomWeightedGraph;
+
+class OracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OracleTest, MatchesDirectOffsetsForAllAlpha) {
+  BipartiteGraph g = RandomWeightedGraph(20, 20, 150, GetParam());
+  const BicoreDecomposition decomp = ComputeBicoreDecomposition(g);
+  const OffsetOracle oracle(&decomp);
+  const uint32_t amax = std::max(g.MaxUpperDegree(), g.MaxLowerDegree());
+  for (uint32_t alpha = 1; alpha <= amax + 1; ++alpha) {
+    const std::vector<uint32_t> sa = ComputeAlphaOffsets(g, alpha);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_EQ(oracle.AlphaOffset(v, alpha), sa[v])
+          << "v=" << v << " alpha=" << alpha;
+    }
+  }
+  for (uint32_t beta = 1; beta <= amax + 1; ++beta) {
+    const std::vector<uint32_t> sb = ComputeBetaOffsets(g, beta);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_EQ(oracle.BetaOffset(v, beta), sb[v])
+          << "v=" << v << " beta=" << beta;
+    }
+  }
+}
+
+TEST_P(OracleTest, InCoreMatchesPeeling) {
+  BipartiteGraph g = RandomWeightedGraph(18, 18, 120, GetParam() + 50);
+  const BicoreDecomposition decomp = ComputeBicoreDecomposition(g);
+  const OffsetOracle oracle(&decomp);
+  const uint32_t hi = std::max(g.MaxUpperDegree(), g.MaxLowerDegree()) + 1;
+  for (uint32_t alpha = 1; alpha <= hi; ++alpha) {
+    for (uint32_t beta = 1; beta <= hi; ++beta) {
+      const CoreResult core = ComputeAlphaBetaCore(g, alpha, beta);
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        EXPECT_EQ(oracle.InCore(v, alpha, beta), core.alive[v] != 0)
+            << "v=" << v << " a=" << alpha << " b=" << beta;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleTest, ::testing::Values(801, 802));
+
+TEST(OracleTest, SkylineCharacterizesAllCores) {
+  BipartiteGraph g = RandomWeightedGraph(15, 15, 100, 66);
+  const BicoreDecomposition decomp = ComputeBicoreDecomposition(g);
+  const OffsetOracle oracle(&decomp);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto skyline = oracle.Skyline(v);
+    // Strictly increasing α, strictly decreasing β.
+    for (std::size_t i = 1; i < skyline.size(); ++i) {
+      EXPECT_LT(skyline[i - 1].first, skyline[i].first);
+      EXPECT_GT(skyline[i - 1].second, skyline[i].second);
+    }
+    // Each point is maximal: in the (α,β)-core, not in (α+1,β) or (α,β+1).
+    for (const auto& [a, b] : skyline) {
+      EXPECT_TRUE(oracle.InCore(v, a, b));
+      EXPECT_FALSE(oracle.InCore(v, a + 1, b));
+      EXPECT_FALSE(oracle.InCore(v, a, b + 1));
+    }
+    // Membership is exactly domination by some skyline point.
+    for (uint32_t a = 1; a <= 6; ++a) {
+      for (uint32_t b = 1; b <= 6; ++b) {
+        bool dominated = false;
+        for (const auto& [sa, sb] : skyline) {
+          if (a <= sa && b <= sb) dominated = true;
+        }
+        EXPECT_EQ(oracle.InCore(v, a, b), dominated)
+            << "v=" << v << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(OracleTest, EmptyAndDegenerateGraphs) {
+  BipartiteGraph g = MakeGraph({{0, 0, 1.0}});
+  const BicoreDecomposition decomp = ComputeBicoreDecomposition(g);
+  const OffsetOracle oracle(&decomp);
+  EXPECT_EQ(oracle.delta(), 1u);
+  EXPECT_TRUE(oracle.InCore(0, 1, 1));
+  EXPECT_FALSE(oracle.InCore(0, 2, 1));
+  EXPECT_FALSE(oracle.InCore(0, 0, 1));
+  const auto skyline = oracle.Skyline(0);
+  ASSERT_EQ(skyline.size(), 1u);
+  EXPECT_EQ(skyline[0], (std::pair<uint32_t, uint32_t>{1, 1}));
+}
+
+}  // namespace
+}  // namespace abcs

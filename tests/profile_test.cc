@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/profile.h"
+#include "core/scs_common.h"
+#include "test_util.h"
+
+namespace abcs {
+namespace {
+
+using ::abcs::testing::PaperFigure2Graph;
+using ::abcs::testing::RandomWeightedGraph;
+
+TEST(ProfileTest, PaperFigure2Cell) {
+  BipartiteGraph g = PaperFigure2Graph();
+  const DeltaIndex index = DeltaIndex::Build(g);
+  const SignificanceProfile profile =
+      ComputeSignificanceProfile(g, index, /*q=u3*/ 2, 3, 3);
+  ASSERT_TRUE(profile.ExistsAt(2, 2));
+  EXPECT_DOUBLE_EQ(profile.At(2, 2), 13.0);
+  // u3 has degree 4; a (3,3)-community exists inside the 4×4 block.
+  ASSERT_TRUE(profile.ExistsAt(3, 3));
+  EXPECT_TRUE(profile.ExistsAt(1, 1));
+}
+
+class ProfilePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProfilePropertyTest, MonotoneNonIncreasingAlongBothAxes) {
+  BipartiteGraph g = RandomWeightedGraph(25, 25, 220, GetParam(), 20);
+  const DeltaIndex index = DeltaIndex::Build(g);
+  Rng rng(GetParam() + 9);
+  for (int trial = 0; trial < 5; ++trial) {
+    const VertexId q = static_cast<VertexId>(rng.NextBounded(50));
+    const SignificanceProfile p =
+        ComputeSignificanceProfile(g, index, q, 5, 5);
+    for (uint32_t a = 1; a <= 5; ++a) {
+      for (uint32_t b = 1; b <= 5; ++b) {
+        if (!p.ExistsAt(a, b)) continue;
+        // Existence and significance are monotone: relaxing a constraint
+        // keeps the community and can only raise f.
+        if (a > 1) {
+          ASSERT_TRUE(p.ExistsAt(a - 1, b));
+          EXPECT_GE(p.At(a - 1, b), p.At(a, b));
+        }
+        if (b > 1) {
+          ASSERT_TRUE(p.ExistsAt(a, b - 1));
+          EXPECT_GE(p.At(a, b - 1), p.At(a, b));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfilePropertyTest,
+                         ::testing::Values(701, 702, 703));
+
+TEST(ProfileTest, CellsMatchDirectScs) {
+  BipartiteGraph g = RandomWeightedGraph(20, 20, 160, 44);
+  const DeltaIndex index = DeltaIndex::Build(g);
+  const VertexId q = 7;
+  const SignificanceProfile p = ComputeSignificanceProfile(g, index, q, 4, 4);
+  for (uint32_t a = 1; a <= 4; ++a) {
+    for (uint32_t b = 1; b <= 4; ++b) {
+      const ScsResult direct = ScsBruteForce(g, q, a, b);
+      ASSERT_EQ(p.ExistsAt(a, b), direct.found) << a << "," << b;
+      if (direct.found) {
+        EXPECT_DOUBLE_EQ(p.At(a, b), direct.significance) << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(ProfileTest, IsolatedVertexHasEmptyProfile) {
+  BipartiteGraph g = RandomWeightedGraph(10, 10, 30, 45);
+  const DeltaIndex index = DeltaIndex::Build(g);
+  const SignificanceProfile p =
+      ComputeSignificanceProfile(g, index, 0, 3, 3);
+  // Degree bounds: no (α,β)-community beyond the vertex's own degree.
+  const uint32_t deg = g.Degree(0);
+  for (uint32_t a = deg + 1; a <= 3; ++a) {
+    for (uint32_t b = 1; b <= 3; ++b) EXPECT_FALSE(p.ExistsAt(a, b));
+  }
+}
+
+}  // namespace
+}  // namespace abcs

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/subgraph.h"
+#include "test_util.h"
+
+namespace abcs {
+namespace {
+
+using ::abcs::testing::MakeGraph;
+
+BipartiteGraph Square() {
+  // u0—v0, u0—v1, u1—v0, u1—v1 (a 2×2 biclique), plus pendant u2—v2.
+  return MakeGraph(
+      {{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 3.0}, {1, 1, 4.0}, {2, 2, 5.0}});
+}
+
+TEST(SubgraphTest, EmptySubgraph) {
+  Subgraph s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Size(), 0u);
+  BipartiteGraph g = Square();
+  const SubgraphStats stats = ComputeStats(g, s);
+  EXPECT_EQ(stats.num_upper, 0u);
+  EXPECT_DOUBLE_EQ(stats.min_weight, 0.0);
+  EXPECT_TRUE(SubgraphVertexSet(g, s).empty());
+}
+
+TEST(SubgraphTest, VertexSetIsSortedUnique) {
+  BipartiteGraph g = Square();
+  Subgraph s{{0, 1, 2, 3}};  // the biclique
+  std::vector<VertexId> verts = SubgraphVertexSet(g, s);
+  EXPECT_EQ(verts, (std::vector<VertexId>{0, 1, 3, 4}));
+}
+
+TEST(SubgraphTest, SameEdgeSetIsOrderInsensitive) {
+  Subgraph a{{3, 1, 0}};
+  Subgraph b{{0, 3, 1}};
+  Subgraph c{{0, 1}};
+  Subgraph d{{0, 1, 2}};
+  EXPECT_TRUE(SameEdgeSet(a, b));
+  EXPECT_FALSE(SameEdgeSet(a, c));
+  EXPECT_FALSE(SameEdgeSet(c, d));
+  EXPECT_TRUE(SameEdgeSet(Subgraph{}, Subgraph{}));
+}
+
+TEST(VerifyCommunityTest, AcceptsValidCommunity) {
+  BipartiteGraph g = Square();
+  Subgraph s{{0, 1, 2, 3}};
+  std::string why;
+  EXPECT_TRUE(VerifyCommunity(g, s, 0, 2, 2, &why)) << why;
+}
+
+TEST(VerifyCommunityTest, RejectsEmpty) {
+  BipartiteGraph g = Square();
+  std::string why;
+  EXPECT_FALSE(VerifyCommunity(g, Subgraph{}, 0, 1, 1, &why));
+  EXPECT_NE(why.find("empty"), std::string::npos);
+}
+
+TEST(VerifyCommunityTest, RejectsMissingQueryVertex) {
+  BipartiteGraph g = Square();
+  Subgraph s{{0, 1, 2, 3}};
+  std::string why;
+  EXPECT_FALSE(VerifyCommunity(g, s, 2, 1, 1, &why));  // u2 not in s
+  EXPECT_NE(why.find("query vertex"), std::string::npos);
+}
+
+TEST(VerifyCommunityTest, RejectsDegreeViolation) {
+  BipartiteGraph g = Square();
+  Subgraph s{{0, 1, 2}};  // u1 has degree 1
+  std::string why;
+  EXPECT_FALSE(VerifyCommunity(g, s, 0, 2, 1, &why));
+  EXPECT_NE(why.find("degree"), std::string::npos);
+}
+
+TEST(VerifyCommunityTest, RejectsDisconnected) {
+  BipartiteGraph g = Square();
+  Subgraph s{{0, 1, 2, 3, 4}};  // biclique + far-away pendant edge
+  std::string why;
+  EXPECT_FALSE(VerifyCommunity(g, s, 0, 1, 1, &why));
+  EXPECT_NE(why.find("connected"), std::string::npos);
+}
+
+TEST(SubgraphTest, StatsOnSingleEdge) {
+  BipartiteGraph g = Square();
+  Subgraph s{{4}};
+  const SubgraphStats stats = ComputeStats(g, s);
+  EXPECT_EQ(stats.num_upper, 1u);
+  EXPECT_EQ(stats.num_lower, 1u);
+  EXPECT_DOUBLE_EQ(stats.min_weight, 5.0);
+  EXPECT_DOUBLE_EQ(stats.max_weight, 5.0);
+  EXPECT_DOUBLE_EQ(stats.avg_weight, 5.0);
+}
+
+}  // namespace
+}  // namespace abcs

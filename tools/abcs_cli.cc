@@ -1,0 +1,262 @@
+// abcs command-line tool: build/save/load the I_δ index and run community
+// queries on weighted bipartite edge lists.
+//
+// Usage:
+//   abcs stats  <graph>                       print dataset statistics
+//   abcs index  <graph> <index-out>           build and persist I_δ
+//   abcs query  <graph> <q> <alpha> <beta> [--index FILE] [--side u|l]
+//                                             print C_{α,β}(q)
+//   abcs scs    <graph> <q> <alpha> <beta> [--index FILE] [--side u|l]
+//               [--algo peel|expand|binary|baseline]
+//                                             print the significant community
+//   abcs profile <graph> <q> <max-alpha> <max-beta> [--index FILE]
+//               [--side u|l]                  print f(R) over the (α,β) grid
+//   abcs gen    <name> <graph-out>            write a registry dataset
+//
+// <graph> is a whitespace edge list `u v [w]` with 0-based layer-local ids
+// (lines starting with % or # ignored). <q> is a layer-local id; --side
+// selects the layer (default: u).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "abcore/degeneracy.h"
+#include "abcore/peeling.h"
+#include "common/timer.h"
+#include "core/delta_index.h"
+#include "core/index_io.h"
+#include "core/scs_baseline.h"
+#include "core/scs_binary.h"
+#include "core/scs_expand.h"
+#include "core/profile.h"
+#include "core/scs_peel.h"
+#include "graph/datasets.h"
+#include "graph/graph_io.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  abcs stats <graph>\n"
+               "  abcs index <graph> <index-out>\n"
+               "  abcs query <graph> <q> <alpha> <beta> [--index FILE] "
+               "[--side u|l]\n"
+               "  abcs scs   <graph> <q> <alpha> <beta> [--index FILE] "
+               "[--side u|l] [--algo peel|expand|binary|baseline]\n"
+               "  abcs gen   <name> <graph-out>\n");
+  return 2;
+}
+
+int Fail(const abcs::Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+struct QueryArgs {
+  std::string graph_path;
+  abcs::VertexId q = 0;
+  uint32_t alpha = 0, beta = 0;
+  std::string index_path;
+  bool lower_side = false;
+  std::string algo = "peel";
+};
+
+bool ParseQueryArgs(int argc, char** argv, QueryArgs* args) {
+  if (argc < 6) return false;
+  args->graph_path = argv[2];
+  args->q = static_cast<abcs::VertexId>(std::atol(argv[3]));
+  args->alpha = static_cast<uint32_t>(std::atol(argv[4]));
+  args->beta = static_cast<uint32_t>(std::atol(argv[5]));
+  for (int i = 6; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--index") == 0 && i + 1 < argc) {
+      args->index_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--side") == 0 && i + 1 < argc) {
+      args->lower_side = (argv[++i][0] == 'l');
+    } else if (std::strcmp(argv[i], "--algo") == 0 && i + 1 < argc) {
+      args->algo = argv[++i];
+    } else {
+      return false;
+    }
+  }
+  return args->alpha >= 1 && args->beta >= 1;
+}
+
+abcs::Status GetIndex(const QueryArgs& args, const abcs::BipartiteGraph& g,
+                      abcs::DeltaIndex* index) {
+  if (!args.index_path.empty()) {
+    return abcs::LoadDeltaIndex(args.index_path, g, index);
+  }
+  *index = abcs::DeltaIndex::Build(g);
+  return abcs::Status::OK();
+}
+
+void PrintSubgraph(const abcs::BipartiteGraph& g, const abcs::Subgraph& sub) {
+  const abcs::SubgraphStats stats = abcs::ComputeStats(g, sub);
+  std::printf("# |E|=%zu |U|=%u |L|=%u min_w=%g avg_w=%g\n", sub.Size(),
+              stats.num_upper, stats.num_lower, stats.min_weight,
+              stats.avg_weight);
+  for (abcs::EdgeId e : sub.edges) {
+    const abcs::Edge& ed = g.GetEdge(e);
+    std::printf("%u %u %g\n", ed.u, ed.v - g.NumUpper(), ed.w);
+  }
+}
+
+int CmdStats(const std::string& path) {
+  abcs::BipartiteGraph g;
+  abcs::Status st = abcs::LoadEdgeList(path, &g, /*zero_based=*/true);
+  if (!st.ok()) return Fail(st);
+  const uint32_t delta = abcs::Degeneracy(g);
+  const abcs::CoreResult rdd = abcs::ComputeAlphaBetaCore(g, delta, delta);
+  std::printf("|E|=%u |U|=%u |L|=%u delta=%u amax=%u bmax=%u |Rdd|=%u\n",
+              g.NumEdges(), g.NumUpper(), g.NumLower(), delta,
+              g.MaxUpperDegree(), g.MaxLowerDegree(), rdd.num_edges);
+  return 0;
+}
+
+int CmdIndex(const std::string& graph_path, const std::string& out_path) {
+  abcs::BipartiteGraph g;
+  abcs::Status st = abcs::LoadEdgeList(graph_path, &g, /*zero_based=*/true);
+  if (!st.ok()) return Fail(st);
+  abcs::Timer timer;
+  const abcs::DeltaIndex index = abcs::DeltaIndex::Build(g);
+  std::printf("built I_delta (delta=%u) in %.3fs, %.2f MB\n", index.delta(),
+              timer.Seconds(),
+              static_cast<double>(index.MemoryBytes()) / (1024.0 * 1024.0));
+  st = abcs::SaveDeltaIndex(index, g, out_path);
+  if (!st.ok()) return Fail(st);
+  std::printf("saved to %s\n", out_path.c_str());
+  return 0;
+}
+
+int CmdQuery(const QueryArgs& args) {
+  abcs::BipartiteGraph g;
+  abcs::Status st =
+      abcs::LoadEdgeList(args.graph_path, &g, /*zero_based=*/true);
+  if (!st.ok()) return Fail(st);
+  const abcs::VertexId q = args.lower_side ? g.NumUpper() + args.q : args.q;
+  if (q >= g.NumVertices()) {
+    return Fail(abcs::Status::InvalidArgument("query vertex out of range"));
+  }
+  abcs::DeltaIndex index;
+  st = GetIndex(args, g, &index);
+  if (!st.ok()) return Fail(st);
+  abcs::Timer timer;
+  const abcs::Subgraph c = index.QueryCommunity(q, args.alpha, args.beta);
+  std::printf("# (%u,%u)-community of %s%u in %.2e s\n", args.alpha,
+              args.beta, args.lower_side ? "l" : "u", args.q,
+              timer.Seconds());
+  PrintSubgraph(g, c);
+  return 0;
+}
+
+int CmdScs(const QueryArgs& args) {
+  abcs::BipartiteGraph g;
+  abcs::Status st =
+      abcs::LoadEdgeList(args.graph_path, &g, /*zero_based=*/true);
+  if (!st.ok()) return Fail(st);
+  const abcs::VertexId q = args.lower_side ? g.NumUpper() + args.q : args.q;
+  if (q >= g.NumVertices()) {
+    return Fail(abcs::Status::InvalidArgument("query vertex out of range"));
+  }
+  abcs::DeltaIndex index;
+  st = GetIndex(args, g, &index);
+  if (!st.ok()) return Fail(st);
+
+  abcs::Timer timer;
+  abcs::ScsResult result;
+  if (args.algo == "baseline") {
+    result = abcs::ScsBaseline(g, q, args.alpha, args.beta);
+  } else {
+    const abcs::Subgraph c = index.QueryCommunity(q, args.alpha, args.beta);
+    if (args.algo == "peel") {
+      result = abcs::ScsPeel(g, c, q, args.alpha, args.beta);
+    } else if (args.algo == "expand") {
+      result = abcs::ScsExpand(g, c, q, args.alpha, args.beta);
+    } else if (args.algo == "binary") {
+      result = abcs::ScsBinary(g, c, q, args.alpha, args.beta);
+    } else {
+      return Fail(abcs::Status::InvalidArgument("unknown --algo"));
+    }
+  }
+  if (!result.found) {
+    std::printf("# no significant (%u,%u)-community for this vertex\n",
+                args.alpha, args.beta);
+    return 0;
+  }
+  std::printf("# significant (%u,%u)-community, f(R)=%g, %s, %.2e s\n",
+              args.alpha, args.beta, result.significance, args.algo.c_str(),
+              timer.Seconds());
+  PrintSubgraph(g, result.community);
+  return 0;
+}
+
+int CmdProfile(const QueryArgs& args) {
+  abcs::BipartiteGraph g;
+  abcs::Status st =
+      abcs::LoadEdgeList(args.graph_path, &g, /*zero_based=*/true);
+  if (!st.ok()) return Fail(st);
+  const abcs::VertexId q = args.lower_side ? g.NumUpper() + args.q : args.q;
+  if (q >= g.NumVertices()) {
+    return Fail(abcs::Status::InvalidArgument("query vertex out of range"));
+  }
+  abcs::DeltaIndex index;
+  st = GetIndex(args, g, &index);
+  if (!st.ok()) return Fail(st);
+  // For `profile`, alpha/beta play the role of grid bounds.
+  const abcs::SignificanceProfile profile = abcs::ComputeSignificanceProfile(
+      g, index, q, args.alpha, args.beta);
+  std::printf("# f(R) for %s%u; rows alpha=1..%u, cols beta=1..%u "
+              "('-' = no community)\n",
+              args.lower_side ? "l" : "u", args.q, args.alpha, args.beta);
+  for (uint32_t a = 1; a <= args.alpha; ++a) {
+    for (uint32_t b = 1; b <= args.beta; ++b) {
+      if (profile.ExistsAt(a, b)) {
+        std::printf("%8.3g", profile.At(a, b));
+      } else {
+        std::printf("%8s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdGen(const std::string& name, const std::string& out_path) {
+  const abcs::DatasetSpec* spec = abcs::FindDataset(name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown dataset %s; available:", name.c_str());
+    for (const abcs::DatasetSpec& s : abcs::AllDatasets()) {
+      std::fprintf(stderr, " %s", s.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  abcs::BipartiteGraph g;
+  abcs::Status st = abcs::MakeDataset(*spec, &g);
+  if (!st.ok()) return Fail(st);
+  st = abcs::SaveEdgeList(g, out_path);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %s: %u edges\n", out_path.c_str(), g.NumEdges());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "stats" && argc == 3) return CmdStats(argv[2]);
+  if (cmd == "index" && argc == 4) return CmdIndex(argv[2], argv[3]);
+  if (cmd == "gen" && argc == 4) return CmdGen(argv[2], argv[3]);
+  if (cmd == "query" || cmd == "scs" || cmd == "profile") {
+    QueryArgs args;
+    if (!ParseQueryArgs(argc, argv, &args)) return Usage();
+    if (cmd == "query") return CmdQuery(args);
+    if (cmd == "scs") return CmdScs(args);
+    return CmdProfile(args);
+  }
+  return Usage();
+}
