@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "bench_common.h"
 #include "common/timer.h"
@@ -26,12 +27,13 @@ double BudgetSeconds() {
 
 int main() {
   const double budget = BudgetSeconds();
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::printf(
       "Figure 10: index construction time (seconds; DNF = exceeded %.0fs "
-      "budget)\n",
-      budget);
-  std::printf("%-5s %10s %12s %12s %10s\n", "name", "Iv", "Ia_bs", "Ib_bs",
-              "Idelta");
+      "budget; IdeltaMT = %u-thread offset grid)\n",
+      budget, hw);
+  std::printf("%-5s %10s %12s %12s %10s %10s %8s\n", "name", "Iv", "Ia_bs",
+              "Ib_bs", "Idelta", "IdeltaMT", "speedup");
   for (const abcs::DatasetSpec& spec : abcs::AllDatasets()) {
     abcs::BipartiteGraph g;
     if (!abcs::MakeDataset(spec, &g).ok()) return 1;
@@ -73,10 +75,17 @@ int main() {
     const abcs::DeltaIndex idelta = abcs::DeltaIndex::Build(g);
     const double idelta_s = timer.Seconds();
 
-    std::printf("%-5s %10.3f %12s %12s %10.3f\n", spec.name.c_str(), iv_s,
-                ia_buf, ib_buf, idelta_s);
+    timer.Reset();
+    const abcs::DeltaIndex idelta_mt =
+        abcs::DeltaIndex::Build(g, nullptr, /*num_threads=*/0);
+    const double idelta_mt_s = timer.Seconds();
+
+    std::printf("%-5s %10.3f %12s %12s %10.3f %10.3f %7.2fx\n",
+                spec.name.c_str(), iv_s, ia_buf, ib_buf, idelta_s,
+                idelta_mt_s, idelta_s / idelta_mt_s);
     (void)iv;
     (void)idelta;
+    (void)idelta_mt;
   }
   return 0;
 }

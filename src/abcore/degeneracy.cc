@@ -1,58 +1,36 @@
 #include "abcore/degeneracy.h"
 
 #include <algorithm>
+#include <ranges>
+
+#include "abcore/peel_kernel.h"
 
 namespace abcs {
 
 std::vector<uint32_t> KCoreNumbers(const BipartiteGraph& g) {
   const uint32_t n = g.NumVertices();
-  std::vector<uint32_t> deg(n), core(n, 0);
+  std::vector<uint32_t> core(n, 0);
+  if (n == 0) return core;
+
+  std::vector<uint32_t> deg(n);
+  std::vector<uint8_t> alive(n, 1);
   uint32_t max_deg = 0;
   for (VertexId v = 0; v < n; ++v) {
     deg[v] = g.Degree(v);
     max_deg = std::max(max_deg, deg[v]);
   }
-  if (n == 0) return core;
 
-  // Bin-sort vertices by degree (Batagelj–Zaveršnik layout).
-  std::vector<uint32_t> bin(max_deg + 2, 0);
-  for (VertexId v = 0; v < n; ++v) ++bin[deg[v]];
-  uint32_t start = 0;
-  for (uint32_t d = 0; d <= max_deg; ++d) {
-    uint32_t count = bin[d];
-    bin[d] = start;
-    start += count;
-  }
-  std::vector<VertexId> order(n);
-  std::vector<uint32_t> pos(n);
-  for (VertexId v = 0; v < n; ++v) {
-    pos[v] = bin[deg[v]];
-    order[pos[v]] = v;
-    ++bin[deg[v]];
-  }
-  for (uint32_t d = max_deg; d >= 1; --d) bin[d] = bin[d - 1];
-  bin[0] = 0;
-
-  for (uint32_t i = 0; i < n; ++i) {
-    VertexId v = order[i];
-    core[v] = deg[v];
-    for (const Arc& a : g.Neighbors(v)) {
-      VertexId w = a.to;
-      if (deg[w] <= deg[v]) continue;
-      // Swap w to the front of its degree bucket, then shrink its degree.
-      const uint32_t dw = deg[w];
-      const uint32_t pw = pos[w];
-      const uint32_t pfirst = bin[dw];
-      const VertexId first = order[pfirst];
-      if (first != w) {
-        order[pfirst] = w;
-        order[pw] = first;
-        pos[w] = pfirst;
-        pos[first] = pw;
-      }
-      ++bin[dw];
-      --deg[w];
-    }
+  // With every vertex ranked (no fixed side) the shared level-wise kernel
+  // is exactly the bucket k-core algorithm: a vertex's removal level is its
+  // core number.
+  LevelPeeler peeler(
+      deg, alive, /*fixed_need=*/0, max_deg, GraphNeighbors(g),
+      [](VertexId) { return false; },
+      [&](VertexId v, uint32_t level) { core[v] = level; });
+  peeler.Start(std::views::iota(VertexId{0}, n));
+  for (uint32_t level = 1; level <= max_deg && peeler.alive_count() > 0;
+       ++level) {
+    peeler.RunLevel(level);
   }
   return core;
 }

@@ -2,15 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <ranges>
 #include <thread>
 
 #include "abcore/degeneracy.h"
+#include "abcore/peel_kernel.h"
 
 namespace abcs {
 
 namespace {
 
-/// Shared level-wise peeling kernel.
+/// Offset computation on top of the shared level-wise kernel.
 ///
 /// One side of the bipartition is *fixed*: its vertices must keep degree
 /// ≥ k throughout (upper for α-offsets, lower for β-offsets). The other
@@ -18,10 +20,7 @@ namespace {
 /// at which a vertex dies is its offset — the maximal second core parameter
 /// for which it is still in the core. Fixed-side deaths during level L also
 /// record offset L. Vertices eliminated while establishing the initial
-/// (k,1)- or (1,k)-core get offset 0.
-///
-/// Runs in O(m) using degree buckets with lazy (re-push on decrement)
-/// entries.
+/// (k,1)- or (1,k)-core get offset 0. O(m).
 std::vector<uint32_t> ComputeOffsetsImpl(const BipartiteGraph& g, uint32_t k,
                                          bool fix_upper,
                                          const std::vector<uint8_t>* scope) {
@@ -33,7 +32,6 @@ std::vector<uint32_t> ComputeOffsetsImpl(const BipartiteGraph& g, uint32_t k,
   auto in_scope = [&](VertexId v) { return scope == nullptr || (*scope)[v]; };
   auto is_fixed = [&](VertexId v) { return g.IsUpper(v) == fix_upper; };
 
-  uint32_t alive_count = 0;
   uint32_t max_ranked_deg = 0;
   for (VertexId v = 0; v < n; ++v) {
     if (!in_scope(v)) {
@@ -49,77 +47,16 @@ std::vector<uint32_t> ComputeOffsetsImpl(const BipartiteGraph& g, uint32_t k,
       }
     }
     deg[v] = d;
-    ++alive_count;
     if (!is_fixed(v)) max_ranked_deg = std::max(max_ranked_deg, d);
   }
 
-  // Initial peel: fixed side needs deg >= k, ranked side needs deg >= 1.
-  std::vector<VertexId> queue;
-  for (VertexId v = 0; v < n; ++v) {
-    if (!alive[v]) continue;
-    const uint32_t need = is_fixed(v) ? k : 1;
-    if (deg[v] < need) {
-      alive[v] = 0;
-      queue.push_back(v);
-    }
-  }
-  while (!queue.empty()) {
-    VertexId v = queue.back();
-    queue.pop_back();
-    --alive_count;
-    for (const Arc& a : g.Neighbors(v)) {
-      VertexId w = a.to;
-      if (!alive[w]) continue;
-      --deg[w];
-      const uint32_t need = is_fixed(w) ? k : 1;
-      if (deg[w] < need) {
-        alive[w] = 0;
-        queue.push_back(w);
-      }
-    }
-  }
-
-  // Bucket the surviving ranked-side vertices by current degree.
-  std::vector<std::vector<VertexId>> buckets(max_ranked_deg + 2);
-  for (VertexId v = 0; v < n; ++v) {
-    if (alive[v] && !is_fixed(v)) buckets[deg[v]].push_back(v);
-  }
-
-  for (uint32_t level = 1; level <= max_ranked_deg && alive_count > 0;
+  LevelPeeler peeler(
+      deg, alive, k, max_ranked_deg, GraphNeighbors(g), is_fixed,
+      [&](VertexId v, uint32_t level) { offset[v] = level; });
+  peeler.Start(std::views::iota(VertexId{0}, n));
+  for (uint32_t level = 1; level <= max_ranked_deg && peeler.alive_count() > 0;
        ++level) {
-    // Invariant: every alive ranked vertex has deg >= level, so removal
-    // candidates sit exactly in buckets[level] (stale entries are skipped).
-    for (std::size_t i = 0; i < buckets[level].size(); ++i) {
-      VertexId v = buckets[level][i];
-      if (!alive[v] || deg[v] != level) continue;
-      alive[v] = 0;
-      offset[v] = level;
-      queue.push_back(v);
-      while (!queue.empty()) {
-        VertexId x = queue.back();
-        queue.pop_back();
-        --alive_count;
-        for (const Arc& a : g.Neighbors(x)) {
-          VertexId w = a.to;
-          if (!alive[w]) continue;
-          --deg[w];
-          if (is_fixed(w)) {
-            if (deg[w] < k) {
-              alive[w] = 0;
-              offset[w] = level;
-              queue.push_back(w);
-            }
-          } else if (deg[w] <= level) {
-            alive[w] = 0;
-            offset[w] = level;
-            queue.push_back(w);
-          } else {
-            buckets[deg[w]].push_back(w);
-          }
-        }
-      }
-    }
-    buckets[level].clear();
+    peeler.RunLevel(level);
   }
   return offset;
 }
@@ -149,17 +86,7 @@ std::vector<uint32_t> ComputeBetaOffsetsScoped(
 }
 
 BicoreDecomposition ComputeBicoreDecomposition(const BipartiteGraph& g) {
-  BicoreDecomposition d;
-  uint32_t delta = 0;
-  for (uint32_t c : KCoreNumbers(g)) delta = std::max(delta, c);
-  d.delta = delta;
-  d.sa.reserve(delta);
-  d.sb.reserve(delta);
-  for (uint32_t tau = 1; tau <= delta; ++tau) {
-    d.sa.push_back(ComputeAlphaOffsets(g, tau));
-    d.sb.push_back(ComputeBetaOffsets(g, tau));
-  }
-  return d;
+  return ComputeBicoreDecompositionParallel(g, 1);
 }
 
 BicoreDecomposition ComputeBicoreDecompositionParallel(
@@ -189,6 +116,10 @@ BicoreDecomposition ComputeBicoreDecompositionParallel(
       }
     }
   };
+  if (num_threads == 1) {
+    worker();  // inline on the caller: no spawn, paper-faithful timing
+    return d;
+  }
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
   for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker);

@@ -59,7 +59,8 @@ BicoreDecomposition ComputeBicoreDecomposition(const BipartiteGraph& g);
 
 /// Parallel variant: the 2δ per-level peels are independent, so they are
 /// distributed over `num_threads` worker threads (0 = hardware
-/// concurrency). Bit-identical to the serial result.
+/// concurrency; an effective count of 1 runs inline with no thread
+/// spawned). Bit-identical to the serial result.
 BicoreDecomposition ComputeBicoreDecompositionParallel(
     const BipartiteGraph& g, unsigned num_threads = 0);
 

@@ -1,33 +1,18 @@
 #include "abcore/peeling.h"
 
+#include "abcore/peel_kernel.h"
+
 namespace abcs {
 
 void PeelInPlace(const BipartiteGraph& g, uint32_t alpha, uint32_t beta,
                  std::vector<uint32_t>& deg, std::vector<uint8_t>& alive,
                  std::vector<VertexId>* removed) {
-  const uint32_t n = g.NumVertices();
-  std::vector<VertexId> queue;
-  queue.reserve(64);
-  auto threshold = [&](VertexId v) { return g.IsUpper(v) ? alpha : beta; };
-
-  for (VertexId v = 0; v < n; ++v) {
-    if (alive[v] && deg[v] < threshold(v)) {
-      alive[v] = 0;
-      queue.push_back(v);
-    }
-  }
-  while (!queue.empty()) {
-    VertexId v = queue.back();
-    queue.pop_back();
-    if (removed) removed->push_back(v);
-    for (const Arc& a : g.Neighbors(v)) {
-      if (!alive[a.to]) continue;
-      if (--deg[a.to] < threshold(a.to)) {
-        alive[a.to] = 0;
-        queue.push_back(a.to);
-      }
-    }
-  }
+  ThresholdPeel(
+      g.NumVertices(), deg, alive, GraphNeighbors(g),
+      [&](VertexId v) { return g.IsUpper(v) ? alpha : beta; },
+      [&](VertexId v) {
+        if (removed) removed->push_back(v);
+      });
 }
 
 CoreResult ComputeAlphaBetaCore(const BipartiteGraph& g, uint32_t alpha,

@@ -29,9 +29,12 @@ class BicoreIndex {
 
   /// Builds the index in O(δ·m). If `decomp` is non-null it is used instead
   /// of recomputing the offset table (benches share one decomposition
-  /// across index builds). The graph must outlive the index.
+  /// across index builds); otherwise the 2δ offset peels run on
+  /// `num_threads` workers (1 = serial, 0 = hardware concurrency; identical
+  /// result). The graph must outlive the index.
   static BicoreIndex Build(const BipartiteGraph& g,
-                           const BicoreDecomposition* decomp = nullptr);
+                           const BicoreDecomposition* decomp = nullptr,
+                           unsigned num_threads = 1);
 
   /// Degeneracy of the indexed graph.
   uint32_t delta() const { return delta_; }

@@ -6,10 +6,11 @@
 namespace abcs {
 
 DeltaIndex DeltaIndex::Build(const BipartiteGraph& g,
-                             const BicoreDecomposition* decomp) {
+                             const BicoreDecomposition* decomp,
+                             unsigned num_threads) {
   BicoreDecomposition local;
   if (decomp == nullptr) {
-    local = ComputeBicoreDecomposition(g);
+    local = ComputeBicoreDecompositionParallel(g, num_threads);
     decomp = &local;
   }
 

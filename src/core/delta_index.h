@@ -44,9 +44,12 @@ class DeltaIndex {
   DeltaIndex() = default;
 
   /// Builds the index in O(δ·m). If `decomp` is non-null it is used
-  /// instead of recomputing the offsets. The graph must outlive the index.
+  /// instead of recomputing the offsets; otherwise the 2δ offset peels run
+  /// on `num_threads` workers (1 = serial, 0 = hardware concurrency; the
+  /// result is identical either way). The graph must outlive the index.
   static DeltaIndex Build(const BipartiteGraph& g,
-                          const BicoreDecomposition* decomp = nullptr);
+                          const BicoreDecomposition* decomp = nullptr,
+                          unsigned num_threads = 1);
 
   /// Degeneracy δ of the indexed graph.
   uint32_t delta() const { return delta_; }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "abcore/offsets.h"
+#include "abcore/peel_kernel.h"
 #include "graph/graph_builder.h"
 
 namespace abcs {
@@ -24,7 +25,7 @@ DynamicDeltaIndex::DynamicDeltaIndex(const BipartiteGraph& g) {
   }
   num_alive_edges_ = g.NumEdges();
 
-  BicoreDecomposition decomp = ComputeBicoreDecomposition(g);
+  BicoreDecomposition decomp = ComputeBicoreDecompositionParallel(g);
   delta_ = decomp.delta;
   sa_ = std::move(decomp.sa);
   sb_ = std::move(decomp.sb);
@@ -105,80 +106,31 @@ void DynamicDeltaIndex::RecomputeScoped(std::vector<uint32_t>& value,
 
   std::vector<uint8_t> alive(n, 0);
   for (VertexId x : scope) alive[x] = 1;
-  uint32_t alive_count = static_cast<uint32_t>(scope.size());
 
   // Level-L removal: x leaves the core while moving to level L+1, so its
   // new offset is L (0 if it already fails the (τ,1)-level constraints).
-  std::vector<VertexId> cascade;
-  auto remove_at = [&](VertexId x, uint32_t level) {
-    alive[x] = 0;
-    value[x] = level;
-    cascade.push_back(x);
-  };
-  std::vector<std::vector<VertexId>> buckets(max_level + 2);
-  auto run_cascade = [&](uint32_t level) {
-    while (!cascade.empty()) {
-      VertexId x = cascade.back();
-      cascade.pop_back();
-      --alive_count;
-      for (const Arc& a : adj_[x]) {
-        VertexId y = a.to;
-        if (!in_scope[y] || !alive[y]) continue;
-        --deg[y];
-        if (is_fixed(y)) {
-          if (deg[y] < tau) remove_at(y, level);
-        } else if (deg[y] <= level) {
-          remove_at(y, level);
-        } else {
-          buckets[deg[y]].push_back(y);
-        }
-      }
-    }
-  };
-
-  // Initial peel to the (τ,1)- resp. (1,τ)-level: fixed side needs τ,
-  // ranked side needs 1.
-  for (VertexId x : scope) {
-    const uint32_t need = is_fixed(x) ? tau : 1;
-    if (deg[x] < need) remove_at(x, 0);
-  }
-  run_cascade(0);
-
-  for (VertexId x : scope) {
-    if (alive[x] && !is_fixed(x)) buckets[deg[x]].push_back(x);
-  }
+  // Out-of-scope vertices are never alive, so the kernel's alive check
+  // subsumes the scope filter.
+  LevelPeeler peeler(
+      deg, alive, tau, max_level,
+      [&](VertexId x, auto&& visit) {
+        for (const Arc& a : adj_[x]) visit(a.to);
+      },
+      is_fixed, [&](VertexId x, uint32_t level) { value[x] = level; });
+  peeler.Start(scope);
 
   std::size_t expiry_ptr = 0;
   // Skip boundary supports that vanished during the initial peel: their
   // holders are dead already, and decrements on dead vertices are ignored
   // anyway, so the pointer can simply start at level 1.
-  for (uint32_t level = 1; level <= max_level && alive_count > 0; ++level) {
-    // Invariant: alive ranked vertices have deg >= level.
-    for (std::size_t i = 0; i < buckets[level].size(); ++i) {
-      VertexId x = buckets[level][i];
-      if (!alive[x] || deg[x] != level) continue;
-      remove_at(x, level);
-      run_cascade(level);
-    }
-    buckets[level].clear();
+  for (uint32_t level = 1; level <= max_level && peeler.alive_count() > 0;
+       ++level) {
+    peeler.RunLevel(level);
     // Boundary supports with offset == level expire now; the loss still
     // counts against membership at this level (offset stays `level`).
     while (expiry_ptr < expiry.size() && expiry[expiry_ptr].first == level) {
-      VertexId x = expiry[expiry_ptr].second;
+      peeler.Decrement(expiry[expiry_ptr].second, level);
       ++expiry_ptr;
-      if (!alive[x]) continue;
-      --deg[x];
-      if (is_fixed(x)) {
-        if (deg[x] < tau) {
-          remove_at(x, level);
-          run_cascade(level);
-        }
-      } else if (deg[x] <= level) {
-        remove_at(x, level);
-        run_cascade(level);
-      } else {
-        buckets[deg[x]].push_back(x);
-      }
     }
   }
   // Defensive: anything still alive survived every level we can justify.
@@ -251,27 +203,16 @@ bool DynamicDeltaIndex::KkCoreNonEmpty(uint32_t k) const {
   const uint32_t n = NumVertices();
   std::vector<uint32_t> deg(n);
   std::vector<uint8_t> alive(n, 1);
-  std::vector<VertexId> queue;
-  uint32_t remaining = n;
   for (VertexId x = 0; x < n; ++x) {
     deg[x] = static_cast<uint32_t>(adj_[x].size());
-    if (deg[x] < k) {
-      alive[x] = 0;
-      queue.push_back(x);
-    }
   }
-  while (!queue.empty()) {
-    VertexId x = queue.back();
-    queue.pop_back();
-    --remaining;
-    for (const Arc& a : adj_[x]) {
-      if (!alive[a.to]) continue;
-      if (--deg[a.to] < k) {
-        alive[a.to] = 0;
-        queue.push_back(a.to);
-      }
-    }
-  }
+  uint32_t remaining = n;
+  ThresholdPeel(
+      n, deg, alive,
+      [&](VertexId x, auto&& visit) {
+        for (const Arc& a : adj_[x]) visit(a.to);
+      },
+      [k](VertexId) { return k; }, [&](VertexId) { --remaining; });
   return remaining > 0;
 }
 

@@ -2,12 +2,19 @@
 
 #include <algorithm>
 
+#include "abcore/peel_kernel.h"
+
 namespace abcs {
 
 namespace {
 
 /// Peels the subgraph {edges of lg with weight >= w} to (α,β) stability.
-/// Returns true and fills `alive_edges`/`deg` iff q survives.
+/// Returns true and fills `alive_edges`/`deg` iff q survives (`deg` is
+/// meaningful only for vertices that survive the peel).
+///
+/// Runs the shared threshold kernel with an edge-killing adjacency: a
+/// removed vertex's live edges die with it, and only live edges count as
+/// arcs, so a live edge never points at a dead vertex.
 bool FeasibleAt(const LocalGraph& lg, uint32_t lq, uint32_t alpha,
                 uint32_t beta, Weight w, std::vector<uint8_t>* alive_edges,
                 std::vector<uint32_t>* deg, ScsStats* stats) {
@@ -26,25 +33,21 @@ bool FeasibleAt(const LocalGraph& lg, uint32_t lq, uint32_t alpha,
       ++(*deg)[le.v];
     }
   }
-  std::vector<uint32_t> queue;
-  for (uint32_t x = 0; x < n; ++x) {
-    if ((*deg)[x] < threshold(x)) queue.push_back(x);
-  }
-  while (!queue.empty()) {
-    uint32_t x = queue.back();
-    queue.pop_back();
-    if ((*deg)[x] >= threshold(x) || (*deg)[x] == 0) continue;
-    for (const LocalGraph::LocalArc& a : lg.Neighbors(x)) {
-      if (!(*alive_edges)[a.pos]) continue;
-      (*alive_edges)[a.pos] = 0;
-      if (stats) ++stats->edges_processed;
-      --(*deg)[x];
-      --(*deg)[a.to];
-      if ((*deg)[a.to] < threshold(a.to)) queue.push_back(a.to);
-    }
-  }
+  std::vector<uint8_t> alive(n, 1);
+  ThresholdPeel(
+      n, *deg, alive,
+      [&](uint32_t x, auto&& visit) {
+        for (const LocalGraph::LocalArc& a : lg.Neighbors(x)) {
+          if (!(*alive_edges)[a.pos]) continue;
+          (*alive_edges)[a.pos] = 0;
+          if (stats) ++stats->edges_processed;
+          --(*deg)[x];
+          visit(a.to);
+        }
+      },
+      threshold, [](uint32_t) {});
   if (stats) ++stats->validations;
-  return (*deg)[lq] >= threshold(lq);
+  return alive[lq] && (*deg)[lq] >= threshold(lq);
 }
 
 }  // namespace

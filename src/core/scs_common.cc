@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "abcore/peel_kernel.h"
+
 namespace abcs {
 
 LocalGraph::LocalGraph(const BipartiteGraph& g,
@@ -186,7 +188,8 @@ ScsResult ScsBruteForce(const BipartiteGraph& g, VertexId q, uint32_t alpha,
 
   const uint32_t n = g.NumVertices();
   for (Weight w : weights) {
-    // Keep edges with weight >= w; peel vertices below threshold.
+    // Keep edges with weight >= w; peel vertices below threshold via the
+    // shared kernel with a weight-filtered adjacency.
     std::vector<uint32_t> deg(n, 0);
     for (const Edge& e : g.Edges()) {
       if (e.w >= w) {
@@ -194,27 +197,17 @@ ScsResult ScsBruteForce(const BipartiteGraph& g, VertexId q, uint32_t alpha,
         ++deg[e.v];
       }
     }
-    std::vector<uint8_t> dead(n, 0);
-    std::vector<VertexId> queue;
+    std::vector<uint8_t> alive(n, 1);
     auto threshold = [&](VertexId x) { return g.IsUpper(x) ? alpha : beta; };
-    for (VertexId x = 0; x < n; ++x) {
-      if (deg[x] < threshold(x)) {
-        dead[x] = 1;
-        queue.push_back(x);
-      }
-    }
-    while (!queue.empty()) {
-      VertexId x = queue.back();
-      queue.pop_back();
-      for (const Arc& a : g.Neighbors(x)) {
-        if (dead[a.to] || g.GetWeight(a.eid) < w) continue;
-        if (--deg[a.to] < threshold(a.to)) {
-          dead[a.to] = 1;
-          queue.push_back(a.to);
-        }
-      }
-    }
-    if (dead[q]) continue;
+    ThresholdPeel(
+        n, deg, alive,
+        [&](VertexId x, auto&& visit) {
+          for (const Arc& a : g.Neighbors(x)) {
+            if (g.GetWeight(a.eid) >= w) visit(a.to);
+          }
+        },
+        threshold, [](VertexId) {});
+    if (!alive[q]) continue;
 
     // q survives: its connected component over surviving edges is R.
     std::vector<uint8_t> visited(n, 0);
@@ -226,7 +219,7 @@ ScsResult ScsBruteForce(const BipartiteGraph& g, VertexId q, uint32_t alpha,
       VertexId x = stack.back();
       stack.pop_back();
       for (const Arc& a : g.Neighbors(x)) {
-        if (dead[a.to] || g.GetWeight(a.eid) < w) continue;
+        if (!alive[a.to] || g.GetWeight(a.eid) < w) continue;
         if (!g.IsUpper(x)) {
           result.community.edges.push_back(a.eid);
           const Weight we = g.GetWeight(a.eid);

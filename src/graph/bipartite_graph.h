@@ -45,8 +45,8 @@ struct Arc {
 ///
 /// Construction goes through `GraphBuilder` (see graph_builder.h), which
 /// deduplicates parallel edges and drops isolated vertices on request. Once
-/// built, the graph is immutable; algorithms that peel edges operate on a
-/// `PeelContext` (abcore/peeling.h) layered over the CSR.
+/// built, the graph is immutable; peeling algorithms keep their own
+/// `deg`/`alive` state layered over the CSR (see abcore/peel_kernel.h).
 class BipartiteGraph {
  public:
   /// Creates an empty graph (0 vertices, 0 edges).

@@ -1,0 +1,49 @@
+# ctest-driven round trip over the abcs CLI:
+#   gen → stats → index → query → scs (all algorithms) → profile.
+# Invoked as:
+#   cmake -DABCS_CLI=<path> -DWORK_DIR=<dir> -P cli_smoke_test.cmake
+
+if(NOT ABCS_CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DABCS_CLI=... -DWORK_DIR=... -P cli_smoke_test.cmake")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(GRAPH ${WORK_DIR}/bs.txt)
+set(INDEX ${WORK_DIR}/bs.idx)
+
+function(run_abcs expect_pattern)
+  list(JOIN ARGN " " pretty)
+  execute_process(
+    COMMAND ${ABCS_CLI} ${ARGN}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "abcs ${pretty} failed (rc=${rc}):\n${out}${err}")
+  endif()
+  if(expect_pattern AND NOT out MATCHES "${expect_pattern}")
+    message(FATAL_ERROR
+      "abcs ${pretty}: output does not match '${expect_pattern}':\n${out}")
+  endif()
+  message(STATUS "ok: abcs ${pretty}")
+endfunction()
+
+run_abcs("wrote .*: [0-9]+ edges" gen BS ${GRAPH})
+run_abcs("delta=[1-9]" stats ${GRAPH})
+run_abcs("built I_delta .*saved to" index ${GRAPH} ${INDEX})
+run_abcs("community of u1" query ${GRAPH} 1 2 2 --index ${INDEX})
+run_abcs("" query ${GRAPH} 0 1 1 --index ${INDEX} --side l)
+foreach(algo peel expand binary baseline)
+  run_abcs("\\(2,2\\)-community" scs ${GRAPH} 1 2 2 --index ${INDEX} --algo ${algo})
+endforeach()
+run_abcs("f\\(R\\) for u1" profile ${GRAPH} 1 3 3 --index ${INDEX})
+
+# Determinism: a second gen of the same spec must be byte-identical.
+run_abcs("" gen BS ${WORK_DIR}/bs2.txt)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${GRAPH} ${WORK_DIR}/bs2.txt
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "abcs gen is not deterministic")
+endif()
+message(STATUS "cli smoke test passed")

@@ -121,7 +121,8 @@ int CmdIndex(const std::string& graph_path, const std::string& out_path) {
   abcs::Status st = abcs::LoadEdgeList(graph_path, &g, /*zero_based=*/true);
   if (!st.ok()) return Fail(st);
   abcs::Timer timer;
-  const abcs::DeltaIndex index = abcs::DeltaIndex::Build(g);
+  const abcs::DeltaIndex index =
+      abcs::DeltaIndex::Build(g, nullptr, /*num_threads=*/0);
   std::printf("built I_delta (delta=%u) in %.3fs, %.2f MB\n", index.delta(),
               timer.Seconds(),
               static_cast<double>(index.MemoryBytes()) / (1024.0 * 1024.0));
