@@ -15,6 +15,7 @@
 
 #include "bench_common.h"
 #include "core/delta_index.h"
+#include "core/query_scratch.h"
 #include "core/scs_peel.h"
 #include "graph/generators.h"
 #include "models/biclique.h"
@@ -34,12 +35,14 @@ void Report(const abcs::BipartiteGraph& g, uint32_t t,
   std::printf("t = %u\n", t);
   std::printf("  %-12s %10s %8s %8s %10s %10s\n", "model", "density",
               "Ravg", "Rmin", "dislike%", "|E|");
+  abcs::QueryScratch scratch;  // stamp-dedup'd stats across all rows
   for (const Row& row : rows) {
     if (row.sub.Empty()) {
       std::printf("  %-12s      (empty)\n", row.model);
       continue;
     }
-    const abcs::SubgraphStats stats = abcs::ComputeStats(g, row.sub);
+    const abcs::SubgraphStats stats =
+        abcs::ComputeStats(g, row.sub, &scratch);
     const uint32_t dislike = abcs::CountDislikeUsers(g, row.sub, t);
     const double pct =
         stats.num_upper == 0

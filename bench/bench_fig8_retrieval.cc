@@ -10,6 +10,7 @@
 #include "core/bicore_index.h"
 #include "core/delta_index.h"
 #include "core/online_query.h"
+#include "core/query_scratch.h"
 
 int main() {
   using abcs::bench::PreparedDataset;
@@ -38,16 +39,17 @@ int main() {
     double online_s = 0, bicore_s = 0, opt_s = 0;
     std::size_t total_size = 0;
     abcs::QueryStats qv_stats, qopt_stats;
+    abcs::QueryScratch scratch;
+    abcs::Subgraph c0, c1, c2;
     for (abcs::VertexId q : qs) {
       abcs::Timer timer;
-      const abcs::Subgraph c0 =
-          abcs::QueryCommunityOnline(ds.graph, q, t, t);
+      abcs::QueryCommunityOnline(ds.graph, q, t, t, scratch, &c0);
       online_s += timer.Seconds();
       timer.Reset();
-      const abcs::Subgraph c1 = iv.QueryCommunity(q, t, t, &qv_stats);
+      iv.QueryCommunity(q, t, t, scratch, &c1, &qv_stats);
       bicore_s += timer.Seconds();
       timer.Reset();
-      const abcs::Subgraph c2 = idelta.QueryCommunity(q, t, t, &qopt_stats);
+      idelta.QueryCommunity(q, t, t, scratch, &c2, &qopt_stats);
       opt_s += timer.Seconds();
       total_size += c2.Size();
       if (!abcs::SameEdgeSet(c0, c2) || !abcs::SameEdgeSet(c1, c2)) {

@@ -11,6 +11,7 @@
 #include "core/bicore_index.h"
 #include "core/delta_index.h"
 #include "core/online_query.h"
+#include "core/query_scratch.h"
 
 namespace {
 
@@ -41,15 +42,17 @@ void RunSeries(const abcs::bench::PreparedDataset& ds, const char* label,
       continue;
     }
     double online_s = 0, bicore_s = 0, opt_s = 0;
+    abcs::QueryScratch scratch;
+    abcs::Subgraph c_out;
     for (abcs::VertexId q : qs) {
       abcs::Timer timer;
-      (void)abcs::QueryCommunityOnline(ds.graph, q, alpha, beta);
+      abcs::QueryCommunityOnline(ds.graph, q, alpha, beta, scratch, &c_out);
       online_s += timer.Seconds();
       timer.Reset();
-      (void)iv.QueryCommunity(q, alpha, beta);
+      iv.QueryCommunity(q, alpha, beta, scratch, &c_out);
       bicore_s += timer.Seconds();
       timer.Reset();
-      (void)idelta.QueryCommunity(q, alpha, beta);
+      idelta.QueryCommunity(q, alpha, beta, scratch, &c_out);
       opt_s += timer.Seconds();
     }
     const double n = static_cast<double>(qs.size());

@@ -30,8 +30,13 @@ namespace abcs {
 template <typename ForEachNeighbor, typename Threshold, typename OnRemove>
 void ThresholdPeel(uint32_t num_vertices, std::vector<uint32_t>& deg,
                    std::vector<uint8_t>& alive, ForEachNeighbor&& for_each,
-                   Threshold&& threshold, OnRemove&& on_remove) {
-  std::vector<VertexId> queue;
+                   Threshold&& threshold, OnRemove&& on_remove,
+                   std::vector<VertexId>* queue_storage = nullptr) {
+  // Callers on an allocation-free steady state (QueryScratch) lend the
+  // work-queue buffer; everyone else gets a local one.
+  std::vector<VertexId> local_queue;
+  std::vector<VertexId>& queue = queue_storage ? *queue_storage : local_queue;
+  queue.clear();
   queue.reserve(64);
   for (VertexId v = 0; v < num_vertices; ++v) {
     if (alive[v] && deg[v] < threshold(v)) {

@@ -6,13 +6,15 @@ namespace abcs {
 
 void PeelInPlace(const BipartiteGraph& g, uint32_t alpha, uint32_t beta,
                  std::vector<uint32_t>& deg, std::vector<uint8_t>& alive,
-                 std::vector<VertexId>* removed) {
+                 std::vector<VertexId>* removed,
+                 std::vector<VertexId>* queue_storage) {
   ThresholdPeel(
       g.NumVertices(), deg, alive, GraphNeighbors(g),
       [&](VertexId v) { return g.IsUpper(v) ? alpha : beta; },
       [&](VertexId v) {
         if (removed) removed->push_back(v);
-      });
+      },
+      queue_storage);
 }
 
 CoreResult ComputeAlphaBetaCore(const BipartiteGraph& g, uint32_t alpha,

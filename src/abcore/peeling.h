@@ -31,10 +31,13 @@ CoreResult ComputeAlphaBetaCore(const BipartiteGraph& g, uint32_t alpha,
 /// On entry `deg[v]` must be the degree of `v` in the subgraph induced by
 /// `alive`. Peels until every alive upper vertex has deg ≥ alpha and every
 /// alive lower vertex has deg ≥ beta; updates `deg`/`alive` and appends the
-/// removed vertices to `removed` if non-null.
+/// removed vertices to `removed` if non-null. `queue_storage`, when
+/// non-null, lends the internal work-queue buffer so repeated peels reuse
+/// its capacity (allocation-free steady state).
 void PeelInPlace(const BipartiteGraph& g, uint32_t alpha, uint32_t beta,
                  std::vector<uint32_t>& deg, std::vector<uint8_t>& alive,
-                 std::vector<VertexId>* removed = nullptr);
+                 std::vector<VertexId>* removed = nullptr,
+                 std::vector<VertexId>* queue_storage = nullptr);
 
 }  // namespace abcs
 

@@ -1,7 +1,6 @@
 #include "core/bicore_index.h"
 
 #include <algorithm>
-#include <deque>
 
 namespace abcs {
 
@@ -60,36 +59,82 @@ std::vector<VertexId> BicoreIndex::QueryCoreVertices(
   return out;
 }
 
-Subgraph BicoreIndex::QueryCommunity(VertexId q, uint32_t alpha,
-                                     uint32_t beta, QueryStats* stats) const {
-  Subgraph result;
-  const BipartiteGraph& g = *graph_;
-  if (q >= g.NumVertices()) return result;
+bool BicoreIndex::CoreContains(const std::vector<Entry>& list, uint32_t need,
+                               VertexId q) {
+  const auto prefix_end = std::partition_point(
+      list.begin(), list.end(),
+      [need](const Entry& e) { return e.offset >= need; });
+  auto it = list.begin();
+  while (it != prefix_end) {
+    const uint32_t o = it->offset;
+    // Galloping search for the run end: O(log |run|) per run, so a prefix
+    // of mostly-distinct offsets costs O(p) total (like a linear scan)
+    // while a flat prefix — one big run — rejects in O(log p).
+    auto low = it;
+    std::ptrdiff_t width = 1;
+    while (prefix_end - low > width && (low + width)->offset == o) {
+      low += width;
+      width *= 2;
+    }
+    const auto window_end =
+        prefix_end - low > width ? low + width : prefix_end;
+    const auto run_end = std::partition_point(
+        low, window_end, [o](const Entry& e) { return e.offset == o; });
+    const auto hit = std::lower_bound(
+        it, run_end, q,
+        [](const Entry& e, VertexId v) { return e.v < v; });
+    if (hit != run_end && hit->v == q) return true;
+    it = run_end;
+  }
+  return false;
+}
 
-  std::vector<VertexId> core = QueryCoreVertices(alpha, beta, stats);
-  std::vector<uint8_t> in_core(g.NumVertices(), 0);
-  for (VertexId v : core) in_core[v] = 1;
-  if (!in_core[q]) return result;
+void BicoreIndex::QueryCommunity(VertexId q, uint32_t alpha, uint32_t beta,
+                                 QueryScratch& scratch, Subgraph* out,
+                                 QueryStats* stats) const {
+  out->edges.clear();
+  if (graph_ == nullptr || alpha == 0 || beta == 0) return;
+  const BipartiteGraph& g = *graph_;
+  if (q >= g.NumVertices()) return;
+  const uint32_t tau = std::min(alpha, beta);
+  if (tau > delta_) return;
+
+  // Reject before touching any O(n) or O(|core|) state: q's degree bounds
+  // its offset (O(1)), then membership via run-wise binary search.
+  if (g.Degree(q) < (g.IsUpper(q) ? alpha : beta)) return;
+  const bool use_alpha_side = alpha <= beta;
+  const std::vector<Entry>& list =
+      use_alpha_side ? alpha_side_[alpha - 1] : beta_side_[beta - 1];
+  const uint32_t need = use_alpha_side ? beta : alpha;
+  if (!CoreContains(list, need, q)) return;
+
+  // Stamp the core prefix — O(|V(R_{α,β})|), not O(n).
+  scratch.BeginQuery(g.NumVertices());
+  scratch.EnsureInCore(g.NumVertices());
+  for (const Entry& entry : list) {
+    if (stats) ++stats->touched_arcs;
+    if (entry.offset < need) break;
+    scratch.MarkInCore(entry.v);
+  }
 
   // BFS from q over the original adjacency; arcs to vertices outside the
   // core are inspected (and counted) but not followed — the overhead Qopt
   // eliminates.
-  std::vector<uint8_t> visited(g.NumVertices(), 0);
-  std::deque<VertexId> queue{q};
-  visited[q] = 1;
-  while (!queue.empty()) {
-    VertexId v = queue.front();
-    queue.pop_front();
-    for (const Arc& a : g.Neighbors(v)) {
-      if (stats) ++stats->touched_arcs;
-      if (!in_core[a.to]) continue;
-      if (!g.IsUpper(v)) result.edges.push_back(a.eid);
-      if (!visited[a.to]) {
-        visited[a.to] = 1;
-        queue.push_back(a.to);
-      }
-    }
-  }
+  CollectCommunityBfs(scratch, g, q, out->edges,
+                      [&](VertexId v, auto&& visit) {
+                        for (const Arc& a : g.Neighbors(v)) {
+                          if (stats) ++stats->touched_arcs;
+                          if (!scratch.InCore(a.to)) continue;
+                          visit(a.to, a.eid);
+                        }
+                      });
+}
+
+Subgraph BicoreIndex::QueryCommunity(VertexId q, uint32_t alpha,
+                                     uint32_t beta, QueryStats* stats) const {
+  QueryScratch scratch;
+  Subgraph result;
+  QueryCommunity(q, alpha, beta, scratch, &result, stats);
   return result;
 }
 

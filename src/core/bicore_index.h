@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "abcore/offsets.h"
+#include "core/query_scratch.h"
 #include "core/query_stats.h"
 #include "core/subgraph.h"
 #include "graph/bipartite_graph.h"
@@ -49,6 +50,17 @@ class BicoreIndex {
   Subgraph QueryCommunity(VertexId q, uint32_t alpha, uint32_t beta,
                           QueryStats* stats = nullptr) const;
 
+  /// Scratch-backed `Qv`: identical result with zero steady-state heap
+  /// allocations. Rejects `q` *before* materialising any core state: an
+  /// O(1) degree bound, then binary searches over the equal-offset runs of
+  /// the sorted entry list — so a rejected query costs O(r·log n) (r =
+  /// distinct offsets above the threshold) instead of the old O(n)
+  /// `in_core` array build. Accepted queries stamp the core prefix into
+  /// `scratch` in O(|V(R_{α,β})|).
+  void QueryCommunity(VertexId q, uint32_t alpha, uint32_t beta,
+                      QueryScratch& scratch, Subgraph* out,
+                      QueryStats* stats = nullptr) const;
+
   /// Bytes used by the index payload (Fig. 11).
   std::size_t MemoryBytes() const;
 
@@ -57,6 +69,12 @@ class BicoreIndex {
     VertexId v;
     uint32_t offset;  ///< s_a(v,τ) or s_b(v,τ)
   };
+
+  /// True iff `q` appears in `list` with offset ≥ `need`, i.e. q is in the
+  /// queried core. The list is sorted by (offset desc, v asc); within the
+  /// qualifying prefix each equal-offset run is binary searched for q.
+  static bool CoreContains(const std::vector<Entry>& list, uint32_t need,
+                           VertexId q);
 
   const BipartiteGraph* graph_ = nullptr;
   uint32_t delta_ = 0;

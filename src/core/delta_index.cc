@@ -1,7 +1,6 @@
 #include "core/delta_index.h"
 
 #include <algorithm>
-#include <deque>
 
 namespace abcs {
 
@@ -67,52 +66,56 @@ DeltaIndex DeltaIndex::Build(const BipartiteGraph& g,
   return index;
 }
 
-Subgraph DeltaIndex::QueryImpl(VertexId q, uint32_t level, uint32_t need,
-                               const Half& half, QueryStats* stats) const {
-  Subgraph result;
+void DeltaIndex::QueryImpl(VertexId q, uint32_t level, uint32_t need,
+                           const Half& half, QueryScratch& scratch,
+                           Subgraph* out, QueryStats* stats) const {
   const BipartiteGraph& g = *graph_;
-  if (half.NumLevels(q) < level) return result;  // q ∉ (τ,τ)-core
+  if (half.NumLevels(q) < level) return;  // q ∉ (τ,τ)-core
   if (half.self_offset[half.table_base[q] - q + level - 1] < need) {
-    return result;  // q ∉ (α,β)-core
+    return;  // q ∉ (α,β)-core
   }
 
-  std::vector<uint8_t> visited(g.NumVertices(), 0);
-  std::deque<VertexId> queue{q};
-  visited[q] = 1;
+  scratch.BeginQuery(g.NumVertices());
   uint64_t touched = 0;
-  while (!queue.empty()) {
-    const VertexId u = queue.front();
-    queue.pop_front();
-    const uint32_t table = half.table_base[u] + level - 1;
-    const uint32_t begin = half.level_start[table];
-    const uint32_t end = half.level_start[table + 1];
-    const bool emit = !g.IsUpper(u);
-    for (uint32_t i = begin; i < end; ++i) {
-      const Entry& entry = half.entries[i];
-      ++touched;
-      if (entry.offset < need) break;  // sorted: early terminate
-      if (emit) result.edges.push_back(entry.eid);
-      if (!visited[entry.to]) {
-        visited[entry.to] = 1;
-        queue.push_back(entry.to);
-      }
-    }
-  }
+  CollectCommunityBfs(
+      scratch, g, q, out->edges, [&](VertexId u, auto&& visit) {
+        const uint32_t table = half.table_base[u] + level - 1;
+        const uint32_t begin = half.level_start[table];
+        const uint32_t end = half.level_start[table + 1];
+        for (uint32_t i = begin; i < end; ++i) {
+          const Entry& entry = half.entries[i];
+          ++touched;
+          if (entry.offset < need) break;  // sorted: early terminate
+          visit(entry.to, entry.eid);
+        }
+      });
   if (stats) stats->touched_arcs += touched;
-  return result;
+}
+
+void DeltaIndex::QueryCommunity(VertexId q, uint32_t alpha, uint32_t beta,
+                                QueryScratch& scratch, Subgraph* out,
+                                QueryStats* stats) const {
+  out->edges.clear();
+  if (graph_ == nullptr || q >= graph_->NumVertices() || alpha == 0 ||
+      beta == 0) {
+    return;
+  }
+  if (std::min(alpha, beta) > delta_) return;  // Lemma 4
+  if (alpha <= beta) {
+    QueryImpl(q, /*level=*/alpha, /*need=*/beta, alpha_half_, scratch, out,
+              stats);
+  } else {
+    QueryImpl(q, /*level=*/beta, /*need=*/alpha, beta_half_, scratch, out,
+              stats);
+  }
 }
 
 Subgraph DeltaIndex::QueryCommunity(VertexId q, uint32_t alpha, uint32_t beta,
                                     QueryStats* stats) const {
-  if (graph_ == nullptr || q >= graph_->NumVertices() || alpha == 0 ||
-      beta == 0) {
-    return Subgraph{};
-  }
-  if (std::min(alpha, beta) > delta_) return Subgraph{};  // Lemma 4
-  if (alpha <= beta) {
-    return QueryImpl(q, /*level=*/alpha, /*need=*/beta, alpha_half_, stats);
-  }
-  return QueryImpl(q, /*level=*/beta, /*need=*/alpha, beta_half_, stats);
+  QueryScratch scratch;
+  Subgraph result;
+  QueryCommunity(q, alpha, beta, scratch, &result, stats);
+  return result;
 }
 
 std::size_t DeltaIndex::MemoryBytes() const {

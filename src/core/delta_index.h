@@ -7,6 +7,7 @@
 
 #include "abcore/offsets.h"
 #include "common/status.h"
+#include "core/query_scratch.h"
 #include "core/query_stats.h"
 #include "core/subgraph.h"
 #include "graph/bipartite_graph.h"
@@ -58,6 +59,14 @@ class DeltaIndex {
   Subgraph QueryCommunity(VertexId q, uint32_t alpha, uint32_t beta,
                           QueryStats* stats = nullptr) const;
 
+  /// Scratch-backed `Qopt`: identical result, but all per-query state
+  /// (visited stamps, BFS queue) lives in `scratch` and the edges are
+  /// written into `*out` (cleared first, capacity reused), so steady-state
+  /// queries perform zero heap allocations.
+  void QueryCommunity(VertexId q, uint32_t alpha, uint32_t beta,
+                      QueryScratch& scratch, Subgraph* out,
+                      QueryStats* stats = nullptr) const;
+
   /// Bytes used by the index payload (Fig. 11).
   std::size_t MemoryBytes() const;
 
@@ -97,8 +106,9 @@ class DeltaIndex {
     }
   };
 
-  Subgraph QueryImpl(VertexId q, uint32_t level, uint32_t need,
-                     const Half& half, QueryStats* stats) const;
+  void QueryImpl(VertexId q, uint32_t level, uint32_t need, const Half& half,
+                 QueryScratch& scratch, Subgraph* out,
+                 QueryStats* stats) const;
 
   const BipartiteGraph* graph_ = nullptr;
   uint32_t delta_ = 0;

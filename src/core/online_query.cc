@@ -1,42 +1,44 @@
 #include "core/online_query.h"
 
-#include <deque>
-
 #include "abcore/peeling.h"
 
 namespace abcs {
 
+void QueryCommunityOnline(const BipartiteGraph& g, VertexId q, uint32_t alpha,
+                          uint32_t beta, QueryScratch& scratch, Subgraph* out,
+                          QueryStats* stats) {
+  out->edges.clear();
+  if (q >= g.NumVertices()) return;
+
+  const uint32_t n = g.NumVertices();
+  scratch.BeginQuery(n);
+  std::vector<uint32_t>& deg = scratch.U32(QueryScratch::kSlotDeg);
+  deg.resize(n);
+  for (VertexId v = 0; v < n; ++v) deg[v] = g.Degree(v);
+  std::vector<uint8_t>& alive = scratch.U8(QueryScratch::kSlotAlive);
+  alive.assign(n, 1);
+  PeelInPlace(g, alpha, beta, deg, alive, /*removed=*/nullptr,
+              &scratch.U32(QueryScratch::kSlotQueue));
+  if (stats) stats->touched_arcs += 2ull * g.NumEdges();  // full peel cost
+  if (!alive[q]) return;
+
+  // BFS from q within the core; collect each edge from its lower endpoint.
+  CollectCommunityBfs(scratch, g, q, out->edges,
+                      [&](VertexId v, auto&& visit) {
+                        for (const Arc& a : g.Neighbors(v)) {
+                          if (stats) ++stats->touched_arcs;
+                          if (!alive[a.to]) continue;
+                          visit(a.to, a.eid);
+                        }
+                      });
+}
+
 Subgraph QueryCommunityOnline(const BipartiteGraph& g, VertexId q,
                               uint32_t alpha, uint32_t beta,
                               QueryStats* stats) {
+  QueryScratch scratch;
   Subgraph result;
-  if (q >= g.NumVertices()) return result;
-
-  const uint32_t n = g.NumVertices();
-  std::vector<uint32_t> deg(n);
-  for (VertexId v = 0; v < n; ++v) deg[v] = g.Degree(v);
-  std::vector<uint8_t> alive(n, 1);
-  PeelInPlace(g, alpha, beta, deg, alive);
-  if (stats) stats->touched_arcs += 2ull * g.NumEdges();  // full peel cost
-  if (!alive[q]) return result;
-
-  // BFS from q within the core; collect each edge from its lower endpoint.
-  std::vector<uint8_t> visited(n, 0);
-  std::deque<VertexId> queue{q};
-  visited[q] = 1;
-  while (!queue.empty()) {
-    VertexId v = queue.front();
-    queue.pop_front();
-    for (const Arc& a : g.Neighbors(v)) {
-      if (stats) ++stats->touched_arcs;
-      if (!alive[a.to]) continue;
-      if (!g.IsUpper(v)) result.edges.push_back(a.eid);
-      if (!visited[a.to]) {
-        visited[a.to] = 1;
-        queue.push_back(a.to);
-      }
-    }
-  }
+  QueryCommunityOnline(g, q, alpha, beta, scratch, &result, stats);
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef ABCS_CORE_ONLINE_QUERY_H_
 #define ABCS_CORE_ONLINE_QUERY_H_
 
+#include "core/query_scratch.h"
 #include "core/query_stats.h"
 #include "core/subgraph.h"
 #include "graph/bipartite_graph.h"
@@ -16,6 +17,14 @@ namespace abcs {
 Subgraph QueryCommunityOnline(const BipartiteGraph& g, VertexId q,
                               uint32_t alpha, uint32_t beta,
                               QueryStats* stats = nullptr);
+
+/// Scratch-backed `Qo`: identical result; the peel's deg/alive/work-queue
+/// buffers and the BFS state live in `scratch`, the edges go into `*out`
+/// (cleared first, capacity reused). Still O(m) work per query, but zero
+/// steady-state heap allocations.
+void QueryCommunityOnline(const BipartiteGraph& g, VertexId q, uint32_t alpha,
+                          uint32_t beta, QueryScratch& scratch, Subgraph* out,
+                          QueryStats* stats = nullptr);
 
 }  // namespace abcs
 

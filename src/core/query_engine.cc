@@ -1,0 +1,104 @@
+#include "core/query_engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace abcs {
+
+const char* QueryMethodName(QueryMethod method) {
+  switch (method) {
+    case QueryMethod::kOnline:
+      return "online";
+    case QueryMethod::kBicore:
+      return "bicore";
+    case QueryMethod::kDelta:
+      return "delta";
+  }
+  return "unknown";
+}
+
+void QueryEngine::Query(const QueryRequest& request, QueryScratch& scratch,
+                        Subgraph* out, QueryStats* stats) const {
+  switch (method_) {
+    case QueryMethod::kOnline:
+      QueryCommunityOnline(*graph_, request.q, request.alpha, request.beta,
+                           scratch, out, stats);
+      break;
+    case QueryMethod::kBicore:
+      bicore_->QueryCommunity(request.q, request.alpha, request.beta, scratch,
+                              out, stats);
+      break;
+    case QueryMethod::kDelta:
+      delta_->QueryCommunity(request.q, request.alpha, request.beta, scratch,
+                             out, stats);
+      break;
+  }
+}
+
+BatchResult QueryEngine::RunBatch(std::span<const QueryRequest> requests,
+                                  const BatchOptions& options) const {
+  BatchResult result;
+  result.outcomes.resize(requests.size());
+  if (options.keep_communities) result.communities.resize(requests.size());
+
+  unsigned num_threads =
+      options.num_threads ? options.num_threads
+                          : std::max(1u, std::thread::hardware_concurrency());
+  result.num_threads_used = num_threads;
+  if (requests.empty()) return result;
+  num_threads = static_cast<unsigned>(
+      std::min<std::size_t>(num_threads, requests.size()));
+  result.num_threads_used = num_threads;
+
+  // Round-robin work distribution: worker t owns requests t, t+T, t+2T, …
+  // Each worker writes only its own outcome slots, so no synchronisation
+  // is needed and `outcomes[i]` always matches `requests[i]` — results are
+  // bit-identical for every thread count.
+  auto worker = [&](unsigned t) {
+    QueryScratch scratch;
+    Subgraph out;
+    for (std::size_t i = t; i < requests.size(); i += num_threads) {
+      QueryStats stats;
+      Timer timer;
+      Query(requests[i], scratch, &out, &stats);
+      QueryOutcome& outcome = result.outcomes[i];
+      outcome.seconds = timer.Seconds();
+      outcome.num_edges = static_cast<uint32_t>(out.edges.size());
+      outcome.touched_arcs = stats.touched_arcs;
+      if (options.keep_communities) result.communities[i] = out;
+    }
+  };
+
+  Timer wall;
+  if (num_threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+    for (std::thread& th : threads) th.join();
+  }
+  result.wall_seconds = wall.Seconds();
+
+  BatchStats& stats = result.stats;
+  stats.num_queries = requests.size();
+  std::vector<double> latencies;
+  latencies.reserve(result.outcomes.size());
+  for (const QueryOutcome& o : result.outcomes) {
+    if (o.num_edges > 0) ++stats.num_nonempty;
+    stats.total_edges += o.num_edges;
+    stats.touched_arcs += o.touched_arcs;
+    stats.total_seconds += o.seconds;
+    latencies.push_back(o.seconds);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  // Nearest-rank percentiles: index ceil(q·k) − 1.
+  const std::size_t k = latencies.size();
+  stats.p50_seconds = latencies[(k * 50 + 99) / 100 - 1];
+  stats.p99_seconds = latencies[(k * 99 + 99) / 100 - 1];
+  return result;
+}
+
+}  // namespace abcs

@@ -1,0 +1,113 @@
+#ifndef ABCS_CORE_QUERY_ENGINE_H_
+#define ABCS_CORE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bicore_index.h"
+#include "core/delta_index.h"
+#include "core/online_query.h"
+#include "core/query_scratch.h"
+#include "core/query_stats.h"
+#include "core/subgraph.h"
+#include "graph/bipartite_graph.h"
+
+namespace abcs {
+
+/// Which retrieval algorithm serves a query: the index-free baseline `Qo`,
+/// the bicore-index `Qv`, or the degeneracy-bounded `Qopt`.
+enum class QueryMethod { kOnline, kBicore, kDelta };
+
+/// Returns "online" / "bicore" / "delta".
+const char* QueryMethodName(QueryMethod method);
+
+/// One community retrieval request.
+struct QueryRequest {
+  VertexId q = 0;
+  uint32_t alpha = 1;
+  uint32_t beta = 1;
+};
+
+/// Deterministic per-query outcome (latency excluded from determinism).
+struct QueryOutcome {
+  uint32_t num_edges = 0;      ///< size(C_{α,β}(q))
+  uint64_t touched_arcs = 0;   ///< work counter (see QueryStats)
+  double seconds = 0.0;        ///< per-query latency
+};
+
+/// Aggregates over one batch.
+struct BatchStats {
+  uint64_t num_queries = 0;
+  uint64_t num_nonempty = 0;
+  uint64_t total_edges = 0;    ///< Σ size(C)
+  uint64_t touched_arcs = 0;   ///< Σ per-query touched arcs
+  double total_seconds = 0.0;  ///< Σ per-query latencies (CPU-side)
+  double p50_seconds = 0.0;    ///< median per-query latency
+  double p99_seconds = 0.0;    ///< 99th-percentile per-query latency
+};
+
+/// Options for `QueryEngine::RunBatch`.
+struct BatchOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = serial (default).
+  unsigned num_threads = 1;
+  /// Retain every community's edge set in `BatchResult::communities`
+  /// (costs one allocation per non-empty result; off for throughput runs).
+  bool keep_communities = false;
+};
+
+/// Result of a batch run. `outcomes[i]` corresponds to `requests[i]`
+/// regardless of the thread count, so everything except latencies is
+/// deterministic.
+struct BatchResult {
+  std::vector<QueryOutcome> outcomes;
+  std::vector<Subgraph> communities;  ///< filled iff keep_communities
+  BatchStats stats;
+  double wall_seconds = 0.0;
+  unsigned num_threads_used = 0;  ///< resolved worker count
+
+  double QueriesPerSecond() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(stats.num_queries) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// \brief Batched, multithreaded community-query driver.
+///
+/// Wraps the three retrieval paths behind one submission API: requests are
+/// distributed round-robin over `num_threads` workers, each worker owns a
+/// `QueryScratch` and a reusable output `Subgraph`, so the steady state of
+/// a batch performs zero heap allocations per query (the paper's
+/// output-sensitive bound with no hidden O(n) clearing). The indexes are
+/// immutable after construction, so concurrent queries need no locking.
+class QueryEngine {
+ public:
+  /// The engine borrows `g` and the indexes; they must outlive it. The
+  /// index matching `method` must be non-null (`kOnline` needs neither).
+  QueryEngine(const BipartiteGraph& g, QueryMethod method,
+              const DeltaIndex* delta = nullptr,
+              const BicoreIndex* bicore = nullptr)
+      : graph_(&g), method_(method), delta_(delta), bicore_(bicore) {}
+
+  QueryMethod method() const { return method_; }
+
+  /// Runs one query through the configured path into caller-owned scratch
+  /// and output (zero allocations after warm-up).
+  void Query(const QueryRequest& request, QueryScratch& scratch,
+             Subgraph* out, QueryStats* stats = nullptr) const;
+
+  /// Runs `requests` round-robin over the configured worker count.
+  BatchResult RunBatch(std::span<const QueryRequest> requests,
+                       const BatchOptions& options = {}) const;
+
+ private:
+  const BipartiteGraph* graph_;
+  QueryMethod method_;
+  const DeltaIndex* delta_;
+  const BicoreIndex* bicore_;
+};
+
+}  // namespace abcs
+
+#endif  // ABCS_CORE_QUERY_ENGINE_H_

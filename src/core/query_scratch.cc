@@ -1,0 +1,30 @@
+#include "core/query_scratch.h"
+
+#include <algorithm>
+
+namespace abcs {
+
+void QueryScratch::BeginQuery(uint32_t n) {
+  if (visited_.size() < n) visited_.resize(n, 0);
+  if (epoch_ == std::numeric_limits<uint32_t>::max()) {
+    // Wraparound: one full clear, then restart at epoch 1. Stamp 0 never
+    // equals a live epoch, so stamps from before the wrap cannot alias.
+    std::fill(visited_.begin(), visited_.end(), 0u);
+    std::fill(in_core_.begin(), in_core_.end(), 0u);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  queue_.clear();
+  queue_head_ = 0;
+}
+
+std::size_t QueryScratch::CapacityBytes() const {
+  std::size_t bytes =
+      (visited_.capacity() + in_core_.capacity() + queue_.capacity()) *
+      sizeof(uint32_t);
+  for (const auto& b : u32_) bytes += b.capacity() * sizeof(uint32_t);
+  for (const auto& b : u8_) bytes += b.capacity();
+  return bytes;
+}
+
+}  // namespace abcs

@@ -61,7 +61,8 @@ uint32_t LocalGraph::LocalId(VertexId global) const {
 }
 
 ScsResult PeelToSignificant(const LocalGraph& lg, VertexId q, uint32_t alpha,
-                            uint32_t beta, ScsStats* stats) {
+                            uint32_t beta, ScsStats* stats,
+                            QueryScratch* scratch) {
   ScsResult result;
   const uint32_t lq = lg.LocalId(q);
   if (lq == kInvalidVertex || lg.NumEdges() == 0) return result;
@@ -70,14 +71,20 @@ ScsResult PeelToSignificant(const LocalGraph& lg, VertexId q, uint32_t alpha,
   const uint32_t m = lg.NumEdges();
   auto threshold = [&](uint32_t x) { return lg.IsUpperLocal(x) ? alpha : beta; };
 
-  std::vector<uint32_t> deg(n, 0);
+  QueryScratch local_scratch;
+  QueryScratch& s = scratch ? *scratch : local_scratch;
+
+  std::vector<uint32_t>& deg = s.U32(QueryScratch::kSlotDeg);
+  deg.assign(n, 0);
   for (const LocalGraph::LocalEdge& le : lg.edges()) {
     ++deg[le.u];
     ++deg[le.v];
   }
-  std::vector<uint8_t> alive(m, 1);
+  std::vector<uint8_t>& alive = s.U8(QueryScratch::kSlotAlive);
+  alive.assign(m, 1);
 
-  std::vector<uint32_t> cascade;
+  std::vector<uint32_t>& cascade = s.U32(QueryScratch::kSlotQueue);
+  cascade.clear();
   auto kill_edges_of = [&](uint32_t x, std::vector<uint32_t>* sink) {
     for (const LocalGraph::LocalArc& a : lg.Neighbors(x)) {
       if (!alive[a.pos]) continue;
@@ -107,13 +114,16 @@ ScsResult PeelToSignificant(const LocalGraph& lg, VertexId q, uint32_t alpha,
   if (deg[lq] < threshold(lq)) return result;
 
   // Edge positions sorted by non-decreasing weight.
-  std::vector<uint32_t> order(m);
+  std::vector<uint32_t>& order = s.U32(QueryScratch::kSlotOrder);
+  order.resize(m);
   std::iota(order.begin(), order.end(), 0u);
   std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
     return lg.edges()[a].w < lg.edges()[b].w;
   });
 
-  std::vector<uint32_t> batch_removed;  // the paper's edge set S
+  std::vector<uint32_t>& batch_removed =
+      s.U32(QueryScratch::kSlotBatch);  // the paper's edge set S
+  batch_removed.clear();
   uint32_t i = 0;
   while (i < m) {
     // Find the next batch: all alive edges of the minimal remaining weight.
@@ -147,9 +157,10 @@ ScsResult PeelToSignificant(const LocalGraph& lg, VertexId q, uint32_t alpha,
         ++deg[lg.edges()[pos].u];
         ++deg[lg.edges()[pos].v];
       }
-      std::vector<uint8_t> visited(n, 0);
-      std::vector<uint32_t> stack{lq};
-      visited[lq] = 1;
+      s.BeginQuery(n);
+      s.TryVisit(lq);
+      std::vector<uint32_t>& stack = s.U32(QueryScratch::kSlotStack);
+      stack.assign(1, lq);
       Weight fmin = wmin;
       while (!stack.empty()) {
         uint32_t x = stack.back();
@@ -160,10 +171,7 @@ ScsResult PeelToSignificant(const LocalGraph& lg, VertexId q, uint32_t alpha,
             result.community.edges.push_back(lg.edges()[a.pos].global);
             fmin = std::min(fmin, lg.edges()[a.pos].w);
           }
-          if (!visited[a.to]) {
-            visited[a.to] = 1;
-            stack.push_back(a.to);
-          }
+          if (s.TryVisit(a.to)) stack.push_back(a.to);
         }
       }
       result.significance = fmin;
@@ -187,16 +195,33 @@ ScsResult ScsBruteForce(const BipartiteGraph& g, VertexId q, uint32_t alpha,
   weights.erase(std::unique(weights.begin(), weights.end()), weights.end());
 
   const uint32_t n = g.NumVertices();
+
+  // Degrees of the ≥w subgraph, maintained incrementally as the threshold
+  // sweeps down: each edge is counted exactly once over the whole sweep
+  // (when its weight crosses the threshold) instead of every edge being
+  // re-scanned at every distinct weight. The per-weight working copy the
+  // peel mutates is a memcpy of `base_deg`, so the values entering the
+  // kernel are identical to the old per-weight rebuild.
+  std::vector<EdgeId> by_weight(g.NumEdges());
+  std::iota(by_weight.begin(), by_weight.end(), 0u);
+  std::sort(by_weight.begin(), by_weight.end(), [&](EdgeId a, EdgeId b) {
+    return g.GetWeight(a) > g.GetWeight(b);
+  });
+  std::vector<uint32_t> base_deg(n, 0);
+  std::size_t next_edge = 0;
+  std::vector<uint32_t> deg;
+
   for (Weight w : weights) {
     // Keep edges with weight >= w; peel vertices below threshold via the
     // shared kernel with a weight-filtered adjacency.
-    std::vector<uint32_t> deg(n, 0);
-    for (const Edge& e : g.Edges()) {
-      if (e.w >= w) {
-        ++deg[e.u];
-        ++deg[e.v];
-      }
+    while (next_edge < by_weight.size() &&
+           g.GetWeight(by_weight[next_edge]) >= w) {
+      const Edge& e = g.GetEdge(by_weight[next_edge]);
+      ++base_deg[e.u];
+      ++base_deg[e.v];
+      ++next_edge;
     }
+    deg = base_deg;
     std::vector<uint8_t> alive(n, 1);
     auto threshold = [&](VertexId x) { return g.IsUpper(x) ? alpha : beta; };
     ThresholdPeel(

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/query_scratch.h"
 #include "core/subgraph.h"
 #include "graph/bipartite_graph.h"
 
@@ -89,8 +90,14 @@ class LocalGraph {
 /// is R. Returns found = false when `q` is not in any valid subgraph of
 /// `lg`. Used directly by SCS-Peel and as the validation step of
 /// SCS-Expand / SCS-Baseline.
+///
+/// The per-candidate `deg`/`alive`/`order`/cascade/extraction state lives
+/// in `scratch` when one is supplied (capacity reused across candidates —
+/// SCS-Expand passes one scratch through all of its validations);
+/// otherwise a local arena is used.
 ScsResult PeelToSignificant(const LocalGraph& lg, VertexId q, uint32_t alpha,
-                            uint32_t beta, ScsStats* stats = nullptr);
+                            uint32_t beta, ScsStats* stats = nullptr,
+                            QueryScratch* scratch = nullptr);
 
 /// \brief Reference oracle: tries every distinct weight threshold from the
 /// highest down, keeping edges ≥ w and peeling to (α,β); the first

@@ -47,6 +47,7 @@ ScsResult ExpandFromEdges(const BipartiteGraph& g,
   std::vector<uint32_t> deg(n, 0);
   std::vector<ComponentAgg> agg(n);
   std::vector<std::vector<uint32_t>> comp_edges(n);
+  QueryScratch scratch;  // shared by every validation peel below
 
   auto validate = [&]() -> bool {
     if (stats) ++stats->validations;
@@ -57,7 +58,8 @@ ScsResult ExpandFromEdges(const BipartiteGraph& g,
       cedges.push_back(lg.edges()[pos].global);
     }
     LocalGraph sub(g, cedges);
-    ScsResult candidate = PeelToSignificant(sub, q, alpha, beta, stats);
+    ScsResult candidate =
+        PeelToSignificant(sub, q, alpha, beta, stats, &scratch);
     if (candidate.found) {
       result = candidate;
       return true;

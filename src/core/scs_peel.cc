@@ -3,11 +3,11 @@
 namespace abcs {
 
 ScsResult ScsPeel(const BipartiteGraph& g, const Subgraph& community,
-                  VertexId q, uint32_t alpha, uint32_t beta,
-                  ScsStats* stats) {
+                  VertexId q, uint32_t alpha, uint32_t beta, ScsStats* stats,
+                  QueryScratch* scratch) {
   if (community.Empty()) return ScsResult{};
   LocalGraph lg(g, community.edges);
-  return PeelToSignificant(lg, q, alpha, beta, stats);
+  return PeelToSignificant(lg, q, alpha, beta, stats, scratch);
 }
 
 }  // namespace abcs

@@ -13,9 +13,11 @@ namespace abcs {
 /// `community` must be C_{α,β}(q) as returned by one of the index queries
 /// (or any edge superset of R that satisfies the degree constraints —
 /// extra edges are peeled away). Sort + peel: O(sort(C) + size(C)).
+/// `scratch`, when supplied, backs the peel's working state (reused across
+/// calls, e.g. over a significance-profile grid).
 ScsResult ScsPeel(const BipartiteGraph& g, const Subgraph& community,
                   VertexId q, uint32_t alpha, uint32_t beta,
-                  ScsStats* stats = nullptr);
+                  ScsStats* stats = nullptr, QueryScratch* scratch = nullptr);
 
 }  // namespace abcs
 

@@ -3,35 +3,69 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/query_scratch.h"
+
 namespace abcs {
 
-SubgraphStats ComputeStats(const BipartiteGraph& g, const Subgraph& sub) {
+SubgraphStats ComputeStats(const BipartiteGraph& g, const Subgraph& sub,
+                           QueryScratch* scratch) {
   SubgraphStats stats;
   if (sub.Empty()) return stats;
   stats.min_weight = g.GetWeight(sub.edges.front());
   stats.max_weight = stats.min_weight;
   double sum = 0.0;
-  std::vector<VertexId> verts = SubgraphVertexSet(g, sub);
-  for (VertexId v : verts) {
-    if (g.IsUpper(v)) {
-      ++stats.num_upper;
-    } else {
-      ++stats.num_lower;
-    }
+
+  // One traversal: weight statistics and endpoint counting together. With
+  // a scratch, endpoints de-duplicate via epoch stamps (`u` is always the
+  // upper endpoint, `v` the lower); without one they are gathered here and
+  // counted after a sort/unique.
+  std::vector<VertexId> verts;
+  if (scratch) {
+    scratch->BeginQuery(g.NumVertices());
+  } else {
+    verts.reserve(sub.edges.size() * 2);
   }
   for (EdgeId e : sub.edges) {
-    Weight w = g.GetWeight(e);
-    stats.min_weight = std::min(stats.min_weight, w);
-    stats.max_weight = std::max(stats.max_weight, w);
-    sum += w;
+    const Edge& ed = g.GetEdge(e);
+    stats.min_weight = std::min(stats.min_weight, ed.w);
+    stats.max_weight = std::max(stats.max_weight, ed.w);
+    sum += ed.w;
+    if (scratch) {
+      if (scratch->TryVisit(ed.u)) ++stats.num_upper;
+      if (scratch->TryVisit(ed.v)) ++stats.num_lower;
+    } else {
+      verts.push_back(ed.u);
+      verts.push_back(ed.v);
+    }
+  }
+  if (!scratch) {
+    std::sort(verts.begin(), verts.end());
+    verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+    // Upper ids precede lower ids, so the split point yields both counts.
+    const auto split =
+        std::lower_bound(verts.begin(), verts.end(), g.NumUpper());
+    stats.num_upper = static_cast<uint32_t>(split - verts.begin());
+    stats.num_lower = static_cast<uint32_t>(verts.end() - split);
   }
   stats.avg_weight = sum / static_cast<double>(sub.edges.size());
   return stats;
 }
 
 std::vector<VertexId> SubgraphVertexSet(const BipartiteGraph& g,
-                                        const Subgraph& sub) {
+                                        const Subgraph& sub,
+                                        QueryScratch* scratch) {
   std::vector<VertexId> verts;
+  if (scratch) {
+    scratch->BeginQuery(g.NumVertices());
+    verts.reserve(sub.edges.size() * 2);
+    for (EdgeId e : sub.edges) {
+      const Edge& ed = g.GetEdge(e);
+      if (scratch->TryVisit(ed.u)) verts.push_back(ed.u);
+      if (scratch->TryVisit(ed.v)) verts.push_back(ed.v);
+    }
+    std::sort(verts.begin(), verts.end());
+    return verts;
+  }
   verts.reserve(sub.edges.size() * 2);
   for (EdgeId e : sub.edges) {
     const Edge& ed = g.GetEdge(e);

@@ -34,12 +34,21 @@ struct SubgraphStats {
   double avg_weight = 0.0;
 };
 
-/// Computes vertex counts and weight statistics of `sub` in O(|sub|).
-SubgraphStats ComputeStats(const BipartiteGraph& g, const Subgraph& sub);
+class QueryScratch;
 
-/// Sorted, de-duplicated vertex set of `sub`.
+/// Computes vertex counts and weight statistics of `sub` in a single
+/// traversal of its edges. With a `scratch` (see core/query_scratch.h) the
+/// endpoint de-duplication uses epoch stamps — no sort, no allocation;
+/// without one, endpoints are gathered in the same pass and sort/unique'd.
+SubgraphStats ComputeStats(const BipartiteGraph& g, const Subgraph& sub,
+                           QueryScratch* scratch = nullptr);
+
+/// Sorted, de-duplicated vertex set of `sub`. With a `scratch`, duplicates
+/// are filtered via epoch stamps before the sort, so only |V(sub)| entries
+/// are sorted instead of 2·|sub|.
 std::vector<VertexId> SubgraphVertexSet(const BipartiteGraph& g,
-                                        const Subgraph& sub);
+                                        const Subgraph& sub,
+                                        QueryScratch* scratch = nullptr);
 
 /// True iff `a` and `b` contain the same edge set (order-insensitive).
 bool SameEdgeSet(const Subgraph& a, const Subgraph& b);

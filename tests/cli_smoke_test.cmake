@@ -39,6 +39,36 @@ foreach(algo peel expand binary baseline)
 endforeach()
 run_abcs("f\\(R\\) for u1" profile ${GRAPH} 1 3 3 --index ${INDEX})
 
+# Batched query engine: results on stdout must be byte-identical for any
+# --threads value and any method must agree on community sizes.
+set(BATCH ${WORK_DIR}/batch.txt)
+file(WRITE ${BATCH} "1 2 2\n0 1 1 l\n2 3 3\n# comment line\n3 2 2 u\n")
+foreach(threads 1 3)
+  execute_process(
+    COMMAND ${ABCS_CLI} query ${GRAPH} --batch ${BATCH} --threads ${threads}
+      --index ${INDEX}
+    OUTPUT_VARIABLE batch_out_${threads}
+    ERROR_VARIABLE batch_err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "abcs query --batch --threads ${threads} failed "
+      "(rc=${rc}):\n${batch_err}")
+  endif()
+endforeach()
+if(NOT batch_out_1 STREQUAL batch_out_3)
+  message(FATAL_ERROR "abcs query --batch is not deterministic across "
+    "thread counts:\n--- threads=1\n${batch_out_1}\n--- threads=3\n"
+    "${batch_out_3}")
+endif()
+if(NOT batch_out_1 MATCHES "# batch of 4 queries, method=delta")
+  message(FATAL_ERROR "unexpected batch header:\n${batch_out_1}")
+endif()
+message(STATUS "ok: abcs query --batch deterministic across threads")
+foreach(method online bicore)
+  run_abcs("# batch of 4 queries, method=${method}"
+    query ${GRAPH} --batch ${BATCH} --method ${method} --threads 2)
+endforeach()
+
 # Determinism: a second gen of the same spec must be byte-identical.
 run_abcs("" gen BS ${WORK_DIR}/bs2.txt)
 execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${GRAPH} ${WORK_DIR}/bs2.txt

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/query_scratch.h"
 #include "core/subgraph.h"
 #include "test_util.h"
 
@@ -90,6 +91,30 @@ TEST(SubgraphTest, StatsOnSingleEdge) {
   EXPECT_DOUBLE_EQ(stats.min_weight, 5.0);
   EXPECT_DOUBLE_EQ(stats.max_weight, 5.0);
   EXPECT_DOUBLE_EQ(stats.avg_weight, 5.0);
+}
+
+TEST(SubgraphTest, ScratchStatsMatchFresh) {
+  // The stamp-dedup'd path must agree with the sort/unique path on random
+  // edge subsets, with one scratch reused across all of them.
+  BipartiteGraph g = ::abcs::testing::RandomWeightedGraph(30, 30, 250, 3);
+  Rng rng(17);
+  QueryScratch scratch;
+  for (int trial = 0; trial < 50; ++trial) {
+    Subgraph s;
+    const uint32_t count = 1 + static_cast<uint32_t>(rng.NextBounded(60));
+    for (uint32_t i = 0; i < count; ++i) {
+      s.edges.push_back(
+          static_cast<EdgeId>(rng.NextBounded(g.NumEdges())));
+    }
+    const SubgraphStats fresh = ComputeStats(g, s);
+    const SubgraphStats stamped = ComputeStats(g, s, &scratch);
+    EXPECT_EQ(fresh.num_upper, stamped.num_upper);
+    EXPECT_EQ(fresh.num_lower, stamped.num_lower);
+    EXPECT_DOUBLE_EQ(fresh.min_weight, stamped.min_weight);
+    EXPECT_DOUBLE_EQ(fresh.max_weight, stamped.max_weight);
+    EXPECT_DOUBLE_EQ(fresh.avg_weight, stamped.avg_weight);
+    EXPECT_EQ(SubgraphVertexSet(g, s), SubgraphVertexSet(g, s, &scratch));
+  }
 }
 
 }  // namespace

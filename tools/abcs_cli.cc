@@ -6,6 +6,10 @@
 //   abcs index  <graph> <index-out>           build and persist I_δ
 //   abcs query  <graph> <q> <alpha> <beta> [--index FILE] [--side u|l]
 //                                             print C_{α,β}(q)
+//   abcs query  <graph> --batch <file> [--threads N] [--index FILE]
+//               [--method online|bicore|delta] [--side u|l]
+//                                             run a query batch through the
+//                                             zero-allocation query engine
 //   abcs scs    <graph> <q> <alpha> <beta> [--index FILE] [--side u|l]
 //               [--algo peel|expand|binary|baseline]
 //                                             print the significant community
@@ -16,17 +20,26 @@
 // <graph> is a whitespace edge list `u v [w]` with 0-based layer-local ids
 // (lines starting with % or # ignored). <q> is a layer-local id; --side
 // selects the layer (default: u).
+//
+// A batch file has one query per line: `q alpha beta [u|l]` (layer-local
+// q; the trailing letter overrides the batch-wide --side; % and # comment
+// lines ignored). Per-query results and aggregate counts go to stdout and
+// are deterministic for any --threads value; timing goes to stderr.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "abcore/degeneracy.h"
 #include "abcore/peeling.h"
 #include "common/timer.h"
+#include "core/bicore_index.h"
 #include "core/delta_index.h"
 #include "core/index_io.h"
+#include "core/query_engine.h"
 #include "core/scs_baseline.h"
 #include "core/scs_binary.h"
 #include "core/scs_expand.h"
@@ -44,6 +57,8 @@ int Usage() {
                "  abcs index <graph> <index-out>\n"
                "  abcs query <graph> <q> <alpha> <beta> [--index FILE] "
                "[--side u|l]\n"
+               "  abcs query <graph> --batch <file> [--threads N] "
+               "[--method online|bicore|delta] [--index FILE] [--side u|l]\n"
                "  abcs scs   <graph> <q> <alpha> <beta> [--index FILE] "
                "[--side u|l] [--algo peel|expand|binary|baseline]\n"
                "  abcs gen   <name> <graph-out>\n");
@@ -62,25 +77,60 @@ struct QueryArgs {
   std::string index_path;
   bool lower_side = false;
   std::string algo = "peel";
+  std::string batch_path;
+  std::string method = "delta";
+  unsigned num_threads = 1;
+  bool batch_only_flags = false;  ///< --threads/--method were given
+  bool algo_set = false;          ///< --algo was given
 };
 
 bool ParseQueryArgs(int argc, char** argv, QueryArgs* args) {
-  if (argc < 6) return false;
+  if (argc < 4) return false;
   args->graph_path = argv[2];
-  args->q = static_cast<abcs::VertexId>(std::atol(argv[3]));
-  args->alpha = static_cast<uint32_t>(std::atol(argv[4]));
-  args->beta = static_cast<uint32_t>(std::atol(argv[5]));
-  for (int i = 6; i < argc; ++i) {
+  // Batch form iff --batch appears anywhere (flags are order-free); the
+  // single-query form then requires its three positional arguments, and in
+  // batch form a stray positional is rejected by the flag loop below.
+  bool has_batch = false;
+  for (int j = 3; j < argc; ++j) {
+    if (std::strcmp(argv[j], "--batch") == 0) has_batch = true;
+  }
+  int i = 3;
+  if (!has_batch) {  // single-query form
+    if (argc < 6) return false;
+    args->q = static_cast<abcs::VertexId>(std::atol(argv[3]));
+    args->alpha = static_cast<uint32_t>(std::atol(argv[4]));
+    args->beta = static_cast<uint32_t>(std::atol(argv[5]));
+    i = 6;
+  }
+  for (; i < argc; ++i) {
     if (std::strcmp(argv[i], "--index") == 0 && i + 1 < argc) {
       args->index_path = argv[++i];
     } else if (std::strcmp(argv[i], "--side") == 0 && i + 1 < argc) {
       args->lower_side = (argv[++i][0] == 'l');
     } else if (std::strcmp(argv[i], "--algo") == 0 && i + 1 < argc) {
       args->algo = argv[++i];
+      args->algo_set = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      args->batch_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 0 || n > 1024) {
+        return false;  // 0 = hardware concurrency
+      }
+      args->num_threads = static_cast<unsigned>(n);
+      args->batch_only_flags = true;
+    } else if (std::strcmp(argv[i], "--method") == 0 && i + 1 < argc) {
+      args->method = argv[++i];
+      args->batch_only_flags = true;
     } else {
       return false;
     }
   }
+  if (!args->batch_path.empty()) return true;
+  // --threads/--method only mean something in batch mode; rejecting them
+  // here keeps "asked for a method" distinguishable from "served by it".
+  if (args->batch_only_flags) return false;
   return args->alpha >= 1 && args->beta >= 1;
 }
 
@@ -132,7 +182,120 @@ int CmdIndex(const std::string& graph_path, const std::string& out_path) {
   return 0;
 }
 
+// Parses `q alpha beta [u|l]` lines (layer-local q) into unified-id
+// requests; default_lower applies when a line has no side letter.
+abcs::Status ParseBatchFile(const std::string& path,
+                            const abcs::BipartiteGraph& g, bool default_lower,
+                            std::vector<abcs::QueryRequest>* out) {
+  std::ifstream in(path);
+  if (!in) return abcs::Status::NotFound("cannot open batch file " + path);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#' ||
+        line[first] == '%') {
+      continue;
+    }
+    unsigned long id = 0, alpha = 0, beta = 0;
+    char side = default_lower ? 'l' : 'u';
+    char junk[2];
+    const int got = std::sscanf(line.c_str(), "%lu %lu %lu %c %1s", &id,
+                                &alpha, &beta, &side, junk);
+    if (got < 3 || got > 4 || alpha == 0 || beta == 0 ||
+        alpha > 0xffffffffUL || beta > 0xffffffffUL ||
+        (side != 'u' && side != 'l')) {
+      return abcs::Status::InvalidArgument(
+          path + ":" + std::to_string(lineno) + ": expected `q alpha beta " +
+          "[u|l]`, got `" + line + "`");
+    }
+    // Range-check before narrowing so a 64-bit id cannot wrap into a
+    // valid vertex.
+    const unsigned long layer_size =
+        side == 'l' ? g.NumLower() : g.NumUpper();
+    if (id >= layer_size) {
+      return abcs::Status::InvalidArgument(
+          path + ":" + std::to_string(lineno) + ": vertex out of range");
+    }
+    const abcs::VertexId q = side == 'l'
+                                 ? g.NumUpper() + static_cast<uint32_t>(id)
+                                 : static_cast<uint32_t>(id);
+    out->push_back(abcs::QueryRequest{q, static_cast<uint32_t>(alpha),
+                                      static_cast<uint32_t>(beta)});
+  }
+  return abcs::Status::OK();
+}
+
+int CmdQueryBatch(const QueryArgs& args) {
+  abcs::BipartiteGraph g;
+  abcs::Status st =
+      abcs::LoadEdgeList(args.graph_path, &g, /*zero_based=*/true);
+  if (!st.ok()) return Fail(st);
+  std::vector<abcs::QueryRequest> requests;
+  st = ParseBatchFile(args.batch_path, g, args.lower_side, &requests);
+  if (!st.ok()) return Fail(st);
+
+  abcs::QueryMethod method;
+  if (args.method == "online") {
+    method = abcs::QueryMethod::kOnline;
+  } else if (args.method == "bicore") {
+    method = abcs::QueryMethod::kBicore;
+  } else if (args.method == "delta") {
+    method = abcs::QueryMethod::kDelta;
+  } else {
+    return Fail(abcs::Status::InvalidArgument("unknown --method"));
+  }
+
+  abcs::DeltaIndex delta;
+  abcs::BicoreIndex bicore;
+  if (method == abcs::QueryMethod::kDelta) {
+    st = GetIndex(args, g, &delta);
+    if (!st.ok()) return Fail(st);
+  } else {
+    // Only I_δ has a persistence format; a silently-ignored --index would
+    // hide a full rebuild behind an apparently-used index file.
+    if (!args.index_path.empty()) {
+      return Fail(abcs::Status::InvalidArgument(
+          "--index applies to --method delta only"));
+    }
+    if (method == abcs::QueryMethod::kBicore) {
+      bicore = abcs::BicoreIndex::Build(g, nullptr, /*num_threads=*/0);
+    }
+  }
+
+  const abcs::QueryEngine engine(g, method, &delta, &bicore);
+  abcs::BatchOptions options;
+  options.num_threads = args.num_threads;
+  const abcs::BatchResult batch = engine.RunBatch(requests, options);
+
+  // stdout carries only thread-count-invariant data (the smoke test diffs
+  // runs at different --threads); timing goes to stderr.
+  std::printf("# batch of %zu queries, method=%s\n", requests.size(),
+              abcs::QueryMethodName(engine.method()));
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const abcs::QueryRequest& r = requests[i];
+    const abcs::QueryOutcome& o = batch.outcomes[i];
+    const bool lower = !g.IsUpper(r.q);
+    std::printf("%zu %s%u (%u,%u) |E|=%u touched=%llu\n", i,
+                lower ? "l" : "u", lower ? r.q - g.NumUpper() : r.q, r.alpha,
+                r.beta, o.num_edges,
+                static_cast<unsigned long long>(o.touched_arcs));
+  }
+  std::printf("# nonempty=%llu total_edges=%llu touched_arcs=%llu\n",
+              static_cast<unsigned long long>(batch.stats.num_nonempty),
+              static_cast<unsigned long long>(batch.stats.total_edges),
+              static_cast<unsigned long long>(batch.stats.touched_arcs));
+  std::fprintf(stderr,
+               "# threads=%u wall=%.3es qps=%.1f p50=%.3es p99=%.3es\n",
+               batch.num_threads_used, batch.wall_seconds,
+               batch.QueriesPerSecond(), batch.stats.p50_seconds,
+               batch.stats.p99_seconds);
+  return 0;
+}
+
 int CmdQuery(const QueryArgs& args) {
+  if (!args.batch_path.empty()) return CmdQueryBatch(args);
   abcs::BipartiteGraph g;
   abcs::Status st =
       abcs::LoadEdgeList(args.graph_path, &g, /*zero_based=*/true);
@@ -255,6 +418,12 @@ int main(int argc, char** argv) {
   if (cmd == "query" || cmd == "scs" || cmd == "profile") {
     QueryArgs args;
     if (!ParseQueryArgs(argc, argv, &args)) return Usage();
+    // Batch mode (and its flags) exist only for `query`; --algo only for
+    // `scs` — a silently-ignored flag would mask a mistyped command.
+    if (cmd != "query" && (!args.batch_path.empty() || args.batch_only_flags)) {
+      return Usage();
+    }
+    if (cmd != "scs" && args.algo_set) return Usage();
     if (cmd == "query") return CmdQuery(args);
     if (cmd == "scs") return CmdScs(args);
     return CmdProfile(args);
