@@ -1,0 +1,163 @@
+// Decomposition build benchmark: naive 2δ-peel vs the output-sensitive
+// incremental build (serial and τ-chunked parallel), plus the memory story
+// — compact arena bytes vs the old dense 2δ·n table and the peak build
+// footprint. Emits BENCH_build.json (schema documented in the README's
+// "Index construction" section) for the CI bench-smoke artifact.
+//
+// Usage: bench_build_decomp [out.json]
+// ABCS_BENCH_DATASETS: comma-separated registry names; falls back to
+// ABCS_BENCH_DATASET (single name, shared with the other benches);
+// default: all.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "abcore/offsets.h"
+#include "bench_common.h"
+#include "common/timer.h"
+
+namespace {
+
+double TimeBest(int reps, const auto& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    abcs::Timer timer;
+    fn();
+    best = std::min(best, timer.Seconds());
+  }
+  return best;
+}
+
+std::vector<abcs::DatasetSpec> SelectedDatasets() {
+  const char* env = std::getenv("ABCS_BENCH_DATASETS");
+  // Fall back to the singular variable the other benches honour, so
+  // ABCS_BENCH_DATASET=BS restricts this bench too instead of silently
+  // running all 11 datasets.
+  if (env == nullptr || *env == '\0') env = std::getenv("ABCS_BENCH_DATASET");
+  if (env == nullptr || *env == '\0') return abcs::AllDatasets();
+  std::vector<abcs::DatasetSpec> out;
+  std::string list(env);
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string name =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (const abcs::DatasetSpec* spec = abcs::FindDataset(name)) {
+      out.push_back(*spec);
+    } else if (!name.empty()) {
+      std::fprintf(stderr, "unknown dataset %s\n", name.c_str());
+      std::exit(1);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct Row {
+  std::string name;
+  uint32_t n = 0, m = 0, delta = 0;
+  double naive_seconds = 0;
+  std::vector<std::pair<unsigned, double>> incremental;  // (threads, s)
+  std::size_t arena_bytes = 0, dense_bytes = 0, transient_bytes_1t = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_build.json";
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> thread_counts{1};
+  for (unsigned t = 2; t <= hw; t *= 2) thread_counts.push_back(t);
+  if ((hw & (hw - 1)) != 0) thread_counts.push_back(hw);
+
+  std::vector<Row> rows;
+  std::printf(
+      "decomposition build: naive 2*delta peels vs incremental "
+      "nested-core chains (best of 3)\n");
+  std::printf("%-5s %8s %8s %6s %10s %10s %8s %10s %10s %8s\n", "name", "n",
+              "m", "delta", "naive", "incr_1t", "speedup", "arena_MB",
+              "dense_MB", "ratio");
+  for (const abcs::DatasetSpec& spec : SelectedDatasets()) {
+    abcs::BipartiteGraph g;
+    if (!abcs::MakeDataset(spec, &g).ok()) return 1;
+    Row row;
+    row.name = spec.name;
+    row.n = g.NumVertices();
+    row.m = g.NumEdges();
+
+    // Cross-check once per dataset: the measured builds must be
+    // bit-identical, or the speedup below is meaningless.
+    const abcs::BicoreDecomposition naive =
+        abcs::ComputeBicoreDecompositionNaive(g);
+    if (!(abcs::ComputeBicoreDecomposition(g) == naive)) {
+      std::fprintf(stderr, "%s: incremental != naive decomposition\n",
+                   spec.name.c_str());
+      return 1;
+    }
+    row.delta = naive.delta;
+    row.arena_bytes = naive.MemoryBytes();
+    row.dense_bytes = abcs::DenseDecompositionBytes(naive.delta, row.n);
+    row.transient_bytes_1t = abcs::DecompositionBuildTransientBytes(row.n, 1);
+
+    row.naive_seconds =
+        TimeBest(3, [&] { abcs::ComputeBicoreDecompositionNaive(g); });
+    for (unsigned t : thread_counts) {
+      row.incremental.emplace_back(
+          t, TimeBest(3, [&] {
+            abcs::ComputeBicoreDecompositionParallel(g, t);
+          }));
+    }
+
+    constexpr double kMb = 1024.0 * 1024.0;
+    std::printf("%-5s %8u %8u %6u %10.4f %10.4f %7.2fx %10.2f %10.2f %7.2fx\n",
+                row.name.c_str(), row.n, row.m, row.delta, row.naive_seconds,
+                row.incremental[0].second,
+                row.naive_seconds / row.incremental[0].second,
+                static_cast<double>(row.arena_bytes) / kMb,
+                static_cast<double>(row.dense_bytes) / kMb,
+                static_cast<double>(row.dense_bytes) /
+                    static_cast<double>(row.arena_bytes));
+    rows.push_back(std::move(row));
+  }
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"build_decomp\",\n");
+  std::fprintf(out, "  \"hardware_threads\": %u,\n", hw);
+  std::fprintf(out, "  \"datasets\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"n\": %u, \"m\": %u, \"delta\": "
+                 "%u,\n     \"naive_seconds\": %.6f,\n     \"incremental\": [",
+                 r.name.c_str(), r.n, r.m, r.delta, r.naive_seconds);
+    for (std::size_t j = 0; j < r.incremental.size(); ++j) {
+      std::fprintf(out, "%s{\"threads\": %u, \"seconds\": %.6f}",
+                   j ? ", " : "", r.incremental[j].first,
+                   r.incremental[j].second);
+    }
+    std::fprintf(out,
+                 "],\n     \"speedup_1t\": %.3f,\n     "
+                 "\"decomp_peak_bytes\": %zu, "
+                 "\"dense_bytes\": %zu, \"build_transient_bytes_1t\": %zu, "
+                 "\"compaction_ratio\": %.3f}%s\n",
+                 r.naive_seconds / r.incremental[0].second, r.arena_bytes,
+                 r.dense_bytes, r.transient_bytes_1t,
+                 static_cast<double>(r.dense_bytes) /
+                     static_cast<double>(r.arena_bytes),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

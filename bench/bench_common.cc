@@ -30,11 +30,11 @@ std::vector<VertexId> SampleCoreVertices(const PreparedDataset& ds,
   std::vector<VertexId> members;
   if (tau == 0 || tau > ds.delta()) return members;
   const bool use_alpha = alpha <= beta;
-  const std::vector<uint32_t>& value =
-      use_alpha ? ds.decomp.sa[alpha - 1] : ds.decomp.sb[beta - 1];
   const uint32_t need = use_alpha ? beta : alpha;
   for (VertexId v = 0; v < ds.graph.NumVertices(); ++v) {
-    if (value[v] >= need) members.push_back(v);
+    const uint32_t value =
+        use_alpha ? ds.decomp.sa(alpha, v) : ds.decomp.sb(beta, v);
+    if (value >= need) members.push_back(v);
   }
   if (members.empty()) return members;
   Rng rng(seed);

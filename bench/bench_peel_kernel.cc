@@ -68,8 +68,10 @@ int main() {
                 m / row.seconds / 1e6);
   }
 
-  std::printf("\nwhole-grid decomposition (2*delta = %u peels, best of 3)\n",
-              2 * delta);
+  std::printf(
+      "\nwhole-grid decomposition (incremental nested-core chains over "
+      "delta = %u levels/side, best of 3)\n",
+      delta);
   std::printf("%-10s %10s %10s\n", "threads", "seconds", "speedup");
   const double serial =
       TimeBest(3, [&] { abcs::ComputeBicoreDecomposition(g); });

@@ -77,7 +77,10 @@ struct Point {
 // shrinking the (α,β)-core to the densest nugget of the graph.
 bool TinyPoint(const abcs::bench::PreparedDataset& ds, Point* out) {
   if (ds.delta() < 1) return false;
-  std::vector<uint32_t> offsets = ds.decomp.sa[ds.delta() - 1];
+  std::vector<uint32_t> offsets(ds.graph.NumVertices());
+  for (abcs::VertexId v = 0; v < ds.graph.NumVertices(); ++v) {
+    offsets[v] = ds.decomp.sa(ds.delta(), v);
+  }
   std::sort(offsets.begin(), offsets.end(), std::greater<>());
   if (offsets.size() <= 8 || offsets[7] <= ds.delta()) return false;
   *out = Point{"tiny", ds.delta(), offsets[7]};

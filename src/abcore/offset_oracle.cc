@@ -8,13 +8,13 @@ uint32_t OffsetOracle::AlphaOffset(VertexId v, uint32_t alpha) const {
   if (alpha == 0) return 0;
   const uint32_t delta = decomp_->delta;
   if (delta == 0) return 0;
-  if (alpha <= delta) return decomp_->sa[alpha - 1][v];
+  if (alpha <= delta) return decomp_->sa(alpha, v);
   // α > δ: the answer is the largest stored β with s_b(v,β) ≥ α; the
   // predicate is monotone (non-increasing in β), so binary search.
   uint32_t lo = 1, hi = delta, best = 0;
   while (lo <= hi) {
     const uint32_t mid = lo + (hi - lo) / 2;
-    if (decomp_->sb[mid - 1][v] >= alpha) {
+    if (decomp_->sb(mid, v) >= alpha) {
       best = mid;
       lo = mid + 1;
     } else {
@@ -29,11 +29,11 @@ uint32_t OffsetOracle::BetaOffset(VertexId v, uint32_t beta) const {
   if (beta == 0) return 0;
   const uint32_t delta = decomp_->delta;
   if (delta == 0) return 0;
-  if (beta <= delta) return decomp_->sb[beta - 1][v];
+  if (beta <= delta) return decomp_->sb(beta, v);
   uint32_t lo = 1, hi = delta, best = 0;
   while (lo <= hi) {
     const uint32_t mid = lo + (hi - lo) / 2;
-    if (decomp_->sa[mid - 1][v] >= beta) {
+    if (decomp_->sa(mid, v) >= beta) {
       best = mid;
       lo = mid + 1;
     } else {

@@ -20,14 +20,15 @@ namespace {
 /// at which a vertex dies is its offset — the maximal second core parameter
 /// for which it is still in the core. Fixed-side deaths during level L also
 /// record offset L. Vertices eliminated while establishing the initial
-/// (k,1)- or (1,k)-core get offset 0. O(m).
-std::vector<uint32_t> ComputeOffsetsImpl(const BipartiteGraph& g, uint32_t k,
-                                         bool fix_upper,
-                                         const std::vector<uint8_t>* scope) {
+/// (k,1)- or (1,k)-core get offset 0. O(m). All per-call state lives in
+/// `ws`; the result is `ws.offset`.
+void ComputeOffsetsInto(const BipartiteGraph& g, uint32_t k, bool fix_upper,
+                        const std::vector<uint8_t>* scope,
+                        OffsetWorkspace& ws) {
   const uint32_t n = g.NumVertices();
-  std::vector<uint32_t> offset(n, 0);
-  std::vector<uint8_t> alive(n, 1);
-  std::vector<uint32_t> deg(n, 0);
+  ws.offset.assign(n, 0);
+  ws.alive.assign(n, 1);
+  ws.deg.assign(n, 0);
 
   auto in_scope = [&](VertexId v) { return scope == nullptr || (*scope)[v]; };
   auto is_fixed = [&](VertexId v) { return g.IsUpper(v) == fix_upper; };
@@ -35,7 +36,7 @@ std::vector<uint32_t> ComputeOffsetsImpl(const BipartiteGraph& g, uint32_t k,
   uint32_t max_ranked_deg = 0;
   for (VertexId v = 0; v < n; ++v) {
     if (!in_scope(v)) {
-      alive[v] = 0;
+      ws.alive[v] = 0;
       continue;
     }
     uint32_t d = 0;
@@ -46,19 +47,155 @@ std::vector<uint32_t> ComputeOffsetsImpl(const BipartiteGraph& g, uint32_t k,
         if ((*scope)[a.to]) ++d;
       }
     }
-    deg[v] = d;
+    ws.deg[v] = d;
     if (!is_fixed(v)) max_ranked_deg = std::max(max_ranked_deg, d);
   }
 
   LevelPeeler peeler(
-      deg, alive, k, max_ranked_deg, GraphNeighbors(g), is_fixed,
-      [&](VertexId v, uint32_t level) { offset[v] = level; });
+      ws.deg, ws.alive, k, max_ranked_deg, GraphNeighbors(g), is_fixed,
+      [&](VertexId v, uint32_t level) { ws.offset[v] = level; }, &ws.peel);
   peeler.Start(std::views::iota(VertexId{0}, n));
   for (uint32_t level = 1; level <= max_ranked_deg && peeler.alive_count() > 0;
        ++level) {
     peeler.RunLevel(level);
   }
-  return offset;
+}
+
+std::vector<uint32_t> ComputeOffsetsImpl(const BipartiteGraph& g, uint32_t k,
+                                         bool fix_upper,
+                                         const std::vector<uint8_t>* scope) {
+  OffsetWorkspace ws;
+  ComputeOffsetsInto(g, k, fix_upper, scope, ws);
+  return std::move(ws.offset);
+}
+
+// ------------------------------------------------- incremental chains --
+
+/// Per-worker state for one side's τ-chain (or a contiguous chunk of it).
+///
+/// `deg`/`alive`/`frontier` hold the *persistent* (τ,1)-core: tightening
+/// from τ to τ+1 only removes the vertices that newly violate the fixed
+/// constraint, cascading through the shared ThresholdPeelRange kernel, so
+/// carrying the core forward costs O(removed vertices + their arcs)
+/// instead of a fresh O(m) peel. Each level's ranked peel is destructive,
+/// so it runs on the `work_*` copies — restored in O(|core|) per τ, not
+/// O(n): `work_alive` returns to all-zero by itself because every frontier
+/// vertex dies during the ranked peel.
+struct ChainState {
+  std::vector<uint32_t> deg;
+  std::vector<uint8_t> alive;
+  std::vector<VertexId> frontier;
+  std::vector<uint32_t> work_deg;
+  std::vector<uint8_t> work_alive;
+  std::vector<VertexId> queue;
+  LevelPeelScratch peel;
+};
+
+/// Runs levels [tau_lo, tau_hi] of one chain, writing each level's offsets
+/// into the pre-laid-out arena slices. The arena layout already encodes
+/// chain membership — Levels(v) ≥ τ ⇔ v ∈ (τ,1)-core (the slice lengths
+/// come from the τ = 1 offsets of the opposite side) — so the chunk seeds
+/// its starting core *directly from the layout* in O(n + vol(core_lo))
+/// instead of peeling the whole graph down, then runs incrementally;
+/// total work is the seed plus Σ_τ |E(core_τ)|.
+void RunChainChunk(const BipartiteGraph& g, bool fix_upper, uint32_t tau_lo,
+                   uint32_t tau_hi, const OffsetArena& arena,
+                   uint32_t* arena_values, ChainState& st) {
+  const uint32_t n = g.NumVertices();
+  auto is_fixed = [&](VertexId v) { return g.IsUpper(v) == fix_upper; };
+  const std::vector<uint32_t>& arena_start = arena.start;
+
+  st.alive.assign(n, 0);
+  st.deg.resize(n);
+  st.work_deg.resize(n);
+  st.work_alive.assign(n, 0);
+  st.frontier.clear();
+  for (VertexId v = 0; v < n; ++v) {
+    if (arena.Levels(v) >= tau_lo) {
+      st.alive[v] = 1;
+      st.frontier.push_back(v);
+    }
+  }
+  for (const VertexId v : st.frontier) {
+    uint32_t d = 0;
+    for (const Arc& a : g.Neighbors(v)) {
+      if (arena.Levels(a.to) >= tau_lo) ++d;
+    }
+    st.deg[v] = d;
+  }
+
+  for (uint32_t tau = tau_lo; tau <= tau_hi; ++tau) {
+    // Tighten the carried core to the (τ,1)-core (resp. (1,τ)): only the
+    // frontier needs scanning, and only newly-failing vertices cascade.
+    ThresholdPeelRange(
+        st.frontier, st.deg, st.alive, GraphNeighbors(g),
+        [&](VertexId v) { return is_fixed(v) ? tau : 1u; }, [](VertexId) {},
+        &st.queue);
+    std::erase_if(st.frontier, [&](VertexId v) { return !st.alive[v]; });
+    if (st.frontier.empty()) break;
+
+    // Ranked peel on a copy of the surviving core; the removal level of a
+    // vertex is its offset at this τ. Frontier vertices satisfy the base
+    // constraints exactly, so every recorded offset is ≥ 1 and lands
+    // inside the vertex's arena slice (slice length ≥ τ by construction).
+    uint32_t max_ranked_deg = 0;
+    for (const VertexId v : st.frontier) {
+      st.work_deg[v] = st.deg[v];
+      st.work_alive[v] = 1;
+      if (!is_fixed(v)) max_ranked_deg = std::max(max_ranked_deg, st.deg[v]);
+    }
+    LevelPeeler peeler(
+        st.work_deg, st.work_alive, tau, max_ranked_deg, GraphNeighbors(g),
+        is_fixed,
+        [&](VertexId v, uint32_t level) {
+          arena_values[arena_start[v] + tau - 1] = level;
+        },
+        &st.peel);
+    peeler.Start(st.frontier);
+    for (uint32_t level = 1;
+         level <= max_ranked_deg && peeler.alive_count() > 0; ++level) {
+      peeler.RunLevel(level);
+    }
+  }
+}
+
+/// CSR layout from per-vertex slice lengths: `len(v)` values per vertex.
+template <typename SliceLen>
+void LayoutArena(uint32_t n, SliceLen&& len, OffsetArena* arena) {
+  arena->start.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    arena->start[v + 1] = arena->start[v] + len(v);
+  }
+  arena->values.assign(arena->start[n], 0);
+}
+
+/// Shared frame of all three builds: δ, the two O(m) seed peels at τ = 1
+/// (which both bound the arena layout — v's α-side slice ends at the last
+/// τ with v ∈ (τ,1)-core, i.e. s_b(v,1) — and ARE the τ = 1 slices), and
+/// the laid-out arenas with level 1 filled.
+BicoreDecomposition LayoutDecomposition(const BipartiteGraph& g) {
+  BicoreDecomposition d;
+  uint32_t delta = 0;
+  for (uint32_t c : KCoreNumbers(g)) delta = std::max(delta, c);
+  d.delta = delta;
+  const uint32_t n = g.NumVertices();
+  if (delta == 0) {
+    LayoutArena(n, [](VertexId) { return 0u; }, &d.alpha);
+    LayoutArena(n, [](VertexId) { return 0u; }, &d.beta);
+    return d;
+  }
+
+  const std::vector<uint32_t> sa1 = ComputeAlphaOffsets(g, 1);
+  const std::vector<uint32_t> sb1 = ComputeBetaOffsets(g, 1);
+  LayoutArena(
+      n, [&](VertexId v) { return std::min(delta, sb1[v]); }, &d.alpha);
+  LayoutArena(
+      n, [&](VertexId v) { return std::min(delta, sa1[v]); }, &d.beta);
+  for (VertexId v = 0; v < n; ++v) {
+    if (d.alpha.Levels(v) >= 1) d.alpha.values[d.alpha.start[v]] = sa1[v];
+    if (d.beta.Levels(v) >= 1) d.beta.values[d.beta.start[v]] = sb1[v];
+  }
+  return d;
 }
 
 }  // namespace
@@ -85,45 +222,112 @@ std::vector<uint32_t> ComputeBetaOffsetsScoped(
   return ComputeOffsetsImpl(g, beta, /*fix_upper=*/false, &scope);
 }
 
+const std::vector<uint32_t>& ComputeAlphaOffsetsScoped(
+    const BipartiteGraph& g, uint32_t alpha, const std::vector<uint8_t>& scope,
+    OffsetWorkspace& ws) {
+  ComputeOffsetsInto(g, alpha, /*fix_upper=*/true, &scope, ws);
+  return ws.offset;
+}
+
+const std::vector<uint32_t>& ComputeBetaOffsetsScoped(
+    const BipartiteGraph& g, uint32_t beta, const std::vector<uint8_t>& scope,
+    OffsetWorkspace& ws) {
+  ComputeOffsetsInto(g, beta, /*fix_upper=*/false, &scope, ws);
+  return ws.offset;
+}
+
+const std::vector<uint32_t>& ComputeAlphaOffsets(const BipartiteGraph& g,
+                                                 uint32_t alpha,
+                                                 OffsetWorkspace& ws) {
+  ComputeOffsetsInto(g, alpha, /*fix_upper=*/true, nullptr, ws);
+  return ws.offset;
+}
+
+const std::vector<uint32_t>& ComputeBetaOffsets(const BipartiteGraph& g,
+                                                uint32_t beta,
+                                                OffsetWorkspace& ws) {
+  ComputeOffsetsInto(g, beta, /*fix_upper=*/false, nullptr, ws);
+  return ws.offset;
+}
+
 BicoreDecomposition ComputeBicoreDecomposition(const BipartiteGraph& g) {
   return ComputeBicoreDecompositionParallel(g, 1);
 }
 
 BicoreDecomposition ComputeBicoreDecompositionParallel(
     const BipartiteGraph& g, unsigned num_threads) {
-  BicoreDecomposition d;
-  uint32_t delta = 0;
-  for (uint32_t c : KCoreNumbers(g)) delta = std::max(delta, c);
-  d.delta = delta;
-  d.sa.resize(delta);
-  d.sb.resize(delta);
-  if (delta == 0) return d;
+  BicoreDecomposition d = LayoutDecomposition(g);
+  if (d.delta <= 1) return d;  // τ = 1 already filled by the layout peels
 
+  // Levels [2, δ] of each chain, split into contiguous chunks. Each chunk
+  // seeds from scratch (one O(m) tighten) then runs incrementally, so the
+  // chunk count trades seeding overhead against parallelism: one chunk per
+  // worker and chain keeps the total seeding cost at 2·T·O(m).
   if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
-  num_threads = std::max(1u, std::min(num_threads, 2 * delta));
+  num_threads = std::max(1u, num_threads);
+  const uint32_t span = d.delta - 1;  // τ ∈ [2, δ]
+  const uint32_t chunks = std::min<uint32_t>(num_threads, span);
 
-  // 2δ independent tasks: task 2k computes sa at τ=k+1, task 2k+1 sb.
+  struct Chunk {
+    bool fix_upper;
+    uint32_t lo, hi;
+    OffsetArena* arena;
+  };
+  std::vector<Chunk> tasks;
+  tasks.reserve(2 * chunks);
+  for (uint32_t c = 0; c < chunks; ++c) {
+    const uint32_t lo = 2 + c * span / chunks;
+    const uint32_t hi = 2 + (c + 1) * span / chunks - 1;
+    // Interleave the sides so the heavy low-τ chunks are claimed first.
+    tasks.push_back({true, lo, hi, &d.alpha});
+    tasks.push_back({false, lo, hi, &d.beta});
+  }
+
+  // Chunks write disjoint (τ, v) arena cells, so workers share nothing but
+  // the task counter; the result is the mathematical offset table and thus
+  // bit-identical for every thread count.
   std::atomic<uint32_t> next_task{0};
   auto worker = [&]() {
+    ChainState st;
     for (;;) {
-      const uint32_t task = next_task.fetch_add(1);
-      if (task >= 2 * delta) return;
-      const uint32_t tau = task / 2 + 1;
-      if (task % 2 == 0) {
-        d.sa[tau - 1] = ComputeAlphaOffsets(g, tau);
-      } else {
-        d.sb[tau - 1] = ComputeBetaOffsets(g, tau);
-      }
+      const uint32_t i = next_task.fetch_add(1);
+      if (i >= tasks.size()) return;
+      const Chunk& task = tasks[i];
+      RunChainChunk(g, task.fix_upper, task.lo, task.hi, *task.arena,
+                    task.arena->values.data(), st);
     }
   };
-  if (num_threads == 1) {
+  const unsigned spawn =
+      std::min<unsigned>(num_threads, static_cast<unsigned>(tasks.size()));
+  if (spawn == 1) {
     worker();  // inline on the caller: no spawn, paper-faithful timing
     return d;
   }
   std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  threads.reserve(spawn);
+  for (unsigned t = 0; t < spawn; ++t) threads.emplace_back(worker);
   for (std::thread& t : threads) t.join();
+  return d;
+}
+
+BicoreDecomposition ComputeBicoreDecompositionNaive(const BipartiteGraph& g) {
+  BicoreDecomposition d = LayoutDecomposition(g);
+  const uint32_t n = g.NumVertices();
+  OffsetWorkspace ws;
+  for (uint32_t tau = 2; tau <= d.delta; ++tau) {
+    const std::vector<uint32_t>& sa = ComputeAlphaOffsets(g, tau, ws);
+    for (VertexId v = 0; v < n; ++v) {
+      if (d.alpha.Levels(v) >= tau) {
+        d.alpha.values[d.alpha.start[v] + tau - 1] = sa[v];
+      }
+    }
+    const std::vector<uint32_t>& sb = ComputeBetaOffsets(g, tau, ws);
+    for (VertexId v = 0; v < n; ++v) {
+      if (d.beta.Levels(v) >= tau) {
+        d.beta.values[d.beta.start[v] + tau - 1] = sb[v];
+      }
+    }
+  }
   return d;
 }
 

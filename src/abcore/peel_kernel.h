@@ -1,7 +1,9 @@
 #ifndef ABCS_ABCORE_PEEL_KERNEL_H_
 #define ABCS_ABCORE_PEEL_KERNEL_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <ranges>
 #include <utility>
 #include <vector>
 
@@ -27,18 +29,27 @@ namespace abcs {
 /// generalised): repeatedly remove alive vertices with
 /// `deg[v] < threshold(v)` until a fixed point. O(m) — every arc is visited
 /// at most once from each side.
-template <typename ForEachNeighbor, typename Threshold, typename OnRemove>
-void ThresholdPeel(uint32_t num_vertices, std::vector<uint32_t>& deg,
-                   std::vector<uint8_t>& alive, ForEachNeighbor&& for_each,
-                   Threshold&& threshold, OnRemove&& on_remove,
-                   std::vector<VertexId>* queue_storage = nullptr) {
+///
+/// The seed scan covers `vertices` only; every alive vertex violating its
+/// threshold must appear there (cascades then reach any vertex through the
+/// adjacency). Incremental callers — e.g. the nested-core decomposition
+/// tightening the (τ,1)-core to the (τ+1,1)-core — pass the surviving
+/// frontier instead of re-scanning all of [0, n).
+template <typename VertexRange, typename ForEachNeighbor, typename Threshold,
+          typename OnRemove>
+void ThresholdPeelRange(const VertexRange& vertices,
+                        std::vector<uint32_t>& deg,
+                        std::vector<uint8_t>& alive,
+                        ForEachNeighbor&& for_each, Threshold&& threshold,
+                        OnRemove&& on_remove,
+                        std::vector<VertexId>* queue_storage = nullptr) {
   // Callers on an allocation-free steady state (QueryScratch) lend the
   // work-queue buffer; everyone else gets a local one.
   std::vector<VertexId> local_queue;
   std::vector<VertexId>& queue = queue_storage ? *queue_storage : local_queue;
   queue.clear();
   queue.reserve(64);
-  for (VertexId v = 0; v < num_vertices; ++v) {
+  for (const VertexId v : vertices) {
     if (alive[v] && deg[v] < threshold(v)) {
       alive[v] = 0;
       queue.push_back(v);
@@ -57,6 +68,33 @@ void ThresholdPeel(uint32_t num_vertices, std::vector<uint32_t>& deg,
     });
   }
 }
+
+/// Whole-graph form: seeds from every vertex in [0, num_vertices).
+template <typename ForEachNeighbor, typename Threshold, typename OnRemove>
+void ThresholdPeel(uint32_t num_vertices, std::vector<uint32_t>& deg,
+                   std::vector<uint8_t>& alive, ForEachNeighbor&& for_each,
+                   Threshold&& threshold, OnRemove&& on_remove,
+                   std::vector<VertexId>* queue_storage = nullptr) {
+  ThresholdPeelRange(std::views::iota(VertexId{0}, num_vertices), deg, alive,
+                     std::forward<ForEachNeighbor>(for_each),
+                     std::forward<Threshold>(threshold),
+                     std::forward<OnRemove>(on_remove), queue_storage);
+}
+
+/// \brief Lent working storage for `LevelPeeler`: the degree bucket queue
+/// and the cascade stack. A caller that runs many peels (scoped index
+/// maintenance, the per-τ ranked peels of the nested-core decomposition)
+/// keeps one instance and stops paying an O(max_degree) bucket-vector
+/// allocation per peel; capacity is retained across uses.
+struct LevelPeelScratch {
+  std::vector<std::vector<VertexId>> buckets;
+  std::vector<VertexId> cascade;
+  /// Buckets [0, used) may hold stale entries from the previous peel;
+  /// everything beyond is clean. Lets the next peel reset only what the
+  /// last one touched — a small scoped peel after one huge peel must not
+  /// pay an O(max degree) bucket sweep forever after.
+  std::size_t used = 0;
+};
 
 /// \brief Level-wise bucket-queue peel: degree buckets with lazy re-push on
 /// decrement, no per-level rescans. O(m + max_level) total.
@@ -84,17 +122,32 @@ class LevelPeeler {
  public:
   /// `deg`/`alive` are caller-owned and must be consistent on entry:
   /// `deg[v]` = countable degree of every alive vertex. `max_level` bounds
-  /// both the ranked degrees and every level later passed in.
+  /// both the ranked degrees and every level later passed in. A non-null
+  /// `scratch` lends the bucket/cascade storage (reset here, capacity
+  /// kept) so repeated peels allocate nothing in steady state.
   LevelPeeler(std::vector<uint32_t>& deg, std::vector<uint8_t>& alive,
               uint32_t fixed_need, uint32_t max_level,
-              ForEachNeighbor for_each, IsFixed is_fixed, OnRemove on_remove)
+              ForEachNeighbor for_each, IsFixed is_fixed, OnRemove on_remove,
+              LevelPeelScratch* scratch = nullptr)
       : deg_(deg),
         alive_(alive),
         fixed_need_(fixed_need),
         for_each_(std::move(for_each)),
         is_fixed_(std::move(is_fixed)),
         on_remove_(std::move(on_remove)),
-        buckets_(static_cast<std::size_t>(max_level) + 2) {}
+        scratch_(scratch ? scratch : &owned_scratch_),
+        buckets_(scratch_->buckets),
+        cascade_(scratch_->cascade) {
+    // An early-terminated previous peel (alive_count hit 0) can leave
+    // stale entries behind; reset exactly the slots it may have dirtied
+    // (its `used` watermark), never the whole historical capacity.
+    const std::size_t need = static_cast<std::size_t>(max_level) + 2;
+    if (buckets_.size() < need) buckets_.resize(need);
+    const std::size_t dirty = std::min(scratch_->used, buckets_.size());
+    for (std::size_t i = 0; i < dirty; ++i) buckets_[i].clear();
+    scratch_->used = need;
+    cascade_.clear();
+  }
 
   /// Runs the level-0 peel over `vertices` (every alive vertex that fails
   /// its base constraint, with cascade), then buckets the ranked survivors
@@ -179,8 +232,10 @@ class LevelPeeler {
   ForEachNeighbor for_each_;
   IsFixed is_fixed_;
   OnRemove on_remove_;
-  std::vector<std::vector<VertexId>> buckets_;
-  std::vector<VertexId> cascade_;
+  LevelPeelScratch owned_scratch_;
+  LevelPeelScratch* scratch_;
+  std::vector<std::vector<VertexId>>& buckets_;
+  std::vector<VertexId>& cascade_;
   uint32_t alive_count_ = 0;
 };
 

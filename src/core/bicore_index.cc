@@ -4,6 +4,48 @@
 
 namespace abcs {
 
+/// Builds one side arena from the matching decomposition arena,
+/// output-sensitively: vertex v contributes exactly its Levels(v) nonzero
+/// offsets, so the fill is Σ_v Levels(v) = |entries| — no δ·n sweep over
+/// levels where v has offset 0.
+void BicoreIndex::BuildSide(const OffsetArena& offsets, uint32_t delta,
+                            SideArena* side) {
+  const uint32_t n =
+      static_cast<uint32_t>(offsets.start.empty() ? 0
+                                                  : offsets.start.size() - 1);
+  // |List(τ)| = #{v : Levels(v) ≥ τ}, via a histogram of slice lengths.
+  std::vector<uint32_t> hist(delta + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++hist[offsets.Levels(v)];
+  side->start.assign(delta + 1, 0);
+  uint32_t count_ge = 0;
+  for (uint32_t tau = delta; tau >= 1; --tau) {
+    count_ge += hist[tau];
+    side->start[tau] = count_ge;  // holds |List(τ)| for now
+  }
+  for (uint32_t tau = 1; tau <= delta; ++tau) {
+    side->start[tau] += side->start[tau - 1];
+  }
+  side->entries.resize(side->start[delta]);
+
+  std::vector<uint32_t> cursor(side->start.begin(), side->start.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t base = offsets.start[v];
+    const uint32_t levels = offsets.Levels(v);
+    for (uint32_t tau = 1; tau <= levels; ++tau) {
+      side->entries[cursor[tau - 1]++] =
+          Entry{v, offsets.values[base + tau - 1]};
+    }
+  }
+  auto by_offset_desc = [](const Entry& a, const Entry& b) {
+    if (a.offset != b.offset) return a.offset > b.offset;
+    return a.v < b.v;
+  };
+  for (uint32_t tau = 1; tau <= delta; ++tau) {
+    std::sort(side->entries.begin() + side->start[tau - 1],
+              side->entries.begin() + side->start[tau], by_offset_desc);
+  }
+}
+
 BicoreIndex BicoreIndex::Build(const BipartiteGraph& g,
                                const BicoreDecomposition* decomp,
                                unsigned num_threads) {
@@ -16,26 +58,8 @@ BicoreIndex BicoreIndex::Build(const BipartiteGraph& g,
   BicoreIndex index;
   index.graph_ = &g;
   index.delta_ = decomp->delta;
-  index.alpha_side_.resize(decomp->delta);
-  index.beta_side_.resize(decomp->delta);
-  const uint32_t n = g.NumVertices();
-
-  for (uint32_t tau = 1; tau <= decomp->delta; ++tau) {
-    const std::vector<uint32_t>& sa = decomp->sa[tau - 1];
-    const std::vector<uint32_t>& sb = decomp->sb[tau - 1];
-    auto& av = index.alpha_side_[tau - 1];
-    auto& bv = index.beta_side_[tau - 1];
-    for (VertexId v = 0; v < n; ++v) {
-      if (sa[v] >= 1) av.push_back(Entry{v, sa[v]});
-      if (sb[v] >= 1) bv.push_back(Entry{v, sb[v]});
-    }
-    auto by_offset_desc = [](const Entry& a, const Entry& b) {
-      if (a.offset != b.offset) return a.offset > b.offset;
-      return a.v < b.v;
-    };
-    std::sort(av.begin(), av.end(), by_offset_desc);
-    std::sort(bv.begin(), bv.end(), by_offset_desc);
-  }
+  BuildSide(decomp->alpha, decomp->delta, &index.alpha_side_);
+  BuildSide(decomp->beta, decomp->delta, &index.beta_side_);
   return index;
 }
 
@@ -48,23 +72,23 @@ std::vector<VertexId> BicoreIndex::QueryCoreVertices(
 
   // Prefix of the side indexed by min(α,β), thresholded by the other value.
   const bool use_alpha_side = alpha <= beta;
-  const std::vector<Entry>& list =
-      use_alpha_side ? alpha_side_[alpha - 1] : beta_side_[beta - 1];
+  const SideArena& side = use_alpha_side ? alpha_side_ : beta_side_;
+  const uint32_t tau_level = use_alpha_side ? alpha : beta;
   const uint32_t need = use_alpha_side ? beta : alpha;
-  for (const Entry& entry : list) {
+  for (const Entry* entry = side.ListBegin(tau_level);
+       entry != side.ListEnd(tau_level); ++entry) {
     if (stats) ++stats->touched_arcs;
-    if (entry.offset < need) break;
-    out.push_back(entry.v);
+    if (entry->offset < need) break;
+    out.push_back(entry->v);
   }
   return out;
 }
 
-bool BicoreIndex::CoreContains(const std::vector<Entry>& list, uint32_t need,
-                               VertexId q) {
+bool BicoreIndex::CoreContains(const Entry* first, const Entry* last,
+                               uint32_t need, VertexId q) {
   const auto prefix_end = std::partition_point(
-      list.begin(), list.end(),
-      [need](const Entry& e) { return e.offset >= need; });
-  auto it = list.begin();
+      first, last, [need](const Entry& e) { return e.offset >= need; });
+  auto it = first;
   while (it != prefix_end) {
     const uint32_t o = it->offset;
     // Galloping search for the run end: O(log |run|) per run, so a prefix
@@ -103,18 +127,20 @@ void BicoreIndex::QueryCommunity(VertexId q, uint32_t alpha, uint32_t beta,
   // its offset (O(1)), then membership via run-wise binary search.
   if (g.Degree(q) < (g.IsUpper(q) ? alpha : beta)) return;
   const bool use_alpha_side = alpha <= beta;
-  const std::vector<Entry>& list =
-      use_alpha_side ? alpha_side_[alpha - 1] : beta_side_[beta - 1];
+  const SideArena& side = use_alpha_side ? alpha_side_ : beta_side_;
+  const uint32_t tau_level = use_alpha_side ? alpha : beta;
   const uint32_t need = use_alpha_side ? beta : alpha;
-  if (!CoreContains(list, need, q)) return;
+  const Entry* first = side.ListBegin(tau_level);
+  const Entry* last = side.ListEnd(tau_level);
+  if (!CoreContains(first, last, need, q)) return;
 
   // Stamp the core prefix — O(|V(R_{α,β})|), not O(n).
   scratch.BeginQuery(g.NumVertices());
   scratch.EnsureInCore(g.NumVertices());
-  for (const Entry& entry : list) {
+  for (const Entry* entry = first; entry != last; ++entry) {
     if (stats) ++stats->touched_arcs;
-    if (entry.offset < need) break;
-    scratch.MarkInCore(entry.v);
+    if (entry->offset < need) break;
+    scratch.MarkInCore(entry->v);
   }
 
   // BFS from q over the original adjacency; arcs to vertices outside the
@@ -139,11 +165,7 @@ Subgraph BicoreIndex::QueryCommunity(VertexId q, uint32_t alpha,
 }
 
 std::size_t BicoreIndex::MemoryBytes() const {
-  std::size_t bytes = 0;
-  for (const auto& side : {&alpha_side_, &beta_side_}) {
-    for (const auto& list : *side) bytes += list.size() * sizeof(Entry);
-  }
-  return bytes;
+  return alpha_side_.Bytes() + beta_side_.Bytes();
 }
 
 }  // namespace abcs

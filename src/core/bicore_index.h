@@ -70,18 +70,44 @@ class BicoreIndex {
     uint32_t offset;  ///< s_a(v,τ) or s_b(v,τ)
   };
 
-  /// True iff `q` appears in `list` with offset ≥ `need`, i.e. q is in the
-  /// queried core. The list is sorted by (offset desc, v asc); within the
-  /// qualifying prefix each equal-offset run is binary searched for q.
-  static bool CoreContains(const std::vector<Entry>& list, uint32_t need,
-                           VertexId q);
+  /// One side of the index in arena form (the layout `DeltaIndex::Half`
+  /// already uses): the δ per-τ entry lists concatenated into one flat
+  /// array behind a start table, so the whole side is two allocations and
+  /// a query's prefix scan is one contiguous sweep.
+  /// `List(τ)` = entries[start[τ-1] .. start[τ]): vertices with offset ≥ 1
+  /// at τ, sorted by (offset desc, v asc).
+  struct SideArena {
+    std::vector<uint32_t> start;  ///< size δ+1
+    std::vector<Entry> entries;
+
+    const Entry* ListBegin(uint32_t tau) const {
+      return entries.data() + start[tau - 1];
+    }
+    const Entry* ListEnd(uint32_t tau) const {
+      return entries.data() + start[tau];
+    }
+    std::size_t Bytes() const {
+      return start.size() * sizeof(uint32_t) +
+             entries.size() * sizeof(Entry);
+    }
+  };
+
+  /// True iff `q` appears in [first, last) with offset ≥ `need`, i.e. q is
+  /// in the queried core. The list is sorted by (offset desc, v asc);
+  /// within the qualifying prefix each equal-offset run is binary searched
+  /// for q.
+  static bool CoreContains(const Entry* first, const Entry* last,
+                           uint32_t need, VertexId q);
+
+  /// Fills one side arena from the matching decomposition arena in
+  /// Σ_v Levels(v) time (plus the per-τ sorts) — no δ·n sweep.
+  static void BuildSide(const OffsetArena& offsets, uint32_t delta,
+                        SideArena* side);
 
   const BipartiteGraph* graph_ = nullptr;
   uint32_t delta_ = 0;
-  /// alpha_side_[τ-1]: vertices with s_a(·,τ) ≥ 1, sorted by s_a desc.
-  std::vector<std::vector<Entry>> alpha_side_;
-  /// beta_side_[τ-1]: vertices with s_b(·,τ) ≥ 1, sorted by s_b desc.
-  std::vector<std::vector<Entry>> beta_side_;
+  SideArena alpha_side_;  ///< per-τ lists of s_a(·,τ)
+  SideArena beta_side_;   ///< per-τ lists of s_b(·,τ)
 };
 
 }  // namespace abcs

@@ -23,7 +23,7 @@ DeltaIndex DeltaIndex::Build(const BipartiteGraph& g,
   std::vector<uint32_t> num_levels(n, 0);
   for (VertexId v = 0; v < n; ++v) {
     uint32_t levels = 0;
-    while (levels < decomp->delta && decomp->sa[levels][v] >= levels + 1) {
+    while (levels < decomp->delta && decomp->sa(levels + 1, v) >= levels + 1) {
       ++levels;
     }
     num_levels[v] = levels;
@@ -40,16 +40,15 @@ DeltaIndex DeltaIndex::Build(const BipartiteGraph& g,
     half.table_base.push_back(0);
     for (VertexId u = 0; u < n; ++u) {
       for (uint32_t tau = 1; tau <= num_levels[u]; ++tau) {
-        const std::vector<uint32_t>& off =
-            alpha_side ? decomp->sa[tau - 1] : decomp->sb[tau - 1];
+        const OffsetArena& off = alpha_side ? decomp->alpha : decomp->beta;
         half.level_start.push_back(
             static_cast<uint32_t>(half.entries.size()));
-        half.self_offset.push_back(off[u]);
+        half.self_offset.push_back(off.At(tau, u));
         const std::size_t begin = half.entries.size();
         for (const Arc& arc : g.Neighbors(u)) {
           // α half keeps neighbours with s_a ≥ τ; β half needs s_b > τ
           // (entries at exactly τ can never satisfy a β-side query).
-          const uint32_t o = off[arc.to];
+          const uint32_t o = off.At(tau, arc.to);
           if (alpha_side ? (o >= tau) : (o > tau)) {
             half.entries.push_back(Entry{arc.to, arc.eid, o});
           }

@@ -25,52 +25,56 @@ DynamicDeltaIndex::DynamicDeltaIndex(const BipartiteGraph& g) {
   }
   num_alive_edges_ = g.NumEdges();
 
-  BicoreDecomposition decomp = ComputeBicoreDecompositionParallel(g);
+  // The static decomposition is compact (CSR slices); the dynamic tables
+  // stay dense per level because updates mutate arbitrary (τ, v) cells —
+  // growing a vertex's slice in place would shift the whole arena.
+  const BicoreDecomposition decomp = ComputeBicoreDecompositionParallel(g);
   delta_ = decomp.delta;
-  sa_ = std::move(decomp.sa);
-  sb_ = std::move(decomp.sb);
+  sa_.assign(delta_, std::vector<uint32_t>(n, 0));
+  sb_.assign(delta_, std::vector<uint32_t>(n, 0));
+  // Vertex-outer expansion: one sequential pass over each arena, touching
+  // only the Σ Levels(v) nonzero cells (the rows are pre-zeroed).
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t la = decomp.alpha.Levels(v);
+    for (uint32_t tau = 1; tau <= la; ++tau) {
+      sa_[tau - 1][v] = decomp.alpha.values[decomp.alpha.start[v] + tau - 1];
+    }
+    const uint32_t lb = decomp.beta.Levels(v);
+    for (uint32_t tau = 1; tau <= lb; ++tau) {
+      sb_[tau - 1][v] = decomp.beta.values[decomp.beta.start[v] + tau - 1];
+    }
+  }
 }
 
-namespace {
-
-/// Initial scope of an edge update: the endpoints plus every vertex
-/// reachable through vertices whose offset lies in [lo, hi]. Cascades
-/// propagate through vertices that themselves change, so
-///  - removals seed with [1, K]  (drops only hit offsets ≤ K and each drop
-///    is caused by a dropping neighbour, also ≤ K), and
-///  - insertions seed with the classic K-subcore [K, K].
-/// Fixed-side offsets can jump several levels per update, so the seed is
-/// not always sufficient; UpdateLevel grows it with trigger rounds until
-/// the boundary is provably unaffected.
-std::vector<VertexId> CollectScope(const std::vector<std::vector<Arc>>& adj,
-                                   const std::vector<uint32_t>& value,
-                                   uint32_t lo, uint32_t hi,
-                                   std::initializer_list<VertexId> seeds) {
+std::vector<VertexId> DynamicDeltaIndex::CollectScope(
+    const std::vector<uint32_t>& value, uint32_t lo, uint32_t hi,
+    std::initializer_list<VertexId> seeds) {
   std::vector<VertexId> scope;
-  std::vector<VertexId> stack;
-  std::vector<uint8_t> visited(adj.size(), 0);
+  ws_visited_.resize(adj_.size(), 0);
+  ws_stack_.clear();
   for (VertexId s : seeds) {
-    if (!visited[s]) {
-      visited[s] = 1;
-      stack.push_back(s);
+    if (!ws_visited_[s]) {
+      ws_visited_[s] = 1;
+      ws_stack_.push_back(s);
       scope.push_back(s);
     }
   }
-  while (!stack.empty()) {
-    VertexId x = stack.back();
-    stack.pop_back();
-    for (const Arc& a : adj[x]) {
+  while (!ws_stack_.empty()) {
+    VertexId x = ws_stack_.back();
+    ws_stack_.pop_back();
+    for (const Arc& a : adj_[x]) {
       VertexId y = a.to;
-      if (visited[y] || value[y] < lo || value[y] > hi) continue;
-      visited[y] = 1;
-      stack.push_back(y);
+      if (ws_visited_[y] || value[y] < lo || value[y] > hi) continue;
+      ws_visited_[y] = 1;
+      ws_stack_.push_back(y);
       scope.push_back(y);
     }
   }
+  // The visited set is exactly the scope; clearing it here restores the
+  // all-zero invariant in O(|scope|) instead of reallocating O(n).
+  for (VertexId x : scope) ws_visited_[x] = 0;
   return scope;
 }
-
-}  // namespace
 
 void DynamicDeltaIndex::RecomputeScoped(std::vector<uint32_t>& value,
                                         uint32_t tau, bool fix_upper,
@@ -78,45 +82,48 @@ void DynamicDeltaIndex::RecomputeScoped(std::vector<uint32_t>& value,
   const uint32_t n = NumVertices();
   auto is_fixed = [&](VertexId x) { return (x < num_upper_) == fix_upper; };
 
-  std::vector<uint8_t> in_scope(n, 0);
-  for (VertexId x : scope) in_scope[x] = 1;
+  // All ws_ arrays hold their between-calls invariant (alive/in_scope
+  // all-zero, deg stale-but-unread); only the O(|scope|) slice is touched.
+  ws_in_scope_.resize(n, 0);
+  ws_deg_.resize(n, 0);
+  ws_alive_.resize(n, 0);
+  for (VertexId x : scope) ws_in_scope_[x] = 1;
 
   // Degrees inside the scoped subgraph plus boundary support: an external
   // neighbour with (unchanged) offset V supports scope vertices for every
   // level ≤ V, so it contributes to the degree until level V "expires".
-  std::vector<uint32_t> deg(n, 0);
-  std::vector<std::pair<uint32_t, VertexId>> expiry;  // (level, target)
+  ws_expiry_.clear();  // (level, target)
   uint32_t max_level = 1;
   for (VertexId x : scope) {
     uint32_t d = 0;
     for (const Arc& a : adj_[x]) {
       VertexId y = a.to;
-      if (in_scope[y]) {
+      if (ws_in_scope_[y]) {
         ++d;
       } else if (value[y] >= 1) {
         ++d;
-        expiry.emplace_back(value[y], x);
+        ws_expiry_.emplace_back(value[y], x);
         max_level = std::max(max_level, value[y]);
       }
     }
-    deg[x] = d;
+    ws_deg_[x] = d;
     if (!is_fixed(x)) max_level = std::max(max_level, d);
   }
-  std::sort(expiry.begin(), expiry.end());
+  std::sort(ws_expiry_.begin(), ws_expiry_.end());
 
-  std::vector<uint8_t> alive(n, 0);
-  for (VertexId x : scope) alive[x] = 1;
+  for (VertexId x : scope) ws_alive_[x] = 1;
 
   // Level-L removal: x leaves the core while moving to level L+1, so its
   // new offset is L (0 if it already fails the (τ,1)-level constraints).
   // Out-of-scope vertices are never alive, so the kernel's alive check
   // subsumes the scope filter.
   LevelPeeler peeler(
-      deg, alive, tau, max_level,
+      ws_deg_, ws_alive_, tau, max_level,
       [&](VertexId x, auto&& visit) {
         for (const Arc& a : adj_[x]) visit(a.to);
       },
-      is_fixed, [&](VertexId x, uint32_t level) { value[x] = level; });
+      is_fixed, [&](VertexId x, uint32_t level) { value[x] = level; },
+      &ws_peel_);
   peeler.Start(scope);
 
   std::size_t expiry_ptr = 0;
@@ -128,14 +135,20 @@ void DynamicDeltaIndex::RecomputeScoped(std::vector<uint32_t>& value,
     peeler.RunLevel(level);
     // Boundary supports with offset == level expire now; the loss still
     // counts against membership at this level (offset stays `level`).
-    while (expiry_ptr < expiry.size() && expiry[expiry_ptr].first == level) {
-      peeler.Decrement(expiry[expiry_ptr].second, level);
+    while (expiry_ptr < ws_expiry_.size() &&
+           ws_expiry_[expiry_ptr].first == level) {
+      peeler.Decrement(ws_expiry_[expiry_ptr].second, level);
       ++expiry_ptr;
     }
   }
-  // Defensive: anything still alive survived every level we can justify.
+  // Defensive: anything still alive survived every level we can justify
+  // (and must be killed to restore the all-zero alive invariant).
   for (VertexId x : scope) {
-    if (alive[x]) value[x] = max_level;
+    if (ws_alive_[x]) {
+      value[x] = max_level;
+      ws_alive_[x] = 0;
+    }
+    ws_in_scope_[x] = 0;
   }
 }
 
@@ -153,18 +166,22 @@ void DynamicDeltaIndex::UpdateLevel(std::vector<uint32_t>& value,
   // seed grown lazily can get stuck at a lower fixpoint). Removal: every
   // drop is caused by a dropping neighbour with offset in [1, K], so the
   // [1, K]-reachable region suffices as the seed.
-  std::vector<VertexId> scope =
-      is_insert ? CollectScope(adj_, value, k, kMax, {u, v})
-                : CollectScope(adj_, value, 1, k, {u, v});
+  std::vector<VertexId> scope = is_insert
+                                    ? CollectScope(value, k, kMax, {u, v})
+                                    : CollectScope(value, 1, k, {u, v});
 
   // Trigger rounds (safety net): recompute the scope against its ORIGINAL
   // offsets and grow it whenever a changed vertex crossed an out-of-scope
   // neighbour's critical threshold — i.e. that neighbour's own offset
   // might move. Terminates because the scope grows strictly; the final
   // fixpoint is exact because every untouched boundary vertex keeps all
-  // its supports.
-  std::vector<uint8_t> in_scope(adj_.size(), 0);
-  for (VertexId x : scope) in_scope[x] = 1;
+  // its supports. ws_update_mark_ is a lent all-zero buffer, restored
+  // before every return.
+  ws_update_mark_.resize(adj_.size(), 0);
+  for (VertexId x : scope) ws_update_mark_[x] = 1;
+  auto clear_marks = [&] {
+    for (VertexId x : scope) ws_update_mark_[x] = 0;
+  };
   std::unordered_map<VertexId, uint32_t> saved;
   for (int round = 0; round < 1024; ++round) {
     for (VertexId x : scope) saved.try_emplace(x, value[x]);
@@ -179,40 +196,48 @@ void DynamicDeltaIndex::UpdateLevel(std::vector<uint32_t>& value,
       if (value[x] == old) continue;
       for (const Arc& a : adj_[x]) {
         const VertexId y = a.to;
-        if (in_scope[y]) continue;
+        if (ws_update_mark_[y]) continue;
         const uint64_t vy = value[y];
         const bool affected = is_insert ? (old < vy + 1 && vy + 1 <= value[x])
                                         : (value[x] < vy && vy <= old);
         if (affected) {
-          in_scope[y] = 1;
+          ws_update_mark_[y] = 1;
           scope.push_back(y);
           expanded = true;
         }
       }
     }
-    if (!expanded) return;
+    if (!expanded) {
+      clear_marks();
+      return;
+    }
   }
   // Pathological expansion (should not happen): fall back to the whole
   // connected region so correctness is never at risk.
+  clear_marks();
   for (const auto& [x, old] : saved) value[x] = old;
-  std::vector<VertexId> full = CollectScope(adj_, value, 0, kMax, {u, v});
+  std::vector<VertexId> full = CollectScope(value, 0, kMax, {u, v});
   RecomputeScoped(value, tau, fix_upper, full);
 }
 
-bool DynamicDeltaIndex::KkCoreNonEmpty(uint32_t k) const {
+bool DynamicDeltaIndex::KkCoreNonEmpty(uint32_t k) {
   const uint32_t n = NumVertices();
-  std::vector<uint32_t> deg(n);
-  std::vector<uint8_t> alive(n, 1);
+  // Reuses the scoped-recompute buffers (alive is left dirty here; it is
+  // refilled wholesale on every use, unlike the scoped paths' invariant).
+  ws_deg_.resize(n);
+  ws_alive_.assign(n, 1);
   for (VertexId x = 0; x < n; ++x) {
-    deg[x] = static_cast<uint32_t>(adj_[x].size());
+    ws_deg_[x] = static_cast<uint32_t>(adj_[x].size());
   }
   uint32_t remaining = n;
   ThresholdPeel(
-      n, deg, alive,
+      n, ws_deg_, ws_alive_,
       [&](VertexId x, auto&& visit) {
         for (const Arc& a : adj_[x]) visit(a.to);
       },
-      [k](VertexId) { return k; }, [&](VertexId) { --remaining; });
+      [k](VertexId) { return k; }, [&](VertexId) { --remaining; },
+      &ws_stack_);
+  std::fill(ws_alive_.begin(), ws_alive_.end(), 0);
   return remaining > 0;
 }
 

@@ -2,8 +2,11 @@
 #define ABCS_CORE_MAINTENANCE_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <utility>
 #include <vector>
 
+#include "abcore/peel_kernel.h"
 #include "common/status.h"
 #include "core/subgraph.h"
 #include "graph/bipartite_graph.h"
@@ -91,10 +94,15 @@ class DynamicDeltaIndex {
   /// (unchanged) offset.
   void RecomputeScoped(std::vector<uint32_t>& value, uint32_t tau,
                        bool fix_upper, const std::vector<VertexId>& scope);
+  /// Initial scope of an edge update: the seeds plus every vertex
+  /// reachable through vertices whose offset lies in [lo, hi].
+  std::vector<VertexId> CollectScope(const std::vector<uint32_t>& value,
+                                     uint32_t lo, uint32_t hi,
+                                     std::initializer_list<VertexId> seeds);
   void MaybeGrowDelta();
   void MaybeShrinkDelta();
   /// True iff the (k,k)-core of the current graph is nonempty.
-  bool KkCoreNonEmpty(uint32_t k) const;
+  bool KkCoreNonEmpty(uint32_t k);
 
   uint32_t num_upper_ = 0;
   uint32_t num_alive_edges_ = 0;
@@ -104,6 +112,20 @@ class DynamicDeltaIndex {
   uint32_t delta_ = 0;
   std::vector<std::vector<uint32_t>> sa_;  // [τ-1][v]
   std::vector<std::vector<uint32_t>> sb_;
+
+  // Lent buffers for the per-level scoped recomputes: one update touches
+  // up to 2δ levels, and each used to allocate 3×O(n) arrays plus a BFS
+  // visited map — these persist instead, and the scoped code restores
+  // their invariant (alive / in_scope / update_mark / visited all-zero;
+  // deg stale-but-unread) in O(|scope|) after each use.
+  std::vector<uint32_t> ws_deg_;
+  std::vector<uint8_t> ws_alive_;
+  std::vector<uint8_t> ws_in_scope_;
+  std::vector<uint8_t> ws_update_mark_;
+  std::vector<uint8_t> ws_visited_;
+  std::vector<std::pair<uint32_t, VertexId>> ws_expiry_;
+  std::vector<VertexId> ws_stack_;
+  LevelPeelScratch ws_peel_;
 };
 
 }  // namespace abcs

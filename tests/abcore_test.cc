@@ -185,6 +185,27 @@ TEST(OffsetsTest, ScopedWithFullScopeMatchesUnscoped) {
   }
 }
 
+TEST(OffsetsTest, WorkspaceOverloadsMatchByValueAcrossReuse) {
+  // One OffsetWorkspace serves many peels (the maintenance pattern): every
+  // result must match the allocating API no matter what the previous call
+  // left in the buffers, including interleaved scoped/unscoped and
+  // alpha/beta calls of different sizes.
+  BipartiteGraph g = RandomWeightedGraph(30, 30, 200, 23);
+  BipartiteGraph small = RandomWeightedGraph(8, 8, 30, 24);
+  std::vector<uint8_t> scope(g.NumVertices(), 0);
+  for (VertexId v = 0; v < g.NumVertices(); v += 2) scope[v] = 1;
+  OffsetWorkspace ws;
+  for (uint32_t k = 1; k <= 4; ++k) {
+    EXPECT_EQ(ComputeAlphaOffsets(g, k, ws), ComputeAlphaOffsets(g, k));
+    EXPECT_EQ(ComputeAlphaOffsetsScoped(g, k, scope, ws),
+              ComputeAlphaOffsetsScoped(g, k, scope));
+    EXPECT_EQ(ComputeBetaOffsets(small, k, ws),
+              ComputeBetaOffsets(small, k));
+    EXPECT_EQ(ComputeBetaOffsetsScoped(g, k, scope, ws),
+              ComputeBetaOffsetsScoped(g, k, scope));
+  }
+}
+
 TEST(OffsetsTest, ScopedRestrictsToInducedSubgraph) {
   // Scope = upper {0,1} and lower {v0,v1}; the induced subgraph is a
   // 2×2 biclique regardless of what u2/v2 do outside.
@@ -236,11 +257,38 @@ TEST(DegeneracyTest, DecompositionConsistentWithPerLevelOffsets) {
   BipartiteGraph g = RandomWeightedGraph(25, 25, 220, 51);
   BicoreDecomposition d = ComputeBicoreDecomposition(g);
   EXPECT_EQ(d.delta, Degeneracy(g));
-  ASSERT_EQ(d.sa.size(), d.delta);
+  EXPECT_EQ(d.NumVertices(), g.NumVertices());
   for (uint32_t tau = 1; tau <= d.delta; ++tau) {
-    EXPECT_EQ(d.sa[tau - 1], ComputeAlphaOffsets(g, tau));
-    EXPECT_EQ(d.sb[tau - 1], ComputeBetaOffsets(g, tau));
+    const std::vector<uint32_t> sa = ComputeAlphaOffsets(g, tau);
+    const std::vector<uint32_t> sb = ComputeBetaOffsets(g, tau);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_EQ(d.sa(tau, v), sa[v]) << "tau=" << tau << " v=" << v;
+      EXPECT_EQ(d.sb(tau, v), sb[v]) << "tau=" << tau << " v=" << v;
+    }
   }
+}
+
+TEST(DegeneracyTest, ArenaSlicesEndAtLastNonzeroLevel) {
+  // Compactness: vertex v's slice covers exactly the τ ≤ δ with
+  // s(v, τ) ≥ 1, so the arena never stores a zero and MemoryBytes is
+  // strictly below the dense 2δ·n table whenever any offset hits zero.
+  BipartiteGraph g = RandomWeightedGraph(25, 25, 220, 52);
+  const BicoreDecomposition d = ComputeBicoreDecomposition(g);
+  for (uint32_t x : d.alpha.values) EXPECT_GE(x, 1u);
+  for (uint32_t x : d.beta.values) EXPECT_GE(x, 1u);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const uint32_t levels = d.alpha.Levels(v);
+    EXPECT_LE(levels, d.delta);
+    if (levels < d.delta) {
+      EXPECT_EQ(d.sa(levels + 1, v), 0u);
+    }
+    if (levels > 0) {
+      EXPECT_GE(d.sa(levels, v), 1u);
+    }
+  }
+  EXPECT_LE(d.MemoryBytes(),
+            DenseDecompositionBytes(d.delta, g.NumVertices()) +
+                2 * (g.NumVertices() + 1) * sizeof(uint32_t));
 }
 
 TEST(DegeneracyTest, ParallelDecompositionMatchesSerial) {
@@ -250,9 +298,7 @@ TEST(DegeneracyTest, ParallelDecompositionMatchesSerial) {
     for (unsigned threads : {1u, 2u, 4u}) {
       const BicoreDecomposition parallel =
           ComputeBicoreDecompositionParallel(g, threads);
-      EXPECT_EQ(parallel.delta, serial.delta);
-      EXPECT_EQ(parallel.sa, serial.sa) << "threads=" << threads;
-      EXPECT_EQ(parallel.sb, serial.sb) << "threads=" << threads;
+      EXPECT_EQ(parallel, serial) << "threads=" << threads;
     }
   }
 }

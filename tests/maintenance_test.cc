@@ -24,9 +24,9 @@ void ExpectConsistentWithRebuild(const DynamicDeltaIndex& dyn,
   ASSERT_EQ(dyn.delta(), ref.delta) << context;
   for (uint32_t tau = 1; tau <= ref.delta; ++tau) {
     for (VertexId v = 0; v < snapshot.NumVertices(); ++v) {
-      ASSERT_EQ(dyn.OffsetAlpha(tau, v), ref.sa[tau - 1][v])
+      ASSERT_EQ(dyn.OffsetAlpha(tau, v), ref.sa(tau, v))
           << context << " sa tau=" << tau << " v=" << v;
-      ASSERT_EQ(dyn.OffsetBeta(tau, v), ref.sb[tau - 1][v])
+      ASSERT_EQ(dyn.OffsetBeta(tau, v), ref.sb(tau, v))
           << context << " sb tau=" << tau << " v=" << v;
     }
   }
@@ -190,8 +190,8 @@ TEST(MaintenanceTest, InsertThenRemoveIsIdempotentOnOffsets) {
   ASSERT_EQ(dyn.delta(), before.delta);
   for (uint32_t tau = 1; tau <= before.delta; ++tau) {
     for (VertexId x = 0; x < g.NumVertices(); ++x) {
-      EXPECT_EQ(dyn.OffsetAlpha(tau, x), before.sa[tau - 1][x]);
-      EXPECT_EQ(dyn.OffsetBeta(tau, x), before.sb[tau - 1][x]);
+      EXPECT_EQ(dyn.OffsetAlpha(tau, x), before.sa(tau, x));
+      EXPECT_EQ(dyn.OffsetBeta(tau, x), before.sb(tau, x));
     }
   }
 }

@@ -1,0 +1,132 @@
+// Property tests for the output-sensitive decomposition build: the
+// incremental nested-core chains (serial and τ-chunked parallel) must be
+// bit-identical to the naive per-level peel — same δ, same arena layout,
+// same offset values — across random Chung–Lu graphs, weight models,
+// thread counts, and the degenerate shapes that stress the chunking
+// (δ = 0, stars, complete bipartite blocks).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "abcore/degeneracy.h"
+#include "abcore/offsets.h"
+#include "graph/generators.h"
+#include "graph/weights.h"
+#include "test_util.h"
+
+namespace abcs {
+namespace {
+
+using ::abcs::testing::MakeGraph;
+
+void ExpectBitIdentical(const BipartiteGraph& g, const char* context) {
+  const BicoreDecomposition naive = ComputeBicoreDecompositionNaive(g);
+  const BicoreDecomposition serial = ComputeBicoreDecomposition(g);
+  EXPECT_EQ(serial, naive) << context << ": serial incremental vs naive";
+  for (unsigned threads : {1u, 2u, 4u}) {
+    const BicoreDecomposition parallel =
+        ComputeBicoreDecompositionParallel(g, threads);
+    EXPECT_EQ(parallel, naive)
+        << context << ": chunked parallel vs naive, threads=" << threads;
+  }
+  // The accessors must agree with the direct per-level peel everywhere,
+  // including levels past a vertex's slice (0 by definition).
+  for (uint32_t tau = 1; tau <= naive.delta; ++tau) {
+    const std::vector<uint32_t> sa = ComputeAlphaOffsets(g, tau);
+    const std::vector<uint32_t> sb = ComputeBetaOffsets(g, tau);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      ASSERT_EQ(naive.sa(tau, v), sa[v])
+          << context << " tau=" << tau << " v=" << v;
+      ASSERT_EQ(naive.sb(tau, v), sb[v])
+          << context << " tau=" << tau << " v=" << v;
+    }
+  }
+}
+
+class ChungLuEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(ChungLuEquivalenceTest, IncrementalMatchesNaive) {
+  const auto [seed, model_idx] = GetParam();
+  const WeightModel model = static_cast<WeightModel>(model_idx);
+  BipartiteGraph topo;
+  ASSERT_TRUE(GenChungLuBipartite(120, 150, 900 + 37 * (seed % 5), 2.0, 2.2,
+                                  seed, &topo)
+                  .ok());
+  const BipartiteGraph g = ApplyWeightModel(topo, model, seed + 1);
+  ExpectBitIdentical(g, WeightModelName(model).c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByWeightModel, ChungLuEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values(901, 902, 903, 904),
+        ::testing::Values(static_cast<int>(WeightModel::kAllEqual),
+                          static_cast<int>(WeightModel::kUniform),
+                          static_cast<int>(WeightModel::kSkewNormal))));
+
+TEST(OffsetsEquivalenceTest, EmptyGraphHasDeltaZero) {
+  const BipartiteGraph g;  // no vertices, no edges
+  ExpectBitIdentical(g, "empty");
+  const BicoreDecomposition d = ComputeBicoreDecomposition(g);
+  EXPECT_EQ(d.delta, 0u);
+  EXPECT_EQ(d.NumVertices(), 0u);
+  EXPECT_TRUE(d.alpha.values.empty());
+  EXPECT_TRUE(d.beta.values.empty());
+}
+
+TEST(OffsetsEquivalenceTest, StarGraph) {
+  // K_{1,6}: δ = 1, the chains have no τ ≥ 2 work at all.
+  std::vector<std::tuple<uint32_t, uint32_t, Weight>> triples;
+  for (uint32_t j = 0; j < 6; ++j) triples.push_back({0, j, 1.0});
+  const BipartiteGraph g = MakeGraph(triples);
+  ASSERT_EQ(Degeneracy(g), 1u);
+  ExpectBitIdentical(g, "star");
+  const BicoreDecomposition d = ComputeBicoreDecomposition(g);
+  EXPECT_EQ(d.sb(1, 0), 6u);  // the hub survives to α = 6
+  EXPECT_EQ(d.sa(1, 0), 1u);  // degree-1 leaves cap β at 1
+  EXPECT_EQ(d.sb(1, 1), 6u);  // every leaf dies with the hub
+}
+
+TEST(OffsetsEquivalenceTest, CompleteBipartiteBlock) {
+  // K_{5,5}: δ = 5 and no vertex ever leaves a core early, so every slice
+  // has full length δ and the chunked chains degenerate to whole-graph
+  // peels at every τ.
+  std::vector<std::tuple<uint32_t, uint32_t, Weight>> triples;
+  for (uint32_t i = 0; i < 5; ++i) {
+    for (uint32_t j = 0; j < 5; ++j) triples.push_back({i, j, 1.0});
+  }
+  const BipartiteGraph g = MakeGraph(triples);
+  ASSERT_EQ(Degeneracy(g), 5u);
+  ExpectBitIdentical(g, "complete");
+  const BicoreDecomposition d = ComputeBicoreDecomposition(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(d.alpha.Levels(v), 5u);
+    for (uint32_t tau = 1; tau <= 5; ++tau) EXPECT_EQ(d.sa(tau, v), 5u);
+  }
+}
+
+TEST(OffsetsEquivalenceTest, ChainPlusCliqueMixesSliceLengths) {
+  // A dense biclique glued to a long degree-2 chain: chain vertices leave
+  // the α-chain at τ = 2 (slice length 1-2) while biclique vertices keep
+  // full slices — exercising uneven arena layouts under every chunking.
+  const BipartiteGraph g = ::abcs::testing::PaperFigure2Graph(60);
+  ExpectBitIdentical(g, "figure2");
+}
+
+TEST(OffsetsEquivalenceTest, ThreadCountBeyondDeltaClampsToChunks) {
+  // More workers than τ-levels: chunking must clamp, not emit empty or
+  // overlapping chunks.
+  BipartiteGraph g = ::abcs::testing::RandomWeightedGraph(20, 20, 140, 77);
+  const BicoreDecomposition naive = ComputeBicoreDecompositionNaive(g);
+  for (unsigned threads : {8u, 16u, 64u}) {
+    EXPECT_EQ(ComputeBicoreDecompositionParallel(g, threads), naive)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace abcs

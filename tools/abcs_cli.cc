@@ -3,7 +3,10 @@
 //
 // Usage:
 //   abcs stats  <graph>                       print dataset statistics
-//   abcs index  <graph> <index-out>           build and persist I_δ
+//   abcs index  <graph> <index-out>           build and persist I_δ (alias:
+//                                             build; per-phase timing —
+//                                             decomposition / entry emission
+//                                             / serialisation — on stderr)
 //   abcs query  <graph> <q> <alpha> <beta> [--index FILE] [--side u|l]
 //                                             print C_{α,β}(q)
 //   abcs query  <graph> --batch <file> [--threads N] [--index FILE]
@@ -54,7 +57,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  abcs stats <graph>\n"
-               "  abcs index <graph> <index-out>\n"
+               "  abcs index <graph> <index-out>   (alias: build; phase\n"
+               "      timing breakdown on stderr)\n"
                "  abcs query <graph> <q> <alpha> <beta> [--index FILE] "
                "[--side u|l]\n"
                "  abcs query <graph> --batch <file> [--threads N] "
@@ -170,14 +174,29 @@ int CmdIndex(const std::string& graph_path, const std::string& out_path) {
   abcs::BipartiteGraph g;
   abcs::Status st = abcs::LoadEdgeList(graph_path, &g, /*zero_based=*/true);
   if (!st.ok()) return Fail(st);
+  // Per-phase breakdown on stderr so a build regression in any one stage
+  // (offset decomposition, entry emission, serialisation) is diagnosable
+  // straight from logs.
   abcs::Timer timer;
-  const abcs::DeltaIndex index =
-      abcs::DeltaIndex::Build(g, nullptr, /*num_threads=*/0);
+  const abcs::BicoreDecomposition decomp =
+      abcs::ComputeBicoreDecompositionParallel(g, /*num_threads=*/0);
+  const double decomp_s = timer.Seconds();
+  timer.Reset();
+  const abcs::DeltaIndex index = abcs::DeltaIndex::Build(g, &decomp);
+  const double entries_s = timer.Seconds();
   std::printf("built I_delta (delta=%u) in %.3fs, %.2f MB\n", index.delta(),
-              timer.Seconds(),
+              decomp_s + entries_s,
               static_cast<double>(index.MemoryBytes()) / (1024.0 * 1024.0));
+  timer.Reset();
   st = abcs::SaveDeltaIndex(index, g, out_path);
   if (!st.ok()) return Fail(st);
+  const double save_s = timer.Seconds();
+  std::fprintf(stderr,
+               "# build phases: decomposition=%.3fs (%.2f MB arena) "
+               "entries=%.3fs serialisation=%.3fs\n",
+               decomp_s,
+               static_cast<double>(decomp.MemoryBytes()) / (1024.0 * 1024.0),
+               entries_s, save_s);
   std::printf("saved to %s\n", out_path.c_str());
   return 0;
 }
@@ -413,7 +432,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   if (cmd == "stats" && argc == 3) return CmdStats(argv[2]);
-  if (cmd == "index" && argc == 4) return CmdIndex(argv[2], argv[3]);
+  if ((cmd == "index" || cmd == "build") && argc == 4) {
+    return CmdIndex(argv[2], argv[3]);
+  }
   if (cmd == "gen" && argc == 4) return CmdGen(argv[2], argv[3]);
   if (cmd == "query" || cmd == "scs" || cmd == "profile") {
     QueryArgs args;
