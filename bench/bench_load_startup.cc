@@ -1,0 +1,224 @@
+// Startup-latency benchmark: time-to-first-query of a cold index build vs
+// reopening a persisted ABCSPAK1 bundle (legacy ABCSIDX load, read-mode
+// open, mmap open — verified and unverified). This is the restart story
+// the bundle format exists for: the O(δ·m) construction cost is paid once
+// at save time, and every process start afterwards is an O(file) open (or
+// O(1) copies + lazy page faults for unverified mmap). Emits
+// BENCH_load.json for the CI bench-smoke artifact.
+//
+// Usage: bench_load_startup [out.json]
+// ABCS_BENCH_DATASETS / ABCS_BENCH_DATASET: registry names (default BS),
+// or "XL" — the million-vertex synthetic graph shared with
+// bench_query_throughput, where restart latency is the real regime.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/bicore_index.h"
+#include "core/delta_index.h"
+#include "core/index_io.h"
+#include "core/subgraph.h"
+#include "io/index_bundle.h"
+
+namespace {
+
+double TimeBest(int reps, const auto& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    abcs::Timer timer;
+    fn();
+    best = std::min(best, timer.Seconds());
+  }
+  return best;
+}
+
+// Million-vertex restart dataset (same spec as bench_query_throughput's
+// bench-local XL; not in the Table I registry).
+abcs::DatasetSpec XlSpec() {
+  abcs::DatasetSpec spec;
+  spec.name = "XL";
+  spec.num_upper = 400000;
+  spec.num_lower = 600000;
+  spec.num_edges = 1500000;
+  spec.skew_upper = 2.3;
+  spec.skew_lower = 2.3;
+  spec.weights = abcs::WeightModel::kUniform;
+  spec.seed = 777;
+  spec.paper_note = "synthetic startup-latency dataset (not in Table I)";
+  return spec;
+}
+
+std::vector<abcs::DatasetSpec> SelectedDatasets() {
+  const char* env = std::getenv("ABCS_BENCH_DATASETS");
+  if (env == nullptr || *env == '\0') env = std::getenv("ABCS_BENCH_DATASET");
+  const std::string list = (env == nullptr || *env == '\0') ? "BS" : env;
+  std::vector<abcs::DatasetSpec> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string name =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (const abcs::DatasetSpec* spec = abcs::FindDataset(name)) {
+      out.push_back(*spec);
+    } else if (name == "XL") {
+      out.push_back(XlSpec());
+    } else if (!name.empty()) {
+      std::fprintf(stderr, "unknown dataset %s\n", name.c_str());
+      std::exit(1);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct Row {
+  std::string name;
+  uint32_t n = 0, m = 0, delta = 0;
+  std::size_t bundle_bytes = 0;
+  double save_seconds = 0;
+  double cold_build_1t = 0;   ///< serial decomposition + I_δ + first query
+  double cold_build_mt = 0;   ///< all-cores decomposition + I_δ + query
+  double legacy_load = 0;     ///< ABCSIDX LoadDeltaIndex + first query
+  double open_read = 0;       ///< bundle kRead open + first query
+  double open_mmap = 0;       ///< bundle kMmap open + first query
+  double open_mmap_unverified = 0;  ///< mmap open, checksums skipped
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_load.json";
+  const std::vector<abcs::DatasetSpec> specs = SelectedDatasets();
+
+  std::printf("%-5s %8s %8s %6s %9s %10s %10s %10s %10s %10s %8s\n", "name",
+              "n", "m", "delta", "MB", "build1t", "buildMT", "legacy",
+              "read", "mmap", "speedup");
+  std::vector<Row> rows;
+  for (const abcs::DatasetSpec& spec : specs) {
+    const abcs::bench::PreparedDataset ds = abcs::bench::Prepare(spec);
+    const abcs::BipartiteGraph& g = ds.graph;
+    Row row;
+    row.name = spec.name;
+    row.n = g.NumVertices();
+    row.m = g.NumEdges();
+    row.delta = ds.delta();
+
+    // Time-to-first-query probe: one typical-point community retrieval,
+    // identical on every path (and checked identical below).
+    const uint32_t ab = abcs::bench::ScaledParam(ds.delta(), 0.7);
+    const std::vector<abcs::VertexId> qs =
+        abcs::bench::SampleCoreVertices(ds, ab, ab, 1, 99);
+    const abcs::VertexId q = qs.empty() ? 0 : qs[0];
+
+    const abcs::DeltaIndex built = abcs::DeltaIndex::Build(g, &ds.decomp);
+    const abcs::BicoreIndex bicore = abcs::BicoreIndex::Build(g, &ds.decomp);
+    const std::vector<abcs::EdgeId> want =
+        built.QueryCommunity(q, ab, ab).edges;
+
+    const std::string bundle_path = "bench_load_startup.tmp.abcs";
+    const std::string legacy_path = "bench_load_startup.tmp.idx";
+    {
+      abcs::Timer timer;
+      const abcs::Status st =
+          abcs::SaveIndexBundle(g, ds.decomp, built, bicore, bundle_path);
+      row.save_seconds = timer.Seconds();
+      if (!st.ok()) {
+        std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    if (!abcs::SaveDeltaIndex(built, g, legacy_path).ok()) return 1;
+
+    bool identical = true;
+    auto check = [&](const std::vector<abcs::EdgeId>& got) {
+      identical = identical && got == want;
+    };
+
+    row.cold_build_1t = TimeBest(1, [&] {
+      const abcs::DeltaIndex index =
+          abcs::DeltaIndex::Build(g, nullptr, /*num_threads=*/1);
+      check(index.QueryCommunity(q, ab, ab).edges);
+    });
+    row.cold_build_mt = TimeBest(1, [&] {
+      const abcs::DeltaIndex index =
+          abcs::DeltaIndex::Build(g, nullptr, /*num_threads=*/0);
+      check(index.QueryCommunity(q, ab, ab).edges);
+    });
+    row.legacy_load = TimeBest(3, [&] {
+      abcs::DeltaIndex index;
+      if (!abcs::LoadDeltaIndex(legacy_path, g, &index).ok()) std::exit(1);
+      check(index.QueryCommunity(q, ab, ab).edges);
+    });
+    auto open_and_query = [&](abcs::BundleOpenMode mode, bool verify) {
+      std::unique_ptr<abcs::IndexBundle> bundle;
+      abcs::BundleOpenOptions options;
+      options.mode = mode;
+      options.verify_checksums = verify;
+      if (!abcs::OpenIndexBundle(bundle_path, &bundle, options).ok()) {
+        std::exit(1);
+      }
+      row.bundle_bytes = bundle->FileBytes();
+      check(bundle->delta_index().QueryCommunity(q, ab, ab).edges);
+    };
+    row.open_read =
+        TimeBest(3, [&] { open_and_query(abcs::BundleOpenMode::kRead, true); });
+    row.open_mmap =
+        TimeBest(3, [&] { open_and_query(abcs::BundleOpenMode::kMmap, true); });
+    row.open_mmap_unverified = TimeBest(
+        3, [&] { open_and_query(abcs::BundleOpenMode::kMmap, false); });
+
+    std::remove(bundle_path.c_str());
+    std::remove(legacy_path.c_str());
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: %s first-query results differ across paths\n",
+                   spec.name.c_str());
+      return 1;
+    }
+
+    constexpr double kMb = 1024.0 * 1024.0;
+    std::printf(
+        "%-5s %8u %8u %6u %9.2f %10.4f %10.4f %10.4f %10.4f %10.4f %7.1fx\n",
+        row.name.c_str(), row.n, row.m, row.delta,
+        static_cast<double>(row.bundle_bytes) / kMb, row.cold_build_1t,
+        row.cold_build_mt, row.legacy_load, row.open_read, row.open_mmap,
+        row.open_mmap > 0 ? row.cold_build_mt / row.open_mmap : 0.0);
+    rows.push_back(std::move(row));
+  }
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"load_startup\",\n  \"datasets\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", \"n\": %u, \"m\": %u, \"delta\": %u,\n"
+        "     \"bundle_bytes\": %zu, \"save_seconds\": %.6f,\n"
+        "     \"cold_build_1t_seconds\": %.6f, "
+        "\"cold_build_mt_seconds\": %.6f,\n"
+        "     \"legacy_load_seconds\": %.6f, \"open_read_seconds\": %.6f,\n"
+        "     \"open_mmap_seconds\": %.6f, "
+        "\"open_mmap_unverified_seconds\": %.6f,\n"
+        "     \"ttfq_speedup_mmap_vs_cold_build\": %.2f}%s\n",
+        r.name.c_str(), r.n, r.m, r.delta, r.bundle_bytes, r.save_seconds,
+        r.cold_build_1t, r.cold_build_mt, r.legacy_load, r.open_read,
+        r.open_mmap, r.open_mmap_unverified,
+        r.open_mmap > 0 ? r.cold_build_mt / r.open_mmap : 0.0,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -103,15 +103,20 @@ void RunChainChunk(const BipartiteGraph& g, bool fix_upper, uint32_t tau_lo,
                    uint32_t* arena_values, ChainState& st) {
   const uint32_t n = g.NumVertices();
   auto is_fixed = [&](VertexId v) { return g.IsUpper(v) == fix_upper; };
-  const std::vector<uint32_t>& arena_start = arena.start;
+  // Build-time arenas are always owned; hoist the raw pointer (like
+  // arena_values) so the hot peel callback skips the ownership branch.
+  const uint32_t* const arena_start = arena.start.data();
 
+  const auto levels = [arena_start](VertexId v) {
+    return arena_start[v + 1] - arena_start[v];
+  };
   st.alive.assign(n, 0);
   st.deg.resize(n);
   st.work_deg.resize(n);
   st.work_alive.assign(n, 0);
   st.frontier.clear();
   for (VertexId v = 0; v < n; ++v) {
-    if (arena.Levels(v) >= tau_lo) {
+    if (levels(v) >= tau_lo) {
       st.alive[v] = 1;
       st.frontier.push_back(v);
     }
@@ -119,7 +124,7 @@ void RunChainChunk(const BipartiteGraph& g, bool fix_upper, uint32_t tau_lo,
   for (const VertexId v : st.frontier) {
     uint32_t d = 0;
     for (const Arc& a : g.Neighbors(v)) {
-      if (arena.Levels(a.to) >= tau_lo) ++d;
+      if (levels(a.to) >= tau_lo) ++d;
     }
     st.deg[v] = d;
   }
@@ -162,11 +167,12 @@ void RunChainChunk(const BipartiteGraph& g, bool fix_upper, uint32_t tau_lo,
 /// CSR layout from per-vertex slice lengths: `len(v)` values per vertex.
 template <typename SliceLen>
 void LayoutArena(uint32_t n, SliceLen&& len, OffsetArena* arena) {
-  arena->start.assign(n + 1, 0);
+  std::vector<uint32_t>& start = arena->start.Mutable();
+  start.assign(n + 1, 0);
   for (VertexId v = 0; v < n; ++v) {
-    arena->start[v + 1] = arena->start[v] + len(v);
+    start[v + 1] = start[v] + len(v);
   }
-  arena->values.assign(arena->start[n], 0);
+  arena->values.Mutable().assign(start[n], 0);
 }
 
 /// Shared frame of all three builds: δ, the two O(m) seed peels at τ = 1
@@ -191,9 +197,11 @@ BicoreDecomposition LayoutDecomposition(const BipartiteGraph& g) {
       n, [&](VertexId v) { return std::min(delta, sb1[v]); }, &d.alpha);
   LayoutArena(
       n, [&](VertexId v) { return std::min(delta, sa1[v]); }, &d.beta);
+  std::vector<uint32_t>& alpha_values = d.alpha.values.Mutable();
+  std::vector<uint32_t>& beta_values = d.beta.values.Mutable();
   for (VertexId v = 0; v < n; ++v) {
-    if (d.alpha.Levels(v) >= 1) d.alpha.values[d.alpha.start[v]] = sa1[v];
-    if (d.beta.Levels(v) >= 1) d.beta.values[d.beta.start[v]] = sb1[v];
+    if (d.alpha.Levels(v) >= 1) alpha_values[d.alpha.start[v]] = sa1[v];
+    if (d.beta.Levels(v) >= 1) beta_values[d.beta.start[v]] = sb1[v];
   }
   return d;
 }
@@ -272,15 +280,21 @@ BicoreDecomposition ComputeBicoreDecompositionParallel(
     bool fix_upper;
     uint32_t lo, hi;
     OffsetArena* arena;
+    uint32_t* values;  ///< mutable value array, materialised pre-spawn
   };
+  // Freshly laid-out arenas are owned, so Mutable() is allocation-free
+  // here; taking the pointers on this thread keeps the workers read-only
+  // on the ArenaStorage itself.
+  uint32_t* const alpha_values = d.alpha.values.Mutable().data();
+  uint32_t* const beta_values = d.beta.values.Mutable().data();
   std::vector<Chunk> tasks;
   tasks.reserve(2 * chunks);
   for (uint32_t c = 0; c < chunks; ++c) {
     const uint32_t lo = 2 + c * span / chunks;
     const uint32_t hi = 2 + (c + 1) * span / chunks - 1;
     // Interleave the sides so the heavy low-τ chunks are claimed first.
-    tasks.push_back({true, lo, hi, &d.alpha});
-    tasks.push_back({false, lo, hi, &d.beta});
+    tasks.push_back({true, lo, hi, &d.alpha, alpha_values});
+    tasks.push_back({false, lo, hi, &d.beta, beta_values});
   }
 
   // Chunks write disjoint (τ, v) arena cells, so workers share nothing but
@@ -294,7 +308,7 @@ BicoreDecomposition ComputeBicoreDecompositionParallel(
       if (i >= tasks.size()) return;
       const Chunk& task = tasks[i];
       RunChainChunk(g, task.fix_upper, task.lo, task.hi, *task.arena,
-                    task.arena->values.data(), st);
+                    task.values, st);
     }
   };
   const unsigned spawn =
@@ -313,18 +327,20 @@ BicoreDecomposition ComputeBicoreDecompositionParallel(
 BicoreDecomposition ComputeBicoreDecompositionNaive(const BipartiteGraph& g) {
   BicoreDecomposition d = LayoutDecomposition(g);
   const uint32_t n = g.NumVertices();
+  std::vector<uint32_t>& alpha_values = d.alpha.values.Mutable();
+  std::vector<uint32_t>& beta_values = d.beta.values.Mutable();
   OffsetWorkspace ws;
   for (uint32_t tau = 2; tau <= d.delta; ++tau) {
     const std::vector<uint32_t>& sa = ComputeAlphaOffsets(g, tau, ws);
     for (VertexId v = 0; v < n; ++v) {
       if (d.alpha.Levels(v) >= tau) {
-        d.alpha.values[d.alpha.start[v] + tau - 1] = sa[v];
+        alpha_values[d.alpha.start[v] + tau - 1] = sa[v];
       }
     }
     const std::vector<uint32_t>& sb = ComputeBetaOffsets(g, tau, ws);
     for (VertexId v = 0; v < n; ++v) {
       if (d.beta.Levels(v) >= tau) {
-        d.beta.values[d.beta.start[v] + tau - 1] = sb[v];
+        beta_values[d.beta.start[v] + tau - 1] = sb[v];
       }
     }
   }

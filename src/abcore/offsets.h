@@ -7,6 +7,7 @@
 
 #include "abcore/peel_kernel.h"
 #include "graph/bipartite_graph.h"
+#include "io/arena_storage.h"
 
 namespace abcs {
 
@@ -76,9 +77,11 @@ const std::vector<uint32_t>& ComputeBetaOffsets(const BipartiteGraph& g,
 /// offset (clamped to δ). Offsets are non-increasing in τ and every stored
 /// value is ≥ 1, so `At` answers any τ exactly: past-the-slice levels are
 /// 0 by definition. Total size Σ_v Levels(v) instead of the dense δ·n.
+/// Both arrays live in `ArenaStorage`: owned by a fresh build, or borrowed
+/// zero-copy views into an opened index bundle (io/index_bundle.h).
 struct OffsetArena {
-  std::vector<uint32_t> start;   ///< size n+1
-  std::vector<uint32_t> values;  ///< concatenated per-vertex slices
+  ArenaStorage<uint32_t> start;   ///< size n+1
+  ArenaStorage<uint32_t> values;  ///< concatenated per-vertex slices
 
   uint32_t Levels(VertexId v) const { return start[v + 1] - start[v]; }
   uint32_t At(uint32_t tau, VertexId v) const {

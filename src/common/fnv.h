@@ -1,0 +1,22 @@
+#ifndef ABCS_COMMON_FNV_H_
+#define ABCS_COMMON_FNV_H_
+
+#include <cstdint>
+
+namespace abcs {
+
+/// FNV-1a over a stream of 64-bit values: the one hash behind the graph
+/// topology checksum, the weight digest and the bundle section checksums,
+/// so the constants live in exactly one place.
+struct Fnv1a64 {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+
+  void Mix(uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+};
+
+}  // namespace abcs
+
+#endif  // ABCS_COMMON_FNV_H_

@@ -16,24 +16,25 @@ void BicoreIndex::BuildSide(const OffsetArena& offsets, uint32_t delta,
   // |List(τ)| = #{v : Levels(v) ≥ τ}, via a histogram of slice lengths.
   std::vector<uint32_t> hist(delta + 2, 0);
   for (VertexId v = 0; v < n; ++v) ++hist[offsets.Levels(v)];
-  side->start.assign(delta + 1, 0);
+  std::vector<uint32_t>& start = side->start.Mutable();
+  std::vector<Entry>& entries = side->entries.Mutable();
+  start.assign(delta + 1, 0);
   uint32_t count_ge = 0;
   for (uint32_t tau = delta; tau >= 1; --tau) {
     count_ge += hist[tau];
-    side->start[tau] = count_ge;  // holds |List(τ)| for now
+    start[tau] = count_ge;  // holds |List(τ)| for now
   }
   for (uint32_t tau = 1; tau <= delta; ++tau) {
-    side->start[tau] += side->start[tau - 1];
+    start[tau] += start[tau - 1];
   }
-  side->entries.resize(side->start[delta]);
+  entries.resize(start[delta]);
 
-  std::vector<uint32_t> cursor(side->start.begin(), side->start.end() - 1);
+  std::vector<uint32_t> cursor(start.begin(), start.end() - 1);
   for (VertexId v = 0; v < n; ++v) {
     const uint32_t base = offsets.start[v];
     const uint32_t levels = offsets.Levels(v);
     for (uint32_t tau = 1; tau <= levels; ++tau) {
-      side->entries[cursor[tau - 1]++] =
-          Entry{v, offsets.values[base + tau - 1]};
+      entries[cursor[tau - 1]++] = Entry{v, offsets.values[base + tau - 1]};
     }
   }
   auto by_offset_desc = [](const Entry& a, const Entry& b) {
@@ -41,8 +42,8 @@ void BicoreIndex::BuildSide(const OffsetArena& offsets, uint32_t delta,
     return a.v < b.v;
   };
   for (uint32_t tau = 1; tau <= delta; ++tau) {
-    std::sort(side->entries.begin() + side->start[tau - 1],
-              side->entries.begin() + side->start[tau], by_offset_desc);
+    std::sort(entries.begin() + start[tau - 1], entries.begin() + start[tau],
+              by_offset_desc);
   }
 }
 

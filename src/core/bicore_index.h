@@ -9,8 +9,11 @@
 #include "core/query_stats.h"
 #include "core/subgraph.h"
 #include "graph/bipartite_graph.h"
+#include "io/arena_storage.h"
 
 namespace abcs {
+
+struct BundleAccess;
 
 /// \brief The bicore index `I_v` (Liu et al., WWW'19 — the paper's [15]):
 /// vertex-only (α,β)-core membership, organised by the degeneracy bound.
@@ -75,10 +78,11 @@ class BicoreIndex {
   /// array behind a start table, so the whole side is two allocations and
   /// a query's prefix scan is one contiguous sweep.
   /// `List(τ)` = entries[start[τ-1] .. start[τ]): vertices with offset ≥ 1
-  /// at τ, sorted by (offset desc, v asc).
+  /// at τ, sorted by (offset desc, v asc). Arrays in `ArenaStorage`: owned
+  /// by Build, or borrowed from an opened bundle (io/index_bundle.h).
   struct SideArena {
-    std::vector<uint32_t> start;  ///< size δ+1
-    std::vector<Entry> entries;
+    ArenaStorage<uint32_t> start;  ///< size δ+1
+    ArenaStorage<Entry> entries;
 
     const Entry* ListBegin(uint32_t tau) const {
       return entries.data() + start[tau - 1];
@@ -103,6 +107,8 @@ class BicoreIndex {
   /// Σ_v Levels(v) time (plus the per-τ sorts) — no δ·n sweep.
   static void BuildSide(const OffsetArena& offsets, uint32_t delta,
                         SideArena* side);
+
+  friend struct BundleAccess;
 
   const BipartiteGraph* graph_ = nullptr;
   uint32_t delta_ = 0;

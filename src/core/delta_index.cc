@@ -36,30 +36,30 @@ DeltaIndex DeltaIndex::Build(const BipartiteGraph& g,
 
   for (const bool alpha_side : {true, false}) {
     Half& half = alpha_side ? index.alpha_half_ : index.beta_half_;
-    half.table_base.reserve(n + 1);
-    half.table_base.push_back(0);
+    std::vector<uint32_t>& table_base = half.table_base.Mutable();
+    std::vector<uint32_t>& level_start = half.level_start.Mutable();
+    std::vector<uint32_t>& self_offset = half.self_offset.Mutable();
+    std::vector<Entry>& entries = half.entries.Mutable();
+    table_base.reserve(n + 1);
+    table_base.push_back(0);
     for (VertexId u = 0; u < n; ++u) {
       for (uint32_t tau = 1; tau <= num_levels[u]; ++tau) {
         const OffsetArena& off = alpha_side ? decomp->alpha : decomp->beta;
-        half.level_start.push_back(
-            static_cast<uint32_t>(half.entries.size()));
-        half.self_offset.push_back(off.At(tau, u));
-        const std::size_t begin = half.entries.size();
+        level_start.push_back(static_cast<uint32_t>(entries.size()));
+        self_offset.push_back(off.At(tau, u));
+        const std::size_t begin = entries.size();
         for (const Arc& arc : g.Neighbors(u)) {
           // α half keeps neighbours with s_a ≥ τ; β half needs s_b > τ
           // (entries at exactly τ can never satisfy a β-side query).
           const uint32_t o = off.At(tau, arc.to);
           if (alpha_side ? (o >= tau) : (o > tau)) {
-            half.entries.push_back(Entry{arc.to, arc.eid, o});
+            entries.push_back(Entry{arc.to, arc.eid, o});
           }
         }
-        std::sort(half.entries.begin() + begin, half.entries.end(),
-                  by_offset_desc);
+        std::sort(entries.begin() + begin, entries.end(), by_offset_desc);
       }
-      half.level_start.push_back(
-          static_cast<uint32_t>(half.entries.size()));
-      half.table_base.push_back(
-          static_cast<uint32_t>(half.level_start.size()));
+      level_start.push_back(static_cast<uint32_t>(entries.size()));
+      table_base.push_back(static_cast<uint32_t>(level_start.size()));
     }
   }
   return index;

@@ -11,10 +11,12 @@
 #include "core/query_stats.h"
 #include "core/subgraph.h"
 #include "graph/bipartite_graph.h"
+#include "io/arena_storage.h"
 
 namespace abcs {
 
 class DeltaIndex;
+struct BundleAccess;
 
 /// Declared in core/index_io.h; friends of DeltaIndex for serialisation.
 Status SaveDeltaIndex(const DeltaIndex& index, const BipartiteGraph& g,
@@ -39,7 +41,9 @@ Status LoadDeltaIndex(const std::string& path, const BipartiteGraph& g,
 /// Storage is arena-based: each half keeps one flat entry array plus
 /// per-vertex slices of a shared level table, so a query's inner loop is a
 /// contiguous scan with two array lookups per visited vertex — no
-/// per-vertex allocations or pointer chasing.
+/// per-vertex allocations or pointer chasing. Every array lives in
+/// `ArenaStorage`, so an index is either self-owning (Build) or a
+/// zero-copy view into an opened bundle (io/index_bundle.h).
 class DeltaIndex {
  public:
   DeltaIndex() = default;
@@ -75,6 +79,7 @@ class DeltaIndex {
                                const std::string&);
   friend Status LoadDeltaIndex(const std::string&, const BipartiteGraph&,
                                DeltaIndex*);
+  friend struct BundleAccess;
 
   struct Entry {
     VertexId to;
@@ -90,10 +95,10 @@ class DeltaIndex {
   /// (`table_base` has one extra slot per vertex for the trailing
   /// level_start bound, hence the `- v` when indexing self_offset).
   struct Half {
-    std::vector<uint32_t> table_base;   // size n+1
-    std::vector<uint32_t> level_start;  // concatenated (L(v)+1 per vertex)
-    std::vector<uint32_t> self_offset;  // concatenated (L(v) per vertex)
-    std::vector<Entry> entries;
+    ArenaStorage<uint32_t> table_base;   // size n+1
+    ArenaStorage<uint32_t> level_start;  // concatenated (L(v)+1 per vertex)
+    ArenaStorage<uint32_t> self_offset;  // concatenated (L(v) per vertex)
+    ArenaStorage<Entry> entries;
 
     uint32_t NumLevels(VertexId v) const {
       return table_base[v + 1] - table_base[v] - 1;

@@ -1,13 +1,17 @@
 #include "core/index_io.h"
 
+#include <bit>
 #include <cstring>
 #include <fstream>
+
+#include "common/fnv.h"
 
 namespace abcs {
 
 namespace {
 
-// Format version 2: arena layout (four flat arrays per half).
+// Format version 2: arena layout (four flat arrays per half). Load-only
+// legacy — see the header; new indices persist as ABCSPAK1 bundles.
 constexpr char kMagic[8] = {'A', 'B', 'C', 'S', 'I', 'D', 'X', '2'};
 
 template <typename T>
@@ -22,7 +26,7 @@ bool ReadPod(std::ifstream& in, T* value) {
 }
 
 template <typename T>
-void WriteVec(std::ofstream& out, const std::vector<T>& v) {
+void WriteArr(std::ofstream& out, const ArenaStorage<T>& v) {
   WritePod(out, static_cast<uint64_t>(v.size()));
   if (!v.empty()) {
     out.write(reinterpret_cast<const char*>(v.data()),
@@ -31,12 +35,13 @@ void WriteVec(std::ofstream& out, const std::vector<T>& v) {
 }
 
 template <typename T>
-bool ReadVec(std::ifstream& in, std::vector<T>* v, uint64_t sanity_cap) {
+bool ReadArr(std::ifstream& in, ArenaStorage<T>* arr, uint64_t sanity_cap) {
   uint64_t size = 0;
   if (!ReadPod(in, &size) || size > sanity_cap) return false;
-  v->resize(size);
+  std::vector<T>& v = arr->Mutable();
+  v.resize(size);
   if (size != 0) {
-    in.read(reinterpret_cast<char*>(v->data()),
+    in.read(reinterpret_cast<char*>(v.data()),
             static_cast<std::streamsize>(size * sizeof(T)));
   }
   return static_cast<bool>(in);
@@ -45,18 +50,23 @@ bool ReadVec(std::ifstream& in, std::vector<T>* v, uint64_t sanity_cap) {
 }  // namespace
 
 uint64_t GraphTopologyChecksum(const BipartiteGraph& g) {
-  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
-  auto mix = [&h](uint64_t x) {
-    h ^= x;
-    h *= 1099511628211ULL;  // FNV prime
-  };
-  mix(g.NumUpper());
-  mix(g.NumLower());
-  mix(g.NumEdges());
+  Fnv1a64 fnv;
+  fnv.Mix(g.NumUpper());
+  fnv.Mix(g.NumLower());
+  fnv.Mix(g.NumEdges());
   for (const Edge& e : g.Edges()) {
-    mix((static_cast<uint64_t>(e.u) << 32) | e.v);
+    fnv.Mix((static_cast<uint64_t>(e.u) << 32) | e.v);
   }
-  return h;
+  return fnv.h;
+}
+
+uint64_t GraphWeightChecksum(const BipartiteGraph& g) {
+  Fnv1a64 fnv;
+  fnv.Mix(g.NumEdges());
+  // Bit-exact digest: any change a weight model can make (including sign
+  // of zero or NaN payloads) changes the digest.
+  for (const Edge& e : g.Edges()) fnv.Mix(std::bit_cast<uint64_t>(e.w));
+  return fnv.h;
 }
 
 Status SaveDeltaIndex(const DeltaIndex& index, const BipartiteGraph& g,
@@ -71,10 +81,10 @@ Status SaveDeltaIndex(const DeltaIndex& index, const BipartiteGraph& g,
   WritePod(out, g.NumEdges());
   WritePod(out, GraphTopologyChecksum(g));
   for (const auto* half : {&index.alpha_half_, &index.beta_half_}) {
-    WriteVec(out, half->table_base);
-    WriteVec(out, half->level_start);
-    WriteVec(out, half->self_offset);
-    WriteVec(out, half->entries);
+    WriteArr(out, half->table_base);
+    WriteArr(out, half->level_start);
+    WriteArr(out, half->self_offset);
+    WriteArr(out, half->entries);
   }
   if (!out) return Status::IOError("write failed: " + path);
   return Status::OK();
@@ -111,13 +121,13 @@ Status LoadDeltaIndex(const std::string& path, const BipartiteGraph& g,
   const uint64_t table_cap =
       (index.delta_ + 2ull) * (g.NumVertices() + 1ull);
   for (auto* half : {&index.alpha_half_, &index.beta_half_}) {
-    if (!ReadVec(in, &half->table_base, table_cap) ||
+    if (!ReadArr(in, &half->table_base, table_cap) ||
         half->table_base.size() != g.NumVertices() + 1ull) {
       return Status::Corruption(path + ": bad vertex table");
     }
-    if (!ReadVec(in, &half->level_start, table_cap) ||
-        !ReadVec(in, &half->self_offset, table_cap) ||
-        !ReadVec(in, &half->entries, entry_cap)) {
+    if (!ReadArr(in, &half->level_start, table_cap) ||
+        !ReadArr(in, &half->self_offset, table_cap) ||
+        !ReadArr(in, &half->entries, entry_cap)) {
       return Status::Corruption(path + ": truncated payload");
     }
     // Structural sanity so queries cannot index out of bounds.

@@ -9,18 +9,28 @@
 
 namespace abcs {
 
-/// \brief Binary serialisation of the degeneracy-bounded index `I_δ`.
+/// \brief Legacy binary serialisation of the degeneracy-bounded index
+/// `I_δ` alone (the `ABCSIDX` format family).
 ///
-/// Building `I_δ` costs O(δ·m); persisting it lets a service answer
-/// community queries immediately after start-up. The format is a flat
-/// little-endian dump with a magic header and format version:
+/// DEPRECATED, kept load-only for existing saved indices: new code should
+/// persist the self-contained `ABCSPAK1` bundle (io/index_bundle.h), which
+/// carries the graph, the offset decomposition and both index layers with
+/// per-section checksums, and opens zero-copy via mmap. The CLI's
+/// `--index` flag auto-detects either format by magic.
 ///
-///     "ABCSIDX1" | delta | nU | nL | m | per-vertex α-half | β-half
+/// The legacy format is a flat little-endian dump:
+///
+///     "ABCSIDX2" | delta | nU | nL | m | checksum | α-half | β-half
 ///
 /// The file embeds the graph's shape (vertex/edge counts) and a topology
 /// checksum; `LoadDeltaIndex` fails with `Corruption` when the file does
 /// not match the supplied graph, so a stale index cannot silently serve
-/// wrong communities.
+/// wrong communities. (It has no weight digest — one of the reasons the
+/// bundle format replaced it.)
+///
+/// `SaveDeltaIndex` remains only so tests can pin the legacy load path
+/// and tools can produce fixtures for downgrades; do not use it in new
+/// serving code.
 Status SaveDeltaIndex(const DeltaIndex& index, const BipartiteGraph& g,
                       const std::string& path);
 
@@ -33,6 +43,13 @@ Status LoadDeltaIndex(const std::string& path, const BipartiteGraph& g,
 /// Topology checksum used for index/graph matching (FNV-1a over the edge
 /// list; weights are excluded because I_δ stores none).
 uint64_t GraphTopologyChecksum(const BipartiteGraph& g);
+
+/// Weight digest: FNV-1a over the bit patterns of the edge weights, in
+/// EdgeId order. Complements GraphTopologyChecksum — the bundle header
+/// stores both, so a bundle whose graph kept its topology but changed its
+/// significances (re-scored ratings, fresh RWR run) is rejected instead of
+/// silently serving wrong BicoreIndex/SCS answers.
+uint64_t GraphWeightChecksum(const BipartiteGraph& g);
 
 }  // namespace abcs
 

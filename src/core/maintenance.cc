@@ -11,7 +11,8 @@
 
 namespace abcs {
 
-DynamicDeltaIndex::DynamicDeltaIndex(const BipartiteGraph& g) {
+DynamicDeltaIndex::DynamicDeltaIndex(const BipartiteGraph& g,
+                                     const BicoreDecomposition* decomp) {
   num_upper_ = g.NumUpper();
   const uint32_t n = g.NumVertices();
   adj_.resize(n);
@@ -27,21 +28,29 @@ DynamicDeltaIndex::DynamicDeltaIndex(const BipartiteGraph& g) {
 
   // The static decomposition is compact (CSR slices); the dynamic tables
   // stay dense per level because updates mutate arbitrary (τ, v) cells —
-  // growing a vertex's slice in place would shift the whole arena.
-  const BicoreDecomposition decomp = ComputeBicoreDecompositionParallel(g);
-  delta_ = decomp.delta;
+  // growing a vertex's slice in place would shift the whole arena. A
+  // caller-supplied decomposition (typically an opened bundle's mmap'd
+  // arenas) is copied on write into those rows — no offset peel at all.
+  // A decomposition whose vertex count disagrees with `g` (wrong bundle)
+  // cannot be trusted and is recomputed instead of read out of bounds.
+  BicoreDecomposition local;
+  if (decomp == nullptr || decomp->NumVertices() != n) {
+    local = ComputeBicoreDecompositionParallel(g);
+    decomp = &local;
+  }
+  delta_ = decomp->delta;
   sa_.assign(delta_, std::vector<uint32_t>(n, 0));
   sb_.assign(delta_, std::vector<uint32_t>(n, 0));
   // Vertex-outer expansion: one sequential pass over each arena, touching
   // only the Σ Levels(v) nonzero cells (the rows are pre-zeroed).
   for (VertexId v = 0; v < n; ++v) {
-    const uint32_t la = decomp.alpha.Levels(v);
+    const uint32_t la = decomp->alpha.Levels(v);
     for (uint32_t tau = 1; tau <= la; ++tau) {
-      sa_[tau - 1][v] = decomp.alpha.values[decomp.alpha.start[v] + tau - 1];
+      sa_[tau - 1][v] = decomp->alpha.values[decomp->alpha.start[v] + tau - 1];
     }
-    const uint32_t lb = decomp.beta.Levels(v);
+    const uint32_t lb = decomp->beta.Levels(v);
     for (uint32_t tau = 1; tau <= lb; ++tau) {
-      sb_[tau - 1][v] = decomp.beta.values[decomp.beta.start[v] + tau - 1];
+      sb_[tau - 1][v] = decomp->beta.values[decomp->beta.start[v] + tau - 1];
     }
   }
 }

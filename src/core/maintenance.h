@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "abcore/offsets.h"
 #include "abcore/peel_kernel.h"
 #include "common/status.h"
 #include "core/subgraph.h"
@@ -48,8 +49,14 @@ namespace abcs {
 class DynamicDeltaIndex {
  public:
   /// Seeds the dynamic index from `g` (the graph is copied; `g` need not
-  /// outlive the index).
-  explicit DynamicDeltaIndex(const BipartiteGraph& g);
+  /// outlive the index). When `decomp` is non-null it is copied-on-write
+  /// into the mutable per-level rows instead of being recomputed — the
+  /// restart path: open a bundle (io/index_bundle.h) and seed updates from
+  /// its mmap'd arenas without a single offset peel. A decomposition whose
+  /// vertex count does not match `g` is ignored (recomputed) rather than
+  /// trusted. Neither `g` nor `decomp` needs to outlive the index.
+  explicit DynamicDeltaIndex(const BipartiteGraph& g,
+                             const BicoreDecomposition* decomp = nullptr);
 
   uint32_t delta() const { return delta_; }
   uint32_t NumUpper() const { return num_upper_; }

@@ -21,8 +21,15 @@ uint32_t BipartiteGraph::MaxLowerDegree() const {
 BipartiteGraph BipartiteGraph::WithWeights(
     const std::vector<Weight>& weights) const {
   BipartiteGraph out = *this;
+  // Mutable() detaches borrowed (bundle-backed) arrays by copying, so the
+  // result is fully self-owning: reweighting never writes through a
+  // mapping, and the returned graph may outlive the bundle it came from.
+  // For an already-owned graph these are no-ops (the copy above paid).
+  out.offsets_.Mutable();
+  out.arcs_.Mutable();
+  std::vector<Edge>& edges = out.edges_.Mutable();
   for (EdgeId e = 0; e < out.NumEdges() && e < weights.size(); ++e) {
-    out.edges_[e].w = weights[e];
+    edges[e].w = weights[e];
   }
   return out;
 }

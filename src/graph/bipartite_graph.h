@@ -5,7 +5,11 @@
 #include <span>
 #include <vector>
 
+#include "io/arena_storage.h"
+
 namespace abcs {
+
+struct BundleAccess;
 
 /// Vertex identifier. Vertices live in a unified id space: upper-layer
 /// vertices occupy `[0, NumUpper())` and lower-layer vertices occupy
@@ -47,6 +51,10 @@ struct Arc {
 /// deduplicates parallel edges and drops isolated vertices on request. Once
 /// built, the graph is immutable; peeling algorithms keep their own
 /// `deg`/`alive` state layered over the CSR (see abcore/peel_kernel.h).
+///
+/// The three flat arrays live in `ArenaStorage`, so a graph is either
+/// self-owning (built by GraphBuilder) or a zero-copy view into an opened
+/// index bundle (io/index_bundle.h) — same type, same query code.
 class BipartiteGraph {
  public:
   /// Creates an empty graph (0 vertices, 0 edges).
@@ -85,8 +93,8 @@ class BipartiteGraph {
   const Edge& GetEdge(EdgeId e) const { return edges_[e]; }
   /// Weight of edge `e`.
   Weight GetWeight(EdgeId e) const { return edges_[e].w; }
-  /// All edges, indexed by EdgeId.
-  const std::vector<Edge>& Edges() const { return edges_; }
+  /// All edges, indexed by EdgeId (iterable, element-wise comparable).
+  const ArenaStorage<Edge>& Edges() const { return edges_; }
 
   /// Maximum vertex degree within the upper layer (paper's αmax upper
   /// bound) — the largest α for which an (α,1)-core can exist.
@@ -101,12 +109,13 @@ class BipartiteGraph {
 
  private:
   friend class GraphBuilder;
+  friend struct BundleAccess;
 
   uint32_t num_upper_ = 0;
   uint32_t num_lower_ = 0;
-  std::vector<uint32_t> offsets_;  // size NumVertices()+1
-  std::vector<Arc> arcs_;          // size 2m
-  std::vector<Edge> edges_;        // size m, indexed by EdgeId
+  ArenaStorage<uint32_t> offsets_;  // size NumVertices()+1
+  ArenaStorage<Arc> arcs_;          // size 2m
+  ArenaStorage<Edge> edges_;        // size m, indexed by EdgeId
 };
 
 }  // namespace abcs

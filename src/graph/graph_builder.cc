@@ -66,25 +66,27 @@ Status GraphBuilder::Build(BipartiteGraph* out,
   BipartiteGraph g;
   g.num_upper_ = num_upper_;
   g.num_lower_ = num_lower_;
-  g.edges_ = std::move(edges);
 
-  const uint32_t n = g.NumVertices();
-  const std::size_t m = g.edges_.size();
-  g.offsets_.assign(n + 1, 0);
-  for (const Edge& e : g.edges_) {
-    ++g.offsets_[e.u + 1];
-    ++g.offsets_[e.v + 1];
+  const uint32_t n = num_upper_ + num_lower_;
+  const std::size_t m = edges.size();
+  std::vector<uint32_t> offsets(n + 1, 0);
+  for (const Edge& e : edges) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
   }
-  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+  std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
 
-  g.arcs_.resize(2 * m);
-  std::vector<uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  std::vector<Arc> arcs(2 * m);
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
   for (EdgeId e = 0; e < m; ++e) {
-    const Edge& ed = g.edges_[e];
-    g.arcs_[cursor[ed.u]++] = Arc{ed.v, e};
-    g.arcs_[cursor[ed.v]++] = Arc{ed.u, e};
+    const Edge& ed = edges[e];
+    arcs[cursor[ed.u]++] = Arc{ed.v, e};
+    arcs[cursor[ed.v]++] = Arc{ed.u, e};
   }
 
+  g.offsets_ = std::move(offsets);
+  g.arcs_ = std::move(arcs);
+  g.edges_ = std::move(edges);
   *out = std::move(g);
   return Status::OK();
 }

@@ -1,0 +1,95 @@
+#ifndef ABCS_IO_ARENA_STORAGE_H_
+#define ABCS_IO_ARENA_STORAGE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace abcs {
+
+/// \brief Flat-array storage that is either *owning* (a `std::vector<T>`)
+/// or *borrowed* (a read-only span over memory owned by someone else,
+/// typically an mmap'd index bundle).
+///
+/// Every persistent flat array of the index layers (graph CSR, offset
+/// arenas, index entry arenas) is held through this class, so the same
+/// query code serves both an in-memory build and a zero-copy mapped
+/// bundle: reads go through the const accessors, which dispatch on one
+/// perfectly-predictable branch; writers obtain the owning vector via
+/// `Mutable()`, which detaches borrowed storage by copying first
+/// (copy-on-write) — the mutability contract of the old plain vectors is
+/// preserved, only now "mutate" on a mapped array means "own your copy".
+///
+/// A borrowed ArenaStorage never outlives its backing region by contract:
+/// the `IndexBundle` that created the borrow owns both the mapping and the
+/// structures viewing it, and is itself immovable.
+template <typename T>
+class ArenaStorage {
+ public:
+  ArenaStorage() = default;
+
+  /// Owning storage, adopted from a vector (the builder path).
+  /*implicit*/ ArenaStorage(std::vector<T> v) : owned_(std::move(v)) {}
+  ArenaStorage& operator=(std::vector<T> v) {
+    owned_ = std::move(v);
+    borrowed_ = false;
+    view_ = {};
+    return *this;
+  }
+
+  /// Borrowed storage over `[data, data + size)`; the region must outlive
+  /// this object (and every copy of it).
+  static ArenaStorage Borrowed(const T* data, std::size_t size) {
+    ArenaStorage s;
+    s.borrowed_ = true;
+    s.view_ = std::span<const T>(data, size);
+    return s;
+  }
+
+  bool borrowed() const { return borrowed_; }
+
+  // Read interface — valid in both states. Deliberately a branch per
+  // access rather than a cached data_/size_ pair: Mutable() hands out the
+  // owning vector by reference and builders grow it freely (push_back →
+  // realloc), so any cached pointer would go stale silently. The branch
+  // is on a field that never changes between mutations — perfectly
+  // predicted in query loops — and hot kernels that want raw pointers
+  // hoist data() once (see offsets.cc's chain builder).
+  std::size_t size() const { return borrowed_ ? view_.size() : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  const T* data() const { return borrowed_ ? view_.data() : owned_.data(); }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  const T& back() const { return data()[size() - 1]; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  std::span<const T> view() const { return {data(), size()}; }
+  std::size_t SizeBytes() const { return size() * sizeof(T); }
+
+  /// The owning vector, for builders and loaders. Borrowed storage is
+  /// detached first by copying the viewed elements (copy-on-write).
+  std::vector<T>& Mutable() {
+    if (borrowed_) {
+      owned_.assign(view_.begin(), view_.end());
+      borrowed_ = false;
+      view_ = {};
+    }
+    return owned_;
+  }
+
+  /// Element-wise equality regardless of ownership.
+  friend bool operator==(const ArenaStorage& a, const ArenaStorage& b) {
+    return a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::vector<T> owned_;
+  std::span<const T> view_;
+  bool borrowed_ = false;
+};
+
+}  // namespace abcs
+
+#endif  // ABCS_IO_ARENA_STORAGE_H_

@@ -1,0 +1,621 @@
+#include "io/index_bundle.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "common/fnv.h"
+#include "core/index_io.h"
+
+namespace abcs {
+
+namespace {
+
+// "ABCSPAK1": the versioned multi-section container, successor of the
+// single-structure "ABCSIDX" dumps. The trailing character is cosmetic —
+// real versioning lives in the header's version field.
+constexpr char kMagic[8] = {'A', 'B', 'C', 'S', 'P', 'A', 'K', '1'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint64_t kAlign = 8;     ///< section payload alignment
+constexpr uint32_t kMaxSections = 64;
+constexpr uint64_t kAnyCount = ~0ull;
+
+static_assert(std::endian::native == std::endian::little,
+              "ABCSPAK1 bundles are little-endian; big-endian hosts would "
+              "need byte-swapping shims");
+
+/// Fixed-size header right after the magic. POD, written verbatim.
+struct BundleHeader {
+  uint32_t version = 0;
+  uint32_t section_count = 0;
+  uint32_t num_upper = 0;
+  uint32_t num_lower = 0;
+  uint32_t num_edges = 0;
+  uint32_t delta = 0;
+  uint64_t topology_checksum = 0;  ///< GraphTopologyChecksum of the graph
+  uint64_t weight_digest = 0;      ///< GraphWeightChecksum of the graph
+  uint64_t meta_checksum = 0;      ///< BundleChecksum(header w/ this 0 ‖ TOC)
+};
+static_assert(sizeof(BundleHeader) == 48);
+static_assert(std::is_trivially_copyable_v<BundleHeader>);
+
+/// One TOC entry: a named byte range plus a content checksum.
+struct SectionRecord {
+  char name[16] = {};
+  uint64_t offset = 0;    ///< absolute file offset, kAlign-aligned
+  uint64_t length = 0;    ///< payload bytes (excludes padding)
+  uint64_t checksum = 0;  ///< BundleChecksum of the payload
+};
+static_assert(sizeof(SectionRecord) == 40);
+static_assert(std::is_trivially_copyable_v<SectionRecord>);
+
+constexpr uint64_t AlignUp(uint64_t x) {
+  return (x + kAlign - 1) & ~(kAlign - 1);
+}
+
+/// Shared context of the per-section mapping steps on open.
+struct OpenCtx {
+  const std::byte* base = nullptr;
+  uint64_t file_size = 0;
+  std::vector<SectionRecord> toc;
+  const std::string* path = nullptr;
+  bool verify = true;
+
+  Status Corrupt(const std::string& what) const {
+    return Status::Corruption(*path + ": " + what);
+  }
+};
+
+/// Locates section `name` and wires `*out` as a borrowed span over its
+/// payload. `expect_count` pins the element count (kAnyCount skips; the
+/// caller then validates against sibling sections). Byte ranges were
+/// bounds-checked against the file when the TOC was parsed, so a mapped
+/// span can never read past the backing region.
+template <typename T>
+Status MapSection(const OpenCtx& ctx, const char* name, uint64_t expect_count,
+                  ArenaStorage<T>* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(alignof(T) <= kAlign);
+  const SectionRecord* rec = nullptr;
+  for (const SectionRecord& r : ctx.toc) {
+    if (std::strncmp(r.name, name, sizeof(r.name)) == 0) {
+      rec = &r;
+      break;
+    }
+  }
+  if (rec == nullptr) {
+    return ctx.Corrupt(std::string("missing section ") + name);
+  }
+  if (rec->length % sizeof(T) != 0) {
+    return ctx.Corrupt(std::string("section ") + name +
+                       " is not a whole number of elements");
+  }
+  const uint64_t count = rec->length / sizeof(T);
+  if (expect_count != kAnyCount && count != expect_count) {
+    return ctx.Corrupt(std::string("section ") + name +
+                       " has the wrong element count");
+  }
+  if (ctx.verify &&
+      BundleChecksum(ctx.base + rec->offset, rec->length) != rec->checksum) {
+    return ctx.Corrupt(std::string("checksum mismatch in section ") + name);
+  }
+  *out = ArenaStorage<T>::Borrowed(
+      reinterpret_cast<const T*>(ctx.base + rec->offset), count);
+  return Status::OK();
+}
+
+/// `start`-style arrays must begin at 0 and be non-decreasing for the
+/// slice arithmetic (and the spans derived from it) to stay in bounds.
+Status CheckStartArray(const OpenCtx& ctx, const char* name,
+                       const ArenaStorage<uint32_t>& start) {
+  if (start.empty() || start[0] != 0) {
+    return ctx.Corrupt(std::string(name) + " does not start at 0");
+  }
+  for (std::size_t i = 1; i < start.size(); ++i) {
+    if (start[i] < start[i - 1]) {
+      return ctx.Corrupt(std::string(name) + " is not non-decreasing");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t BundleChecksum(const void* data, std::size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  Fnv1a64 fnv;
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    fnv.Mix(w);
+  }
+  if (i < size) {
+    uint64_t w = 0;
+    std::memcpy(&w, p + i, size - i);
+    fnv.Mix(w);
+  }
+  fnv.Mix(size);  // zero-padded tail ≠ genuinely longer zero run
+  return fnv.h;
+}
+
+bool LooksLikeIndexBundle(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[sizeof(kMagic)] = {};
+  in.read(magic, sizeof(magic));
+  return in && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+/// Private-member bridge: the one type befriended by BipartiteGraph,
+/// DeltaIndex and BicoreIndex, so (de)serialisation code can reach their
+/// arenas without widening any public API.
+struct BundleAccess {
+  static Status Save(const BipartiteGraph& g, const BicoreDecomposition& d,
+                     const DeltaIndex& di, const BicoreIndex& bi,
+                     const std::string& path);
+  static Status Open(const std::string& path, const BundleOpenOptions& opts,
+                     IndexBundle* b);
+  static bool ZeroCopy(const IndexBundle& b);
+
+  /// The one enumeration of every persisted array, visited as
+  /// (section name, ArenaStorage). Save and ZeroCopy both consume it, so
+  /// a future section cannot be serialised yet silently dropped from the
+  /// zero-copy assertion (Open's per-section validation stays bespoke —
+  /// each section's count derives from its siblings).
+  template <typename Fn>
+  static void ForEachSection(const BipartiteGraph& g,
+                             const BicoreDecomposition& d,
+                             const DeltaIndex& di, const BicoreIndex& bi,
+                             Fn&& fn) {
+    fn("g.offsets", g.offsets_);
+    fn("g.arcs", g.arcs_);
+    fn("g.edges", g.edges_);
+    fn("dc.a.start", d.alpha.start);
+    fn("dc.a.values", d.alpha.values);
+    fn("dc.b.start", d.beta.start);
+    fn("dc.b.values", d.beta.values);
+    fn("id.a.tbase", di.alpha_half_.table_base);
+    fn("id.a.lstart", di.alpha_half_.level_start);
+    fn("id.a.selfoff", di.alpha_half_.self_offset);
+    fn("id.a.entries", di.alpha_half_.entries);
+    fn("id.b.tbase", di.beta_half_.table_base);
+    fn("id.b.lstart", di.beta_half_.level_start);
+    fn("id.b.selfoff", di.beta_half_.self_offset);
+    fn("id.b.entries", di.beta_half_.entries);
+    fn("iv.a.start", bi.alpha_side_.start);
+    fn("iv.a.entries", bi.alpha_side_.entries);
+    fn("iv.b.start", bi.beta_side_.start);
+    fn("iv.b.entries", bi.beta_side_.entries);
+  }
+
+  // Header digests retained on the bundle for VerifyBundleMatchesGraph.
+  static uint64_t Topology(const IndexBundle& b) {
+    return b.topology_checksum_;
+  }
+  static uint64_t Weights(const IndexBundle& b) { return b.weight_digest_; }
+};
+
+Status BundleAccess::Save(const BipartiteGraph& g,
+                          const BicoreDecomposition& d, const DeltaIndex& di,
+                          const BicoreIndex& bi, const std::string& path) {
+  if (di.delta() != d.delta || bi.delta() != d.delta ||
+      d.NumVertices() != g.NumVertices()) {
+    return Status::InvalidArgument(
+        "bundle parts disagree (index/decomposition not built from this "
+        "graph?)");
+  }
+
+  struct Sec {
+    const char* name;
+    const void* data;
+    uint64_t bytes;
+  };
+  std::vector<Sec> secs;
+  ForEachSection(g, d, di, bi, [&secs](const char* name, const auto& arr) {
+    secs.push_back(Sec{name, arr.data(), arr.SizeBytes()});
+  });
+
+  const uint32_t count = static_cast<uint32_t>(secs.size());
+  std::vector<SectionRecord> toc(count);
+  uint64_t cursor =
+      sizeof(kMagic) + sizeof(BundleHeader) + count * sizeof(SectionRecord);
+  for (uint32_t i = 0; i < count; ++i) {
+    SectionRecord& rec = toc[i];
+    std::strncpy(rec.name, secs[i].name, sizeof(rec.name) - 1);
+    rec.offset = cursor;
+    rec.length = secs[i].bytes;
+    rec.checksum = BundleChecksum(secs[i].data, secs[i].bytes);
+    cursor += AlignUp(secs[i].bytes);
+  }
+
+  BundleHeader hdr;
+  hdr.version = kFormatVersion;
+  hdr.section_count = count;
+  hdr.num_upper = g.NumUpper();
+  hdr.num_lower = g.NumLower();
+  hdr.num_edges = g.NumEdges();
+  hdr.delta = d.delta;
+  hdr.topology_checksum = GraphTopologyChecksum(g);
+  hdr.weight_digest = GraphWeightChecksum(g);
+  {
+    std::vector<unsigned char> meta(sizeof(hdr) +
+                                    count * sizeof(SectionRecord));
+    std::memcpy(meta.data(), &hdr, sizeof(hdr));
+    std::memcpy(meta.data() + sizeof(hdr), toc.data(),
+                count * sizeof(SectionRecord));
+    hdr.meta_checksum = BundleChecksum(meta.data(), meta.size());
+  }
+
+  // Write-then-rename so a crash or full disk mid-save cannot destroy the
+  // previous good bundle — the file a restart depends on.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open " + tmp_path + " for writing");
+    }
+    out.write(kMagic, sizeof(kMagic));
+    out.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+    out.write(reinterpret_cast<const char*>(toc.data()),
+              static_cast<std::streamsize>(count * sizeof(SectionRecord)));
+    const char pad[kAlign] = {};
+    for (const Sec& sec : secs) {
+      if (sec.bytes != 0) {
+        out.write(reinterpret_cast<const char*>(sec.data),
+                  static_cast<std::streamsize>(sec.bytes));
+      }
+      const uint64_t padding = AlignUp(sec.bytes) - sec.bytes;
+      if (padding != 0) {
+        out.write(pad, static_cast<std::streamsize>(padding));
+      }
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      return Status::IOError("write failed: " + tmp_path);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot move " + tmp_path + " over " + path +
+                           ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status BundleAccess::Open(const std::string& path,
+                          const BundleOpenOptions& opts, IndexBundle* b) {
+  b->mode_ = opts.mode;
+  if (opts.mode == BundleOpenMode::kMmap) {
+    const Status st = MappedFile::Open(path, &b->map_);
+    if (st.code() == Status::Code::kNotSupported) {
+      // Platforms without mmap fall back to the one-buffer read path —
+      // same wiring, just eager bytes.
+      b->mode_ = BundleOpenMode::kRead;
+    } else if (!st.ok()) {
+      return st;
+    }
+  }
+  if (b->mode_ == BundleOpenMode::kMmap) {
+    b->backing_ = b->map_.data();
+    b->backing_size_ = b->map_.size();
+  } else {
+    // Pin down a regular file first: ifstream happily "opens" a directory
+    // on some platforms and tellg() then reports a colossal bogus size —
+    // resize() would abort on bad_alloc instead of returning a Status.
+    std::error_code ec;
+    if (!std::filesystem::is_regular_file(path, ec)) {
+      return Status::IOError("cannot open " + path + " (not a regular file)");
+    }
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) return Status::IOError("cannot open " + path);
+    const std::streamoff size = in.tellg();
+    if (size < 0) return Status::IOError("cannot size " + path);
+    in.seekg(0);
+    b->buffer_.resize(static_cast<std::size_t>(size));
+    if (size > 0) {
+      in.read(reinterpret_cast<char*>(b->buffer_.data()), size);
+    }
+    if (!in) return Status::IOError("short read: " + path);
+    b->backing_ = b->buffer_.data();
+    b->backing_size_ = b->buffer_.size();
+  }
+
+  OpenCtx ctx;
+  ctx.base = b->backing_;
+  ctx.file_size = b->backing_size_;
+  ctx.path = &path;
+  ctx.verify = opts.verify_checksums;
+
+  if (ctx.file_size < sizeof(kMagic) + sizeof(BundleHeader)) {
+    return ctx.Corrupt("truncated header");
+  }
+  if (std::memcmp(ctx.base, kMagic, sizeof(kMagic)) != 0) {
+    return ctx.Corrupt("bad magic (not an ABCSPAK1 bundle)");
+  }
+  BundleHeader hdr;
+  std::memcpy(&hdr, ctx.base + sizeof(kMagic), sizeof(hdr));
+  if (hdr.version != kFormatVersion) {
+    return ctx.Corrupt("unsupported format version " +
+                       std::to_string(hdr.version));
+  }
+  if (hdr.section_count == 0 || hdr.section_count > kMaxSections) {
+    return ctx.Corrupt("implausible section count");
+  }
+  const uint64_t toc_end = sizeof(kMagic) + sizeof(BundleHeader) +
+                           uint64_t{hdr.section_count} * sizeof(SectionRecord);
+  if (toc_end > ctx.file_size) return ctx.Corrupt("truncated TOC");
+
+  // The meta checksum covers the header (with its own field zeroed) and
+  // the TOC, so a flipped byte anywhere in the metadata — including a
+  // tampered section range — is caught before any range is trusted.
+  {
+    std::vector<unsigned char> meta(toc_end - sizeof(kMagic));
+    std::memcpy(meta.data(), ctx.base + sizeof(kMagic), meta.size());
+    BundleHeader zeroed = hdr;
+    zeroed.meta_checksum = 0;
+    std::memcpy(meta.data(), &zeroed, sizeof(zeroed));
+    if (BundleChecksum(meta.data(), meta.size()) != hdr.meta_checksum) {
+      return ctx.Corrupt("header/TOC checksum mismatch");
+    }
+  }
+
+  ctx.toc.resize(hdr.section_count);
+  std::memcpy(ctx.toc.data(), ctx.base + sizeof(kMagic) + sizeof(BundleHeader),
+              hdr.section_count * sizeof(SectionRecord));
+  // Byte-range sanity for every record before anything is mapped: a
+  // section must lie after the TOC and inside the file (overflow-safe).
+  for (const SectionRecord& rec : ctx.toc) {
+    if (rec.offset % kAlign != 0) {
+      return ctx.Corrupt("misaligned section payload");
+    }
+    if (rec.offset < toc_end || rec.offset > ctx.file_size ||
+        rec.length > ctx.file_size - rec.offset) {
+      return ctx.Corrupt("section range outside file (TOC overrun)");
+    }
+  }
+
+  const uint64_t n64 = uint64_t{hdr.num_upper} + hdr.num_lower;
+  if (n64 > std::numeric_limits<uint32_t>::max()) {
+    return ctx.Corrupt("vertex count overflow");
+  }
+  const uint64_t n = n64;
+  const uint64_t m = hdr.num_edges;
+
+  // --- graph -----------------------------------------------------------
+  BipartiteGraph& g = b->graph_;
+  g.num_upper_ = hdr.num_upper;
+  g.num_lower_ = hdr.num_lower;
+  ABCS_RETURN_NOT_OK(MapSection(ctx, "g.offsets", n + 1, &g.offsets_));
+  ABCS_RETURN_NOT_OK(MapSection(ctx, "g.arcs", 2 * m, &g.arcs_));
+  ABCS_RETURN_NOT_OK(MapSection(ctx, "g.edges", m, &g.edges_));
+  ABCS_RETURN_NOT_OK(CheckStartArray(ctx, "g.offsets", g.offsets_));
+  if (g.offsets_.back() != 2 * m) {
+    return ctx.Corrupt("CSR offsets do not cover the arc array");
+  }
+  if (ctx.verify) {
+    for (const Arc& a : g.arcs_) {
+      if (a.to >= n || a.eid >= m) {
+        return ctx.Corrupt("arc endpoint out of range");
+      }
+    }
+    for (const Edge& e : g.edges_) {
+      if (e.u >= hdr.num_upper || e.v < hdr.num_upper || e.v >= n) {
+        return ctx.Corrupt("edge endpoint out of range");
+      }
+    }
+    if (GraphTopologyChecksum(g) != hdr.topology_checksum) {
+      return ctx.Corrupt("edge payload does not match header topology "
+                         "checksum");
+    }
+    if (GraphWeightChecksum(g) != hdr.weight_digest) {
+      return ctx.Corrupt("weights do not match the header weight digest "
+                         "(stale significances?)");
+    }
+  }
+  b->topology_checksum_ = hdr.topology_checksum;
+  b->weight_digest_ = hdr.weight_digest;
+
+  // --- decomposition ---------------------------------------------------
+  BicoreDecomposition& d = b->decomp_;
+  d.delta = hdr.delta;
+  struct ArenaSec {
+    const char* start_name;
+    const char* values_name;
+    OffsetArena* arena;
+  };
+  for (const ArenaSec& as :
+       {ArenaSec{"dc.a.start", "dc.a.values", &d.alpha},
+        ArenaSec{"dc.b.start", "dc.b.values", &d.beta}}) {
+    ABCS_RETURN_NOT_OK(MapSection(ctx, as.start_name, n + 1,
+                                  &as.arena->start));
+    ABCS_RETURN_NOT_OK(CheckStartArray(ctx, as.start_name, as.arena->start));
+    // No vertex can own more than δ offset levels; consumers size their
+    // dense tables by δ and trust it (DynamicDeltaIndex seeds its per-τ
+    // rows from these slices), so an oversized slice must die here.
+    for (uint64_t v = 0; v < n; ++v) {
+      if (as.arena->start[v + 1] - as.arena->start[v] > hdr.delta) {
+        return ctx.Corrupt(std::string(as.start_name) +
+                           " has a slice longer than delta");
+      }
+    }
+    ABCS_RETURN_NOT_OK(MapSection(ctx, as.values_name,
+                                  as.arena->start.back(),
+                                  &as.arena->values));
+  }
+
+  // --- I_δ -------------------------------------------------------------
+  DeltaIndex& di = b->delta_index_;
+  di.graph_ = &b->graph_;
+  di.delta_ = hdr.delta;
+  struct HalfSec {
+    const char* tbase;
+    const char* lstart;
+    const char* selfoff;
+    const char* entries;
+    DeltaIndex::Half* half;
+  };
+  for (const HalfSec& hs :
+       {HalfSec{"id.a.tbase", "id.a.lstart", "id.a.selfoff", "id.a.entries",
+                &di.alpha_half_},
+        HalfSec{"id.b.tbase", "id.b.lstart", "id.b.selfoff", "id.b.entries",
+                &di.beta_half_}}) {
+    ABCS_RETURN_NOT_OK(MapSection(ctx, hs.tbase, n + 1, &hs.half->table_base));
+    const ArenaStorage<uint32_t>& tb = hs.half->table_base;
+    // Every vertex owns NumLevels(v)+1 ≥ 1 level-table slots, so the base
+    // table must be *strictly* increasing: a zero-width slot would make
+    // NumLevels underflow and send self_offset/level_start lookups far
+    // outside the mapping.
+    if (tb[0] != 0) {
+      return ctx.Corrupt(std::string(hs.tbase) + " does not start at 0");
+    }
+    for (uint64_t v = 0; v < n; ++v) {
+      if (tb[v + 1] <= tb[v]) {
+        return ctx.Corrupt(std::string(hs.tbase) +
+                           " has a zero-width vertex slot");
+      }
+    }
+    const uint64_t table_slots = tb.back();
+    ABCS_RETURN_NOT_OK(MapSection(ctx, hs.lstart, table_slots,
+                                  &hs.half->level_start));
+    ABCS_RETURN_NOT_OK(MapSection(ctx, hs.selfoff, table_slots - n,
+                                  &hs.half->self_offset));
+    ABCS_RETURN_NOT_OK(MapSection(ctx, hs.entries, kAnyCount,
+                                  &hs.half->entries));
+    // Queries index entries[level_start[i] .. level_start[i+1]); every
+    // bound must stay inside the entry arena or a BFS could walk off the
+    // mapping.
+    const ArenaStorage<uint32_t>& ls = hs.half->level_start;
+    if (table_slots != 0 && ls.back() != hs.half->entries.size()) {
+      return ctx.Corrupt(std::string(hs.entries) +
+                         " does not end at the last level bound");
+    }
+    // Monotone bounds (with the back()==size check above this pins every
+    // slice inside the entry arena). Unconditional — it is an array-shape
+    // check, a tiny fraction of the payload scan verify_checksums gates,
+    // and the one that keeps a query's slice arithmetic inside the map.
+    for (std::size_t i = 1; i < ls.size(); ++i) {
+      if (ls[i] < ls[i - 1]) {
+        return ctx.Corrupt(std::string(hs.lstart) +
+                           " level bounds are not non-decreasing");
+      }
+    }
+    if (ctx.verify) {
+      // Every entry in a level-τ list must reference a vertex that
+      // *owns* level τ: the query BFS hops to entry.to and reads its
+      // level-τ slice unchecked (construction guarantees this; a crafted
+      // bundle must not be able to break it).
+      for (uint64_t v = 0; v < n; ++v) {
+        const uint32_t levels = tb[v + 1] - tb[v] - 1;
+        for (uint32_t tau = 1; tau <= levels; ++tau) {
+          const uint32_t table = tb[v] + tau - 1;
+          for (uint32_t i = ls[table]; i < ls[table + 1]; ++i) {
+            const DeltaIndex::Entry& e = hs.half->entries[i];
+            if (e.to >= n || e.eid >= m) {
+              return ctx.Corrupt(std::string(hs.entries) +
+                                 " references a vertex or edge out of range");
+            }
+            if (tb[e.to + 1] - tb[e.to] - 1 < tau) {
+              return ctx.Corrupt(std::string(hs.entries) +
+                                 " references a vertex without that level");
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- I_v -------------------------------------------------------------
+  BicoreIndex& bi = b->bicore_index_;
+  bi.graph_ = &b->graph_;
+  bi.delta_ = hdr.delta;
+  struct SideSec {
+    const char* start_name;
+    const char* entries_name;
+    BicoreIndex::SideArena* side;
+  };
+  for (const SideSec& ss :
+       {SideSec{"iv.a.start", "iv.a.entries", &bi.alpha_side_},
+        SideSec{"iv.b.start", "iv.b.entries", &bi.beta_side_}}) {
+    ABCS_RETURN_NOT_OK(MapSection(ctx, ss.start_name,
+                                  uint64_t{hdr.delta} + 1, &ss.side->start));
+    ABCS_RETURN_NOT_OK(CheckStartArray(ctx, ss.start_name, ss.side->start));
+    ABCS_RETURN_NOT_OK(MapSection(ctx, ss.entries_name, ss.side->start.back(),
+                                  &ss.side->entries));
+    if (ctx.verify) {
+      for (const BicoreIndex::Entry& e : ss.side->entries) {
+        if (e.v >= n) {
+          return ctx.Corrupt(std::string(ss.entries_name) +
+                             " references a vertex out of range");
+        }
+      }
+    }
+  }
+
+  return Status::OK();
+}
+
+bool BundleAccess::ZeroCopy(const IndexBundle& b) {
+  const std::byte* lo = b.backing_;
+  const std::byte* hi = b.backing_ + b.backing_size_;
+  bool all = true;
+  ForEachSection(b.graph_, b.decomp_, b.delta_index_, b.bicore_index_,
+                 [&](const char*, const auto& arr) {
+                   if (!arr.borrowed()) {
+                     all = false;
+                     return;
+                   }
+                   if (arr.empty()) return;  // empty spans carry no payload
+                   const std::byte* p =
+                       reinterpret_cast<const std::byte*>(arr.data());
+                   all = all && p >= lo && p + arr.SizeBytes() <= hi;
+                 });
+  return all;
+}
+
+bool IndexBundle::ZeroCopy() const { return BundleAccess::ZeroCopy(*this); }
+
+Status SaveIndexBundle(const BipartiteGraph& g,
+                       const BicoreDecomposition& decomp,
+                       const DeltaIndex& delta, const BicoreIndex& bicore,
+                       const std::string& path) {
+  return BundleAccess::Save(g, decomp, delta, bicore, path);
+}
+
+Status OpenIndexBundle(const std::string& path,
+                       std::unique_ptr<IndexBundle>* out,
+                       const BundleOpenOptions& options) {
+  // The bundle is immovable (its indexes point at its graph member), so it
+  // is built in place on the heap and only released to the caller once
+  // every section is wired and verified.
+  std::unique_ptr<IndexBundle> bundle(new IndexBundle());
+  ABCS_RETURN_NOT_OK(BundleAccess::Open(path, options, bundle.get()));
+  *out = std::move(bundle);
+  return Status::OK();
+}
+
+Status VerifyBundleMatchesGraph(const IndexBundle& bundle,
+                                const BipartiteGraph& g) {
+  const BipartiteGraph& bg = bundle.graph();
+  if (bg.NumUpper() != g.NumUpper() || bg.NumLower() != g.NumLower() ||
+      bg.NumEdges() != g.NumEdges()) {
+    return Status::Corruption("bundle was built for a different graph shape");
+  }
+  if (BundleAccess::Topology(bundle) != GraphTopologyChecksum(g)) {
+    return Status::Corruption("bundle topology does not match this graph");
+  }
+  if (BundleAccess::Weights(bundle) != GraphWeightChecksum(g)) {
+    return Status::Corruption(
+        "bundle weights do not match this graph (stale significances — "
+        "rebuild the bundle)");
+  }
+  return Status::OK();
+}
+
+}  // namespace abcs

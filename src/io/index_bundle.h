@@ -1,0 +1,137 @@
+#ifndef ABCS_IO_INDEX_BUNDLE_H_
+#define ABCS_IO_INDEX_BUNDLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abcore/offsets.h"
+#include "common/status.h"
+#include "core/bicore_index.h"
+#include "core/delta_index.h"
+#include "graph/bipartite_graph.h"
+#include "io/mapped_file.h"
+
+namespace abcs {
+
+/// \brief One versioned container file (`ABCSPAK1`) holding everything a
+/// serving process needs: graph CSR + weights, the δ-bounded offset
+/// decomposition, and both index layers (I_δ and I_v).
+///
+/// Layout (little-endian, all sections 8-byte aligned; full spec in
+/// docs/bundle_format.md):
+///
+///     "ABCSPAK1" | BundleHeader | TOC (named section records) | payloads
+///
+/// The header carries the graph shape, δ, a topology checksum AND a weight
+/// digest (so a bundle whose significances went stale cannot silently
+/// serve wrong SCS answers), plus a meta checksum over header+TOC; every
+/// section record carries a byte range and a content checksum.
+///
+/// `OpenIndexBundle` wires the in-memory structures as *borrowed*
+/// `ArenaStorage` spans pointing straight into the backing bytes — the
+/// mmap'd region (`kMmap`, zero per-array copies, pages fault in lazily)
+/// or one owned buffer read eagerly (`kRead`). Queries served from an
+/// opened bundle are bit-identical to queries from a fresh in-memory
+/// build.
+enum class BundleOpenMode {
+  kMmap,  ///< map the file; spans view the mapping (zero-copy, lazy pages)
+  kRead,  ///< read the file into one owned buffer; spans view the buffer
+};
+
+struct BundleOpenOptions {
+  BundleOpenMode mode = BundleOpenMode::kMmap;
+  /// Verify every section checksum and the deep structural bounds on open.
+  /// Defaults on: a corrupted bundle then fails with a clean Status before
+  /// any query can follow a bad offset. Turning it off skips the O(file)
+  /// content scan (trusted local restarts chasing the last bit of startup
+  /// latency); the header, TOC and array-shape checks still run.
+  bool verify_checksums = true;
+};
+
+/// An opened bundle: owns the backing bytes (mapping or buffer) and the
+/// graph/decomposition/index structures viewing them. Immovable — the
+/// indexes hold pointers to the member graph — so it lives on the heap
+/// behind a unique_ptr (see OpenIndexBundle).
+class IndexBundle {
+ public:
+  IndexBundle(const IndexBundle&) = delete;
+  IndexBundle& operator=(const IndexBundle&) = delete;
+  IndexBundle(IndexBundle&&) = delete;
+  IndexBundle& operator=(IndexBundle&&) = delete;
+
+  const BipartiteGraph& graph() const { return graph_; }
+  const BicoreDecomposition& decomposition() const { return decomp_; }
+  const DeltaIndex& delta_index() const { return delta_index_; }
+  const BicoreIndex& bicore_index() const { return bicore_index_; }
+  uint32_t delta() const { return decomp_.delta; }
+
+  BundleOpenMode mode() const { return mode_; }
+  /// Total bytes of the backing file.
+  std::size_t FileBytes() const { return backing_size_; }
+  /// True iff every persistent array of every layer is a borrowed span
+  /// into the backing bytes (no per-array copies were made on open).
+  bool ZeroCopy() const;
+
+ private:
+  friend struct BundleAccess;
+  friend Status OpenIndexBundle(const std::string& path,
+                                std::unique_ptr<IndexBundle>* out,
+                                const BundleOpenOptions& options);
+  IndexBundle() = default;
+
+  BundleOpenMode mode_ = BundleOpenMode::kMmap;
+  MappedFile map_;                  ///< backing for kMmap
+  std::vector<std::byte> buffer_;   ///< backing for kRead
+  const std::byte* backing_ = nullptr;
+  std::size_t backing_size_ = 0;
+  uint64_t topology_checksum_ = 0;  ///< from the header, for match checks
+  uint64_t weight_digest_ = 0;      ///< from the header, for match checks
+
+  BipartiteGraph graph_;
+  BicoreDecomposition decomp_;
+  DeltaIndex delta_index_;
+  BicoreIndex bicore_index_;
+};
+
+/// Writes the self-contained bundle. `decomp`, `delta` and `bicore` must
+/// all have been built from `g` (the saver embeds `g`'s topology checksum
+/// and weight digest; `OpenIndexBundle` re-verifies them).
+Status SaveIndexBundle(const BipartiteGraph& g,
+                       const BicoreDecomposition& decomp,
+                       const DeltaIndex& delta, const BicoreIndex& bicore,
+                       const std::string& path);
+
+/// Opens a bundle written by SaveIndexBundle. On success `*out` serves
+/// queries immediately: graph, decomposition and both indexes are wired
+/// and self-consistent. Corrupted or truncated files fail with
+/// `Corruption`, unreadable files with `IOError`.
+Status OpenIndexBundle(const std::string& path,
+                       std::unique_ptr<IndexBundle>* out,
+                       const BundleOpenOptions& options = {});
+
+/// Checks that `bundle` was built from exactly `g`: shape, topology
+/// checksum and weight digest must all match. Detects both a stale
+/// topology and the silent killer the plain topology checksum misses —
+/// same edges, re-weighted significances.
+Status VerifyBundleMatchesGraph(const IndexBundle& bundle,
+                                const BipartiteGraph& g);
+
+/// True iff `path` starts with the ABCSPAK1 magic — the format sniff the
+/// CLI's `--index` auto-detection uses to dispatch between the bundle
+/// opener and the legacy ABCSIDX loader. Kept next to the format so the
+/// magic lives in exactly one translation unit.
+bool LooksLikeIndexBundle(const std::string& path);
+
+/// The checksum used for bundle sections and the header/TOC meta record:
+/// FNV-1a over the bytes chunked into little-endian 64-bit words (tail
+/// word zero-padded). Word-wise so verifying a multi-hundred-MB bundle
+/// costs a fraction of the build it replaces. Exposed for tests that
+/// craft corrupt-but-self-consistent files.
+uint64_t BundleChecksum(const void* data, std::size_t size);
+
+}  // namespace abcs
+
+#endif  // ABCS_IO_INDEX_BUNDLE_H_

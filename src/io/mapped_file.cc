@@ -1,0 +1,78 @@
+#include "io/mapped_file.h"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ABCS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define ABCS_HAVE_MMAP 0
+#endif
+
+namespace abcs {
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+  }
+  return *this;
+}
+
+#if ABCS_HAVE_MMAP
+
+Status MappedFile::Open(const std::string& path, MappedFile* out) {
+  out->Close();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  void* addr = nullptr;
+  if (size > 0) {
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      return Status::IOError("cannot mmap " + path);
+    }
+  }
+  ::close(fd);  // the mapping keeps the pages alive
+  out->addr_ = addr;
+  out->size_ = size;
+  out->mapped_ = true;
+  return Status::OK();
+}
+
+void MappedFile::Close() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+  addr_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+#else  // !ABCS_HAVE_MMAP
+
+Status MappedFile::Open(const std::string& path, MappedFile* out) {
+  (void)out;
+  return Status::NotSupported("mmap unavailable on this platform; open the "
+                              "bundle with BundleOpenMode::kRead instead (" +
+                              path + ")");
+}
+
+void MappedFile::Close() {
+  addr_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+#endif  // ABCS_HAVE_MMAP
+
+}  // namespace abcs

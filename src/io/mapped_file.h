@@ -1,0 +1,54 @@
+#ifndef ABCS_IO_MAPPED_FILE_H_
+#define ABCS_IO_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace abcs {
+
+/// \brief Read-only memory mapping of a whole file (POSIX mmap).
+///
+/// The index bundle opener maps the file once and hands out borrowed
+/// `ArenaStorage` spans into the mapping, so opening an index is O(1)
+/// copies: pages fault in lazily as queries touch them. Movable so it can
+/// be stored inside the (heap-allocated) `IndexBundle`; the mapping's
+/// address is stable across moves, only the handle transfers.
+///
+/// On platforms without mmap the build falls back to `ReadWholeFile`
+/// (one owned buffer, same span wiring) — the bundle opener selects the
+/// path, callers never see the difference beyond open latency.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Close(); }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  /// Maps `path` read-only. Fails with IOError if the file cannot be
+  /// opened or mapped (an empty file maps to a valid zero-length mapping).
+  static Status Open(const std::string& path, MappedFile* out);
+
+  /// True between a successful Open and Close (an empty file yields a
+  /// valid zero-length mapping).
+  bool valid() const { return mapped_; }
+  const std::byte* data() const {
+    return static_cast<const std::byte*>(addr_);
+  }
+  std::size_t size() const { return size_; }
+
+  void Close();
+
+ private:
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;  ///< distinguishes "never opened" from "empty file"
+};
+
+}  // namespace abcs
+
+#endif  // ABCS_IO_MAPPED_FILE_H_

@@ -1,0 +1,478 @@
+// Tests for the ABCSPAK1 index bundle: round-trip bit-identity of all
+// three query paths (read and mmap opens), zero-copy span wiring,
+// copy-on-write seeding of the dynamic index, graph/weight staleness
+// detection, and a corruption battery (truncation, bad magic, wrong
+// version, flipped bytes, TOC overrun) that must fail with a clean Status
+// — never a crash or sanitizer report.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/bicore_index.h"
+#include "core/delta_index.h"
+#include "core/index_io.h"
+#include "core/maintenance.h"
+#include "core/query_engine.h"
+#include "io/index_bundle.h"
+#include "test_util.h"
+
+namespace abcs {
+namespace {
+
+using ::abcs::testing::RandomWeightedGraph;
+
+// Same mixed load as query_engine_test.cc: random vertices, α/β spanning
+// below, at and above the interesting range, so empty and non-empty
+// communities both occur on every path.
+std::vector<QueryRequest> MixedRequests(const BipartiteGraph& g,
+                                        std::size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QueryRequest> requests;
+  requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    requests.push_back(QueryRequest{
+        static_cast<VertexId>(rng.NextBounded(g.NumVertices())),
+        1 + static_cast<uint32_t>(rng.NextBounded(9)),
+        1 + static_cast<uint32_t>(rng.NextBounded(9))});
+  }
+  return requests;
+}
+
+// --- raw-layout helpers for crafting corrupt-but-self-consistent files --
+// Layout (docs/bundle_format.md): magic[8] | header[48] | TOC of 40-byte
+// records | payloads. Header: version@8 count@12 nU@16 nL@20 m@24 δ@28,
+// meta checksum @48; record: name[16] offset@+16 length@+24 checksum@+32.
+
+struct SectionLoc {
+  std::size_t record_off = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  bool found = false;
+};
+
+SectionLoc FindSection(const std::string& bytes, const char* name) {
+  uint32_t count = 0;
+  std::memcpy(&count, bytes.data() + 12, sizeof(count));
+  for (uint32_t i = 0; i < count; ++i) {
+    const std::size_t rec = 56 + std::size_t{i} * 40;
+    if (std::strncmp(bytes.data() + rec, name, 16) == 0) {
+      SectionLoc loc;
+      loc.record_off = rec;
+      loc.found = true;
+      std::memcpy(&loc.offset, bytes.data() + rec + 16, sizeof(loc.offset));
+      std::memcpy(&loc.length, bytes.data() + rec + 24, sizeof(loc.length));
+      return loc;
+    }
+  }
+  return {};
+}
+
+/// Recomputes the header/TOC meta checksum after a deliberate metadata
+/// patch, so tests exercise the *structural* guards behind it rather than
+/// the checksum itself.
+void FixMetaChecksum(std::string* bytes) {
+  uint32_t section_count = 0;
+  std::memcpy(&section_count, bytes->data() + 12, sizeof(section_count));
+  const std::size_t toc_end = 8 + 48 + std::size_t{section_count} * 40;
+  ASSERT_LE(toc_end, bytes->size());
+  std::string meta = bytes->substr(8, toc_end - 8);
+  std::memset(meta.data() + 40, 0, 8);  // zero the meta checksum field
+  const uint64_t checksum = BundleChecksum(meta.data(), meta.size());
+  std::memcpy(bytes->data() + 48, &checksum, sizeof(checksum));
+}
+
+/// Re-signs one section's content checksum (after patching its payload)
+/// and the meta checksum — the strongest corruption an accidental writer
+/// bug or a deliberate attacker could produce without knowing the
+/// structural invariants.
+void ResignSection(std::string* bytes, const char* name) {
+  const SectionLoc loc = FindSection(*bytes, name);
+  ASSERT_TRUE(loc.found) << name;
+  const uint64_t checksum =
+      BundleChecksum(bytes->data() + loc.offset, loc.length);
+  std::memcpy(bytes->data() + loc.record_off + 32, &checksum,
+              sizeof(checksum));
+  FixMetaChecksum(bytes);
+}
+
+uint32_t ReadU32(const std::string& bytes, std::size_t offset) {
+  uint32_t x = 0;
+  std::memcpy(&x, bytes.data() + offset, sizeof(x));
+  return x;
+}
+
+void WriteU32(std::string* bytes, std::size_t offset, uint32_t x) {
+  std::memcpy(bytes->data() + offset, &x, sizeof(x));
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class BundleIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/abcs_bundle_io_test.abcs";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Builds everything from one graph and saves the bundle.
+  void BuildAndSave(const BipartiteGraph& g) {
+    decomp_ = ComputeBicoreDecomposition(g);
+    delta_ = DeltaIndex::Build(g, &decomp_);
+    bicore_ = BicoreIndex::Build(g, &decomp_);
+    ASSERT_TRUE(SaveIndexBundle(g, decomp_, delta_, bicore_, path_).ok());
+  }
+
+  std::string path_;
+  BicoreDecomposition decomp_;
+  DeltaIndex delta_;
+  BicoreIndex bicore_;
+};
+
+// ------------------------------------------------------------ round trip --
+
+TEST_F(BundleIoTest, RoundTripBitIdenticalOnAllMethodsAndModes) {
+  const BipartiteGraph g = RandomWeightedGraph(80, 80, 900, 23);
+  BuildAndSave(g);
+  const std::vector<QueryRequest> requests = MixedRequests(g, 1000, 42);
+
+  for (const BundleOpenMode mode :
+       {BundleOpenMode::kRead, BundleOpenMode::kMmap}) {
+    std::unique_ptr<IndexBundle> bundle;
+    BundleOpenOptions options;
+    options.mode = mode;
+    ASSERT_TRUE(OpenIndexBundle(path_, &bundle, options).ok());
+    ASSERT_EQ(bundle->delta(), decomp_.delta);
+    EXPECT_EQ(bundle->graph().Edges(), g.Edges());
+    EXPECT_EQ(bundle->decomposition(), decomp_);
+
+    for (const QueryMethod method :
+         {QueryMethod::kDelta, QueryMethod::kBicore, QueryMethod::kOnline}) {
+      const QueryEngine fresh(g, method, &delta_, &bicore_);
+      const QueryEngine opened(bundle->graph(), method,
+                               &bundle->delta_index(),
+                               &bundle->bicore_index());
+      BatchOptions opt;
+      opt.keep_communities = true;
+      const BatchResult want = fresh.RunBatch(requests, opt);
+      const BatchResult got = opened.RunBatch(requests, opt);
+      ASSERT_EQ(got.outcomes.size(), want.outcomes.size());
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        ASSERT_EQ(got.communities[i].edges, want.communities[i].edges)
+            << QueryMethodName(method) << " i=" << i << " mode="
+            << (mode == BundleOpenMode::kMmap ? "mmap" : "read");
+        ASSERT_EQ(got.outcomes[i].touched_arcs, want.outcomes[i].touched_arcs)
+            << QueryMethodName(method) << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(BundleIoTest, MmapOpenIsZeroCopy) {
+  const BipartiteGraph g = RandomWeightedGraph(50, 50, 400, 7);
+  BuildAndSave(g);
+  std::unique_ptr<IndexBundle> bundle;
+  ASSERT_TRUE(OpenIndexBundle(path_, &bundle).ok());
+  EXPECT_EQ(bundle->mode(), BundleOpenMode::kMmap);
+  // Every array of every layer views the mapped region: no per-array copy.
+  EXPECT_TRUE(bundle->ZeroCopy());
+  EXPECT_GT(bundle->FileBytes(), 0u);
+
+  // The read-into-memory path shares the wiring: one buffer, same spans.
+  std::unique_ptr<IndexBundle> read_bundle;
+  BundleOpenOptions options;
+  options.mode = BundleOpenMode::kRead;
+  ASSERT_TRUE(OpenIndexBundle(path_, &read_bundle, options).ok());
+  EXPECT_TRUE(read_bundle->ZeroCopy());
+}
+
+TEST_F(BundleIoTest, UnverifiedOpenServesIdenticalQueries) {
+  const BipartiteGraph g = RandomWeightedGraph(40, 40, 350, 11);
+  BuildAndSave(g);
+  std::unique_ptr<IndexBundle> bundle;
+  BundleOpenOptions options;
+  options.verify_checksums = false;  // trusted-restart fast path
+  ASSERT_TRUE(OpenIndexBundle(path_, &bundle, options).ok());
+  for (const QueryRequest& r : MixedRequests(g, 200, 3)) {
+    EXPECT_EQ(bundle->delta_index().QueryCommunity(r.q, r.alpha, r.beta).edges,
+              delta_.QueryCommunity(r.q, r.alpha, r.beta).edges);
+  }
+}
+
+// Copy-on-write: the dynamic index seeds its mutable rows straight from
+// the bundle's (possibly mmap'd) arenas — no offset peel — and then
+// behaves exactly like one seeded by recomputation.
+TEST_F(BundleIoTest, DynamicIndexSeedsCopyOnWriteFromBundle) {
+  const BipartiteGraph g = RandomWeightedGraph(30, 30, 250, 19);
+  BuildAndSave(g);
+  std::unique_ptr<IndexBundle> bundle;
+  ASSERT_TRUE(OpenIndexBundle(path_, &bundle).ok());
+
+  DynamicDeltaIndex from_bundle(bundle->graph(), &bundle->decomposition());
+  DynamicDeltaIndex recomputed(g);
+  ASSERT_EQ(from_bundle.delta(), recomputed.delta());
+  for (uint32_t tau = 1; tau <= recomputed.delta(); ++tau) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      ASSERT_EQ(from_bundle.OffsetAlpha(tau, v),
+                recomputed.OffsetAlpha(tau, v));
+      ASSERT_EQ(from_bundle.OffsetBeta(tau, v), recomputed.OffsetBeta(tau, v));
+    }
+  }
+  // Mutating after the seed must not touch the mapped bundle (the rows are
+  // owned copies); both instances keep agreeing through an update.
+  ASSERT_TRUE(from_bundle.InsertEdge(0, g.NumUpper() + 1, 3.0).ok() ==
+              recomputed.InsertEdge(0, g.NumUpper() + 1, 3.0).ok());
+  EXPECT_EQ(from_bundle.QueryCommunity(0, 2, 2).edges,
+            recomputed.QueryCommunity(0, 2, 2).edges);
+  EXPECT_TRUE(bundle->ZeroCopy());  // bundle arenas untouched
+}
+
+TEST_F(BundleIoTest, EmptyGraphRoundTrips) {
+  GraphBuilder builder;  // zero edges, zero vertices
+  BipartiteGraph g;
+  ASSERT_TRUE(builder.Build(&g).ok());
+  BuildAndSave(g);
+  std::unique_ptr<IndexBundle> bundle;
+  ASSERT_TRUE(OpenIndexBundle(path_, &bundle).ok());
+  EXPECT_EQ(bundle->graph().NumVertices(), 0u);
+  EXPECT_EQ(bundle->delta(), 0u);
+  EXPECT_TRUE(bundle->delta_index().QueryCommunity(0, 1, 1).edges.empty());
+}
+
+// ------------------------------------------------- staleness detection --
+
+TEST_F(BundleIoTest, StaleWeightsAreRejectedByWeightDigest) {
+  const BipartiteGraph g = RandomWeightedGraph(30, 30, 250, 5);
+  BuildAndSave(g);
+  std::unique_ptr<IndexBundle> bundle;
+  ASSERT_TRUE(OpenIndexBundle(path_, &bundle).ok());
+  ASSERT_TRUE(VerifyBundleMatchesGraph(*bundle, g).ok());
+
+  // Same topology, different significances: the topology checksum cannot
+  // see this — the weight digest must.
+  std::vector<Weight> w(g.NumEdges(), 42.0);
+  const BipartiteGraph reweighted = g.WithWeights(w);
+  ASSERT_EQ(GraphTopologyChecksum(reweighted), GraphTopologyChecksum(g));
+  const Status st = VerifyBundleMatchesGraph(*bundle, reweighted);
+  EXPECT_EQ(st.code(), Status::Code::kCorruption);
+
+  // Different topology is still caught too.
+  const BipartiteGraph other = RandomWeightedGraph(30, 30, 250, 6);
+  EXPECT_EQ(VerifyBundleMatchesGraph(*bundle, other).code(),
+            Status::Code::kCorruption);
+}
+
+// ---------------------------------------------------------- corruption --
+
+class BundleCorruptionTest : public BundleIoTest {
+ protected:
+  void SetUp() override {
+    BundleIoTest::SetUp();
+    graph_ = RandomWeightedGraph(25, 25, 200, 13);
+    BuildAndSave(graph_);
+    bytes_ = ReadFileBytes(path_);
+    ASSERT_GT(bytes_.size(), 96u);
+  }
+
+  /// Opens the (patched) file in both modes; every variant must produce
+  /// `code` without crashing.
+  void ExpectOpenFails(Status::Code code) {
+    for (const BundleOpenMode mode :
+         {BundleOpenMode::kRead, BundleOpenMode::kMmap}) {
+      std::unique_ptr<IndexBundle> bundle;
+      BundleOpenOptions options;
+      options.mode = mode;
+      const Status st = OpenIndexBundle(path_, &bundle, options);
+      EXPECT_EQ(st.code(), code) << st.ToString();
+      EXPECT_EQ(bundle, nullptr);
+    }
+  }
+
+  BipartiteGraph graph_;
+  std::string bytes_;
+};
+
+TEST_F(BundleCorruptionTest, MissingFileIsIOError) {
+  std::remove(path_.c_str());
+  ExpectOpenFails(Status::Code::kIOError);
+}
+
+TEST_F(BundleCorruptionTest, DirectoryPathIsIOError) {
+  // ifstream "opens" a directory on some libstdc++ setups and tellg lies;
+  // both modes must fail with a clean Status, not a bad_alloc abort.
+  for (const BundleOpenMode mode :
+       {BundleOpenMode::kRead, BundleOpenMode::kMmap}) {
+    std::unique_ptr<IndexBundle> bundle;
+    BundleOpenOptions options;
+    options.mode = mode;
+    const Status st = OpenIndexBundle(::testing::TempDir(), &bundle, options);
+    EXPECT_EQ(st.code(), Status::Code::kIOError) << st.ToString();
+  }
+}
+
+TEST_F(BundleCorruptionTest, TruncationAtEveryRegionIsCorruption) {
+  // Mid-header, mid-TOC, and mid-payload cuts.
+  for (const std::size_t keep :
+       {std::size_t{4}, std::size_t{30}, std::size_t{70},
+        bytes_.size() / 2, bytes_.size() - 1}) {
+    WriteFileBytes(path_, bytes_.substr(0, keep));
+    ExpectOpenFails(Status::Code::kCorruption);
+  }
+}
+
+TEST_F(BundleCorruptionTest, BadMagicIsCorruption) {
+  bytes_[0] = 'X';
+  WriteFileBytes(path_, bytes_);
+  ExpectOpenFails(Status::Code::kCorruption);
+  // A legacy ABCSIDX dump is also "not a bundle", reported cleanly.
+  const std::string legacy = ::testing::TempDir() + "/abcs_legacy_probe.idx";
+  ASSERT_TRUE(SaveDeltaIndex(delta_, graph_, legacy).ok());
+  std::unique_ptr<IndexBundle> bundle;
+  EXPECT_EQ(OpenIndexBundle(legacy, &bundle).code(),
+            Status::Code::kCorruption);
+  std::remove(legacy.c_str());
+}
+
+TEST_F(BundleCorruptionTest, WrongFormatVersionIsCorruption) {
+  uint32_t version = 99;
+  std::memcpy(bytes_.data() + 8, &version, sizeof(version));
+  WriteFileBytes(path_, bytes_);
+  ExpectOpenFails(Status::Code::kCorruption);
+}
+
+TEST_F(BundleCorruptionTest, FlippedPayloadByteIsCorruption) {
+  bytes_[bytes_.size() - 1] ^= 0x40;  // inside the last section's payload
+  WriteFileBytes(path_, bytes_);
+  ExpectOpenFails(Status::Code::kCorruption);
+}
+
+TEST_F(BundleCorruptionTest, FlippedTocByteIsCorruption) {
+  bytes_[8 + 48 + 17] ^= 0x01;  // first record's offset field
+  WriteFileBytes(path_, bytes_);
+  ExpectOpenFails(Status::Code::kCorruption);
+}
+
+TEST_F(BundleCorruptionTest, SectionTocOverrunIsCorruption) {
+  // Stretch section 0 past EOF and *re-sign* the metadata, so the range
+  // check itself (not the meta checksum) must reject the file.
+  uint64_t length = 0;
+  std::memcpy(&length, bytes_.data() + 8 + 48 + 24, sizeof(length));
+  length = bytes_.size() * 2 + 1024;
+  std::memcpy(bytes_.data() + 8 + 48 + 24, &length, sizeof(length));
+  FixMetaChecksum(&bytes_);
+  WriteFileBytes(path_, bytes_);
+  ExpectOpenFails(Status::Code::kCorruption);
+}
+
+TEST_F(BundleCorruptionTest, SectionOffsetOverflowIsCorruption) {
+  // Offset near UINT64_MAX: offset + length must not wrap past the check.
+  uint64_t offset = ~uint64_t{0} - 7;  // keeps 8-alignment
+  std::memcpy(bytes_.data() + 8 + 48 + 16, &offset, sizeof(offset));
+  FixMetaChecksum(&bytes_);
+  WriteFileBytes(path_, bytes_);
+  ExpectOpenFails(Status::Code::kCorruption);
+}
+
+// A fully re-signed bundle whose I_δ base table carries a zero-width
+// vertex slot must be rejected: NumLevels would underflow and the
+// self-offset lookup would read far outside the mapping.
+TEST_F(BundleCorruptionTest, ZeroWidthTableBaseSlotIsCorruption) {
+  const SectionLoc tbase = FindSection(bytes_, "id.a.tbase");
+  ASSERT_TRUE(tbase.found);
+  ASSERT_GE(tbase.length, 2 * sizeof(uint32_t));
+  WriteU32(&bytes_, tbase.offset + 4, ReadU32(bytes_, tbase.offset));
+  ResignSection(&bytes_, "id.a.tbase");
+  WriteFileBytes(path_, bytes_);
+  ExpectOpenFails(Status::Code::kCorruption);
+}
+
+// A re-signed decomposition whose start table gives one vertex a slice
+// longer than δ must be rejected: consumers size dense per-τ tables by δ
+// (DynamicDeltaIndex's seed rows) and would write past them otherwise.
+TEST_F(BundleCorruptionTest, DecompositionSliceLongerThanDeltaIsCorruption) {
+  const SectionLoc start = FindSection(bytes_, "dc.a.start");
+  ASSERT_TRUE(start.found);
+  const uint64_t count = start.length / sizeof(uint32_t);
+  ASSERT_GE(count, 3u);
+  const uint32_t delta = ReadU32(bytes_, 28);
+  const uint32_t total =
+      ReadU32(bytes_, start.offset + (std::size_t{count} - 1) * 4);
+  ASSERT_GT(total, delta) << "fixture graph too small for this craft";
+  // Zero every interior bound: still non-decreasing, same total, but the
+  // last vertex now owns all Σ Levels values — far more than δ.
+  for (uint64_t v = 1; v + 1 < count; ++v) {
+    WriteU32(&bytes_, start.offset + std::size_t{v} * 4, 0);
+  }
+  ResignSection(&bytes_, "dc.a.start");
+  WriteFileBytes(path_, bytes_);
+  ExpectOpenFails(Status::Code::kCorruption);
+}
+
+// A re-signed entry that points a level-τ list at a vertex which does not
+// own level τ must be rejected: the query BFS reads the target's level-τ
+// slice unchecked, trusting exactly this invariant.
+TEST(BundleCraftedEntryTest, EntryTargetWithoutLevelIsCorruption) {
+  const std::string path =
+      ::testing::TempDir() + "/abcs_bundle_crafted_entry.abcs";
+  // Figure 2: the 4×4 complete core has vertices with ≥ 2 levels, the
+  // chain vertices have exactly 1 — both populations guaranteed.
+  const BipartiteGraph g = testing::PaperFigure2Graph(20);
+  const BicoreDecomposition decomp = ComputeBicoreDecomposition(g);
+  const DeltaIndex delta = DeltaIndex::Build(g, &decomp);
+  const BicoreIndex bicore = BicoreIndex::Build(g, &decomp);
+  ASSERT_TRUE(SaveIndexBundle(g, decomp, delta, bicore, path).ok());
+  std::string bytes = ReadFileBytes(path);
+
+  const SectionLoc tbase = FindSection(bytes, "id.a.tbase");
+  const SectionLoc lstart = FindSection(bytes, "id.a.lstart");
+  const SectionLoc entries = FindSection(bytes, "id.a.entries");
+  ASSERT_TRUE(tbase.found && lstart.found && entries.found);
+  const uint32_t n = ReadU32(bytes, 16) + ReadU32(bytes, 20);
+  auto tb = [&](uint32_t v) {
+    return ReadU32(bytes, tbase.offset + std::size_t{v} * 4);
+  };
+  auto levels = [&](uint32_t v) { return tb(v + 1) - tb(v) - 1; };
+  // A victim vertex owning level 2 with a non-empty level-2 list, and a
+  // target vertex that does not own level 2.
+  uint32_t victim = n, target = n;
+  for (uint32_t v = 0; v < n; ++v) {
+    const uint32_t ls_lo =
+        ReadU32(bytes, lstart.offset + (std::size_t{tb(v)} + 1) * 4);
+    const uint32_t ls_hi =
+        ReadU32(bytes, lstart.offset + (std::size_t{tb(v)} + 2) * 4);
+    if (victim == n && levels(v) >= 2 && ls_hi > ls_lo) victim = v;
+    if (target == n && levels(v) < 2) target = v;
+  }
+  ASSERT_LT(victim, n);
+  ASSERT_LT(target, n);
+  const uint32_t entry_idx =
+      ReadU32(bytes, lstart.offset + (std::size_t{tb(victim)} + 1) * 4);
+  // Entry layout: u32 to, u32 eid, u32 offset (12 bytes).
+  WriteU32(&bytes, entries.offset + std::size_t{entry_idx} * 12, target);
+  ResignSection(&bytes, "id.a.entries");
+  WriteFileBytes(path, bytes);
+
+  std::unique_ptr<IndexBundle> bundle;
+  EXPECT_EQ(OpenIndexBundle(path, &bundle).code(),
+            Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace abcs

@@ -1,5 +1,6 @@
 # ctest-driven round trip over the abcs CLI:
-#   gen → stats → index → query → scs (all algorithms) → profile.
+#   gen → stats → index (ABCSPAK1 bundle) → query (graph+--index and
+#   self-contained --bundle) → scs (all algorithms) → profile → batches.
 # Invoked as:
 #   cmake -DABCS_CLI=<path> -DWORK_DIR=<dir> -P cli_smoke_test.cmake
 
@@ -34,6 +35,49 @@ run_abcs("delta=[1-9]" stats ${GRAPH})
 run_abcs("built I_delta .*saved to" index ${GRAPH} ${INDEX})
 run_abcs("community of u1" query ${GRAPH} 1 2 2 --index ${INDEX})
 run_abcs("" query ${GRAPH} 0 1 1 --index ${INDEX} --side l)
+
+# Persistence round trip: the index file written above is an ABCSPAK1
+# bundle; the same query served via graph+--index (auto-detected bundle,
+# verified against the graph) and via the self-contained --bundle form must
+# print byte-identical communities (only the timing figure may differ).
+function(capture_query out_var)
+  execute_process(
+    COMMAND ${ABCS_CLI} ${ARGN}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    list(JOIN ARGN " " pretty)
+    message(FATAL_ERROR "abcs ${pretty} failed (rc=${rc}):\n${out}${err}")
+  endif()
+  string(REGEX REPLACE "in [0-9.e+-]+ s" "in <t> s" out "${out}")
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+capture_query(via_index query ${GRAPH} 2 2 2 --index ${INDEX})
+capture_query(via_bundle query --bundle ${INDEX} 2 2 2)
+if(NOT via_index STREQUAL via_bundle)
+  message(FATAL_ERROR "bundle-served query differs from graph+index:\n"
+    "--- via --index\n${via_index}\n--- via --bundle\n${via_bundle}")
+endif()
+message(STATUS "ok: --bundle query identical to graph + --index")
+
+# A reweighted graph must be rejected against the stale bundle (the weight
+# digest closes the topology checksum's blind spot).
+file(READ ${GRAPH} graph_text)
+string(REGEX REPLACE "\n([0-9]+ [0-9]+) [0-9.]+\n" "\n\\1 987654\n"
+  reweighted_text "${graph_text}")
+if(reweighted_text STREQUAL graph_text)
+  message(FATAL_ERROR "reweighting patch did not change the edge list")
+endif()
+file(WRITE ${WORK_DIR}/bs_reweighted.txt "${reweighted_text}")
+execute_process(
+  COMMAND ${ABCS_CLI} query ${WORK_DIR}/bs_reweighted.txt 1 2 2 --index ${INDEX}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(rc EQUAL 0 OR NOT err MATCHES "weights do not match")
+  message(FATAL_ERROR "stale-weight bundle was not rejected (rc=${rc}):\n"
+    "${out}${err}")
+endif()
+message(STATUS "ok: stale-weight bundle rejected")
 foreach(algo peel expand binary baseline)
   run_abcs("\\(2,2\\)-community" scs ${GRAPH} 1 2 2 --index ${INDEX} --algo ${algo})
 endforeach()
@@ -68,6 +112,24 @@ foreach(method online bicore)
   run_abcs("# batch of 4 queries, method=${method}"
     query ${GRAPH} --batch ${BATCH} --method ${method} --threads 2)
 endforeach()
+
+# Batches served straight from the bundle (no graph file): every method,
+# same deterministic stdout as the graph-backed delta run where comparable.
+foreach(method delta bicore online)
+  run_abcs("# batch of 4 queries, method=${method}"
+    query --bundle ${INDEX} --batch ${BATCH} --method ${method} --threads 2)
+endforeach()
+execute_process(
+  COMMAND ${ABCS_CLI} query --bundle ${INDEX} --batch ${BATCH} --threads 2
+  OUTPUT_VARIABLE batch_bundle ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "abcs query --bundle --batch failed: ${err}")
+endif()
+if(NOT batch_bundle STREQUAL batch_out_1)
+  message(FATAL_ERROR "bundle-served batch differs from graph-served batch:\n"
+    "--- graph\n${batch_out_1}\n--- bundle\n${batch_bundle}")
+endif()
+message(STATUS "ok: bundle-served batch identical to graph-served batch")
 
 # Determinism: a second gen of the same spec must be byte-identical.
 run_abcs("" gen BS ${WORK_DIR}/bs2.txt)

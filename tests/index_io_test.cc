@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "core/index_io.h"
@@ -88,6 +89,63 @@ TEST_F(IndexIoTest, MissingFileIsIOError) {
             Status::Code::kIOError);
 }
 
+// The ABCSIDX family is deprecated (load-only) behind the ABCSPAK1 bundle;
+// these pin the legacy path so previously saved indices keep working and
+// keep failing *cleanly* on damage.
+
+TEST_F(IndexIoTest, RejectsWrongFormatVersion) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "ABCSIDX9";  // right family, unknown version
+    out << std::string(64, '\0');
+  }
+  BipartiteGraph g = RandomWeightedGraph(10, 10, 40, 12);
+  DeltaIndex loaded;
+  EXPECT_EQ(LoadDeltaIndex(path_, g, &loaded).code(),
+            Status::Code::kCorruption);
+}
+
+TEST_F(IndexIoTest, RejectsFlippedChecksumByte) {
+  BipartiteGraph g = RandomWeightedGraph(20, 20, 120, 14);
+  const DeltaIndex built = DeltaIndex::Build(g);
+  ASSERT_TRUE(SaveDeltaIndex(built, g, path_).ok());
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Layout: magic[8] delta[4] nU[4] nL[4] m[4] checksum[8] — flip one
+  // checksum byte; the loader must call the file a mismatch, not crash.
+  bytes[24] ^= 0x01;
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  DeltaIndex loaded;
+  EXPECT_EQ(LoadDeltaIndex(path_, g, &loaded).code(),
+            Status::Code::kCorruption);
+}
+
+TEST_F(IndexIoTest, RejectsImplausibleArraySize) {
+  BipartiteGraph g = RandomWeightedGraph(20, 20, 120, 15);
+  const DeltaIndex built = DeltaIndex::Build(g);
+  ASSERT_TRUE(SaveDeltaIndex(built, g, path_).ok());
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // First array's u64 size field sits right after the 32-byte header;
+  // blow it past the Lemma-5 cap so the loader rejects before resizing.
+  const uint64_t huge = ~uint64_t{0} / 2;
+  std::memcpy(bytes.data() + 32, &huge, sizeof(huge));
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  DeltaIndex loaded;
+  EXPECT_EQ(LoadDeltaIndex(path_, g, &loaded).code(),
+            Status::Code::kCorruption);
+}
+
 TEST(TopologyChecksumTest, SensitiveToTopologyNotWeights) {
   BipartiteGraph g = RandomWeightedGraph(20, 20, 150, 10);
   const uint64_t base = GraphTopologyChecksum(g);
@@ -98,6 +156,21 @@ TEST(TopologyChecksumTest, SensitiveToTopologyNotWeights) {
   // Different topology: checksum changes.
   BipartiteGraph g2 = RandomWeightedGraph(20, 20, 150, 11);
   EXPECT_NE(GraphTopologyChecksum(g2), base);
+}
+
+TEST(WeightChecksumTest, SensitiveToWeightsExactly) {
+  BipartiteGraph g = RandomWeightedGraph(20, 20, 150, 12);
+  const uint64_t base = GraphWeightChecksum(g);
+  // Deterministic rebuild of the same weights: digest unchanged.
+  std::vector<Weight> same(g.Edges().size());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) same[e] = g.GetWeight(e);
+  EXPECT_EQ(GraphWeightChecksum(g.WithWeights(same)), base);
+  // One edge re-scored: digest changes — the topology checksum's blind
+  // spot that the bundle header closes.
+  same[0] += 0.5;
+  EXPECT_NE(GraphWeightChecksum(g.WithWeights(same)), base);
+  EXPECT_EQ(GraphTopologyChecksum(g.WithWeights(same)),
+            GraphTopologyChecksum(g));
 }
 
 }  // namespace

@@ -1,16 +1,22 @@
-// abcs command-line tool: build/save/load the I_δ index and run community
+// abcs command-line tool: build/persist the index bundle and run community
 // queries on weighted bipartite edge lists.
 //
 // Usage:
 //   abcs stats  <graph>                       print dataset statistics
-//   abcs index  <graph> <index-out>           build and persist I_δ (alias:
-//                                             build; per-phase timing —
-//                                             decomposition / entry emission
-//                                             / serialisation — on stderr)
+//   abcs index  <graph> [--out] <bundle-out>  build and persist the ABCSPAK1
+//                                             bundle: graph + offset
+//                                             decomposition + I_δ + I_v
+//                                             (alias: build; per-phase
+//                                             timing on stderr)
 //   abcs query  <graph> <q> <alpha> <beta> [--index FILE] [--side u|l]
 //                                             print C_{α,β}(q)
+//   abcs query  --bundle FILE <q> <alpha> <beta> [--side u|l]
+//                                             ditto, served straight from an
+//                                             mmap'd bundle — no graph file,
+//                                             no rebuild
 //   abcs query  <graph> --batch <file> [--threads N] [--index FILE]
 //               [--method online|bicore|delta] [--side u|l]
+//   abcs query  --bundle FILE --batch <file> [--threads N] [--method ...]
 //                                             run a query batch through the
 //                                             zero-allocation query engine
 //   abcs scs    <graph> <q> <alpha> <beta> [--index FILE] [--side u|l]
@@ -24,6 +30,12 @@
 // (lines starting with % or # ignored). <q> is a layer-local id; --side
 // selects the layer (default: u).
 //
+// --index FILE auto-detects the format by magic: an ABCSPAK1 bundle is
+// opened zero-copy and cross-checked against the supplied graph (topology
+// checksum AND weight digest, so stale significances are rejected); a
+// legacy ABCSIDX dump loads through the deprecated load-only path. scs and
+// profile accept --bundle too.
+//
 // A batch file has one query per line: `q alpha beta [u|l]` (layer-local
 // q; the trailing letter overrides the batch-wide --side; % and # comment
 // lines ignored). Per-query results and aggregate counts go to stdout and
@@ -32,7 +44,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,6 +64,7 @@
 #include "core/scs_peel.h"
 #include "graph/datasets.h"
 #include "graph/graph_io.h"
+#include "io/index_bundle.h"
 
 namespace {
 
@@ -57,12 +72,14 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  abcs stats <graph>\n"
-               "  abcs index <graph> <index-out>   (alias: build; phase\n"
-               "      timing breakdown on stderr)\n"
+               "  abcs index <graph> [--out] <bundle-out>   (alias: build;\n"
+               "      writes the ABCSPAK1 bundle; phase timing on stderr)\n"
                "  abcs query <graph> <q> <alpha> <beta> [--index FILE] "
                "[--side u|l]\n"
-               "  abcs query <graph> --batch <file> [--threads N] "
-               "[--method online|bicore|delta] [--index FILE] [--side u|l]\n"
+               "  abcs query --bundle FILE <q> <alpha> <beta> [--side u|l]\n"
+               "  abcs query <graph>|--bundle FILE --batch <file> "
+               "[--threads N] [--method online|bicore|delta] [--index FILE] "
+               "[--side u|l]\n"
                "  abcs scs   <graph> <q> <alpha> <beta> [--index FILE] "
                "[--side u|l] [--algo peel|expand|binary|baseline]\n"
                "  abcs gen   <name> <graph-out>\n");
@@ -76,6 +93,7 @@ int Fail(const abcs::Status& st) {
 
 struct QueryArgs {
   std::string graph_path;
+  std::string bundle_path;  ///< --bundle: self-contained, no graph file
   abcs::VertexId q = 0;
   uint32_t alpha = 0, beta = 0;
   std::string index_path;
@@ -89,26 +107,15 @@ struct QueryArgs {
 };
 
 bool ParseQueryArgs(int argc, char** argv, QueryArgs* args) {
-  if (argc < 4) return false;
-  args->graph_path = argv[2];
-  // Batch form iff --batch appears anywhere (flags are order-free); the
-  // single-query form then requires its three positional arguments, and in
-  // batch form a stray positional is rejected by the flag loop below.
-  bool has_batch = false;
-  for (int j = 3; j < argc; ++j) {
-    if (std::strcmp(argv[j], "--batch") == 0) has_batch = true;
-  }
-  int i = 3;
-  if (!has_batch) {  // single-query form
-    if (argc < 6) return false;
-    args->q = static_cast<abcs::VertexId>(std::atol(argv[3]));
-    args->alpha = static_cast<uint32_t>(std::atol(argv[4]));
-    args->beta = static_cast<uint32_t>(std::atol(argv[5]));
-    i = 6;
-  }
-  for (; i < argc; ++i) {
+  // Flags are order-free; positionals are collected in order. With
+  // --bundle the graph positional disappears (the bundle embeds it), and
+  // with --batch the q/alpha/beta positionals disappear.
+  std::vector<const char*> pos;
+  for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--index") == 0 && i + 1 < argc) {
       args->index_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--bundle") == 0 && i + 1 < argc) {
+      args->bundle_path = argv[++i];
     } else if (std::strcmp(argv[i], "--side") == 0 && i + 1 < argc) {
       args->lower_side = (argv[++i][0] == 'l');
     } else if (std::strcmp(argv[i], "--algo") == 0 && i + 1 < argc) {
@@ -127,9 +134,24 @@ bool ParseQueryArgs(int argc, char** argv, QueryArgs* args) {
     } else if (std::strcmp(argv[i], "--method") == 0 && i + 1 < argc) {
       args->method = argv[++i];
       args->batch_only_flags = true;
-    } else {
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
       return false;
+    } else {
+      pos.push_back(argv[i]);
     }
+  }
+  // A bundle embeds both graph and index; combining it with either source
+  // would leave two contradictory truths about what is being queried.
+  if (!args->bundle_path.empty() && !args->index_path.empty()) return false;
+  std::size_t expect = args->bundle_path.empty() ? 1 : 0;
+  if (args->batch_path.empty()) expect += 3;
+  if (pos.size() != expect) return false;
+  std::size_t k = 0;
+  if (args->bundle_path.empty()) args->graph_path = pos[k++];
+  if (args->batch_path.empty()) {
+    args->q = static_cast<abcs::VertexId>(std::atol(pos[k]));
+    args->alpha = static_cast<uint32_t>(std::atol(pos[k + 1]));
+    args->beta = static_cast<uint32_t>(std::atol(pos[k + 2]));
   }
   if (!args->batch_path.empty()) return true;
   // --threads/--method only mean something in batch mode; rejecting them
@@ -138,12 +160,55 @@ bool ParseQueryArgs(int argc, char** argv, QueryArgs* args) {
   return args->alpha >= 1 && args->beta >= 1;
 }
 
-abcs::Status GetIndex(const QueryArgs& args, const abcs::BipartiteGraph& g,
-                      abcs::DeltaIndex* index) {
-  if (!args.index_path.empty()) {
-    return abcs::LoadDeltaIndex(args.index_path, g, index);
+/// What a query-like command operates on: the graph (edge-list file or the
+/// one embedded in an opened bundle) plus the bundle, when one backs the
+/// session — either via --bundle or via an --index file that sniffed as
+/// ABCSPAK1.
+struct Session {
+  abcs::BipartiteGraph graph_storage;
+  std::unique_ptr<abcs::IndexBundle> bundle;
+  const abcs::BipartiteGraph* graph = nullptr;
+};
+
+abcs::Status LoadSession(const QueryArgs& args, Session* s) {
+  if (!args.bundle_path.empty()) {
+    ABCS_RETURN_NOT_OK(abcs::OpenIndexBundle(args.bundle_path, &s->bundle));
+    s->graph = &s->bundle->graph();
+    return abcs::Status::OK();
   }
-  *index = abcs::DeltaIndex::Build(g);
+  ABCS_RETURN_NOT_OK(
+      abcs::LoadEdgeList(args.graph_path, &s->graph_storage,
+                         /*zero_based=*/true));
+  s->graph = &s->graph_storage;
+  return abcs::Status::OK();
+}
+
+/// Resolves the I_δ that serves this session: the bundle's (zero-copy), a
+/// loaded --index file (bundle or legacy dump, by magic), or a fresh
+/// build. An --index bundle is cross-checked against the supplied graph —
+/// topology checksum and weight digest — so a stale file fails loudly.
+abcs::Status GetIndex(const QueryArgs& args, Session* s,
+                      abcs::DeltaIndex* owned,
+                      const abcs::DeltaIndex** index) {
+  if (s->bundle != nullptr) {
+    *index = &s->bundle->delta_index();
+    return abcs::Status::OK();
+  }
+  if (!args.index_path.empty()) {
+    if (abcs::LooksLikeIndexBundle(args.index_path)) {
+      ABCS_RETURN_NOT_OK(abcs::OpenIndexBundle(args.index_path, &s->bundle));
+      ABCS_RETURN_NOT_OK(
+          abcs::VerifyBundleMatchesGraph(*s->bundle, *s->graph));
+      *index = &s->bundle->delta_index();
+      return abcs::Status::OK();
+    }
+    ABCS_RETURN_NOT_OK(abcs::LoadDeltaIndex(args.index_path, *s->graph,
+                                            owned));
+    *index = owned;
+    return abcs::Status::OK();
+  }
+  *owned = abcs::DeltaIndex::Build(*s->graph);
+  *index = owned;
   return abcs::Status::OK();
 }
 
@@ -184,20 +249,31 @@ int CmdIndex(const std::string& graph_path, const std::string& out_path) {
   timer.Reset();
   const abcs::DeltaIndex index = abcs::DeltaIndex::Build(g, &decomp);
   const double entries_s = timer.Seconds();
+  timer.Reset();
+  const abcs::BicoreIndex bicore = abcs::BicoreIndex::Build(g, &decomp);
+  const double bicore_s = timer.Seconds();
+  // This line reports I_δ alone (time and bytes) so its trend stays
+  // comparable across releases; the I_v build and the full bundle size
+  // have their own figures below and in the stderr phase breakdown.
   std::printf("built I_delta (delta=%u) in %.3fs, %.2f MB\n", index.delta(),
               decomp_s + entries_s,
               static_cast<double>(index.MemoryBytes()) / (1024.0 * 1024.0));
   timer.Reset();
-  st = abcs::SaveDeltaIndex(index, g, out_path);
+  st = abcs::SaveIndexBundle(g, decomp, index, bicore, out_path);
   if (!st.ok()) return Fail(st);
   const double save_s = timer.Seconds();
   std::fprintf(stderr,
                "# build phases: decomposition=%.3fs (%.2f MB arena) "
-               "entries=%.3fs serialisation=%.3fs\n",
+               "entries=%.3fs bicore=%.3fs serialisation=%.3fs\n",
                decomp_s,
                static_cast<double>(decomp.MemoryBytes()) / (1024.0 * 1024.0),
-               entries_s, save_s);
-  std::printf("saved to %s\n", out_path.c_str());
+               entries_s, bicore_s, save_s);
+  std::error_code ec;
+  const auto bundle_bytes = std::filesystem::file_size(out_path, ec);
+  std::printf("saved to %s (%.2f MB bundle: graph + decomposition + "
+              "I_delta + I_v)\n",
+              out_path.c_str(),
+              ec ? 0.0 : static_cast<double>(bundle_bytes) / (1024.0 * 1024.0));
   return 0;
 }
 
@@ -247,10 +323,10 @@ abcs::Status ParseBatchFile(const std::string& path,
 }
 
 int CmdQueryBatch(const QueryArgs& args) {
-  abcs::BipartiteGraph g;
-  abcs::Status st =
-      abcs::LoadEdgeList(args.graph_path, &g, /*zero_based=*/true);
+  Session session;
+  abcs::Status st = LoadSession(args, &session);
   if (!st.ok()) return Fail(st);
+  const abcs::BipartiteGraph& g = *session.graph;
   std::vector<abcs::QueryRequest> requests;
   st = ParseBatchFile(args.batch_path, g, args.lower_side, &requests);
   if (!st.ok()) return Fail(st);
@@ -266,24 +342,41 @@ int CmdQueryBatch(const QueryArgs& args) {
     return Fail(abcs::Status::InvalidArgument("unknown --method"));
   }
 
-  abcs::DeltaIndex delta;
-  abcs::BicoreIndex bicore;
+  abcs::DeltaIndex owned_delta;
+  abcs::BicoreIndex owned_bicore;
+  const abcs::DeltaIndex* delta = &owned_delta;
+  const abcs::BicoreIndex* bicore = &owned_bicore;
   if (method == abcs::QueryMethod::kDelta) {
-    st = GetIndex(args, g, &delta);
+    st = GetIndex(args, &session, &owned_delta, &delta);
     if (!st.ok()) return Fail(st);
   } else {
-    // Only I_δ has a persistence format; a silently-ignored --index would
-    // hide a full rebuild behind an apparently-used index file.
+    // A bundle carries I_v too, so bicore batches skip the rebuild; a
+    // legacy --index dump only holds I_δ, and the online method uses no
+    // index at all — silently ignoring --index in either case would hide
+    // a rebuild (or a no-op) behind an apparently-used index file.
     if (!args.index_path.empty()) {
-      return Fail(abcs::Status::InvalidArgument(
-          "--index applies to --method delta only"));
+      if (method != abcs::QueryMethod::kBicore ||
+          !abcs::LooksLikeIndexBundle(args.index_path)) {
+        return Fail(abcs::Status::InvalidArgument(
+            "--index applies to --method delta, or --method bicore with a "
+            "bundle; --method online uses no index"));
+      }
+      st = abcs::OpenIndexBundle(args.index_path, &session.bundle);
+      if (!st.ok()) return Fail(st);
+      st = abcs::VerifyBundleMatchesGraph(*session.bundle, g);
+      if (!st.ok()) return Fail(st);
     }
     if (method == abcs::QueryMethod::kBicore) {
-      bicore = abcs::BicoreIndex::Build(g, nullptr, /*num_threads=*/0);
+      if (session.bundle != nullptr) {
+        bicore = &session.bundle->bicore_index();
+      } else {
+        owned_bicore = abcs::BicoreIndex::Build(g, nullptr,
+                                                /*num_threads=*/0);
+      }
     }
   }
 
-  const abcs::QueryEngine engine(g, method, &delta, &bicore);
+  const abcs::QueryEngine engine(g, method, delta, bicore);
   abcs::BatchOptions options;
   options.num_threads = args.num_threads;
   const abcs::BatchResult batch = engine.RunBatch(requests, options);
@@ -315,19 +408,20 @@ int CmdQueryBatch(const QueryArgs& args) {
 
 int CmdQuery(const QueryArgs& args) {
   if (!args.batch_path.empty()) return CmdQueryBatch(args);
-  abcs::BipartiteGraph g;
-  abcs::Status st =
-      abcs::LoadEdgeList(args.graph_path, &g, /*zero_based=*/true);
+  Session session;
+  abcs::Status st = LoadSession(args, &session);
   if (!st.ok()) return Fail(st);
+  const abcs::BipartiteGraph& g = *session.graph;
   const abcs::VertexId q = args.lower_side ? g.NumUpper() + args.q : args.q;
   if (q >= g.NumVertices()) {
     return Fail(abcs::Status::InvalidArgument("query vertex out of range"));
   }
-  abcs::DeltaIndex index;
-  st = GetIndex(args, g, &index);
+  abcs::DeltaIndex owned;
+  const abcs::DeltaIndex* index = nullptr;
+  st = GetIndex(args, &session, &owned, &index);
   if (!st.ok()) return Fail(st);
   abcs::Timer timer;
-  const abcs::Subgraph c = index.QueryCommunity(q, args.alpha, args.beta);
+  const abcs::Subgraph c = index->QueryCommunity(q, args.alpha, args.beta);
   std::printf("# (%u,%u)-community of %s%u in %.2e s\n", args.alpha,
               args.beta, args.lower_side ? "l" : "u", args.q,
               timer.Seconds());
@@ -336,16 +430,17 @@ int CmdQuery(const QueryArgs& args) {
 }
 
 int CmdScs(const QueryArgs& args) {
-  abcs::BipartiteGraph g;
-  abcs::Status st =
-      abcs::LoadEdgeList(args.graph_path, &g, /*zero_based=*/true);
+  Session session;
+  abcs::Status st = LoadSession(args, &session);
   if (!st.ok()) return Fail(st);
+  const abcs::BipartiteGraph& g = *session.graph;
   const abcs::VertexId q = args.lower_side ? g.NumUpper() + args.q : args.q;
   if (q >= g.NumVertices()) {
     return Fail(abcs::Status::InvalidArgument("query vertex out of range"));
   }
-  abcs::DeltaIndex index;
-  st = GetIndex(args, g, &index);
+  abcs::DeltaIndex owned;
+  const abcs::DeltaIndex* index = nullptr;
+  st = GetIndex(args, &session, &owned, &index);
   if (!st.ok()) return Fail(st);
 
   abcs::Timer timer;
@@ -353,7 +448,7 @@ int CmdScs(const QueryArgs& args) {
   if (args.algo == "baseline") {
     result = abcs::ScsBaseline(g, q, args.alpha, args.beta);
   } else {
-    const abcs::Subgraph c = index.QueryCommunity(q, args.alpha, args.beta);
+    const abcs::Subgraph c = index->QueryCommunity(q, args.alpha, args.beta);
     if (args.algo == "peel") {
       result = abcs::ScsPeel(g, c, q, args.alpha, args.beta);
     } else if (args.algo == "expand") {
@@ -377,20 +472,21 @@ int CmdScs(const QueryArgs& args) {
 }
 
 int CmdProfile(const QueryArgs& args) {
-  abcs::BipartiteGraph g;
-  abcs::Status st =
-      abcs::LoadEdgeList(args.graph_path, &g, /*zero_based=*/true);
+  Session session;
+  abcs::Status st = LoadSession(args, &session);
   if (!st.ok()) return Fail(st);
+  const abcs::BipartiteGraph& g = *session.graph;
   const abcs::VertexId q = args.lower_side ? g.NumUpper() + args.q : args.q;
   if (q >= g.NumVertices()) {
     return Fail(abcs::Status::InvalidArgument("query vertex out of range"));
   }
-  abcs::DeltaIndex index;
-  st = GetIndex(args, g, &index);
+  abcs::DeltaIndex owned;
+  const abcs::DeltaIndex* index = nullptr;
+  st = GetIndex(args, &session, &owned, &index);
   if (!st.ok()) return Fail(st);
   // For `profile`, alpha/beta play the role of grid bounds.
   const abcs::SignificanceProfile profile = abcs::ComputeSignificanceProfile(
-      g, index, q, args.alpha, args.beta);
+      g, *index, q, args.alpha, args.beta);
   std::printf("# f(R) for %s%u; rows alpha=1..%u, cols beta=1..%u "
               "('-' = no community)\n",
               args.lower_side ? "l" : "u", args.q, args.alpha, args.beta);
@@ -432,8 +528,26 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   if (cmd == "stats" && argc == 3) return CmdStats(argv[2]);
-  if ((cmd == "index" || cmd == "build") && argc == 4) {
-    return CmdIndex(argv[2], argv[3]);
+  if (cmd == "index" || cmd == "build") {
+    // `abcs index <graph> <bundle-out>` or `abcs index <graph> --out FILE`.
+    std::string graph_path, out_path;
+    bool ok = true;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        ok = ok && out_path.empty();
+        out_path = argv[++i];
+      } else if (std::strncmp(argv[i], "--", 2) == 0) {
+        ok = false;
+      } else if (graph_path.empty()) {
+        graph_path = argv[i];
+      } else if (out_path.empty()) {
+        out_path = argv[i];
+      } else {
+        ok = false;
+      }
+    }
+    if (!ok || graph_path.empty() || out_path.empty()) return Usage();
+    return CmdIndex(graph_path, out_path);
   }
   if (cmd == "gen" && argc == 4) return CmdGen(argv[2], argv[3]);
   if (cmd == "query" || cmd == "scs" || cmd == "profile") {
