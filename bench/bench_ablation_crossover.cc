@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/delta_index.h"
+#include "core/scs_auto.h"
 #include "core/scs_expand.h"
 #include "core/scs_peel.h"
 #include "graph/graph_builder.h"
@@ -49,8 +50,10 @@ int main() {
       "Ablation A3: Peel vs Expand crossover, planted |R| inside a 60k-edge "
       "community (α=β=5, %u reps)\n",
       reps);
-  std::printf("%10s %10s %10s %12s %12s %10s\n", "block", "|R|", "|C|",
-              "peel(s)", "expand(s)", "peel/exp");
+  std::printf("%10s %10s %10s %12s %12s %12s %10s %8s\n", "block", "|R|",
+              "|C|", "peel(s)", "expand(s)", "auto(s)", "peel/exp", "plan");
+  abcs::QueryScratch scratch;
+  abcs::ScsWorkspace ws;
   for (uint32_t block : {8u, 16u, 32u, 64u, 128u, 256u}) {
     const abcs::BipartiteGraph g = MakePlantedBlockGraph(6000, block, 99);
     const abcs::DeltaIndex index = abcs::DeltaIndex::Build(g);
@@ -60,24 +63,33 @@ int main() {
       std::printf("%10u   (empty community)\n", block);
       continue;
     }
-    double peel_s = 0, expand_s = 0;
+    double peel_s = 0, expand_s = 0, auto_s = 0;
     std::size_t r_size = 0;
+    abcs::ScsStats auto_stats;
     for (uint32_t rep = 0; rep < reps; ++rep) {
       abcs::Timer timer;
-      const abcs::ScsResult rp = abcs::ScsPeel(g, c, q, 5, 5);
+      const abcs::ScsResult rp =
+          abcs::ScsPeel(g, c, q, 5, 5, nullptr, &scratch, &ws);
       peel_s += timer.Seconds();
       timer.Reset();
-      const abcs::ScsResult re = abcs::ScsExpand(g, c, q, 5, 5);
+      const abcs::ScsResult re =
+          abcs::ScsExpand(g, c, q, 5, 5, {}, nullptr, &scratch, &ws);
       expand_s += timer.Seconds();
-      if (rp.significance != re.significance) {
+      timer.Reset();
+      const abcs::ScsResult ra = abcs::ScsQuery(
+          g, c, q, 5, 5, abcs::ScsAlgo::kAuto, {}, &auto_stats, &scratch, &ws);
+      auto_s += timer.Seconds();
+      if (rp.significance != re.significance ||
+          rp.significance != ra.significance) {
         std::fprintf(stderr, "MISMATCH at block=%u\n", block);
         return 1;
       }
       r_size = rp.community.Size();
     }
-    std::printf("%10u %10zu %10zu %12.3e %12.3e %9.2fx\n", block, r_size,
-                c.Size(), peel_s / reps, expand_s / reps,
-                peel_s / (expand_s > 0 ? expand_s : 1e-12));
+    std::printf("%10u %10zu %10zu %12.3e %12.3e %12.3e %9.2fx %8s\n", block,
+                r_size, c.Size(), peel_s / reps, expand_s / reps,
+                auto_s / reps, peel_s / (expand_s > 0 ? expand_s : 1e-12),
+                abcs::ScsAlgoName(auto_stats.algo_used));
   }
   return 0;
 }

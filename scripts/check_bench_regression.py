@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Warn-only bench regression check.
+
+Diffs the per-row medians of a fresh bench JSON (BENCH_scs.json,
+BENCH_query.json) against a committed baseline and prints a GitHub-flavored
+markdown summary. Rows are matched on --keys; a row regresses when
+
+    current > baseline * (1 + tolerance)
+
+The tolerance band is deliberately wide: the committed baselines were
+recorded on a developer box, CI runners differ in both absolute speed and
+noise, and this step exists to make *large* SCS/query regressions visible
+in the job summary — not to gate merges. The exit code is always 0.
+
+Usage:
+  check_bench_regression.py --current BENCH_scs.json \
+      --baseline bench/baselines/BENCH_scs.baseline.json \
+      --keys dataset,weights,kernel --metric median_us \
+      --tolerance 0.5 --label "SCS kernels"
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path, keys, metric):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        return None, f"cannot read {path}: {e}"
+    rows = {}
+    for row in data.get("results", []):
+        if any(k not in row for k in keys) or metric not in row:
+            continue
+        rows[tuple(str(row[k]) for k in keys)] = float(row[metric])
+    return rows, None
+
+
+def main():
+    p = argparse.ArgumentParser()
+    p.add_argument("--current", required=True)
+    p.add_argument("--baseline", required=True)
+    p.add_argument("--keys", required=True)
+    p.add_argument("--metric", required=True)
+    p.add_argument("--tolerance", type=float, default=0.5)
+    p.add_argument("--label", default="bench")
+    args = p.parse_args()
+    keys = args.keys.split(",")
+
+    current, err = load_rows(args.current, keys, args.metric)
+    if err:
+        print(f"### {args.label}: perf check skipped\n\n{err}\n")
+        return 0
+    baseline, err = load_rows(args.baseline, keys, args.metric)
+    if err:
+        print(f"### {args.label}: perf check skipped\n\n{err}\n")
+        return 0
+
+    regressions = []
+    compared = 0
+    for key, base_value in sorted(baseline.items()):
+        if key not in current or base_value <= 0:
+            continue
+        compared += 1
+        ratio = current[key] / base_value
+        if ratio > 1.0 + args.tolerance:
+            regressions.append((key, base_value, current[key], ratio))
+
+    band = f"+{args.tolerance:.0%}"
+    if not regressions:
+        print(
+            f"### {args.label}: {compared} rows at most {band} over the "
+            f"committed baseline ({args.metric}; improvements not flagged)\n"
+        )
+        return 0
+    print(
+        f"### ⚠️ {args.label}: {len(regressions)}/{compared} rows more than "
+        f"{band} over baseline ({args.metric}; warn-only, not gating)\n"
+    )
+    print("| " + " | ".join(keys) + " | baseline | current | ratio |")
+    print("|" + "---|" * (len(keys) + 3))
+    for key, base_value, cur_value, ratio in regressions:
+        cells = " | ".join(key)
+        print(f"| {cells} | {base_value:.1f} | {cur_value:.1f} | {ratio:.2f}x |")
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

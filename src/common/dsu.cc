@@ -36,4 +36,10 @@ void Dsu::Reset() {
   num_sets_ = parent_.size();
 }
 
+void Dsu::Assign(std::size_t n) {
+  parent_.resize(n);
+  size_.resize(n);
+  Reset();
+}
+
 }  // namespace abcs

@@ -36,6 +36,9 @@ class Dsu {
   /// Resets every element to a singleton (reusing allocations).
   void Reset();
 
+  /// Resizes to `n` singleton sets, reusing capacity (pooled workspaces).
+  void Assign(std::size_t n);
+
  private:
   std::vector<uint32_t> parent_;
   std::vector<uint32_t> size_;

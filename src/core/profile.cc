@@ -1,6 +1,6 @@
 #include "core/profile.h"
 
-#include "core/scs_peel.h"
+#include "core/scs_auto.h"
 
 namespace abcs {
 
@@ -13,15 +13,20 @@ SignificanceProfile ComputeSignificanceProfile(const BipartiteGraph& g,
   profile.max_beta = max_beta;
   profile.values.assign(static_cast<std::size_t>(max_alpha) * max_beta, 0.0);
   profile.exists.assign(profile.values.size(), 0);
-  // One scratch + one community buffer serve the whole grid: the O(αβ)
-  // cells reuse capacity instead of allocating O(n) state per cell.
+  // One scratch + one community buffer + one SCS workspace serve the whole
+  // grid: the O(αβ) cells reuse capacity (including the LocalGraph's rank
+  // sort buffers) instead of allocating O(n) state per cell, and the
+  // planner picks the cheapest kernel per cell.
   QueryScratch scratch;
+  ScsWorkspace workspace;
   Subgraph c;
+  ScsResult r;
   for (uint32_t alpha = 1; alpha <= max_alpha; ++alpha) {
     for (uint32_t beta = 1; beta <= max_beta; ++beta) {
       index.QueryCommunity(q, alpha, beta, scratch, &c);
       if (c.Empty()) continue;  // all larger β are empty too, but cheap
-      const ScsResult r = ScsPeel(g, c, q, alpha, beta, nullptr, &scratch);
+      ScsQueryInto(g, c, q, alpha, beta, ScsAlgo::kAuto, {}, &r, nullptr,
+                   &scratch, &workspace);
       if (!r.found) continue;
       const std::size_t cell =
           static_cast<std::size_t>(alpha - 1) * max_beta + (beta - 1);

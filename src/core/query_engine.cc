@@ -4,6 +4,20 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "core/scs_auto.h"
+
+namespace {
+
+// Nearest-rank percentile over the (sorted in-place) latency vector.
+void FillPercentiles(std::vector<double>& latencies, double* p50, double* p99) {
+  if (latencies.empty()) return;
+  std::sort(latencies.begin(), latencies.end());
+  const std::size_t k = latencies.size();
+  *p50 = latencies[(k * 50 + 99) / 100 - 1];
+  *p99 = latencies[(k * 99 + 99) / 100 - 1];
+}
+
+}  // namespace
 
 namespace abcs {
 
@@ -93,11 +107,92 @@ BatchResult QueryEngine::RunBatch(std::span<const QueryRequest> requests,
     stats.total_seconds += o.seconds;
     latencies.push_back(o.seconds);
   }
-  std::sort(latencies.begin(), latencies.end());
-  // Nearest-rank percentiles: index ceil(q·k) − 1.
-  const std::size_t k = latencies.size();
-  stats.p50_seconds = latencies[(k * 50 + 99) / 100 - 1];
-  stats.p99_seconds = latencies[(k * 99 + 99) / 100 - 1];
+  FillPercentiles(latencies, &stats.p50_seconds, &stats.p99_seconds);
+  return result;
+}
+
+ScsBatchResult QueryEngine::RunScsBatch(std::span<const QueryRequest> requests,
+                                        const ScsBatchOptions& options) const {
+  ScsBatchResult result;
+  result.outcomes.resize(requests.size());
+  if (options.keep_communities) result.communities.resize(requests.size());
+
+  unsigned num_threads =
+      options.num_threads ? options.num_threads
+                          : std::max(1u, std::thread::hardware_concurrency());
+  if (requests.empty()) {
+    result.num_threads_used = num_threads;
+    return result;
+  }
+  num_threads = static_cast<unsigned>(
+      std::min<std::size_t>(num_threads, requests.size()));
+  result.num_threads_used = num_threads;
+
+  // Same round-robin ownership as RunBatch; additionally each worker pools
+  // one ScsWorkspace (LocalGraph + expand state) and one ScsResult, so
+  // after warm-up a worker's queries run allocation-free end to end:
+  // retrieval scratch, rank sort buffers, peel state and the R edge vector
+  // all reuse capacity.
+  auto worker = [&](unsigned t) {
+    QueryScratch scratch;
+    ScsWorkspace workspace;
+    Subgraph community;
+    ScsResult scs;
+    for (std::size_t i = t; i < requests.size(); i += num_threads) {
+      const QueryRequest& r = requests[i];
+      Timer timer;
+      Query(r, scratch, &community, nullptr);
+      const double retrieve_s = timer.Seconds();
+      ScsStats stats;
+      ScsQueryInto(*graph_, community, r.q, r.alpha, r.beta, options.algo,
+                   options.scs, &scs, &stats, &scratch, &workspace);
+      ScsOutcome& o = result.outcomes[i];
+      o.seconds = timer.Seconds();
+      o.retrieve_seconds = retrieve_s;
+      o.found = scs.found;
+      o.community_edges = static_cast<uint32_t>(community.edges.size());
+      o.result_edges = static_cast<uint32_t>(scs.community.edges.size());
+      o.significance = scs.significance;
+      o.algo_used = stats.algo_used;
+      o.validations = stats.validations;
+      o.incremental_probes = stats.incremental_probes;
+      o.edges_processed = stats.edges_processed;
+      if (options.keep_communities) result.communities[i] = scs.community;
+    }
+  };
+
+  Timer wall;
+  if (num_threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+    for (std::thread& th : threads) th.join();
+  }
+  result.wall_seconds = wall.Seconds();
+
+  ScsBatchStats& stats = result.stats;
+  stats.num_queries = requests.size();
+  std::vector<double> latencies;
+  latencies.reserve(result.outcomes.size());
+  for (const ScsOutcome& o : result.outcomes) {
+    if (o.found) ++stats.num_found;
+    stats.total_community_edges += o.community_edges;
+    stats.total_result_edges += o.result_edges;
+    stats.validations += o.validations;
+    stats.incremental_probes += o.incremental_probes;
+    stats.edges_processed += o.edges_processed;
+    // Empty retrievals never enter a kernel — keep them out of the
+    // planner-decision histogram.
+    if (o.community_edges > 0) {
+      ++stats.algo_counts[static_cast<std::size_t>(o.algo_used)];
+    }
+    stats.total_seconds += o.seconds;
+    stats.retrieve_seconds += o.retrieve_seconds;
+    latencies.push_back(o.seconds);
+  }
+  FillPercentiles(latencies, &stats.p50_seconds, &stats.p99_seconds);
   return result;
 }
 

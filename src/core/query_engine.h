@@ -10,6 +10,7 @@
 #include "core/online_query.h"
 #include "core/query_scratch.h"
 #include "core/query_stats.h"
+#include "core/scs_common.h"
 #include "core/subgraph.h"
 #include "graph/bipartite_graph.h"
 
@@ -73,6 +74,64 @@ struct BatchResult {
   }
 };
 
+/// Options for `QueryEngine::RunScsBatch`.
+struct ScsBatchOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = serial (default).
+  unsigned num_threads = 1;
+  /// Kernel selection; kAuto lets the planner decide per query.
+  ScsAlgo algo = ScsAlgo::kAuto;
+  ScsOptions scs;
+  /// Retain every R edge set in `ScsBatchResult::communities`.
+  bool keep_communities = false;
+};
+
+/// Deterministic per-query SCS outcome (latency excluded from determinism).
+struct ScsOutcome {
+  bool found = false;
+  uint32_t community_edges = 0;  ///< size(C_{α,β}(q)), the SCS input
+  uint32_t result_edges = 0;     ///< size(R)
+  Weight significance = 0;       ///< f(R)
+  ScsAlgo algo_used = ScsAlgo::kPeel;  ///< planner decision (deterministic)
+  uint32_t validations = 0;
+  uint32_t incremental_probes = 0;
+  uint64_t edges_processed = 0;
+  double seconds = 0.0;           ///< retrieval + SCS latency
+  double retrieve_seconds = 0.0;  ///< retrieval share of `seconds`
+};
+
+/// Aggregates over one SCS batch.
+struct ScsBatchStats {
+  uint64_t num_queries = 0;
+  uint64_t num_found = 0;
+  uint64_t total_community_edges = 0;  ///< Σ size(C)
+  uint64_t total_result_edges = 0;     ///< Σ size(R)
+  uint64_t validations = 0;
+  uint64_t incremental_probes = 0;
+  uint64_t edges_processed = 0;
+  /// Resolved-kernel histogram, indexed by ScsAlgo (kAuto slot unused).
+  uint64_t algo_counts[4] = {0, 0, 0, 0};
+  double total_seconds = 0.0;
+  double retrieve_seconds = 0.0;  ///< Σ retrieval latencies
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+/// Result of an SCS batch. `outcomes[i]` matches `requests[i]` for every
+/// thread count; only latencies vary.
+struct ScsBatchResult {
+  std::vector<ScsOutcome> outcomes;
+  std::vector<Subgraph> communities;  ///< R per request iff keep_communities
+  ScsBatchStats stats;
+  double wall_seconds = 0.0;
+  unsigned num_threads_used = 0;
+
+  double QueriesPerSecond() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(stats.num_queries) / wall_seconds
+               : 0.0;
+  }
+};
+
 /// \brief Batched, multithreaded community-query driver.
 ///
 /// Wraps the three retrieval paths behind one submission API: requests are
@@ -100,6 +159,15 @@ class QueryEngine {
   /// Runs `requests` round-robin over the configured worker count.
   BatchResult RunBatch(std::span<const QueryRequest> requests,
                        const BatchOptions& options = {}) const;
+
+  /// Runs the full two-step paradigm per request — retrieve C_{α,β}(q)
+  /// through the configured path, then extract the significant community
+  /// with the selected SCS kernel (kAuto = per-query planner). Each worker
+  /// owns one `QueryScratch` + `ScsWorkspace` + output buffers, so the
+  /// steady state of a batch allocates nothing and results are
+  /// bit-identical for every thread count.
+  ScsBatchResult RunScsBatch(std::span<const QueryRequest> requests,
+                             const ScsBatchOptions& options = {}) const;
 
  private:
   const BipartiteGraph* graph_;

@@ -43,9 +43,9 @@ class QueryScratch {
   enum U32Slot : std::size_t {
     kSlotDeg = 0,    ///< per-vertex degrees
     kSlotQueue,      ///< peel work queue
-    kSlotOrder,      ///< edge order by weight
     kSlotBatch,      ///< batch-removed edge positions
     kSlotStack,      ///< DFS stack for component extraction
+    kSlotJournal,    ///< killed-edge undo journal (incremental SCS probes)
     kNumU32Slots,
   };
   enum U8Slot : std::size_t {

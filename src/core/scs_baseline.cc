@@ -8,10 +8,14 @@ namespace abcs {
 
 ScsResult ScsBaseline(const BipartiteGraph& g, VertexId q, uint32_t alpha,
                       uint32_t beta, const ScsOptions& options,
-                      ScsStats* stats) {
-  std::vector<EdgeId> pool(g.NumEdges());
-  std::iota(pool.begin(), pool.end(), 0u);
-  return ExpandFromEdges(g, pool, q, alpha, beta, options, stats);
+                      ScsStats* stats, QueryScratch* scratch,
+                      ScsWorkspace* workspace) {
+  ScsWorkspace local_ws;
+  ScsWorkspace& ws = workspace ? *workspace : local_ws;
+  ws.pool.resize(g.NumEdges());
+  std::iota(ws.pool.begin(), ws.pool.end(), 0u);
+  return ExpandFromEdges(g, ws.pool, q, alpha, beta, options, stats, scratch,
+                         &ws);
 }
 
 }  // namespace abcs

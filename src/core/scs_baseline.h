@@ -11,10 +11,14 @@ namespace abcs {
 ///
 /// Identical machinery to SCS-Expand, but the edge pool is E(G), so the
 /// search space is the connected component of `q` in G rather than its
-/// (α,β)-community — the cost the two-step paradigm avoids.
+/// (α,β)-community — the cost the two-step paradigm avoids. `workspace`,
+/// when supplied, pools the whole-graph edge list and LocalGraph buffers
+/// across calls.
 ScsResult ScsBaseline(const BipartiteGraph& g, VertexId q, uint32_t alpha,
                       uint32_t beta, const ScsOptions& options = {},
-                      ScsStats* stats = nullptr);
+                      ScsStats* stats = nullptr,
+                      QueryScratch* scratch = nullptr,
+                      ScsWorkspace* workspace = nullptr);
 
 }  // namespace abcs
 

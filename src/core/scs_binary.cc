@@ -1,6 +1,7 @@
 #include "core/scs_binary.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "abcore/peel_kernel.h"
 
@@ -8,16 +9,105 @@ namespace abcs {
 
 namespace {
 
-/// Peels the subgraph {edges of lg with weight >= w} to (α,β) stability.
-/// Returns true and fills `alive_edges`/`deg` iff q survives (`deg` is
-/// meaningful only for vertices that survive the peel).
-///
-/// Runs the shared threshold kernel with an edge-killing adjacency: a
-/// removed vertex's live edges die with it, and only live edges count as
-/// arcs, so a live edge never points at a dead vertex.
-bool FeasibleAt(const LocalGraph& lg, uint32_t lq, uint32_t alpha,
-                uint32_t beta, Weight w, std::vector<uint8_t>* alive_edges,
-                std::vector<uint32_t>* deg, ScsStats* stats) {
+// ----------------------------------------------------------------------
+// The pre-PR implementation, preserved for ScsBinaryFreshPeel: the old
+// LocalGraph (input-order edges, endpoint sort + binary-searched id map,
+// no rank table) and the old FeasibleAt, exactly as they ran before the
+// weight-rank rework. They exist so the benches and tests can compare the
+// incremental machinery against the real historical cost model.
+// ----------------------------------------------------------------------
+
+class LegacyLocalGraph {
+ public:
+  struct LocalEdge {
+    uint32_t u;
+    uint32_t v;
+    Weight w;
+    EdgeId global;
+  };
+  struct LocalArc {
+    uint32_t to;
+    uint32_t pos;
+  };
+
+  LegacyLocalGraph(const BipartiteGraph& g, const std::vector<EdgeId>& edges) {
+    std::vector<VertexId> verts;
+    verts.reserve(edges.size() * 2);
+    for (EdgeId e : edges) {
+      const Edge& ed = g.GetEdge(e);
+      verts.push_back(ed.u);
+      verts.push_back(ed.v);
+    }
+    std::sort(verts.begin(), verts.end());
+    verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+
+    global_of_ = verts;
+    is_upper_.resize(verts.size());
+    id_map_.reserve(verts.size());
+    for (uint32_t i = 0; i < verts.size(); ++i) {
+      is_upper_[i] = g.IsUpper(verts[i]) ? 1 : 0;
+      id_map_.emplace_back(verts[i], i);
+    }
+
+    edges_.reserve(edges.size());
+    for (EdgeId e : edges) {
+      const Edge& ed = g.GetEdge(e);
+      edges_.push_back(LocalEdge{LocalId(ed.u), LocalId(ed.v), ed.w, e});
+    }
+
+    const uint32_t n = NumVertices();
+    offsets_.assign(n + 1, 0);
+    for (const LocalEdge& le : edges_) {
+      ++offsets_[le.u + 1];
+      ++offsets_[le.v + 1];
+    }
+    std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+    arcs_.resize(2 * edges_.size());
+    std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (uint32_t pos = 0; pos < edges_.size(); ++pos) {
+      const LocalEdge& le = edges_[pos];
+      arcs_[cursor[le.u]++] = LocalArc{le.v, pos};
+      arcs_[cursor[le.v]++] = LocalArc{le.u, pos};
+    }
+  }
+
+  uint32_t NumVertices() const {
+    return static_cast<uint32_t>(global_of_.size());
+  }
+  uint32_t NumEdges() const { return static_cast<uint32_t>(edges_.size()); }
+  const std::vector<LocalEdge>& edges() const { return edges_; }
+
+  uint32_t LocalId(VertexId global) const {
+    auto it = std::lower_bound(
+        id_map_.begin(), id_map_.end(), global,
+        [](const std::pair<VertexId, uint32_t>& p, VertexId v) {
+          return p.first < v;
+        });
+    if (it == id_map_.end() || it->first != global) return kInvalidVertex;
+    return it->second;
+  }
+  bool IsUpperLocal(uint32_t local) const { return is_upper_[local] != 0; }
+
+  std::span<const LocalArc> Neighbors(uint32_t local) const {
+    return {arcs_.data() + offsets_[local],
+            offsets_[local + 1] - offsets_[local]};
+  }
+
+ private:
+  std::vector<VertexId> global_of_;
+  std::vector<uint8_t> is_upper_;
+  std::vector<LocalEdge> edges_;
+  std::vector<uint32_t> offsets_;
+  std::vector<LocalArc> arcs_;
+  std::vector<std::pair<VertexId, uint32_t>> id_map_;
+};
+
+/// The pre-PR feasibility probe: peels {edges of lg with weight >= w} to
+/// (α,β) stability with freshly built degrees and liveness.
+bool LegacyFeasibleAt(const LegacyLocalGraph& lg, uint32_t lq, uint32_t alpha,
+                      uint32_t beta, Weight w,
+                      std::vector<uint8_t>* alive_edges,
+                      std::vector<uint32_t>* deg, ScsStats* stats) {
   const uint32_t n = lg.NumVertices();
   const uint32_t m = lg.NumEdges();
   auto threshold = [&](uint32_t x) {
@@ -26,7 +116,7 @@ bool FeasibleAt(const LocalGraph& lg, uint32_t lq, uint32_t alpha,
   alive_edges->assign(m, 0);
   deg->assign(n, 0);
   for (uint32_t pos = 0; pos < m; ++pos) {
-    const LocalGraph::LocalEdge& le = lg.edges()[pos];
+    const LegacyLocalGraph::LocalEdge& le = lg.edges()[pos];
     if (le.w >= w) {
       (*alive_edges)[pos] = 1;
       ++(*deg)[le.u];
@@ -37,7 +127,7 @@ bool FeasibleAt(const LocalGraph& lg, uint32_t lq, uint32_t alpha,
   ThresholdPeel(
       n, *deg, alive,
       [&](uint32_t x, auto&& visit) {
-        for (const LocalGraph::LocalArc& a : lg.Neighbors(x)) {
+        for (const LegacyLocalGraph::LocalArc& a : lg.Neighbors(x)) {
           if (!(*alive_edges)[a.pos]) continue;
           (*alive_edges)[a.pos] = 0;
           if (stats) ++stats->edges_processed;
@@ -50,29 +140,203 @@ bool FeasibleAt(const LocalGraph& lg, uint32_t lq, uint32_t alpha,
   return alive[lq] && (*deg)[lq] >= threshold(lq);
 }
 
+/// From-scratch stable peel of the rank prefix [0, prefix_end): fills
+/// `alive` (per-rank) and `deg` and returns whether q survives. The
+/// fresh-peel baseline path; the incremental path never calls this.
+bool FreshPeelPrefix(const LocalGraph& lg, uint32_t lq, uint32_t alpha,
+                     uint32_t beta, uint32_t prefix_end,
+                     std::vector<uint8_t>* alive, std::vector<uint32_t>* deg,
+                     ScsStats* stats) {
+  const uint32_t n = lg.NumVertices();
+  const uint32_t m = lg.NumEdges();
+  auto threshold = [&](uint32_t x) {
+    return lg.IsUpperLocal(x) ? alpha : beta;
+  };
+  alive->assign(m, 0);
+  deg->assign(n, 0);
+  for (uint32_t r = 0; r < prefix_end; ++r) {
+    const LocalGraph::LocalEdge& le = lg.edges()[r];
+    (*alive)[r] = 1;
+    ++(*deg)[le.u];
+    ++(*deg)[le.v];
+  }
+  std::vector<uint32_t> cascade;
+  for (uint32_t x = 0; x < n; ++x) {
+    if ((*deg)[x] > 0 && (*deg)[x] < threshold(x)) cascade.push_back(x);
+  }
+  while (!cascade.empty()) {
+    const uint32_t x = cascade.back();
+    cascade.pop_back();
+    if ((*deg)[x] >= threshold(x) || (*deg)[x] == 0) continue;
+    for (const LocalGraph::LocalArc& a : lg.Neighbors(x)) {
+      if (!(*alive)[a.pos]) continue;
+      (*alive)[a.pos] = 0;
+      if (stats) ++stats->edges_processed;
+      --(*deg)[x];
+      --(*deg)[a.to];
+      if ((*deg)[a.to] < threshold(a.to)) cascade.push_back(a.to);
+    }
+  }
+  if (stats) ++stats->validations;
+  return (*deg)[lq] >= threshold(lq);
+}
+
 }  // namespace
 
+void ScsBinaryOnLocal(const LocalGraph& lg, VertexId q, uint32_t alpha,
+                      uint32_t beta, ScsResult* out, ScsStats* stats,
+                      QueryScratch& s, std::vector<ScsProbe>* probe_log) {
+  out->community.edges.clear();
+  out->significance = 0;
+  out->found = false;
+  if (stats) stats->algo_used = ScsAlgo::kBinary;
+  if (alpha == 0 || beta == 0) return;
+  const uint32_t lq = lg.LocalId(q);
+  if (lq == kInvalidVertex || lg.NumEdges() == 0) return;
+
+  const uint32_t n = lg.NumVertices();
+  const uint32_t m = lg.NumEdges();
+  auto threshold = [&](uint32_t x) {
+    return lg.IsUpperLocal(x) ? alpha : beta;
+  };
+
+  std::vector<uint32_t>& deg = s.U32(QueryScratch::kSlotDeg);
+  std::vector<uint8_t>& alive = s.U8(QueryScratch::kSlotAlive);
+  std::vector<uint32_t>& cascade = s.U32(QueryScratch::kSlotQueue);
+  std::vector<uint32_t>& journal = s.U32(QueryScratch::kSlotJournal);
+
+  // Opening stabilisation of the full community — the only from-scratch
+  // peel of the whole search.
+  deg.assign(n, 0);
+  for (const LocalGraph::LocalEdge& le : lg.edges()) {
+    ++deg[le.u];
+    ++deg[le.v];
+  }
+  alive.assign(m, 1);
+  cascade.clear();
+  auto kill = [&](uint32_t r, std::vector<uint32_t>* sink) {
+    const LocalGraph::LocalEdge& le = lg.edges()[r];
+    alive[r] = 0;
+    if (sink) sink->push_back(r);
+    if (stats) ++stats->edges_processed;
+    --deg[le.u];
+    --deg[le.v];
+    if (deg[le.u] < threshold(le.u)) cascade.push_back(le.u);
+    if (deg[le.v] < threshold(le.v)) cascade.push_back(le.v);
+  };
+  auto run_cascade = [&](std::vector<uint32_t>* sink) {
+    while (!cascade.empty()) {
+      const uint32_t x = cascade.back();
+      cascade.pop_back();
+      if (deg[x] >= threshold(x) || deg[x] == 0) continue;
+      for (const LocalGraph::LocalArc& a : lg.Neighbors(x)) {
+        if (alive[a.pos]) kill(a.pos, sink);
+      }
+    }
+  };
+  for (uint32_t x = 0; x < n; ++x) {
+    if (deg[x] < threshold(x)) cascade.push_back(x);
+  }
+  run_cascade(nullptr);
+  if (stats) ++stats->validations;
+  if (deg[lq] < threshold(lq)) return;  // infeasible even on the whole pool
+
+  // Binary search over distinct-weight indices (descending weights, so
+  // larger index = longer prefix = more feasible). Invariant: the working
+  // state is the stable peel of prefix `cur_end` = PrefixEnd(hi), and hi is
+  // feasible. A probe at a shorter prefix peels down from that state with
+  // every kill journaled: commit on feasible, undo on infeasible.
+  uint32_t cur_end = m;
+  auto probe = [&](uint32_t target_end) {
+    journal.clear();
+    for (uint32_t r = target_end; r < cur_end; ++r) {
+      if (alive[r]) kill(r, &journal);
+    }
+    run_cascade(&journal);
+    const bool feasible = deg[lq] >= threshold(lq);
+    if (stats) ++stats->incremental_probes;
+    if (probe_log) probe_log->push_back(ScsProbe{target_end, feasible});
+    if (feasible) {
+      cur_end = target_end;
+    } else {
+      for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+        const LocalGraph::LocalEdge& le = lg.edges()[*it];
+        alive[*it] = 1;
+        ++deg[le.u];
+        ++deg[le.v];
+      }
+      if (stats) stats->edges_processed += journal.size();
+    }
+    return feasible;
+  };
+
+  uint32_t lo = 0, hi = lg.NumDistinctWeights() - 1;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;  // mid < hi
+    if (probe(lg.PrefixEnd(mid))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  ExtractAliveComponent(lg, lq, alive, lg.DistinctWeight(hi), s, out);
+}
+
 ScsResult ScsBinary(const BipartiteGraph& g, const Subgraph& community,
-                    VertexId q, uint32_t alpha, uint32_t beta,
-                    ScsStats* stats) {
+                    VertexId q, uint32_t alpha, uint32_t beta, ScsStats* stats,
+                    QueryScratch* scratch, ScsWorkspace* workspace) {
   ScsResult result;
   if (community.Empty() || alpha == 0 || beta == 0) return result;
-  LocalGraph lg(g, community.edges);
+  QueryScratch local_scratch;
+  QueryScratch& s = scratch ? *scratch : local_scratch;
+  ScsWorkspace local_ws;
+  ScsWorkspace& ws = workspace ? *workspace : local_ws;
+  ws.lg.BuildFrom(g, community.edges);
+  ScsBinaryOnLocal(ws.lg, q, alpha, beta, &result, stats, s);
+  return result;
+}
+
+bool ScsFeasibleFreshPeel(const LocalGraph& lg, VertexId q, uint32_t alpha,
+                          uint32_t beta, uint32_t prefix_end) {
+  const uint32_t lq = lg.LocalId(q);
+  if (lq == kInvalidVertex || alpha == 0 || beta == 0) return false;
+  std::vector<uint8_t> alive;
+  std::vector<uint32_t> deg;
+  return FreshPeelPrefix(lg, lq, alpha, beta, prefix_end, &alive, &deg,
+                         nullptr);
+}
+
+ScsResult ScsBinaryFreshPeel(const BipartiteGraph& g, const Subgraph& community,
+                             VertexId q, uint32_t alpha, uint32_t beta,
+                             ScsStats* stats) {
+  // This is the pre-incremental implementation preserved verbatim (modulo
+  // the legacy LocalGraph being inlined below) in behaviour *and* cost
+  // model: the pre-rework local view rebuilt per call — endpoint sort +
+  // binary-searched id map, input-order edges, no rank table — a per-call
+  // weight collection + sort, and one from-scratch FeasibleAt peel (freshly
+  // allocated alive/deg arrays, full edge rescan) per binary-search step.
+  // Do not "improve" it; BENCH_scs.json measures the incremental kernel
+  // against exactly this.
+  ScsResult result;
+  if (stats) stats->algo_used = ScsAlgo::kBinary;
+  if (community.Empty() || alpha == 0 || beta == 0) return result;
+  const LegacyLocalGraph lg(g, community.edges);
   const uint32_t lq = lg.LocalId(q);
   if (lq == kInvalidVertex) return result;
 
   std::vector<Weight> weights;
   weights.reserve(lg.NumEdges());
-  for (const LocalGraph::LocalEdge& le : lg.edges()) weights.push_back(le.w);
+  for (const LegacyLocalGraph::LocalEdge& le : lg.edges()) {
+    weights.push_back(le.w);
+  }
   std::sort(weights.begin(), weights.end());
   weights.erase(std::unique(weights.begin(), weights.end()), weights.end());
 
   std::vector<uint8_t> alive;
   std::vector<uint32_t> deg;
-
   // Invariant: feasible at weights[lo] (or infeasible everywhere).
-  if (!FeasibleAt(lg, lq, alpha, beta, weights.front(), &alive, &deg,
-                  stats)) {
+  if (!LegacyFeasibleAt(lg, lq, alpha, beta, weights.front(), &alive, &deg,
+                        stats)) {
     return result;  // even the whole community does not support q
   }
   std::size_t lo = 0, hi = weights.size() - 1;
@@ -80,8 +344,8 @@ ScsResult ScsBinary(const BipartiteGraph& g, const Subgraph& community,
     const std::size_t mid = lo + (hi - lo + 1) / 2;
     std::vector<uint8_t> alive_mid;
     std::vector<uint32_t> deg_mid;
-    if (FeasibleAt(lg, lq, alpha, beta, weights[mid], &alive_mid, &deg_mid,
-                   stats)) {
+    if (LegacyFeasibleAt(lg, lq, alpha, beta, weights[mid], &alive_mid,
+                         &deg_mid, stats)) {
       lo = mid;
       alive = std::move(alive_mid);
       deg = std::move(deg_mid);
@@ -100,7 +364,7 @@ ScsResult ScsBinary(const BipartiteGraph& g, const Subgraph& community,
   while (!stack.empty()) {
     uint32_t x = stack.back();
     stack.pop_back();
-    for (const LocalGraph::LocalArc& a : lg.Neighbors(x)) {
+    for (const LegacyLocalGraph::LocalArc& a : lg.Neighbors(x)) {
       if (!alive[a.pos]) continue;
       if (!lg.IsUpperLocal(x)) {
         result.community.edges.push_back(lg.edges()[a.pos].global);

@@ -1,23 +1,61 @@
 #ifndef ABCS_CORE_SCS_BINARY_H_
 #define ABCS_CORE_SCS_BINARY_H_
 
+#include <vector>
+
 #include "core/scs_common.h"
 #include "core/subgraph.h"
 #include "graph/bipartite_graph.h"
 
 namespace abcs {
 
-/// \brief SCS-Binary (paper §IV-B remark): binary search over the distinct
-/// edge weights of C_{α,β}(q).
+/// One feasibility probe of the binary search (test/diagnostic record).
+struct ScsProbe {
+  uint32_t prefix_end = 0;  ///< rank prefix length probed
+  bool feasible = false;    ///< did q survive the (α,β)-peel of that prefix
+};
+
+/// \brief SCS-Binary (paper §IV-B remark), incremental: binary search over
+/// the distinct edge weights of `lg` with feasibility probes that *share
+/// surviving degrees* across steps.
 ///
-/// feasible(w) := q survives peeling the subgraph {e ∈ C : w(e) ≥ w} to
-/// (α,β); feasibility is monotone in w, so the maximal feasible weight w*
-/// is found with O(log W) peels of O(size(C)) each, and R is q's component
-/// of the stable subgraph at w*. The paper reports 0.86×–1.08× the running
-/// time of SCS-Expand; it shines when few distinct weights exist.
+/// feasible(w) := q survives peeling {e : w(e) ≥ w} to (α,β); monotone in
+/// w. The search maintains the stable peel state of its current feasible
+/// prefix. Moving the threshold up (shorter prefix) peels down from that
+/// state, journaling every kill; a feasible probe commits the new state, an
+/// infeasible one undoes the journal. Total work is therefore proportional
+/// to the edges that actually change state per probe — after the single
+/// opening stabilisation, no probe rebuilds degrees or rescans the edge
+/// set, which on duplicate-weight-heavy inputs collapses the classic
+/// O(size(C)·log W) to O(size(C)).
+///
+/// `probe_log`, when supplied, records every (prefix_end, feasible) pair in
+/// probe order — the stress tests replay it against from-scratch peels.
+void ScsBinaryOnLocal(const LocalGraph& lg, VertexId q, uint32_t alpha,
+                      uint32_t beta, ScsResult* out, ScsStats* stats,
+                      QueryScratch& scratch,
+                      std::vector<ScsProbe>* probe_log = nullptr);
+
+/// Convenience wrapper: builds (or reuses, via `workspace`) the weight-rank
+/// LocalGraph of `community` and runs the incremental search.
 ScsResult ScsBinary(const BipartiteGraph& g, const Subgraph& community,
                     VertexId q, uint32_t alpha, uint32_t beta,
-                    ScsStats* stats = nullptr);
+                    ScsStats* stats = nullptr, QueryScratch* scratch = nullptr,
+                    ScsWorkspace* workspace = nullptr);
+
+/// From-scratch feasibility at a rank prefix: peels {ranks < prefix_end} to
+/// (α,β) with freshly built degrees. Reference for the incremental probes
+/// (tests) and the building block of `ScsBinaryFreshPeel`.
+bool ScsFeasibleFreshPeel(const LocalGraph& lg, VertexId q, uint32_t alpha,
+                          uint32_t beta, uint32_t prefix_end);
+
+/// \brief The pre-incremental SCS-Binary: every binary-search step re-peels
+/// its threshold subgraph from scratch (O(size(C)) per probe, O(size(C)·
+/// log W) total). Kept as the like-for-like baseline for BENCH_scs.json and
+/// the equivalence tests; results are bit-identical to `ScsBinary`.
+ScsResult ScsBinaryFreshPeel(const BipartiteGraph& g, const Subgraph& community,
+                             VertexId q, uint32_t alpha, uint32_t beta,
+                             ScsStats* stats = nullptr);
 
 }  // namespace abcs
 

@@ -1,75 +1,250 @@
 #include "core/scs_common.h"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 
 #include "abcore/peel_kernel.h"
 
 namespace abcs {
 
+namespace {
+
+// Integer key that orders like the weight *descending* (ties broken by pool
+// position elsewhere): the standard IEEE-754 total-order transform,
+// inverted. −0.0 is normalised to +0.0 first so equal weights can never map
+// to two keys.
+uint64_t DescendingWeightKey(Weight w) {
+  uint64_t b = std::bit_cast<uint64_t>(w == 0.0 ? 0.0 : w);
+  b = (b & 0x8000000000000000ULL) ? ~b : (b | 0x8000000000000000ULL);
+  return ~b;
+}
+
+// Counting-sort eligibility: with at most this many distinct weights the
+// rank order is built in O(m + W log W) instead of a comparison sort —
+// the duplicate-heavy regime the incremental kernels target.
+constexpr uint32_t kMaxCountingDistinct = 128;
+constexpr uint32_t kHashTableSize = 512;  // power of two, ≥ 4× the cap
+
+std::size_t HashWeightKey(uint64_t key) {
+  return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >>
+                                  (64 - 9)) &
+         (kHashTableSize - 1);
+}
+
+}  // namespace
+
+const char* ScsAlgoName(ScsAlgo algo) {
+  switch (algo) {
+    case ScsAlgo::kAuto:
+      return "auto";
+    case ScsAlgo::kPeel:
+      return "peel";
+    case ScsAlgo::kExpand:
+      return "expand";
+    case ScsAlgo::kBinary:
+      return "binary";
+  }
+  return "unknown";
+}
+
 LocalGraph::LocalGraph(const BipartiteGraph& g,
                        const std::vector<EdgeId>& edges) {
-  // Dense renumbering of the endpoints.
-  std::vector<VertexId> verts;
-  verts.reserve(edges.size() * 2);
-  for (EdgeId e : edges) {
-    const Edge& ed = g.GetEdge(e);
-    verts.push_back(ed.u);
-    verts.push_back(ed.v);
-  }
-  std::sort(verts.begin(), verts.end());
-  verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+  BuildFrom(g, edges);
+}
 
-  global_of_ = verts;
-  is_upper_.resize(verts.size());
-  id_map_.reserve(verts.size());
-  for (uint32_t i = 0; i < verts.size(); ++i) {
-    is_upper_[i] = g.IsUpper(verts[i]) ? 1 : 0;
-    id_map_.emplace_back(verts[i], i);
+void LocalGraph::BuildFrom(const BipartiteGraph& g,
+                           std::span<const EdgeId> edge_ids) {
+  // Dense renumbering of the endpoints in one pass: the epoch-stamped map
+  // replaces the old sort + per-endpoint binary searches — at typical
+  // community sizes that was the single most expensive part of a query.
+  if (map_stamp_.size() < g.NumVertices()) {
+    map_stamp_.assign(g.NumVertices(), 0);
+    map_local_.resize(g.NumVertices());
+    map_epoch_ = 0;
+  }
+  if (++map_epoch_ == 0) {  // wraparound: one O(n) clear every 2^32 builds
+    std::fill(map_stamp_.begin(), map_stamp_.end(), 0u);
+    map_epoch_ = 1;
   }
 
-  edges_.reserve(edges.size());
-  for (EdgeId e : edges) {
+  global_of_.clear();
+  build_edges_.clear();
+  build_edges_.reserve(edge_ids.size());
+  auto local_of = [&](VertexId v) {
+    if (map_stamp_[v] != map_epoch_) {
+      map_stamp_[v] = map_epoch_;
+      map_local_[v] = static_cast<uint32_t>(global_of_.size());
+      global_of_.push_back(v);
+    }
+    return map_local_[v];
+  };
+  for (EdgeId e : edge_ids) {
     const Edge& ed = g.GetEdge(e);
-    edges_.push_back(LocalEdge{LocalId(ed.u), LocalId(ed.v), ed.w, e});
+    build_edges_.push_back(
+        LocalEdge{local_of(ed.u), local_of(ed.v), ed.w, e});
   }
 
   const uint32_t n = NumVertices();
+  is_upper_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    is_upper_[i] = g.IsUpper(global_of_[i]) ? 1 : 0;
+  }
+
+  // The weight-rank order: non-increasing weight, ties by pool position.
+  // Duplicate-heavy pools (≤ kMaxCountingDistinct distinct weights, found
+  // with a pooled stamped hash table) take an O(m) counting sort over the
+  // distinct values; everything else falls back to a comparison sort over
+  // packed (descending-key, pos) pairs — the tie-break is deterministic
+  // either way and both paths produce the identical order.
+  const uint32_t m = static_cast<uint32_t>(build_edges_.size());
+  edges_.resize(m);
+  if (ht_stamp_.size() != kHashTableSize) {
+    ht_stamp_.assign(kHashTableSize, 0);
+    ht_key_.resize(kHashTableSize);
+    ht_val_.resize(kHashTableSize);
+    ht_epoch_ = 0;
+  }
+  if (++ht_epoch_ == 0) {
+    std::fill(ht_stamp_.begin(), ht_stamp_.end(), 0u);
+    ht_epoch_ = 1;
+  }
+  bucket_key_.clear();
+  bucket_of_.resize(m);
+  bool counting = true;
+  for (uint32_t i = 0; i < m && counting; ++i) {
+    const uint64_t key = DescendingWeightKey(build_edges_[i].w);
+    std::size_t slot = HashWeightKey(key);
+    for (;;) {
+      if (ht_stamp_[slot] != ht_epoch_) {
+        if (bucket_key_.size() == kMaxCountingDistinct) {
+          counting = false;
+          break;
+        }
+        ht_stamp_[slot] = ht_epoch_;
+        ht_key_[slot] = key;
+        ht_val_[slot] = static_cast<uint32_t>(bucket_key_.size());
+        bucket_key_.push_back(key);
+      }
+      if (ht_key_[slot] == key) {
+        bucket_of_[i] = ht_val_[slot];
+        break;
+      }
+      slot = (slot + 1) & (kHashTableSize - 1);
+    }
+  }
+  if (counting) {
+    // Rank the ≤128 distinct keys, then scatter edges bucket by bucket in
+    // pool order — stable within a bucket, so the result matches the
+    // comparison sort bit for bit.
+    const uint32_t nb = static_cast<uint32_t>(bucket_key_.size());
+    build_rank_.resize(nb);
+    for (uint32_t b = 0; b < nb; ++b) build_rank_[b] = {bucket_key_[b], b};
+    std::sort(build_rank_.begin(), build_rank_.end());
+    bucket_rank_.resize(nb);
+    bucket_cursor_.assign(nb + 1, 0);
+    for (uint32_t r = 0; r < nb; ++r) {
+      bucket_rank_[build_rank_[r].second] = r;
+    }
+    for (uint32_t i = 0; i < m; ++i) {
+      ++bucket_cursor_[bucket_rank_[bucket_of_[i]] + 1];
+    }
+    std::partial_sum(bucket_cursor_.begin(), bucket_cursor_.end(),
+                     bucket_cursor_.begin());
+    for (uint32_t i = 0; i < m; ++i) {
+      edges_[bucket_cursor_[bucket_rank_[bucket_of_[i]]]++] = build_edges_[i];
+    }
+  } else {
+    build_rank_.resize(m);
+    for (uint32_t i = 0; i < m; ++i) {
+      build_rank_[i] = {DescendingWeightKey(build_edges_[i].w), i};
+    }
+    std::sort(build_rank_.begin(), build_rank_.end());
+    for (uint32_t r = 0; r < m; ++r) {
+      edges_[r] = build_edges_[build_rank_[r].second];
+    }
+  }
+
+  // Distinct-weight prefix table.
+  distinct_w_.clear();
+  prefix_end_.clear();
+  for (uint32_t r = 0; r < m; ++r) {
+    if (r == 0 || edges_[r].w != edges_[r - 1].w) {
+      if (r != 0) prefix_end_.push_back(r);
+      distinct_w_.push_back(edges_[r].w);
+    }
+  }
+  if (m != 0) prefix_end_.push_back(m);
+
+  // CSR over the rank order; filling in rank order leaves every vertex's
+  // arc list sorted by ascending rank.
   offsets_.assign(n + 1, 0);
   for (const LocalEdge& le : edges_) {
     ++offsets_[le.u + 1];
     ++offsets_[le.v + 1];
   }
   std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
-  arcs_.resize(2 * edges_.size());
-  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (uint32_t pos = 0; pos < edges_.size(); ++pos) {
+  arcs_.resize(2 * static_cast<std::size_t>(m));
+  build_cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  for (uint32_t pos = 0; pos < m; ++pos) {
     const LocalEdge& le = edges_[pos];
-    arcs_[cursor[le.u]++] = LocalArc{le.v, pos};
-    arcs_[cursor[le.v]++] = LocalArc{le.u, pos};
+    arcs_[build_cursor_[le.u]++] = LocalArc{le.v, pos};
+    arcs_[build_cursor_[le.v]++] = LocalArc{le.u, pos};
   }
 }
 
-uint32_t LocalGraph::LocalId(VertexId global) const {
-  auto it = std::lower_bound(
-      id_map_.begin(), id_map_.end(), global,
-      [](const std::pair<VertexId, uint32_t>& p, VertexId v) {
-        return p.first < v;
-      });
-  if (it == id_map_.end() || it->first != global) return kInvalidVertex;
-  return it->second;
+uint32_t LocalGraph::DistinctIndexOfRank(uint32_t rank) const {
+  return static_cast<uint32_t>(
+      std::upper_bound(prefix_end_.begin(), prefix_end_.end(), rank) -
+      prefix_end_.begin());
 }
 
-ScsResult PeelToSignificant(const LocalGraph& lg, VertexId q, uint32_t alpha,
-                            uint32_t beta, ScsStats* stats,
-                            QueryScratch* scratch) {
-  ScsResult result;
+uint32_t LocalGraph::LocalId(VertexId global) const {
+  if (global >= map_stamp_.size() || map_stamp_[global] != map_epoch_) {
+    return kInvalidVertex;
+  }
+  return map_local_[global];
+}
+
+void ExtractAliveComponent(const LocalGraph& lg, uint32_t lq,
+                           const std::vector<uint8_t>& alive, Weight fmin_seed,
+                           QueryScratch& s, ScsResult* out) {
+  s.BeginQuery(lg.NumVertices());
+  s.TryVisit(lq);
+  std::vector<uint32_t>& stack = s.U32(QueryScratch::kSlotStack);
+  stack.assign(1, lq);
+  Weight fmin = fmin_seed;
+  while (!stack.empty()) {
+    uint32_t x = stack.back();
+    stack.pop_back();
+    for (const LocalGraph::LocalArc& a : lg.Neighbors(x)) {
+      if (!alive[a.pos]) continue;
+      if (!lg.IsUpperLocal(x)) {
+        out->community.edges.push_back(lg.edges()[a.pos].global);
+        fmin = std::min(fmin, lg.edges()[a.pos].w);
+      }
+      if (s.TryVisit(a.to)) stack.push_back(a.to);
+    }
+  }
+  out->significance = fmin;
+  out->found = true;
+}
+
+void PeelToSignificantInto(const LocalGraph& lg, VertexId q, uint32_t alpha,
+                           uint32_t beta, ScsResult* out, ScsStats* stats,
+                           QueryScratch* scratch) {
+  out->community.edges.clear();
+  out->significance = 0;
+  out->found = false;
+  if (stats) stats->algo_used = ScsAlgo::kPeel;
   const uint32_t lq = lg.LocalId(q);
-  if (lq == kInvalidVertex || lg.NumEdges() == 0) return result;
+  if (lq == kInvalidVertex || lg.NumEdges() == 0) return;
 
   const uint32_t n = lg.NumVertices();
   const uint32_t m = lg.NumEdges();
-  auto threshold = [&](uint32_t x) { return lg.IsUpperLocal(x) ? alpha : beta; };
+  auto threshold = [&](uint32_t x) {
+    return lg.IsUpperLocal(x) ? alpha : beta;
+  };
 
   QueryScratch local_scratch;
   QueryScratch& s = scratch ? *scratch : local_scratch;
@@ -106,39 +281,26 @@ ScsResult PeelToSignificant(const LocalGraph& lg, VertexId q, uint32_t alpha,
   };
 
   // Stabilise the input: peel vertices below threshold (no restore — these
-  // edges belong to no candidate community).
+  // edges belong to no candidate community). One from-scratch validation.
   for (uint32_t x = 0; x < n; ++x) {
     if (deg[x] < threshold(x)) cascade.push_back(x);
   }
   run_cascade(nullptr);
-  if (deg[lq] < threshold(lq)) return result;
+  if (stats) ++stats->validations;
+  if (deg[lq] < threshold(lq)) return;
 
-  // Edge positions sorted by non-decreasing weight.
-  std::vector<uint32_t>& order = s.U32(QueryScratch::kSlotOrder);
-  order.resize(m);
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    return lg.edges()[a].w < lg.edges()[b].w;
-  });
-
+  // Remove rank batches back-to-front (minimum weight first); each batch is
+  // the contiguous rank range of one distinct weight.
   std::vector<uint32_t>& batch_removed =
       s.U32(QueryScratch::kSlotBatch);  // the paper's edge set S
-  batch_removed.clear();
-  uint32_t i = 0;
-  while (i < m) {
-    // Find the next batch: all alive edges of the minimal remaining weight.
-    while (i < m && !alive[order[i]]) ++i;
-    if (i >= m) break;
-    const Weight wmin = lg.edges()[order[i]].w;
+  for (uint32_t di = lg.NumDistinctWeights(); di-- > 0;) {
+    const Weight wmin = lg.DistinctWeight(di);
     batch_removed.clear();
-    uint32_t j = i;
-    while (j < m && lg.edges()[order[j]].w == wmin) {
-      const uint32_t pos = order[j];
-      ++j;
-      if (!alive[pos]) continue;
-      const LocalGraph::LocalEdge& le = lg.edges()[pos];
-      alive[pos] = 0;
-      batch_removed.push_back(pos);
+    for (uint32_t r = lg.PrefixBegin(di); r < lg.PrefixEnd(di); ++r) {
+      if (!alive[r]) continue;
+      const LocalGraph::LocalEdge& le = lg.edges()[r];
+      alive[r] = 0;
+      batch_removed.push_back(r);
       if (stats) ++stats->edges_processed;
       --deg[le.u];
       --deg[le.v];
@@ -146,7 +308,6 @@ ScsResult PeelToSignificant(const LocalGraph& lg, VertexId q, uint32_t alpha,
       if (deg[le.v] < threshold(le.v)) cascade.push_back(le.v);
     }
     run_cascade(&batch_removed);
-    i = j;
 
     if (deg[lq] < threshold(lq)) {
       // q no longer satisfies the constraint: the state at the start of
@@ -157,30 +318,21 @@ ScsResult PeelToSignificant(const LocalGraph& lg, VertexId q, uint32_t alpha,
         ++deg[lg.edges()[pos].u];
         ++deg[lg.edges()[pos].v];
       }
-      s.BeginQuery(n);
-      s.TryVisit(lq);
-      std::vector<uint32_t>& stack = s.U32(QueryScratch::kSlotStack);
-      stack.assign(1, lq);
-      Weight fmin = wmin;
-      while (!stack.empty()) {
-        uint32_t x = stack.back();
-        stack.pop_back();
-        for (const LocalGraph::LocalArc& a : lg.Neighbors(x)) {
-          if (!alive[a.pos]) continue;
-          if (!lg.IsUpperLocal(x)) {
-            result.community.edges.push_back(lg.edges()[a.pos].global);
-            fmin = std::min(fmin, lg.edges()[a.pos].w);
-          }
-          if (s.TryVisit(a.to)) stack.push_back(a.to);
-        }
-      }
-      result.significance = fmin;
-      result.found = true;
-      if (stats) ++stats->validations;
-      return result;
+      if (stats) stats->edges_processed += batch_removed.size();
+      ExtractAliveComponent(lg, lq, alive, wmin, s, out);
+      return;
     }
   }
-  return result;  // q was eliminated during stabilisation — no community
+  // Unreachable when q survived stabilisation (removing q's last edge
+  // always violates its threshold), kept as a safe default.
+}
+
+ScsResult PeelToSignificant(const LocalGraph& lg, VertexId q, uint32_t alpha,
+                            uint32_t beta, ScsStats* stats,
+                            QueryScratch* scratch) {
+  ScsResult result;
+  PeelToSignificantInto(lg, q, alpha, beta, &result, stats, scratch);
+  return result;
 }
 
 ScsResult ScsBruteForce(const BipartiteGraph& g, VertexId q, uint32_t alpha,

@@ -1,35 +1,19 @@
 #include "core/scs_expand.h"
 
 #include <algorithm>
-#include <numeric>
-
-#include "common/dsu.h"
 
 namespace abcs {
 
-namespace {
-
-/// Per-component bookkeeping kept at DSU roots so Lemma 7/8 checks are
-/// O(1) per batch.
-struct ComponentAgg {
-  uint64_t edges = 0;
-  uint32_t num_upper = 0;
-  uint32_t num_lower = 0;
-  uint32_t upper_ok = 0;  ///< upper vertices with deg ≥ α
-  uint32_t lower_ok = 0;  ///< lower vertices with deg ≥ β
-};
-
-}  // namespace
-
-ScsResult ExpandFromEdges(const BipartiteGraph& g,
-                          const std::vector<EdgeId>& pool, VertexId q,
-                          uint32_t alpha, uint32_t beta,
-                          const ScsOptions& options, ScsStats* stats) {
-  ScsResult result;
-  if (pool.empty() || alpha == 0 || beta == 0) return result;
-  LocalGraph lg(g, pool);
+void ScsExpandOnLocal(const LocalGraph& lg, VertexId q, uint32_t alpha,
+                      uint32_t beta, const ScsOptions& options, ScsResult* out,
+                      ScsStats* stats, QueryScratch& s, ScsExpandAux& aux) {
+  out->community.edges.clear();
+  out->significance = 0;
+  out->found = false;
+  if (stats) stats->algo_used = ScsAlgo::kExpand;
+  if (alpha == 0 || beta == 0) return;
   const uint32_t lq = lg.LocalId(q);
-  if (lq == kInvalidVertex) return result;
+  if (lq == kInvalidVertex || lg.NumEdges() == 0) return;
 
   const uint32_t n = lg.NumVertices();
   const uint32_t m = lg.NumEdges();
@@ -37,89 +21,139 @@ ScsResult ExpandFromEdges(const BipartiteGraph& g,
     return lg.IsUpperLocal(x) ? alpha : beta;
   };
 
-  std::vector<uint32_t> order(m);
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    return lg.edges()[a].w > lg.edges()[b].w;
-  });
+  std::vector<uint32_t>& deg = s.U32(QueryScratch::kSlotDeg);
+  std::vector<uint8_t>& alive = s.U8(QueryScratch::kSlotAlive);
+  std::vector<uint32_t>& cascade = s.U32(QueryScratch::kSlotQueue);
+  std::vector<uint32_t>& journal = s.U32(QueryScratch::kSlotJournal);
+  std::vector<uint32_t>& batch_removed = s.U32(QueryScratch::kSlotBatch);
+  deg.assign(n, 0);
+  alive.assign(m, 0);
+  aux.dsu.Assign(n);
+  aux.agg.assign(n, ScsComponentAgg{});
 
-  Dsu dsu(n);
-  std::vector<uint32_t> deg(n, 0);
-  std::vector<ComponentAgg> agg(n);
-  std::vector<std::vector<uint32_t>> comp_edges(n);
-  QueryScratch scratch;  // shared by every validation peel below
+  auto kill = [&](uint32_t r, std::vector<uint32_t>* sink) {
+    const LocalGraph::LocalEdge& le = lg.edges()[r];
+    alive[r] = 0;
+    sink->push_back(r);
+    if (stats) ++stats->edges_processed;
+    --deg[le.u];
+    --deg[le.v];
+    if (deg[le.u] < threshold(le.u)) cascade.push_back(le.u);
+    if (deg[le.v] < threshold(le.v)) cascade.push_back(le.v);
+  };
+  auto run_cascade = [&](std::vector<uint32_t>* sink) {
+    while (!cascade.empty()) {
+      const uint32_t x = cascade.back();
+      cascade.pop_back();
+      if (deg[x] >= threshold(x) || deg[x] == 0) continue;
+      for (const LocalGraph::LocalArc& a : lg.Neighbors(x)) {
+        if (alive[a.pos]) kill(a.pos, sink);
+      }
+    }
+  };
+  auto restore = [&](const std::vector<uint32_t>& killed) {
+    for (auto it = killed.rbegin(); it != killed.rend(); ++it) {
+      const LocalGraph::LocalEdge& le = lg.edges()[*it];
+      alive[*it] = 1;
+      ++deg[le.u];
+      ++deg[le.v];
+    }
+    if (stats) stats->edges_processed += killed.size();
+  };
 
-  auto validate = [&]() -> bool {
-    if (stats) ++stats->validations;
-    const uint32_t r = dsu.Find(lq);
-    std::vector<EdgeId> cedges;
-    cedges.reserve(comp_edges[r].size());
-    for (uint32_t pos : comp_edges[r]) {
-      cedges.push_back(lg.edges()[pos].global);
+  // Validation, seeded from the expansion state: the degrees of everything
+  // added so far are already in `deg`, so stabilising q's component is just
+  // cascading its below-threshold vertices — with every kill journaled so
+  // an infeasible round restores the exact expansion state. DSU roots
+  // restrict the seeds (and therefore the whole cascade) to q's component;
+  // other components' edges never interact with it. Finding the seeds is
+  // one O(n) filtered scan per validation — a deliberate trade: the
+  // ε-schedule bounds validations to O(log size(C)), and keeping per-root
+  // member lists to avoid the scan is exactly the small-to-large vector
+  // merging this rework removed.
+  auto validate = [&](uint32_t last_di) {
+    if (stats) ++stats->incremental_probes;
+    const uint32_t qroot = aux.dsu.Find(lq);
+    journal.clear();
+    cascade.clear();
+    for (uint32_t x = 0; x < n; ++x) {
+      if (deg[x] > 0 && deg[x] < threshold(x) && aux.dsu.Find(x) == qroot) {
+        cascade.push_back(x);
+      }
     }
-    LocalGraph sub(g, cedges);
-    ScsResult candidate =
-        PeelToSignificant(sub, q, alpha, beta, stats, &scratch);
-    if (candidate.found) {
-      result = candidate;
-      return true;
+    run_cascade(&journal);
+    if (deg[lq] < threshold(lq)) {
+      restore(journal);
+      return false;
     }
-    return false;
+    // q's component is stable: peel minimum-weight batches down from here
+    // until q violates; the state at the start of the violating batch,
+    // restricted to q's component, is R (Theorem 1). Kills stay inside q's
+    // component (DSU roots only coarsen during expansion, never split, so
+    // the filter is a sound superset test).
+    for (uint32_t di = last_di + 1; di-- > 0;) {
+      const Weight wmin = lg.DistinctWeight(di);
+      batch_removed.clear();
+      for (uint32_t r = lg.PrefixBegin(di); r < lg.PrefixEnd(di); ++r) {
+        if (!alive[r]) continue;
+        if (aux.dsu.Find(lg.edges()[r].u) != qroot) continue;
+        kill(r, &batch_removed);
+      }
+      run_cascade(&batch_removed);
+      if (deg[lq] < threshold(lq)) {
+        restore(batch_removed);
+        ExtractAliveComponent(lg, lq, alive, wmin, s, out);
+        return true;
+      }
+    }
+    return false;  // unreachable: q dies at latest with its last edge
   };
 
   uint64_t last_q_edges = 0;
   uint64_t pre_size = 0;
-  uint32_t i = 0;
-  while (i < m) {
-    const Weight wmax = lg.edges()[order[i]].w;
-    for (; i < m && lg.edges()[order[i]].w == wmax; ++i) {
-      const uint32_t pos = order[i];
-      const LocalGraph::LocalEdge& le = lg.edges()[pos];
+  const uint32_t num_distinct = lg.NumDistinctWeights();
+  for (uint32_t di = 0; di < num_distinct; ++di) {
+    // Add the rank batch of the next distinct weight.
+    for (uint32_t r = lg.PrefixBegin(di); r < lg.PrefixEnd(di); ++r) {
+      const LocalGraph::LocalEdge& le = lg.edges()[r];
+      alive[r] = 1;
       if (stats) ++stats->edges_processed;
       for (uint32_t x : {le.u, le.v}) {
-        const uint32_t rx = dsu.Find(x);
+        const uint32_t rx = aux.dsu.Find(x);
         if (deg[x] == 0) {
           if (lg.IsUpperLocal(x)) {
-            ++agg[rx].num_upper;
+            ++aux.agg[rx].num_upper;
           } else {
-            ++agg[rx].num_lower;
+            ++aux.agg[rx].num_lower;
           }
         }
         ++deg[x];
         if (deg[x] == threshold(x)) {
           if (lg.IsUpperLocal(x)) {
-            ++agg[rx].upper_ok;
+            ++aux.agg[rx].upper_ok;
           } else {
-            ++agg[rx].lower_ok;
+            ++aux.agg[rx].lower_ok;
           }
         }
       }
-      const uint32_t ru = dsu.Find(le.u);
-      const uint32_t rv = dsu.Find(le.v);
-      uint32_t r = ru;
+      const uint32_t ru = aux.dsu.Find(le.u);
+      const uint32_t rv = aux.dsu.Find(le.v);
+      uint32_t root = ru;
       if (ru != rv) {
-        r = dsu.Union(ru, rv);
-        const uint32_t other = (r == ru) ? rv : ru;
-        agg[r].edges += agg[other].edges;
-        agg[r].num_upper += agg[other].num_upper;
-        agg[r].num_lower += agg[other].num_lower;
-        agg[r].upper_ok += agg[other].upper_ok;
-        agg[r].lower_ok += agg[other].lower_ok;
-        if (comp_edges[other].size() > comp_edges[r].size()) {
-          comp_edges[other].swap(comp_edges[r]);
-        }
-        comp_edges[r].insert(comp_edges[r].end(), comp_edges[other].begin(),
-                             comp_edges[other].end());
-        comp_edges[other].clear();
-        comp_edges[other].shrink_to_fit();
+        root = aux.dsu.Union(ru, rv);
+        const uint32_t other = (root == ru) ? rv : ru;
+        aux.agg[root].edges += aux.agg[other].edges;
+        aux.agg[root].num_upper += aux.agg[other].num_upper;
+        aux.agg[root].num_lower += aux.agg[other].num_lower;
+        aux.agg[root].upper_ok += aux.agg[other].upper_ok;
+        aux.agg[root].lower_ok += aux.agg[other].lower_ok;
       }
-      comp_edges[r].push_back(pos);
-      ++agg[r].edges;
+      ++aux.agg[root].edges;
     }
 
     // A batch of equal-weight edges was added; decide whether to validate.
     if (deg[lq] == 0) continue;
-    const ComponentAgg& a = agg[dsu.Find(lq)];
+    const ScsComponentAgg& a = aux.agg[aux.dsu.Find(lq)];
     if (a.edges == last_q_edges) continue;  // C* did not change
     last_q_edges = a.edges;
 
@@ -138,20 +172,39 @@ ScsResult ExpandFromEdges(const BipartiteGraph& g,
       continue;
     }
     pre_size = a.edges;
-    if (validate()) return result;
+    if (validate(di)) return;
   }
 
   // All edges added; force a final validation (the ε gate may have skipped
   // the last state, which equals the full pool restricted to q's
   // component).
-  if (deg[lq] > 0 && validate()) return result;
-  return result;
+  if (deg[lq] > 0) validate(num_distinct - 1);
 }
 
 ScsResult ScsExpand(const BipartiteGraph& g, const Subgraph& community,
                     VertexId q, uint32_t alpha, uint32_t beta,
-                    const ScsOptions& options, ScsStats* stats) {
-  return ExpandFromEdges(g, community.edges, q, alpha, beta, options, stats);
+                    const ScsOptions& options, ScsStats* stats,
+                    QueryScratch* scratch, ScsWorkspace* workspace) {
+  return ExpandFromEdges(g, community.edges, q, alpha, beta, options, stats,
+                         scratch, workspace);
+}
+
+ScsResult ExpandFromEdges(const BipartiteGraph& g,
+                          const std::vector<EdgeId>& pool, VertexId q,
+                          uint32_t alpha, uint32_t beta,
+                          const ScsOptions& options, ScsStats* stats,
+                          QueryScratch* scratch, ScsWorkspace* workspace) {
+  ScsResult result;
+  if (stats) stats->algo_used = ScsAlgo::kExpand;
+  if (pool.empty() || alpha == 0 || beta == 0) return result;
+  QueryScratch local_scratch;
+  QueryScratch& s = scratch ? *scratch : local_scratch;
+  ScsWorkspace local_ws;
+  ScsWorkspace& ws = workspace ? *workspace : local_ws;
+  ws.lg.BuildFrom(g, pool);
+  ScsExpandOnLocal(ws.lg, q, alpha, beta, options, &result, stats, s,
+                   ws.expand);
+  return result;
 }
 
 }  // namespace abcs

@@ -4,10 +4,15 @@ namespace abcs {
 
 ScsResult ScsPeel(const BipartiteGraph& g, const Subgraph& community,
                   VertexId q, uint32_t alpha, uint32_t beta, ScsStats* stats,
-                  QueryScratch* scratch) {
-  if (community.Empty()) return ScsResult{};
-  LocalGraph lg(g, community.edges);
-  return PeelToSignificant(lg, q, alpha, beta, stats, scratch);
+                  QueryScratch* scratch, ScsWorkspace* workspace) {
+  ScsResult result;
+  if (stats) stats->algo_used = ScsAlgo::kPeel;
+  if (community.Empty()) return result;
+  ScsWorkspace local_ws;
+  ScsWorkspace& ws = workspace ? *workspace : local_ws;
+  ws.lg.BuildFrom(g, community.edges);
+  PeelToSignificantInto(ws.lg, q, alpha, beta, &result, stats, scratch);
+  return result;
 }
 
 }  // namespace abcs

@@ -12,12 +12,15 @@ namespace abcs {
 ///
 /// `community` must be C_{α,β}(q) as returned by one of the index queries
 /// (or any edge superset of R that satisfies the degree constraints —
-/// extra edges are peeled away). Sort + peel: O(sort(C) + size(C)).
-/// `scratch`, when supplied, backs the peel's working state (reused across
-/// calls, e.g. over a significance-profile grid).
+/// extra edges are peeled away). Builds the weight-rank LocalGraph (the one
+/// sort of the query) and peels: O(sort(C) + size(C)). `scratch` backs the
+/// peel's working state and `workspace` pools the LocalGraph buffers; both
+/// are reused across calls (e.g. over a significance-profile grid or a
+/// query batch).
 ScsResult ScsPeel(const BipartiteGraph& g, const Subgraph& community,
                   VertexId q, uint32_t alpha, uint32_t beta,
-                  ScsStats* stats = nullptr, QueryScratch* scratch = nullptr);
+                  ScsStats* stats = nullptr, QueryScratch* scratch = nullptr,
+                  ScsWorkspace* workspace = nullptr);
 
 }  // namespace abcs
 

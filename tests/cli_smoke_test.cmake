@@ -78,7 +78,7 @@ if(rc EQUAL 0 OR NOT err MATCHES "weights do not match")
     "${out}${err}")
 endif()
 message(STATUS "ok: stale-weight bundle rejected")
-foreach(algo peel expand binary baseline)
+foreach(algo auto peel expand binary baseline)
   run_abcs("\\(2,2\\)-community" scs ${GRAPH} 1 2 2 --index ${INDEX} --algo ${algo})
 endforeach()
 run_abcs("f\\(R\\) for u1" profile ${GRAPH} 1 3 3 --index ${INDEX})
@@ -130,6 +130,45 @@ if(NOT batch_bundle STREQUAL batch_out_1)
     "--- graph\n${batch_out_1}\n--- bundle\n${batch_bundle}")
 endif()
 message(STATUS "ok: bundle-served batch identical to graph-served batch")
+
+# SCS batches: the full two-step paradigm per query through the engine —
+# stdout (planner decisions included) must be byte-identical for any
+# --threads value, and every kernel must agree on the batch aggregates.
+foreach(threads 1 3)
+  execute_process(
+    COMMAND ${ABCS_CLI} query ${GRAPH} --batch ${BATCH} --method scs-auto
+      --threads ${threads} --index ${INDEX}
+    OUTPUT_VARIABLE scs_out_${threads}
+    ERROR_VARIABLE scs_err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "abcs query --batch --method scs-auto --threads "
+      "${threads} failed (rc=${rc}):\n${scs_err}")
+  endif()
+endforeach()
+if(NOT scs_out_1 STREQUAL scs_out_3)
+  message(FATAL_ERROR "scs-auto batch is not deterministic across thread "
+    "counts:\n--- threads=1\n${scs_out_1}\n--- threads=3\n${scs_out_3}")
+endif()
+if(NOT scs_out_1 MATCHES "# batch of 4 scs queries, algo=auto")
+  message(FATAL_ERROR "unexpected scs batch header:\n${scs_out_1}")
+endif()
+string(REGEX MATCH "# found=[^\n]*" scs_totals_auto "${scs_out_1}")
+foreach(method scs-peel scs-expand scs-binary)
+  execute_process(
+    COMMAND ${ABCS_CLI} query ${GRAPH} --batch ${BATCH} --method ${method}
+      --threads 2 --index ${INDEX}
+    OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "abcs query --batch --method ${method} failed: ${err}")
+  endif()
+  string(REGEX MATCH "# found=[^\n]*" scs_totals "${out}")
+  if(NOT scs_totals STREQUAL scs_totals_auto)
+    message(FATAL_ERROR "${method} batch aggregates differ from scs-auto:\n"
+      "${scs_totals}\nvs\n${scs_totals_auto}")
+  endif()
+endforeach()
+message(STATUS "ok: scs batches deterministic and kernel-agreeing")
 
 # Determinism: a second gen of the same spec must be byte-identical.
 run_abcs("" gen BS ${WORK_DIR}/bs2.txt)

@@ -214,19 +214,94 @@ TEST(ScsTest, ExpandEpsilonVariantsAgree) {
   }
 }
 
-TEST(ScsTest, StatsArepopulated) {
+TEST(ScsTest, StatsFollowUnifiedSemantics) {
+  // One semantics across kernels: `validations` counts from-scratch
+  // stabilisations, `incremental_probes` counts journal-seeded checks.
   BipartiteGraph g = RandomWeightedGraph(20, 20, 180, 91);
   const DeltaIndex index = DeltaIndex::Build(g);
   const Subgraph c = index.QueryCommunity(0, 2, 2);
   if (c.Empty()) GTEST_SKIP() << "seed produced empty community";
-  ScsStats peel_stats, expand_stats;
+  ScsStats peel_stats, expand_stats, binary_stats;
   ScsResult rp = ScsPeel(g, c, 0, 2, 2, &peel_stats);
   ScsResult re = ScsExpand(g, c, 0, 2, 2, {}, &expand_stats);
+  ScsResult rb = ScsBinary(g, c, 0, 2, 2, &binary_stats);
   ASSERT_EQ(rp.found, re.found);
+  ASSERT_EQ(rp.found, rb.found);
+  EXPECT_EQ(peel_stats.algo_used, ScsAlgo::kPeel);
+  EXPECT_EQ(expand_stats.algo_used, ScsAlgo::kExpand);
+  EXPECT_EQ(binary_stats.algo_used, ScsAlgo::kBinary);
+  // Peel stabilises exactly once from scratch and never probes.
+  EXPECT_EQ(peel_stats.validations, 1u);
+  EXPECT_EQ(peel_stats.incremental_probes, 0u);
   if (rp.found) {
     EXPECT_GT(peel_stats.edges_processed, 0u);
     EXPECT_GT(expand_stats.edges_processed, 0u);
-    EXPECT_GE(expand_stats.validations, 1u);
+    // Expand validates only incrementally (seeded from expansion state).
+    EXPECT_EQ(expand_stats.validations, 0u);
+    EXPECT_GE(expand_stats.incremental_probes, 1u);
+    // Binary opens with one full stabilisation, then probes incrementally.
+    EXPECT_EQ(binary_stats.validations, 1u);
+  }
+}
+
+// ------------------------------------------------------- weight ranks ----
+
+TEST(LocalGraphTest, RankOrderAndDistinctPrefixes) {
+  BipartiteGraph g = MakeGraph({{0, 0, 5.0},
+                                {0, 1, 2.0},
+                                {1, 0, 5.0},
+                                {1, 1, 9.0},
+                                {2, 1, 2.0},
+                                {2, 2, 7.0}});
+  LocalGraph lg(g, {0, 1, 2, 3, 4, 5});
+  ASSERT_EQ(lg.NumEdges(), 6u);
+  // Non-increasing weights; equal weights keep pool order (deterministic).
+  for (uint32_t r = 1; r < lg.NumEdges(); ++r) {
+    EXPECT_GE(lg.edges()[r - 1].w, lg.edges()[r].w);
+    if (lg.edges()[r - 1].w == lg.edges()[r].w) {
+      EXPECT_LT(lg.edges()[r - 1].global, lg.edges()[r].global);
+    }
+  }
+  // Distinct table: weights 9, 7, 5, 2 with prefix ends 1, 2, 4, 6.
+  ASSERT_EQ(lg.NumDistinctWeights(), 4u);
+  const Weight want_w[] = {9.0, 7.0, 5.0, 2.0};
+  const uint32_t want_end[] = {1, 2, 4, 6};
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(lg.DistinctWeight(i), want_w[i]) << i;
+    EXPECT_EQ(lg.PrefixEnd(i), want_end[i]) << i;
+    // Ranks [0, PrefixEnd(i)) are exactly the edges with w >= weight i.
+    for (uint32_t r = 0; r < lg.PrefixEnd(i); ++r) {
+      EXPECT_GE(lg.edges()[r].w, want_w[i]);
+    }
+  }
+  // Per-vertex arc lists are sorted by ascending rank.
+  for (uint32_t x = 0; x < lg.NumVertices(); ++x) {
+    const auto arcs = lg.Neighbors(x);
+    for (std::size_t k = 1; k < arcs.size(); ++k) {
+      EXPECT_LT(arcs[k - 1].pos, arcs[k].pos);
+    }
+  }
+}
+
+TEST(LocalGraphTest, BuildFromReusesCapacityAndMatchesFreshBuild) {
+  BipartiteGraph g = RandomWeightedGraph(15, 15, 120, 99, 8);
+  std::vector<EdgeId> all(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) all[e] = e;
+  std::vector<EdgeId> half(all.begin(), all.begin() + all.size() / 2);
+
+  LocalGraph pooled;
+  pooled.BuildFrom(g, all);
+  pooled.BuildFrom(g, half);  // shrink
+  pooled.BuildFrom(g, all);   // regrow
+  const LocalGraph fresh(g, all);
+  ASSERT_EQ(pooled.NumEdges(), fresh.NumEdges());
+  ASSERT_EQ(pooled.NumVertices(), fresh.NumVertices());
+  ASSERT_EQ(pooled.NumDistinctWeights(), fresh.NumDistinctWeights());
+  for (uint32_t r = 0; r < fresh.NumEdges(); ++r) {
+    EXPECT_EQ(pooled.edges()[r].global, fresh.edges()[r].global) << r;
+  }
+  for (uint32_t i = 0; i < fresh.NumDistinctWeights(); ++i) {
+    EXPECT_EQ(pooled.PrefixEnd(i), fresh.PrefixEnd(i));
   }
 }
 

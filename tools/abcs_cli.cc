@@ -15,13 +15,19 @@
 //                                             mmap'd bundle — no graph file,
 //                                             no rebuild
 //   abcs query  <graph> --batch <file> [--threads N] [--index FILE]
-//               [--method online|bicore|delta] [--side u|l]
+//               [--method online|bicore|delta|scs-auto|scs-peel|scs-expand|
+//                scs-binary] [--side u|l]
 //   abcs query  --bundle FILE --batch <file> [--threads N] [--method ...]
 //                                             run a query batch through the
-//                                             zero-allocation query engine
+//                                             zero-allocation query engine;
+//                                             the scs-* methods run the full
+//                                             two-step paradigm (retrieve C,
+//                                             then extract R with the named
+//                                             kernel; scs-auto = planner)
 //   abcs scs    <graph> <q> <alpha> <beta> [--index FILE] [--side u|l]
-//               [--algo peel|expand|binary|baseline]
+//               [--algo auto|peel|expand|binary|baseline]
 //                                             print the significant community
+//                                             (phase timing on stderr)
 //   abcs profile <graph> <q> <max-alpha> <max-beta> [--index FILE]
 //               [--side u|l]                  print f(R) over the (α,β) grid
 //   abcs gen    <name> <graph-out>            write a registry dataset
@@ -57,11 +63,9 @@
 #include "core/delta_index.h"
 #include "core/index_io.h"
 #include "core/query_engine.h"
+#include "core/scs_auto.h"
 #include "core/scs_baseline.h"
-#include "core/scs_binary.h"
-#include "core/scs_expand.h"
 #include "core/profile.h"
-#include "core/scs_peel.h"
 #include "graph/datasets.h"
 #include "graph/graph_io.h"
 #include "io/index_bundle.h"
@@ -78,10 +82,10 @@ int Usage() {
                "[--side u|l]\n"
                "  abcs query --bundle FILE <q> <alpha> <beta> [--side u|l]\n"
                "  abcs query <graph>|--bundle FILE --batch <file> "
-               "[--threads N] [--method online|bicore|delta] [--index FILE] "
-               "[--side u|l]\n"
+               "[--threads N] [--method online|bicore|delta|scs-auto|"
+               "scs-peel|scs-expand|scs-binary] [--index FILE] [--side u|l]\n"
                "  abcs scs   <graph> <q> <alpha> <beta> [--index FILE] "
-               "[--side u|l] [--algo peel|expand|binary|baseline]\n"
+               "[--side u|l] [--algo auto|peel|expand|binary|baseline]\n"
                "  abcs gen   <name> <graph-out>\n");
   return 2;
 }
@@ -98,7 +102,7 @@ struct QueryArgs {
   uint32_t alpha = 0, beta = 0;
   std::string index_path;
   bool lower_side = false;
-  std::string algo = "peel";
+  std::string algo = "auto";
   std::string batch_path;
   std::string method = "delta";
   unsigned num_threads = 1;
@@ -322,6 +326,66 @@ abcs::Status ParseBatchFile(const std::string& path,
   return abcs::Status::OK();
 }
 
+// Batch of full two-step SCS queries: retrieval through the delta index,
+// extraction by `algo` (kAuto = per-query planner). stdout carries only
+// thread-count-invariant data; timing and the phase/kernel breakdown go to
+// stderr.
+int RunScsBatchQueries(const QueryArgs& args, Session* session,
+                       const std::vector<abcs::QueryRequest>& requests,
+                       abcs::ScsAlgo algo) {
+  const abcs::BipartiteGraph& g = *session->graph;
+  abcs::DeltaIndex owned_delta;
+  const abcs::DeltaIndex* delta = &owned_delta;
+  abcs::Status st = GetIndex(args, session, &owned_delta, &delta);
+  if (!st.ok()) return Fail(st);
+
+  const abcs::QueryEngine engine(g, abcs::QueryMethod::kDelta, delta);
+  abcs::ScsBatchOptions options;
+  options.num_threads = args.num_threads;
+  options.algo = algo;
+  const abcs::ScsBatchResult batch = engine.RunScsBatch(requests, options);
+
+  std::printf("# batch of %zu scs queries, algo=%s\n", requests.size(),
+              abcs::ScsAlgoName(algo));
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const abcs::QueryRequest& r = requests[i];
+    const abcs::ScsOutcome& o = batch.outcomes[i];
+    const bool lower = !g.IsUpper(r.q);
+    if (o.found) {
+      std::printf("%zu %s%u (%u,%u) |C|=%u |R|=%u f=%g kernel=%s\n", i,
+                  lower ? "l" : "u", lower ? r.q - g.NumUpper() : r.q,
+                  r.alpha, r.beta, o.community_edges, o.result_edges,
+                  o.significance, abcs::ScsAlgoName(o.algo_used));
+    } else {
+      std::printf("%zu %s%u (%u,%u) |C|=%u none\n", i, lower ? "l" : "u",
+                  lower ? r.q - g.NumUpper() : r.q, r.alpha, r.beta,
+                  o.community_edges);
+    }
+  }
+  const abcs::ScsBatchStats& s = batch.stats;
+  std::printf("# found=%llu total_C=%llu total_R=%llu\n",
+              static_cast<unsigned long long>(s.num_found),
+              static_cast<unsigned long long>(s.total_community_edges),
+              static_cast<unsigned long long>(s.total_result_edges));
+  std::fprintf(
+      stderr,
+      "# threads=%u wall=%.3es qps=%.1f p50=%.3es p99=%.3es "
+      "retrieve=%.3es scs=%.3es kernels: peel=%llu expand=%llu binary=%llu "
+      "validations=%llu incremental_probes=%llu\n",
+      batch.num_threads_used, batch.wall_seconds, batch.QueriesPerSecond(),
+      s.p50_seconds, s.p99_seconds, s.retrieve_seconds,
+      s.total_seconds - s.retrieve_seconds,
+      static_cast<unsigned long long>(
+          s.algo_counts[static_cast<int>(abcs::ScsAlgo::kPeel)]),
+      static_cast<unsigned long long>(
+          s.algo_counts[static_cast<int>(abcs::ScsAlgo::kExpand)]),
+      static_cast<unsigned long long>(
+          s.algo_counts[static_cast<int>(abcs::ScsAlgo::kBinary)]),
+      static_cast<unsigned long long>(s.validations),
+      static_cast<unsigned long long>(s.incremental_probes));
+  return 0;
+}
+
 int CmdQueryBatch(const QueryArgs& args) {
   Session session;
   abcs::Status st = LoadSession(args, &session);
@@ -330,6 +394,23 @@ int CmdQueryBatch(const QueryArgs& args) {
   std::vector<abcs::QueryRequest> requests;
   st = ParseBatchFile(args.batch_path, g, args.lower_side, &requests);
   if (!st.ok()) return Fail(st);
+
+  if (args.method.rfind("scs-", 0) == 0) {
+    abcs::ScsAlgo algo;
+    const std::string kernel = args.method.substr(4);
+    if (kernel == "auto") {
+      algo = abcs::ScsAlgo::kAuto;
+    } else if (kernel == "peel") {
+      algo = abcs::ScsAlgo::kPeel;
+    } else if (kernel == "expand") {
+      algo = abcs::ScsAlgo::kExpand;
+    } else if (kernel == "binary") {
+      algo = abcs::ScsAlgo::kBinary;
+    } else {
+      return Fail(abcs::Status::InvalidArgument("unknown --method"));
+    }
+    return RunScsBatchQueries(args, &session, requests, algo);
+  }
 
   abcs::QueryMethod method;
   if (args.method == "online") {
@@ -445,20 +526,40 @@ int CmdScs(const QueryArgs& args) {
 
   abcs::Timer timer;
   abcs::ScsResult result;
+  abcs::ScsStats scs_stats;
+  double retrieve_s = 0.0;
   if (args.algo == "baseline") {
-    result = abcs::ScsBaseline(g, q, args.alpha, args.beta);
+    result = abcs::ScsBaseline(g, q, args.alpha, args.beta, {}, &scs_stats);
   } else {
-    const abcs::Subgraph c = index->QueryCommunity(q, args.alpha, args.beta);
-    if (args.algo == "peel") {
-      result = abcs::ScsPeel(g, c, q, args.alpha, args.beta);
+    abcs::ScsAlgo algo;
+    if (args.algo == "auto") {
+      algo = abcs::ScsAlgo::kAuto;
+    } else if (args.algo == "peel") {
+      algo = abcs::ScsAlgo::kPeel;
     } else if (args.algo == "expand") {
-      result = abcs::ScsExpand(g, c, q, args.alpha, args.beta);
+      algo = abcs::ScsAlgo::kExpand;
     } else if (args.algo == "binary") {
-      result = abcs::ScsBinary(g, c, q, args.alpha, args.beta);
+      algo = abcs::ScsAlgo::kBinary;
     } else {
       return Fail(abcs::Status::InvalidArgument("unknown --algo"));
     }
+    const abcs::Subgraph c = index->QueryCommunity(q, args.alpha, args.beta);
+    retrieve_s = timer.Seconds();
+    result = abcs::ScsQuery(g, c, q, args.alpha, args.beta, algo, {},
+                            &scs_stats);
   }
+  const double total_s = timer.Seconds();
+  // Phase breakdown on stderr so a slow query is attributable to retrieval
+  // vs extraction straight from logs; stdout stays deterministic.
+  std::fprintf(stderr,
+               "# scs phases: retrieve=%.3es scs=%.3es kernel=%s "
+               "validations=%u incremental_probes=%u edges_processed=%llu\n",
+               retrieve_s, total_s - retrieve_s,
+               args.algo == "baseline" ? "baseline"
+                                       : abcs::ScsAlgoName(scs_stats.algo_used),
+               scs_stats.validations,
+               scs_stats.incremental_probes,
+               static_cast<unsigned long long>(scs_stats.edges_processed));
   if (!result.found) {
     std::printf("# no significant (%u,%u)-community for this vertex\n",
                 args.alpha, args.beta);
@@ -466,7 +567,7 @@ int CmdScs(const QueryArgs& args) {
   }
   std::printf("# significant (%u,%u)-community, f(R)=%g, %s, %.2e s\n",
               args.alpha, args.beta, result.significance, args.algo.c_str(),
-              timer.Seconds());
+              total_s);
   PrintSubgraph(g, result.community);
   return 0;
 }
