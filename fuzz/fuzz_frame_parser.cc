@@ -1,0 +1,77 @@
+// libFuzzer harness for the serve daemon's network-facing parsers: the
+// length-prefixed FrameReader and the strict request/response decoders.
+// This is exactly the byte surface a hostile client controls, so the
+// harness drives it the way the server does — including re-feeding the
+// same input in arbitrary chunk sizes, which must decode identically to
+// one whole-buffer feed (chunking invariance is what the reader's
+// compaction logic could plausibly break).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "serve/frame.h"
+#include "serve/protocol.h"
+
+namespace {
+
+struct Decoded {
+  std::vector<std::vector<std::byte>> frames;
+  bool poisoned = false;
+};
+
+// Runs the full server-side path over `data` fed in `chunk`-sized pieces.
+Decoded Drain(std::span<const std::byte> data, std::size_t chunk) {
+  abcs::serve::FrameReader reader;
+  Decoded out;
+  for (std::size_t off = 0; off < data.size(); off += chunk) {
+    const std::size_t len = std::min(chunk, data.size() - off);
+    if (!reader.Append(data.subspan(off, len)).ok()) break;
+    std::span<const std::byte> payload;
+    while (reader.Next(&payload)) {
+      out.frames.emplace_back(payload.begin(), payload.end());
+      // Decode as both message kinds, exactly like server and client.
+      abcs::serve::WireRequest req;
+      if (abcs::serve::DecodeRequest(payload, &req).ok()) {
+        // Round-trip: re-encoding an accepted request must reproduce the
+        // payload bit for bit (the decoder rejects all don't-care bytes).
+        std::vector<std::byte> again;
+        abcs::serve::EncodeRequest(req, &again);
+        if (again.size() != payload.size() ||
+            !std::equal(again.begin(), again.end(), payload.begin())) {
+          std::abort();
+        }
+      }
+      abcs::serve::WireResponse resp;
+      if (abcs::serve::DecodeResponse(payload, &resp).ok()) {
+        std::vector<std::byte> again;
+        abcs::serve::EncodeResponse(resp, &again);
+        if (again.size() != payload.size() ||
+            !std::equal(again.begin(), again.end(), payload.begin())) {
+          std::abort();
+        }
+      }
+    }
+    if (reader.Poisoned()) break;
+  }
+  out.poisoned = reader.Poisoned();
+  return out;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::span<const std::byte> bytes(
+      reinterpret_cast<const std::byte*>(data), size);
+  const Decoded whole = Drain(bytes, size ? size : 1);
+  // Chunking invariance: byte-by-byte and prime-sized feeds must yield
+  // the same frames and the same poison verdict.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}}) {
+    const Decoded pieces = Drain(bytes, chunk);
+    if (pieces.poisoned != whole.poisoned) std::abort();
+    if (pieces.frames != whole.frames) std::abort();
+  }
+  return 0;
+}

@@ -2,10 +2,15 @@
 """Warn-only bench regression check.
 
 Diffs the per-row medians of a fresh bench JSON (BENCH_scs.json,
-BENCH_query.json) against a committed baseline and prints a GitHub-flavored
-markdown summary. Rows are matched on --keys; a row regresses when
+BENCH_query.json, BENCH_serve.json) against a committed baseline and prints
+a GitHub-flavored markdown summary. Rows are matched on --keys; a row
+regresses when
 
     current > baseline * (1 + tolerance)
+
+or, with --higher-is-better (throughput metrics such as achieved_qps),
+
+    current < baseline * (1 - tolerance)
 
 The tolerance band is deliberately wide: the committed baselines were
 recorded on a developer box, CI runners differ in both absolute speed and
@@ -46,6 +51,12 @@ def main():
     p.add_argument("--metric", required=True)
     p.add_argument("--tolerance", type=float, default=0.5)
     p.add_argument("--label", default="bench")
+    p.add_argument(
+        "--higher-is-better",
+        action="store_true",
+        help="flag rows where current < baseline * (1 - tolerance) "
+        "(for throughput metrics)",
+    )
     args = p.parse_args()
     keys = args.keys.split(",")
 
@@ -65,19 +76,24 @@ def main():
             continue
         compared += 1
         ratio = current[key] / base_value
-        if ratio > 1.0 + args.tolerance:
+        if args.higher_is_better:
+            regressed = ratio < 1.0 - args.tolerance
+        else:
+            regressed = ratio > 1.0 + args.tolerance
+        if regressed:
             regressions.append((key, base_value, current[key], ratio))
 
-    band = f"+{args.tolerance:.0%}"
+    band = f"-{args.tolerance:.0%}" if args.higher_is_better else f"+{args.tolerance:.0%}"
+    direction = "under" if args.higher_is_better else "over"
     if not regressions:
         print(
-            f"### {args.label}: {compared} rows at most {band} over the "
+            f"### {args.label}: {compared} rows at most {band} {direction} the "
             f"committed baseline ({args.metric}; improvements not flagged)\n"
         )
         return 0
     print(
         f"### ⚠️ {args.label}: {len(regressions)}/{compared} rows more than "
-        f"{band} over baseline ({args.metric}; warn-only, not gating)\n"
+        f"{band} {direction} baseline ({args.metric}; warn-only, not gating)\n"
     )
     print("| " + " | ".join(keys) + " | baseline | current | ratio |")
     print("|" + "---|" * (len(keys) + 3))

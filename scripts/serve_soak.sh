@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Serve-tier soak smoke: boots `abcs serve` on a generated BS graph, proves
+# the daemon answers every method bit-identically to the offline batch
+# runner, hammers it with concurrent clients for a sustained window, then
+# SIGTERMs it and asserts a clean drain (exit 0, zero dropped requests).
+#
+# Usage: scripts/serve_soak.sh [path/to/abcs]
+#   SOAK_SECONDS  soak window per run (default 30)
+#   SOAK_CLIENTS  concurrent client connections (default 4)
+#   SOAK_THREADS  server worker threads (default 4)
+set -euo pipefail
+
+ABCS=${1:-build/tools/abcs}
+SOAK_SECONDS=${SOAK_SECONDS:-30}
+SOAK_CLIENTS=${SOAK_CLIENTS:-4}
+SOAK_THREADS=${SOAK_THREADS:-4}
+
+if [[ ! -x "$ABCS" ]]; then
+  echo "serve_soak: abcs binary not found at $ABCS" >&2
+  exit 1
+fi
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -KILL "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+GRAPH=$WORK/bs.txt
+BUNDLE=$WORK/bs.idx
+PORT_FILE=$WORK/port
+SERVER_LOG=$WORK/server.log
+
+echo "== generating dataset and index"
+"$ABCS" gen BS "$GRAPH" >/dev/null
+"$ABCS" index "$GRAPH" "$BUNDLE" >/dev/null
+
+echo "== starting daemon (threads=$SOAK_THREADS)"
+"$ABCS" serve --bundle "$BUNDLE" --port 0 --port-file "$PORT_FILE" \
+  --threads "$SOAK_THREADS" 2>"$SERVER_LOG" &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [[ -s "$PORT_FILE" ]] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "serve_soak: daemon died during startup:" >&2
+    cat "$SERVER_LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ ! -s "$PORT_FILE" ]]; then
+  echo "serve_soak: daemon never wrote its port file" >&2
+  exit 1
+fi
+PORT=$(cat "$PORT_FILE")
+echo "== daemon on port $PORT"
+
+"$ABCS" client --port "$PORT" --ping
+
+# A small mixed batch touching both layers. The daemon must agree with the
+# offline engine byte for byte per method, modulo the offline runner's
+# touched-work diagnostics (a warm memo legitimately does no work, so the
+# wire never carries work counters).
+BATCH=$WORK/batch.txt
+cat > "$BATCH" <<'EOF'
+1 2 2
+0 1 1 l
+2 3 3
+5 2 3
+3 2 2 u
+7 1 2 l
+4 4 4
+EOF
+
+echo "== per-method identity: daemon vs offline batch runner"
+for method in online bicore delta scs-auto scs-peel scs-expand scs-binary; do
+  "$ABCS" query --bundle "$BUNDLE" --batch "$BATCH" --method "$method" \
+    --threads 2 2>/dev/null \
+    | sed -e 's/ touched=[0-9]*//' -e 's/ touched_arcs=[0-9]*//' \
+    > "$WORK/offline.$method"
+  # Twice: the second pass is all memo hits and must still be identical.
+  for pass in cold warm; do
+    "$ABCS" client --port "$PORT" --batch "$BATCH" --method "$method" \
+      2>/dev/null > "$WORK/served.$method.$pass"
+    if ! diff -u "$WORK/offline.$method" "$WORK/served.$method.$pass"; then
+      echo "serve_soak: $method ($pass) diverges from offline batch" >&2
+      exit 1
+    fi
+  done
+  echo "   ok: $method (cold + memo-warm)"
+done
+
+echo "== soak: $SOAK_CLIENTS clients for ${SOAK_SECONDS}s"
+"$ABCS" client --port "$PORT" --batch "$BATCH" --method delta \
+  --connections "$SOAK_CLIENTS" --duration "$SOAK_SECONDS"
+
+echo "== SIGTERM drain"
+kill -TERM "$SERVER_PID"
+DRAIN_RC=0
+wait "$SERVER_PID" || DRAIN_RC=$?
+SERVER_PID=""
+if [[ "$DRAIN_RC" -ne 0 ]]; then
+  echo "serve_soak: daemon exited $DRAIN_RC after SIGTERM:" >&2
+  cat "$SERVER_LOG" >&2
+  exit 1
+fi
+if ! grep -q "^# drained:" "$SERVER_LOG"; then
+  echo "serve_soak: no drain summary in daemon log:" >&2
+  cat "$SERVER_LOG" >&2
+  exit 1
+fi
+grep "^# drained:" "$SERVER_LOG"
+echo "serve_soak: PASS"

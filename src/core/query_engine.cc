@@ -5,6 +5,7 @@
 
 #include "common/timer.h"
 #include "core/scs_auto.h"
+#include "core/work_steal.h"
 
 namespace {
 
@@ -17,9 +18,56 @@ void FillPercentiles(std::vector<double>& latencies, double* p50, double* p99) {
   *p99 = latencies[(k * 99 + 99) / 100 - 1];
 }
 
+// Runs `body(t, i)` for every i in [0, n), exactly once each, across
+// `num_threads` workers. Work-stealing redistributes the indices queued
+// behind a slow query; round-robin keeps the legacy static stripe. Which
+// worker executes an index never affects the result — `body` writes only
+// slot i — so both modes produce bit-identical batches.
+template <typename Body>
+void DispatchLoop(std::size_t n, unsigned num_threads,
+                  abcs::Dispatch dispatch, Body&& body) {
+  if (num_threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(0u, i);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  // Declared before the thread spawns so it outlives them through the
+  // join below. The packed ranges hold 32-bit bounds; a batch large
+  // enough to overflow them (> 4G requests) cannot be materialised anyway.
+  abcs::WorkStealingRanges ranges(n, num_threads);
+  if (dispatch == abcs::Dispatch::kRoundRobin) {
+    for (unsigned t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = t; i < n; i += num_threads) body(t, i);
+      });
+    }
+  } else {
+    for (unsigned t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = ranges.Next(t);
+             i != abcs::WorkStealingRanges::kDone; i = ranges.Next(t)) {
+          body(t, i);
+        }
+      });
+    }
+  }
+  for (std::thread& th : threads) th.join();
+}
+
 }  // namespace
 
 namespace abcs {
+
+const char* DispatchName(Dispatch dispatch) {
+  switch (dispatch) {
+    case Dispatch::kWorkStealing:
+      return "work-steal";
+    case Dispatch::kRoundRobin:
+      return "round-robin";
+  }
+  return "unknown";
+}
 
 const char* QueryMethodName(QueryMethod method) {
   switch (method) {
@@ -66,34 +114,30 @@ BatchResult QueryEngine::RunBatch(std::span<const QueryRequest> requests,
       std::min<std::size_t>(num_threads, requests.size()));
   result.num_threads_used = num_threads;
 
-  // Round-robin work distribution: worker t owns requests t, t+T, t+2T, …
-  // Each worker writes only its own outcome slots, so no synchronisation
-  // is needed and `outcomes[i]` always matches `requests[i]` — results are
-  // bit-identical for every thread count.
-  auto worker = [&](unsigned t) {
+  // Each executed index writes only its own outcome slot, so no
+  // synchronisation is needed and `outcomes[i]` always matches
+  // `requests[i]` — results are bit-identical for every thread count and
+  // dispatch mode. Worker-local scratch lives in `states[t]`; a slot is
+  // only ever touched by thread t.
+  struct WorkerState {
     QueryScratch scratch;
     Subgraph out;
-    for (std::size_t i = t; i < requests.size(); i += num_threads) {
-      QueryStats stats;
-      Timer timer;
-      Query(requests[i], scratch, &out, &stats);
-      QueryOutcome& outcome = result.outcomes[i];
-      outcome.seconds = timer.Seconds();
-      outcome.num_edges = static_cast<uint32_t>(out.edges.size());
-      outcome.touched_arcs = stats.touched_arcs;
-      if (options.keep_communities) result.communities[i] = out;
-    }
+  };
+  std::vector<WorkerState> states(num_threads);
+  auto body = [&](unsigned t, std::size_t i) {
+    WorkerState& ws = states[t];
+    QueryStats stats;
+    Timer timer;
+    Query(requests[i], ws.scratch, &ws.out, &stats);
+    QueryOutcome& outcome = result.outcomes[i];
+    outcome.seconds = timer.Seconds();
+    outcome.num_edges = static_cast<uint32_t>(ws.out.edges.size());
+    outcome.touched_arcs = stats.touched_arcs;
+    if (options.keep_communities) result.communities[i] = ws.out;
   };
 
   Timer wall;
-  if (num_threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
-    for (std::thread& th : threads) th.join();
-  }
+  DispatchLoop(requests.size(), num_threads, options.dispatch, body);
   result.wall_seconds = wall.Seconds();
 
   BatchStats& stats = result.stats;
@@ -128,48 +172,43 @@ ScsBatchResult QueryEngine::RunScsBatch(std::span<const QueryRequest> requests,
       std::min<std::size_t>(num_threads, requests.size()));
   result.num_threads_used = num_threads;
 
-  // Same round-robin ownership as RunBatch; additionally each worker pools
-  // one ScsWorkspace (LocalGraph + expand state) and one ScsResult, so
-  // after warm-up a worker's queries run allocation-free end to end:
-  // retrieval scratch, rank sort buffers, peel state and the R edge vector
-  // all reuse capacity.
-  auto worker = [&](unsigned t) {
+  // Same slot ownership as RunBatch; additionally each worker pools one
+  // ScsWorkspace (LocalGraph + expand state) and one ScsResult, so after
+  // warm-up a worker's queries run allocation-free end to end: retrieval
+  // scratch, rank sort buffers, peel state and the R edge vector all
+  // reuse capacity.
+  struct WorkerState {
     QueryScratch scratch;
     ScsWorkspace workspace;
     Subgraph community;
     ScsResult scs;
-    for (std::size_t i = t; i < requests.size(); i += num_threads) {
-      const QueryRequest& r = requests[i];
-      Timer timer;
-      Query(r, scratch, &community, nullptr);
-      const double retrieve_s = timer.Seconds();
-      ScsStats stats;
-      ScsQueryInto(*graph_, community, r.q, r.alpha, r.beta, options.algo,
-                   options.scs, &scs, &stats, &scratch, &workspace);
-      ScsOutcome& o = result.outcomes[i];
-      o.seconds = timer.Seconds();
-      o.retrieve_seconds = retrieve_s;
-      o.found = scs.found;
-      o.community_edges = static_cast<uint32_t>(community.edges.size());
-      o.result_edges = static_cast<uint32_t>(scs.community.edges.size());
-      o.significance = scs.significance;
-      o.algo_used = stats.algo_used;
-      o.validations = stats.validations;
-      o.incremental_probes = stats.incremental_probes;
-      o.edges_processed = stats.edges_processed;
-      if (options.keep_communities) result.communities[i] = scs.community;
-    }
+  };
+  std::vector<WorkerState> states(num_threads);
+  auto body = [&](unsigned t, std::size_t i) {
+    WorkerState& ws = states[t];
+    const QueryRequest& r = requests[i];
+    Timer timer;
+    Query(r, ws.scratch, &ws.community, nullptr);
+    const double retrieve_s = timer.Seconds();
+    ScsStats stats;
+    ScsQueryInto(*graph_, ws.community, r.q, r.alpha, r.beta, options.algo,
+                 options.scs, &ws.scs, &stats, &ws.scratch, &ws.workspace);
+    ScsOutcome& o = result.outcomes[i];
+    o.seconds = timer.Seconds();
+    o.retrieve_seconds = retrieve_s;
+    o.found = ws.scs.found;
+    o.community_edges = static_cast<uint32_t>(ws.community.edges.size());
+    o.result_edges = static_cast<uint32_t>(ws.scs.community.edges.size());
+    o.significance = ws.scs.significance;
+    o.algo_used = stats.algo_used;
+    o.validations = stats.validations;
+    o.incremental_probes = stats.incremental_probes;
+    o.edges_processed = stats.edges_processed;
+    if (options.keep_communities) result.communities[i] = ws.scs.community;
   };
 
   Timer wall;
-  if (num_threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
-    for (std::thread& th : threads) th.join();
-  }
+  DispatchLoop(requests.size(), num_threads, options.dispatch, body);
   result.wall_seconds = wall.Seconds();
 
   ScsBatchStats& stats = result.stats;

@@ -1,0 +1,118 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace abcs::serve {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::IOError(ErrnoMessage("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("cannot parse host " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Status::IOError(ErrnoMessage("connect"));
+    Close();
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  reader_ = FrameReader();
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Call(const WireRequest& req, WireResponse* resp) {
+  ABCS_RETURN_NOT_OK(SendAll({&req, 1}));
+  return ReceiveOne(resp);
+}
+
+Status Client::SendAll(std::span<const WireRequest> requests) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  std::vector<std::byte> payload;
+  std::vector<std::byte> framed;
+  framed.reserve(requests.size() * (kRequestWireBytes + 4));
+  for (const WireRequest& req : requests) {
+    payload.clear();
+    EncodeRequest(req, &payload);
+    AppendFrame(payload, &framed);
+  }
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return Status::IOError(ErrnoMessage("send"));
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::ReceiveAll(std::size_t n, std::vector<WireResponse>* out) {
+  out->clear();
+  out->reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WireResponse resp;
+    ABCS_RETURN_NOT_OK(ReceiveOne(&resp));
+    out->push_back(resp);
+  }
+  return Status::OK();
+}
+
+Status Client::Ping() {
+  WireRequest req;
+  req.type = MessageType::kPing;
+  WireResponse resp;
+  ABCS_RETURN_NOT_OK(Call(req, &resp));
+  if (resp.type != MessageType::kPing || resp.status != WireStatus::kOk) {
+    return Status::Corruption("unexpected ping response");
+  }
+  return Status::OK();
+}
+
+Status Client::ReceiveOne(WireResponse* resp) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  std::byte buf[4096];
+  for (;;) {
+    std::span<const std::byte> payload;
+    if (reader_.Next(&payload)) return DecodeResponse(payload, resp);
+    if (reader_.Poisoned()) {
+      return Status::Corruption("response stream poisoned");
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::IOError("connection closed by server");
+    }
+    if (n < 0) return Status::IOError(ErrnoMessage("recv"));
+    ABCS_RETURN_NOT_OK(reader_.Append({buf, static_cast<std::size_t>(n)}));
+  }
+}
+
+}  // namespace abcs::serve

@@ -1,0 +1,69 @@
+#ifndef ABCS_SERVE_CLIENT_H_
+#define ABCS_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/frame.h"
+#include "serve/protocol.h"
+
+namespace abcs::serve {
+
+/// \brief Small blocking client for the `abcs serve` wire protocol.
+///
+/// One TCP connection, synchronous calls. `Call` is one round trip;
+/// `SendAll` + `ReceiveAll` pipeline a whole batch in two syscall bursts —
+/// the server's per-connection sequencer guarantees responses come back
+/// in request order, so response i answers request i.
+///
+/// Not thread-safe; use one Client per thread (they are cheap).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), reader_(std::move(other.reader_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      reader_ = std::move(other.reader_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One request, one response.
+  Status Call(const WireRequest& req, WireResponse* resp);
+
+  /// Writes every request as one framed burst (pipelining).
+  Status SendAll(std::span<const WireRequest> requests);
+
+  /// Reads exactly `n` responses, in request order.
+  Status ReceiveAll(std::size_t n, std::vector<WireResponse>* out);
+
+  /// Liveness probe: a kPing round trip.
+  Status Ping();
+
+ private:
+  Status ReceiveOne(WireResponse* resp);
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace abcs::serve
+
+#endif  // ABCS_SERVE_CLIENT_H_

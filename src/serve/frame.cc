@@ -1,0 +1,70 @@
+#include "serve/frame.h"
+
+#include <cstring>
+
+namespace abcs::serve {
+
+void AppendFrame(std::span<const std::byte> payload,
+                 std::vector<std::byte>* out) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const std::size_t at = out->size();
+  out->resize(at + 4 + payload.size());
+  std::byte* p = out->data() + at;
+  p[0] = static_cast<std::byte>(len & 0xff);
+  p[1] = static_cast<std::byte>((len >> 8) & 0xff);
+  p[2] = static_cast<std::byte>((len >> 16) & 0xff);
+  p[3] = static_cast<std::byte>((len >> 24) & 0xff);
+  if (!payload.empty()) {
+    std::memcpy(p + 4, payload.data(), payload.size());
+  }
+}
+
+Status FrameReader::Append(std::span<const std::byte> chunk) {
+  if (poisoned_) {
+    return Status::Corruption("frame stream poisoned by bad length prefix");
+  }
+  // Compact drained bytes before growing; keeps the buffer bounded by one
+  // in-flight frame plus whatever the last chunk carried.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+  // Validate the visible length prefix eagerly so a hostile 4-byte header
+  // is rejected without waiting for (or buffering) its claimed payload.
+  if (buffer_.size() >= 4) {
+    const uint32_t len = static_cast<uint32_t>(buffer_[0]) |
+                         (static_cast<uint32_t>(buffer_[1]) << 8) |
+                         (static_cast<uint32_t>(buffer_[2]) << 16) |
+                         (static_cast<uint32_t>(buffer_[3]) << 24);
+    if (len > kMaxFramePayload) {
+      poisoned_ = true;
+      return Status::Corruption("frame length prefix exceeds limit");
+    }
+  }
+  return Status::OK();
+}
+
+bool FrameReader::Next(std::span<const std::byte>* payload) {
+  if (poisoned_) return false;
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) return false;
+  const std::byte* p = buffer_.data() + consumed_;
+  const uint32_t len = static_cast<uint32_t>(p[0]) |
+                       (static_cast<uint32_t>(p[1]) << 8) |
+                       (static_cast<uint32_t>(p[2]) << 16) |
+                       (static_cast<uint32_t>(p[3]) << 24);
+  if (len > kMaxFramePayload) {
+    // Interior frames are validated here (Append only sees the first
+    // prefix of each chunk); Poisoned() makes the failure sticky.
+    poisoned_ = true;
+    return false;
+  }
+  if (avail < 4 + static_cast<std::size_t>(len)) return false;
+  *payload = {p + 4, len};
+  consumed_ += 4 + len;
+  return true;
+}
+
+}  // namespace abcs::serve

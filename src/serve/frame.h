@@ -1,0 +1,60 @@
+#ifndef ABCS_SERVE_FRAME_H_
+#define ABCS_SERVE_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace abcs::serve {
+
+/// Hard ceiling on one frame's payload. Requests and responses are both
+/// fixed-size structs two orders of magnitude below this; anything larger
+/// is a corrupt or hostile length prefix and kills the connection before
+/// a single byte of it is buffered.
+inline constexpr uint32_t kMaxFramePayload = 1u << 16;
+
+/// Appends one length-prefixed frame (`u32 LE payload length` + payload)
+/// to `out`. The caller batches multiple frames into one buffer for
+/// pipelined writes.
+void AppendFrame(std::span<const std::byte> payload,
+                 std::vector<std::byte>* out);
+
+/// \brief Incremental decoder for a stream of length-prefixed frames.
+///
+/// Feed arbitrary byte chunks exactly as they come off the socket with
+/// `Append` — a frame may arrive split at any byte boundary, or many
+/// frames may land in one chunk — then drain complete frames with `Next`.
+/// The reader is strict: a length prefix above `kMaxFramePayload` poisons
+/// the stream (every later call fails), because once a length lies there
+/// is no way to resynchronise. This is the surface the
+/// `fuzz_frame_parser` harness hammers.
+class FrameReader {
+ public:
+  /// Buffers `chunk`. Returns `Corruption` iff the stream is (or just
+  /// became) poisoned by an oversized length prefix.
+  Status Append(std::span<const std::byte> chunk);
+
+  /// Points `*payload` at the next complete frame's payload and returns
+  /// true, or returns false when no complete frame is buffered. The span
+  /// is valid until the next `Append`/`Next` call.
+  bool Next(std::span<const std::byte>* payload);
+
+  /// True once an oversized length prefix poisoned the stream.
+  bool Poisoned() const { return poisoned_; }
+
+  /// Bytes buffered but not yet returned — nonzero at connection EOF
+  /// means the peer sent a truncated final frame.
+  std::size_t PendingBytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::byte> buffer_;
+  std::size_t consumed_ = 0;  ///< bytes of fully-drained frames
+  bool poisoned_ = false;
+};
+
+}  // namespace abcs::serve
+
+#endif  // ABCS_SERVE_FRAME_H_

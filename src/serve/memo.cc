@@ -1,0 +1,74 @@
+#include "serve/memo.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace abcs::serve {
+
+bool QueryMemo::Lookup(WireMethod method, uint32_t alpha, uint32_t beta,
+                       VertexId q, MemoValue* out) const {
+  const Key vkey{static_cast<uint8_t>(method), alpha, beta, q};
+  {
+    std::shared_lock lock(mu_);
+    const auto root_it = roots_.find(vkey);
+    if (root_it != roots_.end()) {
+      const Key rkey{static_cast<uint8_t>(method), alpha, beta,
+                     root_it->second};
+      const auto it = results_.find(rkey);
+      if (it != results_.end()) {
+        *out = it->second;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void QueryMemo::Insert(WireMethod method, uint32_t alpha, uint32_t beta,
+                       VertexId q, const BipartiteGraph& g,
+                       const Subgraph& community, const MemoValue& value) {
+  // Sharing across the component is only sound for retrieval answers;
+  // SCS answers depend on q (see the class comment), and oversized
+  // communities are capped to bound insert cost.
+  const bool share = !IsScsMethod(method) && !community.Empty() &&
+                     community.edges.size() <= kMaxRegisterEdges;
+  uint32_t root = q;
+  if (share) {
+    // Canonical root: the smallest vertex id in C. Upper ids precede
+    // lower ids in the unified space, so the minimum over upper
+    // endpoints suffices.
+    root = g.GetEdge(community.edges[0]).u;
+    for (const EdgeId e : community.edges) {
+      root = std::min(root, g.GetEdge(e).u);
+    }
+  }
+
+  std::unique_lock lock(mu_);
+  if (roots_.size() >= max_entries_) {
+    // Flush-on-pressure: a warm cache earns no complexity budget for an
+    // eviction policy; steady traffic re-fills it within seconds.
+    roots_.clear();
+    results_.clear();
+  }
+  results_[{static_cast<uint8_t>(method), alpha, beta, root}] = value;
+  if (share) {
+    for (const EdgeId e : community.edges) {
+      const Edge& ed = g.GetEdge(e);
+      roots_[{static_cast<uint8_t>(method), alpha, beta, ed.u}] = root;
+      roots_[{static_cast<uint8_t>(method), alpha, beta, ed.v}] = root;
+    }
+  } else {
+    roots_[{static_cast<uint8_t>(method), alpha, beta, q}] = root;
+  }
+}
+
+void QueryMemo::Invalidate() {
+  std::unique_lock lock(mu_);
+  roots_.clear();
+  results_.clear();
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace abcs::serve

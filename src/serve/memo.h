@@ -1,0 +1,123 @@
+#ifndef ABCS_SERVE_MEMO_H_
+#define ABCS_SERVE_MEMO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "core/subgraph.h"
+#include "graph/bipartite_graph.h"
+#include "serve/protocol.h"
+
+namespace abcs::serve {
+
+/// What the memo can answer without running a query: exactly the semantic
+/// fields of a WireResponse.
+struct MemoValue {
+  bool found = false;
+  uint32_t num_edges = 0;     ///< |C|
+  uint32_t result_edges = 0;  ///< |R| (SCS methods)
+  uint8_t kernel = 0xff;      ///< resolved ScsAlgo (SCS methods)
+  double significance = 0.0;  ///< f(R) (SCS methods)
+};
+
+/// \brief Warm result memo keyed by (method, α, β, community root).
+///
+/// The paper's community semantics make repeat traffic memoizable:
+/// C_{α,β}(q) is the connected component of the (α,β)-core containing q,
+/// so *every* vertex of that component has the same community. The memo
+/// exploits this with two levels:
+///
+///  - `roots_` maps (method, α, β, vertex) → the community's canonical
+///    root (its minimum vertex id). On a miss that retrieved community C,
+///    all of C's vertices are registered, so a later query for any of
+///    them — not just the same q — is a hash hit.
+///  - `results_` maps (method, α, β, root) → the shared MemoValue.
+///
+/// Sharing is only valid where the answer is q-invariant. That holds for
+/// the three retrieval methods (the answer is C itself). It does NOT hold
+/// for the SCS methods: R maximises significance *subject to containing
+/// q*, and the planner's kernel choice also reads q's arcs — so SCS
+/// entries are registered under root = q and only exact repeats hit.
+/// Either way a hit is bit-identical to what a fresh query would answer
+/// on the wire.
+///
+/// Vertices whose community is empty (q outside the (α,β)-core) are
+/// likewise registered under root = q: emptiness says nothing about the
+/// rest of the component.
+///
+/// Invalidation is epoch-based: `Invalidate()` bumps the epoch and drops
+/// every entry, so a snapshot swap (the next ROADMAP item) costs one
+/// counter bump. Capacity is bounded by flushing everything when the
+/// root table outgrows `max_entries` — a warm cache, not a database; the
+/// next wave of traffic re-fills it.
+///
+/// Thread-safe: lookups take a shared lock, inserts/invalidation an
+/// exclusive one. Concurrent inserts of the same key are idempotent
+/// (queries are deterministic, both writers carry identical values).
+class QueryMemo {
+ public:
+  explicit QueryMemo(std::size_t max_entries = 1 << 16)
+      : max_entries_(max_entries) {}
+
+  /// Returns true and fills `*out` when (method, α, β, q) is covered by a
+  /// cached result of the current epoch.
+  bool Lookup(WireMethod method, uint32_t alpha, uint32_t beta, VertexId q,
+              MemoValue* out) const;
+
+  /// Registers the result of a fresh query. `community` is the retrieved
+  /// C (used to register the component's vertices; pass the empty
+  /// subgraph for empty results). For SCS methods only q is registered.
+  void Insert(WireMethod method, uint32_t alpha, uint32_t beta, VertexId q,
+              const BipartiteGraph& g, const Subgraph& community,
+              const MemoValue& value);
+
+  /// Drops every entry and bumps the epoch.
+  void Invalidate();
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Key {
+    uint8_t method;
+    uint32_t alpha;
+    uint32_t beta;
+    uint32_t vertex;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // FNV-1a over the packed fields; cheap and well-mixed for the
+      // dense small-integer key space.
+      uint64_t h = 1469598103934665603ull;
+      auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+      };
+      mix(k.method);
+      mix((static_cast<uint64_t>(k.alpha) << 32) | k.beta);
+      mix(k.vertex);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  // Communities larger than this register only q itself — bounding the
+  // per-miss insert cost and the table's growth on huge components while
+  // keeping exact-repeat hits.
+  static constexpr std::size_t kMaxRegisterEdges = 4096;
+
+  const std::size_t max_entries_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<Key, uint32_t, KeyHash> roots_;
+  std::unordered_map<Key, MemoValue, KeyHash> results_;
+  std::atomic<uint64_t> epoch_{1};
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace abcs::serve
+
+#endif  // ABCS_SERVE_MEMO_H_

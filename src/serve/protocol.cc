@@ -1,0 +1,203 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace abcs::serve {
+
+namespace {
+
+void PutU16(uint16_t v, std::vector<std::byte>* out) {
+  out->push_back(static_cast<std::byte>(v & 0xff));
+  out->push_back(static_cast<std::byte>((v >> 8) & 0xff));
+}
+
+void PutU32(uint32_t v, std::vector<std::byte>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::vector<std::byte>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetU16(const std::byte* p) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(p[0]) |
+                               (static_cast<uint16_t>(p[1]) << 8));
+}
+
+uint32_t GetU32(const std::byte* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const std::byte* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "ok";
+    case WireStatus::kBadRequest:
+      return "bad-request";
+    case WireStatus::kInvalidVertex:
+      return "invalid-vertex";
+    case WireStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case WireStatus::kOverloaded:
+      return "overloaded";
+    case WireStatus::kShuttingDown:
+      return "shutting-down";
+  }
+  return "unknown";
+}
+
+const char* WireMethodName(WireMethod method) {
+  switch (method) {
+    case WireMethod::kOnline:
+      return "online";
+    case WireMethod::kBicore:
+      return "bicore";
+    case WireMethod::kDelta:
+      return "delta";
+    case WireMethod::kScsAuto:
+      return "scs-auto";
+    case WireMethod::kScsPeel:
+      return "scs-peel";
+    case WireMethod::kScsExpand:
+      return "scs-expand";
+    case WireMethod::kScsBinary:
+      return "scs-binary";
+  }
+  return nullptr;
+}
+
+bool ParseWireMethod(const char* name, WireMethod* out) {
+  for (uint8_t m = 0; m < kNumWireMethods; ++m) {
+    const WireMethod method = static_cast<WireMethod>(m);
+    if (std::strcmp(name, WireMethodName(method)) == 0) {
+      *out = method;
+      return true;
+    }
+  }
+  return false;
+}
+
+void EncodeRequest(const WireRequest& req, std::vector<std::byte>* out) {
+  out->reserve(out->size() + kRequestWireBytes);
+  PutU16(kRequestMagic, out);
+  out->push_back(static_cast<std::byte>(kWireVersion));
+  out->push_back(static_cast<std::byte>(req.type));
+  out->push_back(static_cast<std::byte>(req.method));
+  out->push_back(static_cast<std::byte>(req.lower_side ? 1 : 0));
+  PutU16(0, out);  // reserved
+  PutU32(req.q, out);
+  PutU32(req.alpha, out);
+  PutU32(req.beta, out);
+  PutU32(req.deadline_ms, out);
+}
+
+Status DecodeRequest(std::span<const std::byte> payload, WireRequest* out) {
+  if (payload.size() != kRequestWireBytes) {
+    return Status::Corruption("request payload has wrong size");
+  }
+  const std::byte* p = payload.data();
+  if (GetU16(p) != kRequestMagic) {
+    return Status::Corruption("bad request magic");
+  }
+  if (static_cast<uint8_t>(p[2]) != kWireVersion) {
+    return Status::NotSupported("unsupported protocol version");
+  }
+  const uint8_t type = static_cast<uint8_t>(p[3]);
+  if (type != static_cast<uint8_t>(MessageType::kQuery) &&
+      type != static_cast<uint8_t>(MessageType::kPing)) {
+    return Status::Corruption("unknown message type");
+  }
+  const uint8_t method = static_cast<uint8_t>(p[4]);
+  if (method >= kNumWireMethods) {
+    return Status::Corruption("unknown query method");
+  }
+  const uint8_t side = static_cast<uint8_t>(p[5]);
+  if (side > 1) return Status::Corruption("bad side byte");
+  if (GetU16(p + 6) != 0) {
+    return Status::Corruption("nonzero reserved bytes");
+  }
+  out->type = static_cast<MessageType>(type);
+  out->method = static_cast<WireMethod>(method);
+  out->lower_side = side == 1;
+  out->q = GetU32(p + 8);
+  out->alpha = GetU32(p + 12);
+  out->beta = GetU32(p + 16);
+  out->deadline_ms = GetU32(p + 20);
+  if (out->type == MessageType::kQuery &&
+      (out->alpha == 0 || out->beta == 0)) {
+    return Status::Corruption("alpha and beta must be >= 1");
+  }
+  return Status::OK();
+}
+
+void EncodeResponse(const WireResponse& resp, std::vector<std::byte>* out) {
+  out->reserve(out->size() + kResponseWireBytes);
+  PutU16(kResponseMagic, out);
+  out->push_back(static_cast<std::byte>(kWireVersion));
+  out->push_back(static_cast<std::byte>(resp.status));
+  out->push_back(static_cast<std::byte>(resp.type));
+  out->push_back(static_cast<std::byte>(resp.kernel));
+  out->push_back(static_cast<std::byte>(resp.found ? 1 : 0));
+  out->push_back(static_cast<std::byte>(resp.memo_hit ? 1 : 0));
+  PutU32(resp.num_edges, out);
+  PutU32(resp.result_edges, out);
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(resp.significance));
+  std::memcpy(&bits, &resp.significance, sizeof(bits));
+  PutU64(bits, out);
+  PutU64(0, out);  // reserved
+}
+
+Status DecodeResponse(std::span<const std::byte> payload, WireResponse* out) {
+  if (payload.size() != kResponseWireBytes) {
+    return Status::Corruption("response payload has wrong size");
+  }
+  const std::byte* p = payload.data();
+  if (GetU16(p) != kResponseMagic) {
+    return Status::Corruption("bad response magic");
+  }
+  if (static_cast<uint8_t>(p[2]) != kWireVersion) {
+    return Status::NotSupported("unsupported protocol version");
+  }
+  const uint8_t status = static_cast<uint8_t>(p[3]);
+  if (status > static_cast<uint8_t>(WireStatus::kShuttingDown)) {
+    return Status::Corruption("unknown response status");
+  }
+  const uint8_t type = static_cast<uint8_t>(p[4]);
+  if (type != static_cast<uint8_t>(MessageType::kQuery) &&
+      type != static_cast<uint8_t>(MessageType::kPing)) {
+    return Status::Corruption("unknown message type");
+  }
+  const uint8_t found = static_cast<uint8_t>(p[6]);
+  const uint8_t memo = static_cast<uint8_t>(p[7]);
+  if (found > 1 || memo > 1) return Status::Corruption("bad flag byte");
+  if (GetU64(p + 24) != 0) {
+    return Status::Corruption("nonzero reserved bytes");
+  }
+  out->status = static_cast<WireStatus>(status);
+  out->type = static_cast<MessageType>(type);
+  out->kernel = static_cast<uint8_t>(p[5]);
+  out->found = found == 1;
+  out->memo_hit = memo == 1;
+  out->num_edges = GetU32(p + 8);
+  out->result_edges = GetU32(p + 12);
+  const uint64_t bits = GetU64(p + 16);
+  std::memcpy(&out->significance, &bits, sizeof(out->significance));
+  return Status::OK();
+}
+
+}  // namespace abcs::serve

@@ -1,0 +1,142 @@
+#ifndef ABCS_SERVE_PROTOCOL_H_
+#define ABCS_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace abcs::serve {
+
+/// Protocol version carried in every request and response.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// First two payload bytes, little-endian: "AQ" for requests, "AS" for
+/// responses. A frame whose magic is wrong is a protocol error.
+inline constexpr uint16_t kRequestMagic = 0x5141;   // 'A' 'Q'
+inline constexpr uint16_t kResponseMagic = 0x5341;  // 'A' 'S'
+
+enum class MessageType : uint8_t {
+  kQuery = 1,  ///< one community / SCS query
+  kPing = 2,   ///< liveness + drain probe; echoed as an empty OK response
+};
+
+/// The seven CLI batch methods, numbered for the wire. Values are part of
+/// the protocol — append only.
+enum class WireMethod : uint8_t {
+  kOnline = 0,
+  kBicore = 1,
+  kDelta = 2,
+  kScsAuto = 3,
+  kScsPeel = 4,
+  kScsExpand = 5,
+  kScsBinary = 6,
+};
+inline constexpr uint8_t kNumWireMethods = 7;
+
+/// True for the methods that run the full two-step SCS paradigm.
+inline bool IsScsMethod(WireMethod m) {
+  return static_cast<uint8_t>(m) >= static_cast<uint8_t>(WireMethod::kScsAuto);
+}
+
+/// Per-response status. Values are part of the protocol — append only.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kBadRequest = 1,       ///< malformed payload the framing survived
+  kInvalidVertex = 2,    ///< q outside the served graph's layer
+  kDeadlineExceeded = 3, ///< expired in queue before a worker picked it up
+  kOverloaded = 4,       ///< admission queue full; retry with backoff
+  kShuttingDown = 5,     ///< server draining; connection closes after this
+};
+
+/// Returns a stable lowercase name ("ok", "overloaded", …).
+const char* WireStatusName(WireStatus status);
+
+/// One query request. `q` is a layer-local id; `lower_side` selects the
+/// layer, exactly like the CLI's batch-file lines — the client never needs
+/// to know the unified id space of the served graph.
+///
+/// Wire layout (little-endian, fixed 24 bytes):
+///   off size field
+///   0   2    magic "AQ"
+///   2   1    version
+///   3   1    type (MessageType)
+///   4   1    method (WireMethod; 0 for ping)
+///   5   1    side (0 = upper, 1 = lower)
+///   6   2    reserved, must be 0
+///   8   4    q (layer-local vertex id)
+///   12  4    alpha
+///   16  4    beta
+///   20  4    deadline_ms (0 = server default)
+struct WireRequest {
+  MessageType type = MessageType::kQuery;
+  WireMethod method = WireMethod::kDelta;
+  bool lower_side = false;
+  uint32_t q = 0;
+  uint32_t alpha = 1;
+  uint32_t beta = 1;
+  /// Queue-admission deadline: if the request waits longer than this in
+  /// the scheduler, it is answered with kDeadlineExceeded instead of
+  /// being executed. 0 defers to the server's configured default.
+  uint32_t deadline_ms = 0;
+};
+
+inline constexpr std::size_t kRequestWireBytes = 24;
+
+/// One response. Carries the semantic result only — counts, significance,
+/// resolved kernel — never internal work counters (a memo hit does no
+/// work, so echoing the original computation's counters would lie).
+///
+/// Wire layout (little-endian, fixed 32 bytes):
+///   off size field
+///   0   2    magic "AS"
+///   2   1    version
+///   3   1    status (WireStatus)
+///   4   1    type (echoes the request's MessageType)
+///   5   1    kernel (resolved ScsAlgo for SCS methods; 0xff otherwise)
+///   6   1    found (SCS: R exists; retrieval: community nonempty)
+///   7   1    memo_hit (diagnostic: answer came from the warm memo)
+///   8   4    num_edges (|C|)
+///   12  4    result_edges (|R| for SCS methods; 0 otherwise)
+///   16  8    significance f(R) as IEEE-754 bits (SCS methods; 0 otherwise)
+///   24  8    reserved, must be 0
+struct WireResponse {
+  WireStatus status = WireStatus::kOk;
+  MessageType type = MessageType::kQuery;
+  uint8_t kernel = 0xff;
+  bool found = false;
+  bool memo_hit = false;
+  uint32_t num_edges = 0;
+  uint32_t result_edges = 0;
+  double significance = 0.0;
+};
+
+inline constexpr std::size_t kResponseWireBytes = 32;
+
+/// Appends the 24-byte request payload (unframed) to `out`.
+void EncodeRequest(const WireRequest& req, std::vector<std::byte>* out);
+
+/// Strict bounds-checked parse of one frame payload. Rejects wrong size,
+/// magic, version, unknown type/method, bad side byte and nonzero
+/// reserved bytes — nothing about the payload is trusted.
+Status DecodeRequest(std::span<const std::byte> payload, WireRequest* out);
+
+/// Appends the 32-byte response payload (unframed) to `out`.
+void EncodeResponse(const WireResponse& resp, std::vector<std::byte>* out);
+
+/// Strict bounds-checked parse of one response payload (client side).
+Status DecodeResponse(std::span<const std::byte> payload, WireResponse* out);
+
+/// Wire name of a method ("online", …, "scs-binary"), matching the CLI's
+/// --method spellings; null for out-of-range values.
+const char* WireMethodName(WireMethod method);
+
+/// Parses a CLI --method spelling into a WireMethod. Returns false for
+/// unknown names.
+bool ParseWireMethod(const char* name, WireMethod* out);
+
+}  // namespace abcs::serve
+
+#endif  // ABCS_SERVE_PROTOCOL_H_

@@ -1,0 +1,412 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "core/scs_auto.h"
+
+namespace abcs::serve {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+ScsAlgo ScsAlgoOf(WireMethod method) {
+  switch (method) {
+    case WireMethod::kScsPeel:
+      return ScsAlgo::kPeel;
+    case WireMethod::kScsExpand:
+      return ScsAlgo::kExpand;
+    case WireMethod::kScsBinary:
+      return ScsAlgo::kBinary;
+    default:
+      return ScsAlgo::kAuto;
+  }
+}
+
+}  // namespace
+
+/// Per-connection state. The reader thread is the only producer of
+/// sequence numbers; responses may be completed by any worker, so the
+/// write side is a sequencer: completions park in `out_of_order` until
+/// every earlier sequence number has been written, which keeps pipelined
+/// responses in request order no matter how stealing reorders execution.
+struct Server::Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  std::thread reader;
+  std::atomic<bool> reader_done{false};
+  uint32_t assigned_seq = 0;  ///< touched only by the reader thread
+
+  std::mutex write_mu;
+  uint32_t next_seq = 0;  ///< guarded by write_mu
+  std::map<uint32_t, std::vector<std::byte>> out_of_order;  ///< ditto
+  bool dead = false;  ///< write failed once; drop later writes. ditto
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Server::Server(const BipartiteGraph& g, const DeltaIndex* delta,
+               const BicoreIndex* bicore, const ServerOptions& options)
+    : graph_(&g),
+      delta_(delta),
+      bicore_(bicore),
+      options_(options),
+      resolved_threads_(options.num_threads
+                            ? options.num_threads
+                            : std::max(1u,
+                                       std::thread::hardware_concurrency())),
+      online_engine_(g, QueryMethod::kOnline),
+      bicore_engine_(g, QueryMethod::kBicore, nullptr, bicore),
+      delta_engine_(g, QueryMethod::kDelta, delta),
+      memo_(options.memo_max_entries),
+      scheduler_(resolved_threads_, options.max_queue,
+                 StealMode::kWorkStealing) {
+  worker_states_.reserve(resolved_threads_);
+  for (unsigned t = 0; t < resolved_threads_; ++t) {
+    worker_states_.push_back(std::make_unique<WorkerState>());
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IOError(ErrnoMessage("socket"));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("cannot parse host " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st = Status::IOError(ErrnoMessage("bind"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const Status st = Status::IOError(ErrnoMessage("listen"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    const Status st = Status::IOError(ErrnoMessage("getsockname"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  started_ = true;
+  accepting_.store(true);
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  workers_.reserve(resolved_threads_);
+  for (unsigned t = 0; t < resolved_threads_; ++t) {
+    workers_.emplace_back(&Server::WorkerLoop, this, t);
+  }
+  return Status::OK();
+}
+
+void Server::Shutdown() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  // 1. Refuse new work: no new connections, readers answer kShuttingDown.
+  draining_.store(true);
+  accepting_.store(false);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // 2. Half-close every read side; blocked recv()s wake with EOF and the
+  //    readers exit after flushing already-buffered frames.
+  {
+    std::lock_guard lock(conns_mu_);
+    for (const auto& c : conns_) ::shutdown(c->fd, SHUT_RD);
+    for (const auto& c : conns_) {
+      if (c->reader.joinable()) c->reader.join();
+    }
+  }
+  // 3. Drain: every admitted request still gets executed and its response
+  //    written before the workers exit (TaskScheduler::Close hands out
+  //    queued tasks until empty).
+  counters_.drained_tasks.store(scheduler_.Pending());
+  scheduler_.Close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  // 4. Tear down. Connection fds close when the last reference drops —
+  //    all workers have joined, so that is here.
+  {
+    std::lock_guard lock(conns_mu_);
+    conns_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+ServeStats Server::Stats() const {
+  ServeStats s;
+  s.connections_accepted = counters_.connections_accepted.load();
+  s.connections_rejected = counters_.connections_rejected.load();
+  s.requests = counters_.requests.load();
+  s.responses_ok = counters_.responses_ok.load();
+  s.responses_error = counters_.responses_error.load();
+  s.memo_hits = counters_.memo_hits.load();
+  s.deadline_expired = counters_.deadline_expired.load();
+  s.overloaded = counters_.overloaded.load();
+  s.protocol_errors = counters_.protocol_errors.load();
+  s.drained_tasks = counters_.drained_tasks.load();
+  return s;
+}
+
+void Server::AcceptLoop() {
+  while (accepting_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    {
+      std::lock_guard lock(conns_mu_);
+      ReapConnectionsLocked();
+    }
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard lock(conns_mu_);
+    if (draining_.load() || conns_.size() >= options_.max_connections) {
+      counters_.connections_rejected.fetch_add(1);
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    counters_.connections_accepted.fetch_add(1);
+    conn->reader = std::thread(&Server::ReaderLoop, this, conn);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Server::ReapConnectionsLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->reader_done.load()) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      // In-flight tasks keep the Connection alive through their
+      // shared_ptr; the fd closes when the last response is delivered.
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
+  FrameReader reader;
+  std::byte buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    if (!reader.Append({buf, static_cast<std::size_t>(n)}).ok()) {
+      counters_.protocol_errors.fetch_add(1);
+      break;  // framing is unrecoverable: kill the connection
+    }
+    std::span<const std::byte> payload;
+    while (reader.Next(&payload)) HandleFrame(conn, payload);
+    if (reader.Poisoned()) {
+      counters_.protocol_errors.fetch_add(1);
+      break;
+    }
+  }
+  if (reader.PendingBytes() > 0) {
+    // EOF mid-frame: the peer truncated its last request.
+    counters_.protocol_errors.fetch_add(1);
+  }
+  conn->reader_done.store(true);
+}
+
+void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
+                         std::span<const std::byte> payload) {
+  const uint32_t seq = conn->assigned_seq++;
+  counters_.requests.fetch_add(1);
+  WireRequest req;
+  WireResponse resp;
+  const Status st = DecodeRequest(payload, &req);
+  if (!st.ok()) {
+    // The frame boundary held, so the stream stays usable; only this
+    // request is rejected.
+    counters_.protocol_errors.fetch_add(1);
+    resp.status = WireStatus::kBadRequest;
+    Respond(conn, seq, resp);
+    return;
+  }
+  resp.type = req.type;
+  if (req.type == MessageType::kPing) {
+    Respond(conn, seq, resp);
+    return;
+  }
+  const uint32_t layer_size =
+      req.lower_side ? graph_->NumLower() : graph_->NumUpper();
+  if (req.q >= layer_size) {
+    resp.status = WireStatus::kInvalidVertex;
+    Respond(conn, seq, resp);
+    return;
+  }
+  if (req.method == WireMethod::kBicore && bicore_ == nullptr) {
+    resp.status = WireStatus::kBadRequest;
+    Respond(conn, seq, resp);
+    return;
+  }
+  if (draining_.load()) {
+    resp.status = WireStatus::kShuttingDown;
+    Respond(conn, seq, resp);
+    return;
+  }
+  Task task;
+  task.conn = conn;
+  task.seq = seq;
+  task.req = req;
+  task.arrival = std::chrono::steady_clock::now();
+  if (!scheduler_.Push(std::move(task), static_cast<unsigned>(conn->id))) {
+    counters_.overloaded.fetch_add(1);
+    resp.status = WireStatus::kOverloaded;
+    Respond(conn, seq, resp);
+  }
+}
+
+void Server::WorkerLoop(unsigned t) {
+  Task task;
+  while (scheduler_.Pop(t, &task)) {
+    WireResponse resp;
+    resp.type = MessageType::kQuery;
+    const uint32_t deadline_ms = task.req.deadline_ms
+                                     ? task.req.deadline_ms
+                                     : options_.default_deadline_ms;
+    if (deadline_ms > 0 &&
+        std::chrono::steady_clock::now() - task.arrival >
+            std::chrono::milliseconds(deadline_ms)) {
+      counters_.deadline_expired.fetch_add(1);
+      resp.status = WireStatus::kDeadlineExceeded;
+      Respond(task.conn, task.seq, resp);
+      continue;
+    }
+    const VertexId q = task.req.lower_side
+                           ? graph_->NumUpper() + task.req.q
+                           : task.req.q;
+    MemoValue value;
+    if (options_.enable_memo &&
+        memo_.Lookup(task.req.method, task.req.alpha, task.req.beta, q,
+                     &value)) {
+      counters_.memo_hits.fetch_add(1);
+      resp.found = value.found;
+      resp.num_edges = value.num_edges;
+      resp.result_edges = value.result_edges;
+      resp.kernel = value.kernel;
+      resp.significance = value.significance;
+      resp.memo_hit = true;
+    } else {
+      Execute(task.req, t, &resp);
+      if (options_.enable_memo) {
+        value = MemoValue{resp.found, resp.num_edges, resp.result_edges,
+                          resp.kernel, resp.significance};
+        memo_.Insert(task.req.method, task.req.alpha, task.req.beta, q,
+                     *graph_, worker_states_[t]->community, value);
+      }
+    }
+    Respond(task.conn, task.seq, resp);
+  }
+}
+
+void Server::Execute(const WireRequest& req, unsigned t, WireResponse* resp) {
+  WorkerState& ws = *worker_states_[t];
+  const VertexId q =
+      req.lower_side ? graph_->NumUpper() + req.q : req.q;
+  const QueryRequest qr{q, req.alpha, req.beta};
+  // Retrieval first: the three plain methods answer with C itself, the
+  // SCS methods retrieve C through I_δ exactly like `abcs query --batch
+  // --method scs-*` before extracting R.
+  switch (req.method) {
+    case WireMethod::kOnline:
+      online_engine_.Query(qr, ws.scratch, &ws.community);
+      break;
+    case WireMethod::kBicore:
+      bicore_engine_.Query(qr, ws.scratch, &ws.community);
+      break;
+    default:
+      delta_engine_.Query(qr, ws.scratch, &ws.community);
+      break;
+  }
+  resp->num_edges = static_cast<uint32_t>(ws.community.edges.size());
+  if (IsScsMethod(req.method)) {
+    ScsStats stats;
+    ScsQueryInto(*graph_, ws.community, q, req.alpha, req.beta,
+                 ScsAlgoOf(req.method), ScsOptions{}, &ws.scs, &stats,
+                 &ws.scratch, &ws.workspace);
+    resp->found = ws.scs.found;
+    resp->result_edges = static_cast<uint32_t>(ws.scs.community.edges.size());
+    resp->significance = ws.scs.significance;
+    resp->kernel = static_cast<uint8_t>(stats.algo_used);
+  } else {
+    resp->found = !ws.community.Empty();
+  }
+}
+
+void Server::Respond(const std::shared_ptr<Connection>& conn, uint32_t seq,
+                     const WireResponse& resp) {
+  if (resp.status == WireStatus::kOk) {
+    counters_.responses_ok.fetch_add(1);
+  } else {
+    counters_.responses_error.fetch_add(1);
+  }
+  std::vector<std::byte> payload;
+  EncodeResponse(resp, &payload);
+  std::vector<std::byte> framed;
+  AppendFrame(payload, &framed);
+
+  std::lock_guard lock(conn->write_mu);
+  conn->out_of_order[seq] = std::move(framed);
+  // Flush the in-order prefix. Writes are blocking; a failed write marks
+  // the connection dead and later completions are swallowed (the peer is
+  // gone — correctness only requires that sequence numbers keep
+  // advancing so the map drains).
+  auto it = conn->out_of_order.begin();
+  while (it != conn->out_of_order.end() && it->first == conn->next_seq) {
+    if (!conn->dead) {
+      const std::vector<std::byte>& bytes = it->second;
+      std::size_t sent = 0;
+      while (sent < bytes.size()) {
+        const ssize_t n =
+            ::send(conn->fd, bytes.data() + sent, bytes.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n <= 0) {
+          conn->dead = true;
+          break;
+        }
+        sent += static_cast<std::size_t>(n);
+      }
+    }
+    it = conn->out_of_order.erase(it);
+    ++conn->next_seq;
+  }
+}
+
+}  // namespace abcs::serve

@@ -1,0 +1,184 @@
+#ifndef ABCS_SERVE_SERVER_H_
+#define ABCS_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/bicore_index.h"
+#include "core/delta_index.h"
+#include "core/query_engine.h"
+#include "core/scs_common.h"
+#include "graph/bipartite_graph.h"
+#include "serve/frame.h"
+#include "serve/memo.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+
+namespace abcs::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read the bound one back via `port()`.
+  uint16_t port = 0;
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned num_threads = 0;
+  /// Connections beyond this are accepted and immediately closed.
+  unsigned max_connections = 64;
+  /// Admission-queue bound; a full queue answers kOverloaded.
+  std::size_t max_queue = 4096;
+  /// Applied when a request carries deadline_ms = 0. 0 = no deadline.
+  uint32_t default_deadline_ms = 0;
+  bool enable_memo = true;
+  std::size_t memo_max_entries = 1 << 16;
+};
+
+/// Monotonic counters, snapshotted for the shutdown summary and tests.
+struct ServeStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;
+  uint64_t requests = 0;          ///< decoded frames, pings included
+  uint64_t responses_ok = 0;
+  uint64_t responses_error = 0;   ///< any non-kOk status
+  uint64_t memo_hits = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t overloaded = 0;
+  uint64_t protocol_errors = 0;   ///< bad frames or payloads
+  uint64_t drained_tasks = 0;     ///< queue depth when shutdown began
+};
+
+/// \brief The `abcs serve` resident daemon: accepts length-prefixed
+/// query frames over TCP and serves them from the borrowed graph +
+/// indexes through a shared work-stealing worker pool with a warm
+/// (α,β) memo in front.
+///
+/// Threading model: one accept thread, one reader thread per connection
+/// (bounded by max_connections), `num_threads` query workers. Readers
+/// decode frames and push tasks onto the TaskScheduler with connection
+/// affinity; workers own a QueryScratch/ScsWorkspace each and execute
+/// with zero steady-state allocations; responses flow back through a
+/// per-connection sequencer so pipelined requests are answered strictly
+/// in order even when stealing reorders their execution.
+///
+/// Lifecycle: `Start` binds and spawns; `Shutdown` drains gracefully —
+/// stop accepting, half-close every connection's read side, let workers
+/// finish every admitted request and flush its response, then join and
+/// close. `RequestShutdown` only sets an atomic flag (safe from a signal
+/// handler); the owner observes it via `WaitForShutdownRequest` and
+/// calls `Shutdown` from a normal thread.
+class Server {
+ public:
+  /// Borrows everything; graph and indexes must outlive the server.
+  /// `delta` must be non-null (it also serves SCS retrieval); `bicore`
+  /// may be null, in which case the bicore method answers kBadRequest.
+  Server(const BipartiteGraph& g, const DeltaIndex* delta,
+         const BicoreIndex* bicore, const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the accept + worker threads.
+  Status Start();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Flags the server for shutdown; async-signal-safe (one atomic store).
+  void RequestShutdown() { shutdown_requested_.store(true); }
+  bool ShutdownRequested() const { return shutdown_requested_.load(); }
+
+  /// Polls the shutdown flag (signal handlers cannot notify a condvar).
+  void WaitForShutdownRequest() {
+    while (!shutdown_requested_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  /// Graceful drain; idempotent, callable from any non-worker thread.
+  void Shutdown();
+
+  ServeStats Stats() const;
+  QueryMemo& memo() { return memo_; }
+
+ private:
+  struct Connection;
+  struct Task {
+    std::shared_ptr<Connection> conn;
+    uint32_t seq = 0;
+    WireRequest req;
+    std::chrono::steady_clock::time_point arrival;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop(unsigned t);
+  void HandleFrame(const std::shared_ptr<Connection>& conn,
+                   std::span<const std::byte> payload);
+  /// Encodes, frames and hands `resp` to the connection's sequencer.
+  void Respond(const std::shared_ptr<Connection>& conn, uint32_t seq,
+               const WireResponse& resp);
+  void Execute(const WireRequest& req, unsigned t, WireResponse* resp);
+  void ReapConnectionsLocked();
+
+  const BipartiteGraph* graph_;
+  const DeltaIndex* delta_;
+  const BicoreIndex* bicore_;
+  ServerOptions options_;
+  unsigned resolved_threads_ = 1;
+
+  QueryEngine online_engine_;
+  QueryEngine bicore_engine_;
+  QueryEngine delta_engine_;
+
+  QueryMemo memo_;
+  TaskScheduler<Task> scheduler_;
+
+  // Per-worker pooled query state, indexed by worker id (each slot is
+  // touched by exactly one thread).
+  struct WorkerState {
+    QueryScratch scratch;
+    ScsWorkspace workspace;
+    Subgraph community;
+    ScsResult scs;
+  };
+  std::vector<std::unique_ptr<WorkerState>> worker_states_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 0;
+
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_rejected{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> responses_ok{0};
+    std::atomic<uint64_t> responses_error{0};
+    std::atomic<uint64_t> memo_hits{0};
+    std::atomic<uint64_t> deadline_expired{0};
+    std::atomic<uint64_t> overloaded{0};
+    std::atomic<uint64_t> protocol_errors{0};
+    std::atomic<uint64_t> drained_tasks{0};
+  } counters_;
+};
+
+}  // namespace abcs::serve
+
+#endif  // ABCS_SERVE_SERVER_H_

@@ -203,5 +203,73 @@ TEST(QueryEngineTest, BicoreRejectionIsEarlyOut) {
   EXPECT_GT(stats.touched_arcs, 0u);
 }
 
+// Work-stealing dispatch must be invisible in the results: for every
+// method and thread count, outcomes (including per-query work counters
+// and retained communities) are bit-identical to the legacy round-robin
+// stripe — slot i is written by whichever worker executes i, exactly
+// once, regardless of who stole what.
+TEST(QueryEngineTest, WorkStealingBatchBitIdenticalToRoundRobin) {
+  const BipartiteGraph g = RandomWeightedGraph(80, 80, 900, 23);
+  const DeltaIndex delta = DeltaIndex::Build(g);
+  const BicoreIndex bicore = BicoreIndex::Build(g);
+  const std::vector<QueryRequest> requests = MixedRequests(g, 257, 71);
+
+  for (const QueryMethod method :
+       {QueryMethod::kDelta, QueryMethod::kBicore, QueryMethod::kOnline}) {
+    const QueryEngine engine(g, method, &delta, &bicore);
+    for (const unsigned threads : {2u, 3u, 4u, 8u}) {
+      BatchOptions rr;
+      rr.num_threads = threads;
+      rr.keep_communities = true;
+      rr.dispatch = Dispatch::kRoundRobin;
+      BatchOptions ws = rr;
+      ws.dispatch = Dispatch::kWorkStealing;
+      const BatchResult a = engine.RunBatch(requests, rr);
+      const BatchResult b = engine.RunBatch(requests, ws);
+      ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        ASSERT_EQ(a.outcomes[i].num_edges, b.outcomes[i].num_edges)
+            << QueryMethodName(method) << " t=" << threads << " i=" << i;
+        ASSERT_EQ(a.outcomes[i].touched_arcs, b.outcomes[i].touched_arcs)
+            << QueryMethodName(method) << " t=" << threads << " i=" << i;
+        ASSERT_EQ(a.communities[i].edges, b.communities[i].edges)
+            << QueryMethodName(method) << " t=" << threads << " i=" << i;
+      }
+      EXPECT_EQ(a.stats.touched_arcs, b.stats.touched_arcs);
+      EXPECT_EQ(a.stats.total_edges, b.stats.total_edges);
+    }
+  }
+}
+
+TEST(QueryEngineTest, WorkStealingScsBatchBitIdenticalToRoundRobin) {
+  const BipartiteGraph g = RandomWeightedGraph(60, 60, 700, 29);
+  const DeltaIndex delta = DeltaIndex::Build(g);
+  const std::vector<QueryRequest> requests = MixedRequests(g, 101, 77);
+
+  const QueryEngine engine(g, QueryMethod::kDelta, &delta);
+  for (const unsigned threads : {2u, 4u}) {
+    ScsBatchOptions rr;
+    rr.num_threads = threads;
+    rr.keep_communities = true;
+    rr.dispatch = Dispatch::kRoundRobin;
+    ScsBatchOptions ws = rr;
+    ws.dispatch = Dispatch::kWorkStealing;
+    const ScsBatchResult a = engine.RunScsBatch(requests, rr);
+    const ScsBatchResult b = engine.RunScsBatch(requests, ws);
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_EQ(a.outcomes[i].found, b.outcomes[i].found) << i;
+      ASSERT_EQ(a.outcomes[i].community_edges, b.outcomes[i].community_edges)
+          << i;
+      ASSERT_EQ(a.outcomes[i].result_edges, b.outcomes[i].result_edges) << i;
+      ASSERT_EQ(a.outcomes[i].significance, b.outcomes[i].significance) << i;
+      ASSERT_EQ(a.outcomes[i].algo_used, b.outcomes[i].algo_used) << i;
+      ASSERT_EQ(a.communities[i].edges, b.communities[i].edges) << i;
+    }
+    EXPECT_EQ(a.stats.num_found, b.stats.num_found);
+    EXPECT_EQ(a.stats.total_result_edges, b.stats.total_result_edges);
+  }
+}
+
 }  // namespace
 }  // namespace abcs

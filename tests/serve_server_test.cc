@@ -1,0 +1,323 @@
+// End-to-end tests for the `abcs serve` daemon over real loopback
+// sockets: correctness vs the direct engines, pipelined response
+// ordering, the warm memo, deadlines, overload admission control,
+// connection limits, protocol-error handling and graceful drain.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/bicore_index.h"
+#include "core/delta_index.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "test_util.h"
+
+namespace abcs::serve {
+namespace {
+
+using ::abcs::testing::RandomWeightedGraph;
+
+/// One graph + indexes + running server per fixture instantiation.
+struct Harness {
+  BipartiteGraph graph;
+  DeltaIndex delta;
+  BicoreIndex bicore;
+  std::unique_ptr<Server> server;
+
+  explicit Harness(ServerOptions options = {}, uint32_t nu = 60,
+                   uint32_t nl = 60, uint32_t m = 700)
+      : graph(RandomWeightedGraph(nu, nl, m, 1729)),
+        delta(DeltaIndex::Build(graph)),
+        bicore(BicoreIndex::Build(graph)) {
+    server = std::make_unique<Server>(graph, &delta, &bicore, options);
+    const Status st = server->Start();
+    if (!st.ok()) {
+      ADD_FAILURE() << "server start failed: " << st.ToString();
+    }
+  }
+
+  ~Harness() {
+    if (server != nullptr) server->Shutdown();
+  }
+
+  Client Connect() {
+    Client client;
+    const Status st = client.Connect("127.0.0.1", server->port());
+    if (!st.ok()) ADD_FAILURE() << "connect failed: " << st.ToString();
+    return client;
+  }
+
+  WireRequest Request(VertexId unified_q, uint32_t alpha, uint32_t beta,
+                      WireMethod method = WireMethod::kDelta) const {
+    WireRequest req;
+    req.method = method;
+    req.lower_side = !graph.IsUpper(unified_q);
+    req.q = req.lower_side ? unified_q - graph.NumUpper() : unified_q;
+    req.alpha = alpha;
+    req.beta = beta;
+    return req;
+  }
+};
+
+TEST(ServeServerTest, AnswersMatchDirectQueriesForEveryMethod) {
+  Harness h;
+  Client client = h.Connect();
+  for (VertexId q = 0; q < h.graph.NumVertices(); q += 7) {
+    for (uint32_t ab = 1; ab <= 3; ++ab) {
+      const Subgraph expect = h.delta.QueryCommunity(q, ab, ab);
+      for (const WireMethod method :
+           {WireMethod::kOnline, WireMethod::kBicore, WireMethod::kDelta}) {
+        WireResponse resp;
+        ASSERT_TRUE(client.Call(h.Request(q, ab, ab, method), &resp).ok());
+        ASSERT_EQ(resp.status, WireStatus::kOk);
+        ASSERT_EQ(resp.num_edges, expect.edges.size())
+            << "q=" << q << " ab=" << ab
+            << " method=" << WireMethodName(method);
+        ASSERT_EQ(resp.found, !expect.edges.empty());
+      }
+    }
+  }
+}
+
+TEST(ServeServerTest, PipelinedResponsesArriveInRequestOrder) {
+  ServerOptions options;
+  options.num_threads = 4;  // plenty of reordering opportunity
+  options.enable_memo = false;
+  Harness h(options);
+  Client client = h.Connect();
+
+  std::vector<WireRequest> requests;
+  std::vector<uint32_t> expect_edges;
+  for (VertexId q = 0; q < h.graph.NumVertices(); ++q) {
+    const uint32_t ab = 1 + (q % 3);
+    requests.push_back(h.Request(q, ab, ab));
+    expect_edges.push_back(static_cast<uint32_t>(
+        h.delta.QueryCommunity(q, ab, ab).edges.size()));
+  }
+  ASSERT_TRUE(client.SendAll(requests).ok());
+  std::vector<WireResponse> responses;
+  ASSERT_TRUE(client.ReceiveAll(requests.size(), &responses).ok());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(responses[i].status, WireStatus::kOk) << i;
+    // Distinct expected sizes across neighbours make a reordering visible.
+    ASSERT_EQ(responses[i].num_edges, expect_edges[i]) << "response " << i;
+  }
+}
+
+TEST(ServeServerTest, MemoHitsAreBitIdenticalAndInvalidate) {
+  Harness h;
+  Client client = h.Connect();
+  // Find a vertex with a nonempty community.
+  WireRequest req;
+  WireResponse first;
+  bool found = false;
+  for (VertexId q = 0; q < h.graph.NumVertices() && !found; ++q) {
+    req = h.Request(q, 2, 2);
+    ASSERT_TRUE(client.Call(req, &first).ok());
+    found = first.found;
+  }
+  ASSERT_TRUE(found) << "no nonempty (2,2)-community in the test graph";
+  EXPECT_FALSE(first.memo_hit);
+
+  WireResponse second;
+  ASSERT_TRUE(client.Call(req, &second).ok());
+  EXPECT_TRUE(second.memo_hit);
+  EXPECT_EQ(second.num_edges, first.num_edges);
+  EXPECT_EQ(second.found, first.found);
+
+  h.server->memo().Invalidate();
+  WireResponse third;
+  ASSERT_TRUE(client.Call(req, &third).ok());
+  EXPECT_FALSE(third.memo_hit);
+  EXPECT_EQ(third.num_edges, first.num_edges);
+}
+
+TEST(ServeServerTest, ScsMethodsServeAndMemoExactRepeats) {
+  Harness h;
+  Client client = h.Connect();
+  for (VertexId q = 0; q < h.graph.NumVertices(); ++q) {
+    WireRequest req = h.Request(q, 2, 2, WireMethod::kScsAuto);
+    WireResponse resp;
+    ASSERT_TRUE(client.Call(req, &resp).ok());
+    ASSERT_EQ(resp.status, WireStatus::kOk);
+    if (!resp.found) continue;
+    EXPECT_GT(resp.result_edges, 0u);
+    EXPECT_GT(resp.significance, 0.0);
+    EXPECT_LE(resp.result_edges, resp.num_edges);
+    WireResponse repeat;
+    ASSERT_TRUE(client.Call(req, &repeat).ok());
+    EXPECT_TRUE(repeat.memo_hit);
+    EXPECT_EQ(repeat.significance, resp.significance);  // exact bits
+    EXPECT_EQ(repeat.result_edges, resp.result_edges);
+    EXPECT_EQ(repeat.kernel, resp.kernel);
+    return;
+  }
+  GTEST_SKIP() << "no significant (2,2)-community in the test graph";
+}
+
+TEST(ServeServerTest, InvalidVertexAndBadPayloadAreRecoverable) {
+  Harness h;
+  Client client = h.Connect();
+  // Out-of-range vertex: clean error, connection stays usable.
+  WireRequest req = h.Request(0, 1, 1);
+  req.q = h.graph.NumUpper() + 12345;
+  WireResponse resp;
+  ASSERT_TRUE(client.Call(req, &resp).ok());
+  EXPECT_EQ(resp.status, WireStatus::kInvalidVertex);
+  ASSERT_TRUE(client.Ping().ok());
+}
+
+TEST(ServeServerTest, QueueDeadlineExpiresUnderBacklog) {
+  ServerOptions options;
+  options.num_threads = 1;  // one worker: backlog forms deterministically
+  options.enable_memo = false;
+  Harness h(options, 120, 120, 2500);
+  Client client = h.Connect();
+
+  // Pipeline a pile of online queries (the slow method), then one request
+  // whose queue deadline is 1 ms — it cannot reach the single worker in
+  // time and must be answered kDeadlineExceeded without being executed.
+  std::vector<WireRequest> requests;
+  for (int i = 0; i < 2000; ++i) {
+    requests.push_back(h.Request(static_cast<VertexId>(
+                                     i % h.graph.NumVertices()),
+                                 1, 1, WireMethod::kOnline));
+  }
+  WireRequest hurried = h.Request(0, 1, 1);
+  hurried.deadline_ms = 1;
+  requests.push_back(hurried);
+
+  ASSERT_TRUE(client.SendAll(requests).ok());
+  std::vector<WireResponse> responses;
+  ASSERT_TRUE(client.ReceiveAll(requests.size(), &responses).ok());
+  for (std::size_t i = 0; i + 1 < responses.size(); ++i) {
+    ASSERT_EQ(responses[i].status, WireStatus::kOk) << i;
+  }
+  EXPECT_EQ(responses.back().status, WireStatus::kDeadlineExceeded);
+  EXPECT_GE(h.server->Stats().deadline_expired, 1u);
+}
+
+TEST(ServeServerTest, TinyQueueAnswersOverloadedNotSilence) {
+  ServerOptions options;
+  options.num_threads = 1;
+  options.max_queue = 1;  // admission control tripwire
+  options.enable_memo = false;
+  Harness h(options, 120, 120, 2500);
+  Client client = h.Connect();
+
+  std::vector<WireRequest> requests;
+  for (int i = 0; i < 500; ++i) {
+    requests.push_back(h.Request(static_cast<VertexId>(
+                                     i % h.graph.NumVertices()),
+                                 1, 1, WireMethod::kOnline));
+  }
+  ASSERT_TRUE(client.SendAll(requests).ok());
+  std::vector<WireResponse> responses;
+  // Every request gets exactly one response, ok or overloaded — overload
+  // sheds load, it never drops a request on the floor.
+  ASSERT_TRUE(client.ReceiveAll(requests.size(), &responses).ok());
+  uint64_t ok = 0, overloaded = 0;
+  for (const WireResponse& resp : responses) {
+    ASSERT_TRUE(resp.status == WireStatus::kOk ||
+                resp.status == WireStatus::kOverloaded);
+    ++(resp.status == WireStatus::kOk ? ok : overloaded);
+  }
+  EXPECT_GT(ok, 0u);
+  // The reader outruns a single worker on slow queries through a
+  // one-slot queue; shedding is all but guaranteed.
+  EXPECT_GT(overloaded, 0u);
+  EXPECT_EQ(h.server->Stats().overloaded, overloaded);
+}
+
+TEST(ServeServerTest, ConnectionLimitRejectsExtraClients) {
+  ServerOptions options;
+  options.max_connections = 1;
+  Harness h(options);
+  Client first = h.Connect();
+  ASSERT_TRUE(first.Ping().ok());
+
+  Client second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", h.server->port()).ok());
+  // The server accepts then immediately closes over-limit connections;
+  // the ping fails with EOF (or a send error, depending on timing).
+  EXPECT_FALSE(second.Ping().ok());
+  EXPECT_GE(h.server->Stats().connections_rejected, 1u);
+  // The first connection is unaffected.
+  ASSERT_TRUE(first.Ping().ok());
+}
+
+TEST(ServeServerTest, PoisonedFramingKillsOnlyThatConnection) {
+  Harness h;
+  Client healthy = h.Connect();
+
+  // Raw socket: a length prefix beyond kMaxFramePayload.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(h.server->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const uint32_t evil = 0x7fffffffu;
+  ASSERT_EQ(::send(fd, &evil, sizeof(evil), 0),
+            static_cast<ssize_t>(sizeof(evil)));
+  // The server kills the connection: recv sees EOF.
+  char buf[16];
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);
+  ::close(fd);
+
+  // Other connections are untouched.
+  ASSERT_TRUE(healthy.Ping().ok());
+}
+
+TEST(ServeServerTest, GracefulShutdownDrainsAdmittedRequests) {
+  ServerOptions options;
+  options.num_threads = 2;
+  options.enable_memo = false;
+  Harness h(options, 120, 120, 2500);
+  Client client = h.Connect();
+
+  std::vector<WireRequest> requests;
+  for (int i = 0; i < 300; ++i) {
+    requests.push_back(h.Request(static_cast<VertexId>(
+                                     i % h.graph.NumVertices()),
+                                 1, 1, WireMethod::kOnline));
+  }
+  ASSERT_TRUE(client.SendAll(requests).ok());
+  // Wait until every request is admitted (decoded and counted), so the
+  // drain guarantee — not the reader — is what is under test.
+  while (h.server->Stats().requests < requests.size()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  h.server->Shutdown();
+
+  std::vector<WireResponse> responses;
+  ASSERT_TRUE(client.ReceiveAll(requests.size(), &responses).ok());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_EQ(responses[i].status, WireStatus::kOk) << i;
+  }
+  const ServeStats stats = h.server->Stats();
+  EXPECT_EQ(stats.responses_ok, requests.size());
+}
+
+TEST(ServeServerTest, RequestShutdownFlagIsObservable) {
+  Harness h;
+  EXPECT_FALSE(h.server->ShutdownRequested());
+  h.server->RequestShutdown();  // what the SIGTERM handler does
+  EXPECT_TRUE(h.server->ShutdownRequested());
+  h.server->WaitForShutdownRequest();  // returns immediately
+  h.server->Shutdown();
+}
+
+}  // namespace
+}  // namespace abcs::serve

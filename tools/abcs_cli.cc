@@ -31,6 +31,21 @@
 //   abcs profile <graph> <q> <max-alpha> <max-beta> [--index FILE]
 //               [--side u|l]                  print f(R) over the (α,β) grid
 //   abcs gen    <name> <graph-out>            write a registry dataset
+//   abcs serve  <graph>|--bundle FILE [--host H] [--port N] [--threads N]
+//               [--port-file F] [--max-connections N] [--max-queue N]
+//               [--deadline-ms N] [--no-memo]
+//                                             resident query daemon over TCP
+//                                             (SIGTERM/SIGINT drain cleanly)
+//   abcs client [--host H] --port N --ping
+//   abcs client [--host H] --port N <q> <alpha> <beta> [--method M]
+//               [--side u|l] [--deadline-ms N]
+//   abcs client [--host H] --port N --batch <file> [--method M] [--side u|l]
+//               [--deadline-ms N]             pipelined batch; output matches
+//                                             `abcs query --batch` minus the
+//                                             touched-arcs work counters
+//   abcs client [--host H] --port N --batch <file> --connections N
+//               --duration S [...]            soak: N concurrent connections
+//                                             loop the batch for S seconds
 //
 // <graph> is a whitespace edge list `u v [w]` with 0-based layer-local ids
 // (lines starting with % or # ignored). <q> is a layer-local id; --side
@@ -47,6 +62,9 @@
 // lines ignored). Per-query results and aggregate counts go to stdout and
 // are deterministic for any --threads value; timing goes to stderr.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +72,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "abcore/degeneracy.h"
@@ -69,6 +88,8 @@
 #include "graph/datasets.h"
 #include "graph/graph_io.h"
 #include "io/index_bundle.h"
+#include "serve/client.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -86,7 +107,13 @@ int Usage() {
                "scs-peel|scs-expand|scs-binary] [--index FILE] [--side u|l]\n"
                "  abcs scs   <graph> <q> <alpha> <beta> [--index FILE] "
                "[--side u|l] [--algo auto|peel|expand|binary|baseline]\n"
-               "  abcs gen   <name> <graph-out>\n");
+               "  abcs gen   <name> <graph-out>\n"
+               "  abcs serve <graph>|--bundle FILE [--host H] [--port N] "
+               "[--threads N] [--port-file F] [--max-connections N] "
+               "[--max-queue N] [--deadline-ms N] [--no-memo]\n"
+               "  abcs client [--host H] --port N (--ping | <q> <alpha> "
+               "<beta> | --batch FILE [--connections N --duration S]) "
+               "[--method M] [--side u|l] [--deadline-ms N]\n");
   return 2;
 }
 
@@ -623,6 +650,422 @@ int CmdGen(const std::string& name, const std::string& out_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// abcs serve
+// ---------------------------------------------------------------------------
+
+// The signal handler may only do an atomic store; the main thread polls the
+// flag and performs the actual graceful drain from a normal context.
+abcs::serve::Server* g_serve_instance = nullptr;
+
+extern "C" void HandleServeSignal(int) {
+  if (g_serve_instance != nullptr) g_serve_instance->RequestShutdown();
+}
+
+struct ServeArgs {
+  std::string graph_path;
+  std::string bundle_path;
+  std::string port_file;
+  abcs::serve::ServerOptions options;
+};
+
+bool ParseServeArgs(int argc, char** argv, ServeArgs* args) {
+  std::vector<const char*> pos;
+  auto parse_u32 = [&](int* i, long max, long* out) {
+    if (*i + 1 >= argc) return false;
+    char* end = nullptr;
+    const long n = std::strtol(argv[++*i], &end, 10);
+    if (end == argv[*i] || *end != '\0' || n < 0 || n > max) return false;
+    *out = n;
+    return true;
+  };
+  long n = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bundle") == 0 && i + 1 < argc) {
+      args->bundle_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      args->options.host = argv[++i];
+    } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
+      args->port_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      if (!parse_u32(&i, 65535, &n)) return false;
+      args->options.port = static_cast<uint16_t>(n);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (!parse_u32(&i, 1024, &n)) return false;
+      args->options.num_threads = static_cast<unsigned>(n);
+    } else if (std::strcmp(argv[i], "--max-connections") == 0) {
+      if (!parse_u32(&i, 1 << 20, &n) || n == 0) return false;
+      args->options.max_connections = static_cast<unsigned>(n);
+    } else if (std::strcmp(argv[i], "--max-queue") == 0) {
+      if (!parse_u32(&i, 1 << 24, &n) || n == 0) return false;
+      args->options.max_queue = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      if (!parse_u32(&i, 1L << 30, &n)) return false;
+      args->options.default_deadline_ms = static_cast<uint32_t>(n);
+    } else if (std::strcmp(argv[i], "--no-memo") == 0) {
+      args->options.enable_memo = false;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      return false;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (args->bundle_path.empty()) {
+    if (pos.size() != 1) return false;
+    args->graph_path = pos[0];
+  } else if (!pos.empty()) {
+    return false;
+  }
+  return true;
+}
+
+int CmdServe(const ServeArgs& args) {
+  QueryArgs qargs;
+  qargs.graph_path = args.graph_path;
+  qargs.bundle_path = args.bundle_path;
+  Session session;
+  abcs::Status st = LoadSession(qargs, &session);
+  if (!st.ok()) return Fail(st);
+  const abcs::BipartiteGraph& g = *session.graph;
+
+  // The daemon serves every method, so it needs both indexes resident: the
+  // bundle maps them zero-copy; a raw edge list pays one build at startup.
+  abcs::DeltaIndex owned_delta;
+  const abcs::DeltaIndex* delta = nullptr;
+  st = GetIndex(qargs, &session, &owned_delta, &delta);
+  if (!st.ok()) return Fail(st);
+  abcs::BicoreIndex owned_bicore;
+  const abcs::BicoreIndex* bicore = nullptr;
+  if (session.bundle != nullptr) {
+    bicore = &session.bundle->bicore_index();
+  } else {
+    owned_bicore = abcs::BicoreIndex::Build(g, nullptr, /*num_threads=*/0);
+    bicore = &owned_bicore;
+  }
+
+  abcs::serve::Server server(g, delta, bicore, args.options);
+  st = server.Start();
+  if (!st.ok()) return Fail(st);
+
+  g_serve_instance = &server;
+  struct sigaction sa = {};
+  sa.sa_handler = HandleServeSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  if (!args.port_file.empty()) {
+    std::ofstream out(args.port_file, std::ios::trunc);
+    out << server.port() << "\n";
+    if (!out) {
+      server.Shutdown();
+      return Fail(abcs::Status::IOError("cannot write " + args.port_file));
+    }
+  }
+  std::fprintf(stderr, "# serving %s:%u (|E|=%u, memo=%s); SIGTERM drains\n",
+               args.options.host.c_str(), server.port(), g.NumEdges(),
+               args.options.enable_memo ? "on" : "off");
+
+  server.WaitForShutdownRequest();
+  server.Shutdown();
+  const abcs::serve::ServeStats s = server.Stats();
+  std::fprintf(stderr,
+               "# drained: conns=%llu rejected=%llu requests=%llu ok=%llu "
+               "errors=%llu memo_hits=%llu deadline=%llu overload=%llu "
+               "protocol=%llu queued_at_shutdown=%llu\n",
+               static_cast<unsigned long long>(s.connections_accepted),
+               static_cast<unsigned long long>(s.connections_rejected),
+               static_cast<unsigned long long>(s.requests),
+               static_cast<unsigned long long>(s.responses_ok),
+               static_cast<unsigned long long>(s.responses_error),
+               static_cast<unsigned long long>(s.memo_hits),
+               static_cast<unsigned long long>(s.deadline_expired),
+               static_cast<unsigned long long>(s.overloaded),
+               static_cast<unsigned long long>(s.protocol_errors),
+               static_cast<unsigned long long>(s.drained_tasks));
+  g_serve_instance = nullptr;
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// abcs client
+// ---------------------------------------------------------------------------
+
+struct ClientArgs {
+  std::string host = "127.0.0.1";
+  long port = -1;
+  bool ping = false;
+  abcs::serve::WireMethod method = abcs::serve::WireMethod::kDelta;
+  bool lower_side = false;
+  uint32_t deadline_ms = 0;
+  std::string batch_path;
+  unsigned connections = 0;  ///< nonzero = soak mode
+  double duration_s = 0.0;
+  uint32_t q = 0, alpha = 0, beta = 0;
+  bool single = false;
+};
+
+bool ParseClientArgs(int argc, char** argv, ClientArgs* args) {
+  std::vector<const char*> pos;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      args->host = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      args->port = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ping") == 0) {
+      args->ping = true;
+    } else if (std::strcmp(argv[i], "--method") == 0 && i + 1 < argc) {
+      if (!abcs::serve::ParseWireMethod(argv[++i], &args->method)) {
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--side") == 0 && i + 1 < argc) {
+      args->lower_side = (argv[++i][0] == 'l');
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      args->deadline_ms = static_cast<uint32_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      args->batch_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
+      args->connections = static_cast<unsigned>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+      args->duration_s = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      return false;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (args->port < 1 || args->port > 65535) return false;
+  if (args->ping) return pos.empty() && args->batch_path.empty();
+  if (!args->batch_path.empty()) {
+    if (!pos.empty()) return false;
+    // Soak needs both knobs; a lone --connections or --duration is a typo.
+    if ((args->connections != 0) != (args->duration_s > 0)) return false;
+    return true;
+  }
+  if (pos.size() != 3 || args->connections != 0 || args->duration_s > 0) {
+    return false;
+  }
+  args->single = true;
+  args->q = static_cast<uint32_t>(std::atol(pos[0]));
+  args->alpha = static_cast<uint32_t>(std::atol(pos[1]));
+  args->beta = static_cast<uint32_t>(std::atol(pos[2]));
+  return args->alpha >= 1 && args->beta >= 1;
+}
+
+// Client-side batch parse: same `q alpha beta [u|l]` lines as the CLI's
+// batch runner, but kept layer-local — the server owns the id space and
+// range checks (kInvalidVertex).
+abcs::Status ParseClientBatch(const std::string& path, const ClientArgs& args,
+                              std::vector<abcs::serve::WireRequest>* out) {
+  std::ifstream in(path);
+  if (!in) return abcs::Status::NotFound("cannot open batch file " + path);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#' ||
+        line[first] == '%') {
+      continue;
+    }
+    unsigned long id = 0, alpha = 0, beta = 0;
+    char side = args.lower_side ? 'l' : 'u';
+    char junk[2];
+    const int got = std::sscanf(line.c_str(), "%lu %lu %lu %c %1s", &id,
+                                &alpha, &beta, &side, junk);
+    if (got < 3 || got > 4 || alpha == 0 || beta == 0 ||
+        alpha > 0xffffffffUL || beta > 0xffffffffUL ||
+        (side != 'u' && side != 'l')) {
+      return abcs::Status::InvalidArgument(
+          path + ":" + std::to_string(lineno) + ": expected `q alpha beta " +
+          "[u|l]`, got `" + line + "`");
+    }
+    abcs::serve::WireRequest req;
+    req.method = args.method;
+    req.lower_side = (side == 'l');
+    req.q = static_cast<uint32_t>(id);
+    req.alpha = static_cast<uint32_t>(alpha);
+    req.beta = static_cast<uint32_t>(beta);
+    req.deadline_ms = args.deadline_ms;
+    out->push_back(req);
+  }
+  return abcs::Status::OK();
+}
+
+const char* ClientKernelName(uint8_t kernel) {
+  switch (kernel) {
+    case 1:
+      return "peel";
+    case 2:
+      return "expand";
+    case 3:
+      return "binary";
+    default:
+      return "auto";
+  }
+}
+
+// Prints one response line in the `abcs query --batch` stdout format (minus
+// the touched-arcs counters, which the wire protocol deliberately omits).
+void PrintClientResponse(std::size_t i, const abcs::serve::WireRequest& req,
+                         const abcs::serve::WireResponse& resp) {
+  if (resp.status != abcs::serve::WireStatus::kOk) {
+    std::printf("%zu %s%u (%u,%u) error=%s\n", i, req.lower_side ? "l" : "u",
+                req.q, req.alpha, req.beta,
+                abcs::serve::WireStatusName(resp.status));
+    return;
+  }
+  if (abcs::serve::IsScsMethod(req.method)) {
+    if (resp.found) {
+      std::printf("%zu %s%u (%u,%u) |C|=%u |R|=%u f=%g kernel=%s\n", i,
+                  req.lower_side ? "l" : "u", req.q, req.alpha, req.beta,
+                  resp.num_edges, resp.result_edges, resp.significance,
+                  ClientKernelName(resp.kernel));
+    } else {
+      std::printf("%zu %s%u (%u,%u) |C|=%u none\n", i,
+                  req.lower_side ? "l" : "u", req.q, req.alpha, req.beta,
+                  resp.num_edges);
+    }
+  } else {
+    std::printf("%zu %s%u (%u,%u) |E|=%u\n", i, req.lower_side ? "l" : "u",
+                req.q, req.alpha, req.beta, resp.num_edges);
+  }
+}
+
+int RunClientBatch(const ClientArgs& args,
+                   const std::vector<abcs::serve::WireRequest>& requests) {
+  abcs::serve::Client client;
+  abcs::Status st = client.Connect(args.host, static_cast<uint16_t>(args.port));
+  if (!st.ok()) return Fail(st);
+  // One pipelined burst: the server's sequencer guarantees request order.
+  st = client.SendAll(requests);
+  if (!st.ok()) return Fail(st);
+  std::vector<abcs::serve::WireResponse> responses;
+  st = client.ReceiveAll(requests.size(), &responses);
+  if (!st.ok()) return Fail(st);
+
+  const bool scs = abcs::serve::IsScsMethod(args.method);
+  if (scs) {
+    // Matches RunScsBatchQueries' header: algo strips the "scs-" prefix.
+    std::printf("# batch of %zu scs queries, algo=%s\n", requests.size(),
+                abcs::serve::WireMethodName(args.method) + 4);
+  } else {
+    std::printf("# batch of %zu queries, method=%s\n", requests.size(),
+                abcs::serve::WireMethodName(args.method));
+  }
+  uint64_t errors = 0, nonempty = 0, total_edges = 0;
+  uint64_t found = 0, total_c = 0, total_r = 0, memo_hits = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const abcs::serve::WireResponse& resp = responses[i];
+    PrintClientResponse(i, requests[i], resp);
+    if (resp.status != abcs::serve::WireStatus::kOk) {
+      ++errors;
+      continue;
+    }
+    memo_hits += resp.memo_hit ? 1 : 0;
+    if (scs) {
+      found += resp.found ? 1 : 0;
+      total_c += resp.num_edges;
+      total_r += resp.result_edges;
+    } else {
+      nonempty += resp.found ? 1 : 0;
+      total_edges += resp.num_edges;
+    }
+  }
+  if (scs) {
+    std::printf("# found=%llu total_C=%llu total_R=%llu\n",
+                static_cast<unsigned long long>(found),
+                static_cast<unsigned long long>(total_c),
+                static_cast<unsigned long long>(total_r));
+  } else {
+    std::printf("# nonempty=%llu total_edges=%llu\n",
+                static_cast<unsigned long long>(nonempty),
+                static_cast<unsigned long long>(total_edges));
+  }
+  std::fprintf(stderr, "# errors=%llu memo_hits=%llu\n",
+               static_cast<unsigned long long>(errors),
+               static_cast<unsigned long long>(memo_hits));
+  return errors == 0 ? 0 : 1;
+}
+
+int RunClientSoak(const ClientArgs& args,
+                  const std::vector<abcs::serve::WireRequest>& requests) {
+  std::atomic<uint64_t> total_ok{0}, total_errors{0}, memo_hits{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(args.connections);
+  for (unsigned c = 0; c < args.connections; ++c) {
+    threads.emplace_back([&, c] {
+      abcs::serve::Client client;
+      if (!client.Connect(args.host, static_cast<uint16_t>(args.port)).ok()) {
+        total_errors.fetch_add(1);
+        return;
+      }
+      // Offset each connection's start so they don't march in lockstep
+      // over the same keys (more realistic memo + steal pressure).
+      std::size_t i = (c * 7919) % requests.size();
+      while (!stop.load(std::memory_order_relaxed)) {
+        abcs::serve::WireResponse resp;
+        const abcs::Status st = client.Call(requests[i], &resp);
+        if (!st.ok() || resp.status != abcs::serve::WireStatus::kOk) {
+          total_errors.fetch_add(1);
+        } else {
+          total_ok.fetch_add(1);
+          memo_hits.fetch_add(resp.memo_hit ? 1 : 0);
+        }
+        i = (i + 1) % requests.size();
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long>(args.duration_s * 1000)));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  std::printf("# soak connections=%u duration=%.1fs ok=%llu errors=%llu "
+              "memo_hits=%llu\n",
+              args.connections, args.duration_s,
+              static_cast<unsigned long long>(total_ok.load()),
+              static_cast<unsigned long long>(total_errors.load()),
+              static_cast<unsigned long long>(memo_hits.load()));
+  return total_errors.load() == 0 ? 0 : 1;
+}
+
+int CmdClient(const ClientArgs& args) {
+  if (args.ping) {
+    abcs::serve::Client client;
+    abcs::Status st =
+        client.Connect(args.host, static_cast<uint16_t>(args.port));
+    if (st.ok()) st = client.Ping();
+    if (!st.ok()) return Fail(st);
+    std::printf("pong\n");
+    return 0;
+  }
+  if (!args.batch_path.empty()) {
+    std::vector<abcs::serve::WireRequest> requests;
+    const abcs::Status st = ParseClientBatch(args.batch_path, args, &requests);
+    if (!st.ok()) return Fail(st);
+    if (requests.empty()) {
+      return Fail(abcs::Status::InvalidArgument("empty batch file"));
+    }
+    return args.connections > 0 ? RunClientSoak(args, requests)
+                                : RunClientBatch(args, requests);
+  }
+  abcs::serve::WireRequest req;
+  req.method = args.method;
+  req.lower_side = args.lower_side;
+  req.q = args.q;
+  req.alpha = args.alpha;
+  req.beta = args.beta;
+  req.deadline_ms = args.deadline_ms;
+  abcs::serve::Client client;
+  abcs::Status st = client.Connect(args.host, static_cast<uint16_t>(args.port));
+  if (!st.ok()) return Fail(st);
+  abcs::serve::WireResponse resp;
+  st = client.Call(req, &resp);
+  if (!st.ok()) return Fail(st);
+  PrintClientResponse(0, req, resp);
+  return resp.status == abcs::serve::WireStatus::kOk ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -651,6 +1094,16 @@ int main(int argc, char** argv) {
     return CmdIndex(graph_path, out_path);
   }
   if (cmd == "gen" && argc == 4) return CmdGen(argv[2], argv[3]);
+  if (cmd == "serve") {
+    ServeArgs args;
+    if (!ParseServeArgs(argc, argv, &args)) return Usage();
+    return CmdServe(args);
+  }
+  if (cmd == "client") {
+    ClientArgs args;
+    if (!ParseClientArgs(argc, argv, &args)) return Usage();
+    return CmdClient(args);
+  }
   if (cmd == "query" || cmd == "scs" || cmd == "profile") {
     QueryArgs args;
     if (!ParseQueryArgs(argc, argv, &args)) return Usage();
