@@ -115,4 +115,106 @@ if ! grep -q "^# drained:" "$SERVER_LOG"; then
   exit 1
 fi
 grep "^# drained:" "$SERVER_LOG"
+
+# ---------------------------------------------------------------- live updates
+# Second daemon phase: --enable-updates with a compaction target. Update
+# traffic (reweight + remove/reinsert churn, committed in batches) runs
+# against concurrent query clients; afterwards the daemon's post-update
+# answers, the offline engine on a freshly indexed post-update graph, and
+# the drain-time compacted bundle must all agree bit for bit.
+SERVER2_LOG=$WORK/server2.log
+PORT_FILE2=$WORK/port2
+COMPACT=$WORK/compact.idx
+
+echo "== starting update-enabled daemon"
+"$ABCS" serve --bundle "$BUNDLE" --port 0 --port-file "$PORT_FILE2" \
+  --threads "$SOAK_THREADS" --enable-updates --compact-path "$COMPACT" \
+  2>"$SERVER2_LOG" &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [[ -s "$PORT_FILE2" ]] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "serve_soak: update daemon died during startup:" >&2
+    cat "$SERVER2_LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT2=$(cat "$PORT_FILE2")
+echo "== update daemon on port $PORT2"
+
+# Update traffic over edges known to exist (pulled from the generated
+# edge list): each batch bumps one edge's weight by 1.5, churns it out
+# and back at the new weight, then commits an epoch.
+UPDATES=$WORK/updates.txt
+POST_GRAPH=$WORK/bs_post.txt
+POST_BUNDLE=$WORK/bs_post.idx
+awk '!/^%/ {
+  w = $3 + 1.5
+  printf "w %s %s %.6f\nr %s %s\ni %s %s %.6f\nc\n", $1, $2, w, $1, $2, $1, $2, w
+  if (++n == 24) exit
+}' "$GRAPH" > "$UPDATES"
+# The same mutation applied offline: first 24 edges reweighted by +1.5.
+awk 'BEGIN { n = 0 }
+  /^%/ { print; next }
+  n < 24 { printf "%s %s %.6f\n", $1, $2, $3 + 1.5; n++; next }
+  { print }' "$GRAPH" > "$POST_GRAPH"
+
+echo "== applying updates under concurrent query load"
+"$ABCS" client --port "$PORT2" --batch "$BATCH" --method delta \
+  --connections "$SOAK_CLIENTS" --duration 5 >/dev/null &
+LOAD_PID=$!
+"$ABCS" client --port "$PORT2" --update-file "$UPDATES" >/dev/null
+wait "$LOAD_PID"
+
+echo "== post-update identity: daemon vs offline rebuild"
+"$ABCS" index "$POST_GRAPH" "$POST_BUNDLE" >/dev/null
+for method in online bicore delta; do
+  "$ABCS" query --bundle "$POST_BUNDLE" --batch "$BATCH" --method "$method" \
+    --threads 2 2>/dev/null \
+    | sed -e 's/ touched=[0-9]*//' -e 's/ touched_arcs=[0-9]*//' \
+    > "$WORK/offline.post.$method"
+  "$ABCS" client --port "$PORT2" --batch "$BATCH" --method "$method" \
+    2>/dev/null > "$WORK/served.post.$method"
+  if ! diff -u "$WORK/offline.post.$method" "$WORK/served.post.$method"; then
+    echo "serve_soak: post-update $method diverges from offline rebuild" >&2
+    exit 1
+  fi
+  echo "   ok: $method (post-update)"
+done
+
+echo "== SIGTERM drain (update daemon)"
+kill -TERM "$SERVER_PID"
+DRAIN_RC=0
+wait "$SERVER_PID" || DRAIN_RC=$?
+SERVER_PID=""
+if [[ "$DRAIN_RC" -ne 0 ]]; then
+  echo "serve_soak: update daemon exited $DRAIN_RC after SIGTERM:" >&2
+  cat "$SERVER2_LOG" >&2
+  exit 1
+fi
+if ! grep -q "^# updates:" "$SERVER2_LOG"; then
+  echo "serve_soak: no update summary in daemon log:" >&2
+  cat "$SERVER2_LOG" >&2
+  exit 1
+fi
+grep "^# updates:" "$SERVER2_LOG"
+
+echo "== compacted bundle identity"
+if [[ ! -s "$COMPACT" ]]; then
+  echo "serve_soak: drain left no compacted bundle at $COMPACT" >&2
+  exit 1
+fi
+for method in online bicore delta; do
+  "$ABCS" query --bundle "$COMPACT" --batch "$BATCH" --method "$method" \
+    --threads 2 2>/dev/null \
+    | sed -e 's/ touched=[0-9]*//' -e 's/ touched_arcs=[0-9]*//' \
+    > "$WORK/compact.$method"
+  if ! diff -u "$WORK/offline.post.$method" "$WORK/compact.$method"; then
+    echo "serve_soak: compacted bundle $method diverges from offline" >&2
+    exit 1
+  fi
+  echo "   ok: $method (compacted bundle)"
+done
 echo "serve_soak: PASS"

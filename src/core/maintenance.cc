@@ -218,6 +218,7 @@ void DynamicDeltaIndex::UpdateLevel(std::vector<uint32_t>& value,
     }
     if (!expanded) {
       clear_marks();
+      for (VertexId x : scope) MarkTouched(x);
       return;
     }
   }
@@ -227,6 +228,7 @@ void DynamicDeltaIndex::UpdateLevel(std::vector<uint32_t>& value,
   for (const auto& [x, old] : saved) value[x] = old;
   std::vector<VertexId> full = CollectScope(value, 0, kMax, {u, v});
   RecomputeScoped(value, tau, fix_upper, full);
+  for (VertexId x : full) MarkTouched(x);
 }
 
 bool DynamicDeltaIndex::KkCoreNonEmpty(uint32_t k) {
@@ -253,6 +255,7 @@ bool DynamicDeltaIndex::KkCoreNonEmpty(uint32_t k) {
 void DynamicDeltaIndex::MaybeGrowDelta() {
   while (KkCoreNonEmpty(delta_ + 1)) {
     ++delta_;
+    summary_.delta_changed = true;
     const BipartiteGraph snapshot = ExportGraph();
     sa_.push_back(ComputeAlphaOffsets(snapshot, delta_));
     sb_.push_back(ComputeBetaOffsets(snapshot, delta_));
@@ -260,6 +263,7 @@ void DynamicDeltaIndex::MaybeGrowDelta() {
 }
 
 void DynamicDeltaIndex::MaybeShrinkDelta() {
+  const uint32_t before = delta_;
   while (delta_ >= 1) {
     const std::vector<uint32_t>& top = sa_[delta_ - 1];
     bool nonempty = false;
@@ -274,6 +278,22 @@ void DynamicDeltaIndex::MaybeShrinkDelta() {
     sb_.pop_back();
     --delta_;
   }
+  if (delta_ != before) summary_.delta_changed = true;
+}
+
+void DynamicDeltaIndex::MarkTouched(VertexId x) {
+  summary_touched_.resize(adj_.size(), 0);
+  if (summary_touched_[x]) return;
+  summary_touched_[x] = 1;
+  summary_.touched.push_back(x);
+}
+
+UpdateSummary DynamicDeltaIndex::DrainSummary() {
+  summary_.epoch = epoch_;
+  UpdateSummary out = std::move(summary_);
+  summary_ = UpdateSummary{};
+  for (VertexId x : out.touched) summary_touched_[x] = 0;
+  return out;
 }
 
 Status DynamicDeltaIndex::InsertEdge(VertexId u, VertexId v, Weight w) {
@@ -303,6 +323,10 @@ Status DynamicDeltaIndex::InsertEdge(VertexId u, VertexId v, Weight w) {
     }
   }
   MaybeGrowDelta();
+  ++epoch_;
+  summary_.topology_changed = true;
+  MarkTouched(u);
+  MarkTouched(v);
   return Status::OK();
 }
 
@@ -341,7 +365,26 @@ Status DynamicDeltaIndex::RemoveEdge(VertexId u, VertexId v) {
                 /*is_insert=*/false);
   }
   MaybeShrinkDelta();
+  ++epoch_;
+  summary_.topology_changed = true;
+  MarkTouched(u);
+  MarkTouched(v);
   return Status::OK();
+}
+
+Status DynamicDeltaIndex::UpdateWeight(VertexId u, VertexId v, Weight w) {
+  if (u >= num_upper_ || v < num_upper_ || v >= NumVertices()) {
+    return Status::InvalidArgument("endpoints must be (upper, lower)");
+  }
+  for (const Arc& a : adj_[u]) {
+    if (a.to == v) {
+      edges_[a.eid].w = w;
+      ++epoch_;
+      summary_.weights_changed = true;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("edge does not exist");
 }
 
 Subgraph DynamicDeltaIndex::QueryCommunity(VertexId q, uint32_t alpha,
@@ -385,6 +428,37 @@ BipartiteGraph DynamicDeltaIndex::ExportGraph() const {
   Status st = builder.Build(&out);
   (void)st;
   return out;
+}
+
+BicoreDecomposition DynamicDeltaIndex::ExportDecomposition() const {
+  // CSR slice invariant (abcore/offsets.h): v's slice holds levels
+  // 1..L(v) where L(v) is the last τ with a nonzero offset, and offsets
+  // are non-increasing in τ — so L(v) is the length of the nonzero prefix
+  // of v's dense column.
+  const uint32_t n = NumVertices();
+  BicoreDecomposition d;
+  d.delta = delta_;
+  const auto pack = [&](const std::vector<std::vector<uint32_t>>& rows,
+                        OffsetArena* arena) {
+    std::vector<uint32_t>& start = arena->start.Mutable();
+    start.assign(n + 1, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      uint32_t levels = 0;
+      while (levels < delta_ && rows[levels][v] >= 1) ++levels;
+      start[v + 1] = start[v] + levels;
+    }
+    std::vector<uint32_t>& values = arena->values.Mutable();
+    values.assign(start[n], 0);
+    for (VertexId v = 0; v < n; ++v) {
+      const uint32_t levels = start[v + 1] - start[v];
+      for (uint32_t tau = 0; tau < levels; ++tau) {
+        values[start[v] + tau] = rows[tau][v];
+      }
+    }
+  };
+  pack(sa_, &d.alpha);
+  pack(sb_, &d.beta);
+  return d;
 }
 
 }  // namespace abcs

@@ -46,6 +46,22 @@ namespace abcs {
 /// Correctness of the incremental rules is enforced by property tests that
 /// replay random update streams against full recomputation
 /// (tests/maintenance_test.cc).
+/// \brief A drained account of everything a `DynamicDeltaIndex` mutated
+/// since the previous drain — the contract the serve memo's selective
+/// invalidation relies on (src/serve/memo.h).
+///
+/// `touched` is a deduplicated superset of every vertex whose offsets may
+/// have changed: the update endpoints plus every vertex of every scoped
+/// re-peel. Any vertex absent from `touched` provably kept all its offset
+/// values, hence its community memberships, for every (α,β).
+struct UpdateSummary {
+  uint64_t epoch = 0;             ///< index epoch at drain time
+  bool topology_changed = false;  ///< any insert/remove applied
+  bool weights_changed = false;   ///< any weight update applied
+  bool delta_changed = false;     ///< δ grew or shrank (global effect)
+  std::vector<VertexId> touched;
+};
+
 class DynamicDeltaIndex {
  public:
   /// Seeds the dynamic index from `g` (the graph is copied; `g` need not
@@ -71,6 +87,19 @@ class DynamicDeltaIndex {
   /// Removes edge (u, v). Fails if absent.
   Status RemoveEdge(VertexId u, VertexId v);
 
+  /// Re-weights existing edge (u, v) to `w`. Offsets are topology-only so
+  /// no re-peel runs; only the weight table and the epoch advance. Fails
+  /// if the edge is absent.
+  Status UpdateWeight(VertexId u, VertexId v, Weight w);
+
+  /// Monotone version counter: starts at 0, +1 per successful mutation.
+  /// Cheap enough to poll on every query admission.
+  uint64_t Epoch() const { return epoch_; }
+
+  /// Returns the accumulated change summary and resets the accumulator.
+  /// Called by the serve writer at each publish boundary.
+  UpdateSummary DrainSummary();
+
   /// The (α,β)-community of q in the current graph. Edge ids refer to this
   /// index's internal edge table (see `GetEdge`).
   Subgraph QueryCommunity(VertexId q, uint32_t alpha, uint32_t beta) const;
@@ -90,6 +119,13 @@ class DynamicDeltaIndex {
   /// same vertex ids). Used by tests to cross-check against full rebuilds.
   BipartiteGraph ExportGraph() const;
 
+  /// Packs the maintained dense offset rows into the compact CSR arena
+  /// form — the publish path's free ride: snapshots and compaction bundles
+  /// reuse the incrementally maintained decomposition instead of re-peeling
+  /// 2δ levels from scratch. Bit-identical to a fresh
+  /// ComputeBicoreDecomposition of ExportGraph().
+  BicoreDecomposition ExportDecomposition() const;
+
  private:
   /// Updates one offset table after inserting/removing edge (u, v): finds
   /// the affected scope (the paper's S⁺/S⁻) and re-peels it with boundary
@@ -108,6 +144,8 @@ class DynamicDeltaIndex {
                                      std::initializer_list<VertexId> seeds);
   void MaybeGrowDelta();
   void MaybeShrinkDelta();
+  /// Adds `x` to the pending summary's touched set (deduplicated).
+  void MarkTouched(VertexId x);
   /// True iff the (k,k)-core of the current graph is nonempty.
   bool KkCoreNonEmpty(uint32_t k);
 
@@ -119,6 +157,10 @@ class DynamicDeltaIndex {
   uint32_t delta_ = 0;
   std::vector<std::vector<uint32_t>> sa_;  // [τ-1][v]
   std::vector<std::vector<uint32_t>> sb_;
+
+  uint64_t epoch_ = 0;
+  UpdateSummary summary_;                  ///< accumulating, see DrainSummary
+  std::vector<uint8_t> summary_touched_;   ///< membership bitmap for dedup
 
   // Lent buffers for the per-level scoped recomputes: one update touches
   // up to 2δ levels, and each used to allocate 3×O(n) arrays plus a BFS

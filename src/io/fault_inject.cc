@@ -1,0 +1,77 @@
+#include "io/fault_inject.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace abcs {
+
+namespace fault_detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace fault_detail
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& point, Action action,
+                        uint64_t short_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    point_ = point;
+    action_ = action;
+    short_bytes_ = short_bytes;
+  }
+  fault_detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void FaultInjector::ArmFromEnv() {
+  const char* spec = std::getenv("ABCS_FAULT_INJECT");
+  if (spec == nullptr || *spec == '\0') return;
+  const std::string s(spec);
+  const std::size_t eq = s.find('=');
+  if (eq == std::string::npos) {
+    Arm(s, Action::kCrash);
+    return;
+  }
+  const std::string point = s.substr(0, eq);
+  const std::string what = s.substr(eq + 1);
+  if (what.rfind("short:", 0) == 0) {
+    Arm(point, Action::kShortWrite,
+        std::strtoull(what.c_str() + 6, nullptr, 10));
+  } else {
+    Arm(point, Action::kCrash);
+  }
+}
+
+void FaultInjector::Disarm() {
+  fault_detail::g_enabled.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  point_.clear();
+}
+
+void FaultInjector::Hit(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (action_ == Action::kCrash && point_ == point) {
+    ::_exit(kFaultCrashExitCode);
+  }
+}
+
+uint64_t FaultInjector::WriteBudget(const char* point, uint64_t want) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (action_ == Action::kShortWrite && point_ == point &&
+      short_bytes_ < want) {
+    return short_bytes_;
+  }
+  return want;
+}
+
+void FaultInjector::CrashNow() { ::_exit(kFaultCrashExitCode); }
+
+bool FaultInjector::armed() const {
+  return fault_detail::g_enabled.load(std::memory_order_acquire);
+}
+
+}  // namespace abcs

@@ -1,0 +1,92 @@
+#ifndef ABCS_IO_FAULT_INJECT_H_
+#define ABCS_IO_FAULT_INJECT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace abcs {
+
+/// \brief Runtime-armed crash/short-write injection for the durability
+/// paths (bundle save, compaction, mapped open).
+///
+/// The seam is always compiled in but costs a single relaxed atomic-bool
+/// branch per point while disarmed, so production binaries pay nothing
+/// measurable. Tests arm one point at a time — programmatically (the
+/// crash-matrix test arms inside a fork()ed child) or via the
+/// `ABCS_FAULT_INJECT` environment variable for external kill-testing:
+///
+///     ABCS_FAULT_INJECT="bundle_save.after_fsync"          # crash there
+///     ABCS_FAULT_INJECT="bundle_save.sections=short:17"    # write 17
+///                                                  # bytes, then crash
+///
+/// A triggered fault terminates the process immediately with
+/// `_exit(kFaultCrashExitCode)` — no atexit handlers, no flushes — which
+/// is exactly the torn state a SIGKILL mid-save leaves behind.
+class FaultInjector {
+ public:
+  enum class Action : uint8_t {
+    kCrash,           ///< _exit at the named point
+    kShortWrite,      ///< truncate the labelled write, then _exit
+  };
+
+  static FaultInjector& Instance();
+
+  /// Arms a single fault. `short_bytes` is the byte budget for
+  /// kShortWrite (how much of the labelled write survives).
+  void Arm(const std::string& point, Action action, uint64_t short_bytes = 0);
+
+  /// Parses ABCS_FAULT_INJECT (see class comment). No-op when unset.
+  void ArmFromEnv();
+
+  void Disarm();
+
+  /// Crash seam: terminates the process iff armed with kCrash at `point`.
+  void Hit(const char* point);
+
+  /// Short-write seam: the caller is about to write `want` bytes under
+  /// label `point`. Returns `want` unless armed with kShortWrite at this
+  /// point, in which case the (smaller) armed budget comes back and the
+  /// caller must write exactly that prefix and then call CrashNow().
+  uint64_t WriteBudget(const char* point, uint64_t want);
+
+  [[noreturn]] void CrashNow();
+
+  bool armed() const;
+
+ private:
+  FaultInjector() = default;
+
+  mutable std::mutex mu_;
+  std::string point_;
+  Action action_ = Action::kCrash;
+  uint64_t short_bytes_ = 0;
+};
+
+/// Exit status of a process killed by a triggered fault; the crash-matrix
+/// test uses it to tell an injected death from an ordinary failure.
+inline constexpr int kFaultCrashExitCode = 86;
+
+namespace fault_detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace fault_detail
+
+/// Zero-cost-when-disarmed crash point.
+inline void FaultPoint(const char* point) {
+  if (fault_detail::g_enabled.load(std::memory_order_relaxed)) {
+    FaultInjector::Instance().Hit(point);
+  }
+}
+
+/// Zero-cost-when-disarmed short-write point (see WriteBudget).
+inline uint64_t FaultWriteBudget(const char* point, uint64_t want) {
+  if (fault_detail::g_enabled.load(std::memory_order_relaxed)) {
+    return FaultInjector::Instance().WriteBudget(point, want);
+  }
+  return want;
+}
+
+}  // namespace abcs
+
+#endif  // ABCS_IO_FAULT_INJECT_H_

@@ -1,5 +1,9 @@
 #include "io/index_bundle.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <bit>
 #include <cstdio>
 #include <cstring>
@@ -9,6 +13,7 @@
 
 #include "common/fnv.h"
 #include "core/index_io.h"
+#include "io/fault_inject.h"
 
 namespace abcs {
 
@@ -155,7 +160,7 @@ bool LooksLikeIndexBundle(const std::string& path) {
 struct BundleAccess {
   static Status Save(const BipartiteGraph& g, const BicoreDecomposition& d,
                      const DeltaIndex& di, const BicoreIndex& bi,
-                     const std::string& path);
+                     const std::string& path, const SaveBundleOptions& opts);
   static Status Open(const std::string& path, const BundleOpenOptions& opts,
                      IndexBundle* b);
   static bool ZeroCopy(const IndexBundle& b);
@@ -198,9 +203,49 @@ struct BundleAccess {
   static uint64_t Weights(const IndexBundle& b) { return b.weight_digest_; }
 };
 
+namespace {
+
+/// Loops ::write until `bytes` are on the fd. `point` labels the write for
+/// the short-write fault seam: an armed fault truncates the write to its
+/// byte budget and kills the process, modelling a torn write + crash.
+Status WriteFully(int fd, const void* data, uint64_t bytes,
+                  const char* point) {
+  const uint64_t budget = FaultWriteBudget(point, bytes);
+  const char* p = static_cast<const char*>(data);
+  uint64_t done = 0;
+  while (done < budget) {
+    const ssize_t n = ::write(fd, p + done, budget - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write failed: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<uint64_t>(n);
+  }
+  if (budget < bytes) FaultInjector::Instance().CrashNow();
+  return Status::OK();
+}
+
+/// fsyncs the directory containing `path` so a following crash cannot
+/// lose the rename itself. Best-effort on filesystems without dirsync.
+void SyncParentDir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).has_parent_path()
+          ? std::filesystem::path(path).parent_path()
+          : std::filesystem::path(".");
+  const int dfd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace
+
 Status BundleAccess::Save(const BipartiteGraph& g,
                           const BicoreDecomposition& d, const DeltaIndex& di,
-                          const BicoreIndex& bi, const std::string& path) {
+                          const BicoreIndex& bi, const std::string& path,
+                          const SaveBundleOptions& opts) {
   if (di.delta() != d.delta || bi.delta() != d.delta ||
       d.NumVertices() != g.NumVertices()) {
     return Status::InvalidArgument(
@@ -249,36 +294,74 @@ Status BundleAccess::Save(const BipartiteGraph& g,
     hdr.meta_checksum = BundleChecksum(meta.data(), meta.size());
   }
 
-  // Write-then-rename so a crash or full disk mid-save cannot destroy the
-  // previous good bundle — the file a restart depends on.
+  // Write-then-fsync-then-rename so a crash, torn write or full disk at
+  // ANY instant leaves `path` either absent, the complete previous bundle
+  // or the complete new one — never a torn hybrid. The named FaultPoint /
+  // WriteFully seams below are the crash matrix the recovery test sweeps.
   const std::string tmp_path = path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        S_IRUSR | S_IWUSR | S_IRGRP | S_IROTH);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + tmp_path + " for writing: " +
+                           std::strerror(errno));
+  }
+  FaultPoint("bundle_save.open_tmp");
+  const auto fail = [&](Status st) {
+    ::close(fd);
+    std::remove(tmp_path.c_str());
+    return st;
+  };
   {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IOError("cannot open " + tmp_path + " for writing");
+    // Magic + header + TOC written as one buffer so a short meta write
+    // models a torn header.
+    std::vector<char> meta(sizeof(kMagic) + sizeof(hdr) +
+                           count * sizeof(SectionRecord));
+    std::memcpy(meta.data(), kMagic, sizeof(kMagic));
+    std::memcpy(meta.data() + sizeof(kMagic), &hdr, sizeof(hdr));
+    std::memcpy(meta.data() + sizeof(kMagic) + sizeof(hdr), toc.data(),
+                count * sizeof(SectionRecord));
+    Status st = WriteFully(fd, meta.data(), meta.size(), "bundle_save.meta");
+    if (!st.ok()) return fail(std::move(st));
+  }
+  FaultPoint("bundle_save.after_meta");
+  const char pad[kAlign] = {};
+  for (const Sec& sec : secs) {
+    if (sec.bytes != 0) {
+      Status st = WriteFully(fd, sec.data, sec.bytes, "bundle_save.sections");
+      if (!st.ok()) return fail(std::move(st));
     }
-    out.write(kMagic, sizeof(kMagic));
-    out.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
-    out.write(reinterpret_cast<const char*>(toc.data()),
-              static_cast<std::streamsize>(count * sizeof(SectionRecord)));
-    const char pad[kAlign] = {};
-    for (const Sec& sec : secs) {
-      if (sec.bytes != 0) {
-        out.write(reinterpret_cast<const char*>(sec.data),
-                  static_cast<std::streamsize>(sec.bytes));
-      }
-      const uint64_t padding = AlignUp(sec.bytes) - sec.bytes;
-      if (padding != 0) {
-        out.write(pad, static_cast<std::streamsize>(padding));
-      }
-    }
-    out.flush();
-    if (!out) {
-      out.close();
-      std::remove(tmp_path.c_str());
-      return Status::IOError("write failed: " + tmp_path);
+    const uint64_t padding = AlignUp(sec.bytes) - sec.bytes;
+    if (padding != 0) {
+      Status st = WriteFully(fd, pad, padding, "bundle_save.sections");
+      if (!st.ok()) return fail(std::move(st));
     }
   }
+  FaultPoint("bundle_save.before_fsync");
+  if (::fsync(fd) != 0) {
+    return fail(Status::IOError("fsync failed: " + tmp_path + ": " +
+                                std::strerror(errno)));
+  }
+  ::close(fd);
+  FaultPoint("bundle_save.after_fsync");
+
+  if (opts.keep_previous && std::filesystem::exists(path)) {
+    // Rotate the current bundle to `path.prev` via a hard link: `path`
+    // itself stays a complete bundle through every instant of the
+    // rotation, and recovery gains a verified fallback should the main
+    // file later be damaged in place.
+    const std::string prev_path = path + ".prev";
+    std::remove(prev_path.c_str());
+    FaultPoint("bundle_save.prev_rotate");
+    if (::link(path.c_str(), prev_path.c_str()) != 0 && errno != ENOENT) {
+      // Cross-device or linkless filesystems: fall back to a copy; a
+      // failure here only costs the fallback, never the save.
+      std::error_code copy_ec;
+      std::filesystem::copy_file(
+          path, prev_path, std::filesystem::copy_options::overwrite_existing,
+          copy_ec);
+    }
+  }
+
   std::error_code ec;
   std::filesystem::rename(tmp_path, path, ec);
   if (ec) {
@@ -286,6 +369,8 @@ Status BundleAccess::Save(const BipartiteGraph& g,
     return Status::IOError("cannot move " + tmp_path + " over " + path +
                            ": " + ec.message());
   }
+  FaultPoint("bundle_save.after_rename");
+  SyncParentDir(path);
   return Status::OK();
 }
 
@@ -584,8 +669,45 @@ bool IndexBundle::ZeroCopy() const { return BundleAccess::ZeroCopy(*this); }
 Status SaveIndexBundle(const BipartiteGraph& g,
                        const BicoreDecomposition& decomp,
                        const DeltaIndex& delta, const BicoreIndex& bicore,
-                       const std::string& path) {
-  return BundleAccess::Save(g, decomp, delta, bicore, path);
+                       const std::string& path,
+                       const SaveBundleOptions& options) {
+  return BundleAccess::Save(g, decomp, delta, bicore, path, options);
+}
+
+const std::vector<const char*>& BundleSaveFaultPoints() {
+  // Every FaultPoint() in BundleAccess::Save, in program order. The
+  // crash-matrix test sweeps each one (plus short writes at the two
+  // WriteFully labels) and asserts recovery.
+  static const std::vector<const char*> kPoints = {
+      "bundle_save.open_tmp",     "bundle_save.after_meta",
+      "bundle_save.before_fsync", "bundle_save.after_fsync",
+      "bundle_save.prev_rotate",  "bundle_save.after_rename",
+  };
+  return kPoints;
+}
+
+Status OpenBundleWithFallback(const std::string& path,
+                              std::unique_ptr<IndexBundle>* out,
+                              const BundleOpenOptions& options,
+                              std::string* diagnostic) {
+  const Status primary = OpenIndexBundle(path, out, options);
+  if (primary.ok()) return primary;
+  // Only a damaged-but-present bundle triggers the fallback; a plain
+  // missing file is an honest answer the caller should see as-is.
+  const std::string prev_path = path + ".prev";
+  if (!std::filesystem::exists(prev_path)) return primary;
+  const Status fallback = OpenIndexBundle(prev_path, out, options);
+  if (!fallback.ok()) {
+    return Status::Corruption("bundle " + path + " unusable (" +
+                              primary.message() + ") and fallback " +
+                              prev_path + " unusable (" + fallback.message() +
+                              ")");
+  }
+  if (diagnostic != nullptr) {
+    *diagnostic = "bundle " + path + " unusable (" + primary.message() +
+                  "); recovered from previous epoch " + prev_path;
+  }
+  return Status::OK();
 }
 
 Status OpenIndexBundle(const std::string& path,

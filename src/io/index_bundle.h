@@ -96,13 +96,30 @@ class IndexBundle {
   BicoreIndex bicore_index_;
 };
 
+struct SaveBundleOptions {
+  /// Before renaming the fresh bundle into place, hard-link the current
+  /// one to `<path>.prev` so recovery retains a complete verified
+  /// fallback epoch even if the main file is later damaged in place
+  /// (see OpenBundleWithFallback). The save itself is always atomic —
+  /// write temp, fsync, rename, fsync dir — with or without rotation.
+  bool keep_previous = false;
+};
+
 /// Writes the self-contained bundle. `decomp`, `delta` and `bicore` must
 /// all have been built from `g` (the saver embeds `g`'s topology checksum
-/// and weight digest; `OpenIndexBundle` re-verifies them).
+/// and weight digest; `OpenIndexBundle` re-verifies them). Crash-safe: a
+/// process killed at any instant leaves `path` either untouched or fully
+/// replaced, never torn (tests/crash_recovery_test.cc sweeps every
+/// injection point in this path).
 Status SaveIndexBundle(const BipartiteGraph& g,
                        const BicoreDecomposition& decomp,
                        const DeltaIndex& delta, const BicoreIndex& bicore,
-                       const std::string& path);
+                       const std::string& path,
+                       const SaveBundleOptions& options = {});
+
+/// The named crash points inside the bundle save path, in program order —
+/// the sweep axis of the crash-matrix recovery test.
+const std::vector<const char*>& BundleSaveFaultPoints();
 
 /// Opens a bundle written by SaveIndexBundle. On success `*out` serves
 /// queries immediately: graph, decomposition and both indexes are wired
@@ -111,6 +128,17 @@ Status SaveIndexBundle(const BipartiteGraph& g,
 Status OpenIndexBundle(const std::string& path,
                        std::unique_ptr<IndexBundle>* out,
                        const BundleOpenOptions& options = {});
+
+/// Opens `path`, and when that bundle is corrupt or unreadable falls back
+/// to the rotated `<path>.prev` epoch written by compaction with
+/// `keep_previous` (the newest verifiable epoch on disk). On fallback
+/// success returns OK and, when `diagnostic` is non-null, stores a
+/// human-readable account of what was wrong with the primary. Fails only
+/// when no verifiable epoch exists.
+Status OpenBundleWithFallback(const std::string& path,
+                              std::unique_ptr<IndexBundle>* out,
+                              const BundleOpenOptions& options = {},
+                              std::string* diagnostic = nullptr);
 
 /// Checks that `bundle` was built from exactly `g`: shape, topology
 /// checksum and weight digest must all match. Detects both a stale

@@ -86,7 +86,7 @@ Status Client::ReceiveAll(std::size_t n, std::vector<WireResponse>* out) {
   return Status::OK();
 }
 
-Status Client::Ping() {
+Status Client::Ping(uint64_t* epoch) {
   WireRequest req;
   req.type = MessageType::kPing;
   WireResponse resp;
@@ -94,6 +94,32 @@ Status Client::Ping() {
   if (resp.type != MessageType::kPing || resp.status != WireStatus::kOk) {
     return Status::Corruption("unexpected ping response");
   }
+  if (epoch != nullptr) *epoch = resp.epoch;
+  return Status::OK();
+}
+
+Status Client::Update(UpdateOp op, uint32_t u, uint32_t v, double weight,
+                      WireResponse* resp) {
+  WireRequest req;
+  req.type = MessageType::kUpdate;
+  req.op = op;
+  req.u = u;
+  req.v = v;
+  // Remove/commit encode weight bits as zero on the wire.
+  req.weight =
+      (op == UpdateOp::kInsertEdge || op == UpdateOp::kReweightEdge) ? weight
+                                                                     : 0.0;
+  return Call(req, resp);
+}
+
+Status Client::Commit(uint64_t* epoch) {
+  WireResponse resp;
+  ABCS_RETURN_NOT_OK(Update(UpdateOp::kCommit, 0, 0, 0.0, &resp));
+  if (resp.status != WireStatus::kOk) {
+    return Status::InvalidArgument(std::string("commit rejected: ") +
+                                   WireStatusName(resp.status));
+  }
+  if (epoch != nullptr) *epoch = resp.epoch;
   return Status::OK();
 }
 

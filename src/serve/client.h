@@ -54,8 +54,20 @@ class Client {
   /// Reads exactly `n` responses, in request order.
   Status ReceiveAll(std::size_t n, std::vector<WireResponse>* out);
 
-  /// Liveness probe: a kPing round trip.
-  Status Ping();
+  /// Liveness probe: a kPing round trip. `epoch`, when non-null, receives
+  /// the server's current snapshot epoch.
+  Status Ping(uint64_t* epoch = nullptr);
+
+  /// One live-update round trip. `u`/`v` are layer-local ids (upper,
+  /// lower); `weight` is ignored for remove/commit. The wire status
+  /// (kOk / kConflict / kOverloaded / ...) comes back in `resp->status`;
+  /// the Status return only reports transport failures.
+  Status Update(UpdateOp op, uint32_t u, uint32_t v, double weight,
+                WireResponse* resp);
+
+  /// Publishes everything applied since the last commit; on success
+  /// `*epoch` (when non-null) is the newly visible epoch.
+  Status Commit(uint64_t* epoch = nullptr);
 
  private:
   Status ReceiveOne(WireResponse* resp);

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "core/subgraph.h"
 #include "graph/bipartite_graph.h"
@@ -47,11 +48,20 @@ struct MemoValue {
 /// likewise registered under root = q: emptiness says nothing about the
 /// rest of the component.
 ///
-/// Invalidation is epoch-based: `Invalidate()` bumps the epoch and drops
-/// every entry, so a snapshot swap (the next ROADMAP item) costs one
-/// counter bump. Capacity is bounded by flushing everything when the
-/// root table outgrows `max_entries` — a warm cache, not a database; the
-/// next wave of traffic re-fills it.
+/// Invalidation under live updates is *selective* by snapshot epoch
+/// (`AdvanceEpoch`): a publish drops only the entries an update batch
+/// could have affected — every SCS entry (significance reads weights and
+/// q's arcs), every oversized entry (members unknown, unverifiable) and
+/// every shared entry with a registered member in the publisher's
+/// one-hop-expanded touched set — and keeps the rest warm. Weights-only
+/// publishes keep all retrieval entries (community membership is
+/// topology-only). Entries are epoch-aligned: a lookup or insert carries
+/// the requester's pinned snapshot epoch and is ignored unless it matches
+/// the memo's — a worker still executing against a retired snapshot can
+/// neither read nor poison results for the published one. `Invalidate()`
+/// remains the unconditional flush. Capacity is bounded by flushing
+/// everything when the root table outgrows `max_entries` — a warm cache,
+/// not a database; the next wave of traffic re-fills it.
 ///
 /// Thread-safe: lookups take a shared lock, inserts/invalidation an
 /// exclusive one. Concurrent inserts of the same key are idempotent
@@ -62,19 +72,35 @@ class QueryMemo {
       : max_entries_(max_entries) {}
 
   /// Returns true and fills `*out` when (method, α, β, q) is covered by a
-  /// cached result of the current epoch.
+  /// cached result and `epoch` matches the memo's aligned epoch (static
+  /// servers leave both at 0).
   bool Lookup(WireMethod method, uint32_t alpha, uint32_t beta, VertexId q,
-              MemoValue* out) const;
+              MemoValue* out, uint64_t epoch = 0) const;
 
-  /// Registers the result of a fresh query. `community` is the retrieved
-  /// C (used to register the component's vertices; pass the empty
-  /// subgraph for empty results). For SCS methods only q is registered.
+  /// Registers the result of a fresh query computed against snapshot
+  /// `epoch`; dropped unless that is still the memo's aligned epoch.
+  /// `community` is the retrieved C (used to register the component's
+  /// vertices; pass the empty subgraph for empty results). For SCS
+  /// methods only q is registered.
   void Insert(WireMethod method, uint32_t alpha, uint32_t beta, VertexId q,
               const BipartiteGraph& g, const Subgraph& community,
-              const MemoValue& value);
+              const MemoValue& value, uint64_t epoch = 0);
 
   /// Drops every entry and bumps the epoch.
   void Invalidate();
+
+  /// Publish-time selective invalidation. Realigns the memo to
+  /// `new_epoch`, then drops exactly the entries the batch could have
+  /// affected. `touched` marks every vertex whose offsets may have
+  /// changed, already expanded by one hop in the NEW graph (a community
+  /// can gain a vertex whose own offsets changed while its members'
+  /// didn't; the expansion catches the member it attaches to). With
+  /// `flush_all` (δ changed, or no summary available) everything goes.
+  void AdvanceEpoch(uint64_t new_epoch, bool topology_changed,
+                    bool flush_all, const std::vector<uint8_t>& touched);
+
+  /// Aligns the memo with the serving snapshot's epoch at startup.
+  void SetEpoch(uint64_t epoch);
 
   uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -109,10 +135,24 @@ class QueryMemo {
   // keeping exact-repeat hits.
   static constexpr std::size_t kMaxRegisterEdges = 4096;
 
+  /// How an entry was registered — which is exactly what selective
+  /// invalidation needs to know to decide survivability.
+  enum class EntryKind : uint8_t {
+    kShared,     ///< retrieval, every member registered in roots_
+    kEmpty,      ///< retrieval, empty answer, registered under q only
+    kOversized,  ///< retrieval > kMaxRegisterEdges, members unregistered
+    kScs,        ///< SCS answer, valid only for exact (q, weights) repeats
+  };
+  struct Entry {
+    MemoValue value;
+    EntryKind kind = EntryKind::kShared;
+  };
+
   const std::size_t max_entries_;
   mutable std::shared_mutex mu_;
   std::unordered_map<Key, uint32_t, KeyHash> roots_;
-  std::unordered_map<Key, MemoValue, KeyHash> results_;
+  std::unordered_map<Key, Entry, KeyHash> results_;
+  uint64_t aligned_epoch_ = 0;  ///< guarded by mu_
   std::atomic<uint64_t> epoch_{1};
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};

@@ -1,5 +1,6 @@
 #include "serve/protocol.h"
 
+#include <cmath>
 #include <cstring>
 
 namespace abcs::serve {
@@ -56,8 +57,26 @@ const char* WireStatusName(WireStatus status) {
       return "overloaded";
     case WireStatus::kShuttingDown:
       return "shutting-down";
+    case WireStatus::kUpdatesDisabled:
+      return "updates-disabled";
+    case WireStatus::kConflict:
+      return "conflict";
   }
   return "unknown";
+}
+
+const char* UpdateOpName(UpdateOp op) {
+  switch (op) {
+    case UpdateOp::kInsertEdge:
+      return "insert";
+    case UpdateOp::kRemoveEdge:
+      return "remove";
+    case UpdateOp::kReweightEdge:
+      return "reweight";
+    case UpdateOp::kCommit:
+      return "commit";
+  }
+  return nullptr;
 }
 
 const char* WireMethodName(WireMethod method) {
@@ -96,6 +115,18 @@ void EncodeRequest(const WireRequest& req, std::vector<std::byte>* out) {
   PutU16(kRequestMagic, out);
   out->push_back(static_cast<std::byte>(kWireVersion));
   out->push_back(static_cast<std::byte>(req.type));
+  if (req.type == MessageType::kUpdate) {
+    out->push_back(static_cast<std::byte>(req.op));
+    out->push_back(static_cast<std::byte>(0));  // reserved
+    PutU16(0, out);                             // reserved
+    PutU32(req.u, out);
+    PutU32(req.v, out);
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(req.weight));
+    std::memcpy(&bits, &req.weight, sizeof(bits));
+    PutU64(bits, out);
+    return;
+  }
   out->push_back(static_cast<std::byte>(req.method));
   out->push_back(static_cast<std::byte>(req.lower_side ? 1 : 0));
   PutU16(0, out);  // reserved
@@ -118,8 +149,31 @@ Status DecodeRequest(std::span<const std::byte> payload, WireRequest* out) {
   }
   const uint8_t type = static_cast<uint8_t>(p[3]);
   if (type != static_cast<uint8_t>(MessageType::kQuery) &&
-      type != static_cast<uint8_t>(MessageType::kPing)) {
+      type != static_cast<uint8_t>(MessageType::kPing) &&
+      type != static_cast<uint8_t>(MessageType::kUpdate)) {
     return Status::Corruption("unknown message type");
+  }
+  if (type == static_cast<uint8_t>(MessageType::kUpdate)) {
+    const uint8_t op = static_cast<uint8_t>(p[4]);
+    if (op >= kNumUpdateOps) return Status::Corruption("unknown update op");
+    if (static_cast<uint8_t>(p[5]) != 0 || GetU16(p + 6) != 0) {
+      return Status::Corruption("nonzero reserved bytes");
+    }
+    out->type = MessageType::kUpdate;
+    out->op = static_cast<UpdateOp>(op);
+    out->u = GetU32(p + 8);
+    out->v = GetU32(p + 12);
+    const uint64_t bits = GetU64(p + 16);
+    std::memcpy(&out->weight, &bits, sizeof(out->weight));
+    if (out->op == UpdateOp::kRemoveEdge || out->op == UpdateOp::kCommit) {
+      if (bits != 0) return Status::Corruption("weight must be 0 for this op");
+    } else if (!std::isfinite(out->weight)) {
+      return Status::Corruption("weight must be finite");
+    }
+    if (out->op == UpdateOp::kCommit && (out->u != 0 || out->v != 0)) {
+      return Status::Corruption("commit carries no endpoints");
+    }
+    return Status::OK();
   }
   const uint8_t method = static_cast<uint8_t>(p[4]);
   if (method >= kNumWireMethods) {
@@ -159,7 +213,7 @@ void EncodeResponse(const WireResponse& resp, std::vector<std::byte>* out) {
   static_assert(sizeof(bits) == sizeof(resp.significance));
   std::memcpy(&bits, &resp.significance, sizeof(bits));
   PutU64(bits, out);
-  PutU64(0, out);  // reserved
+  PutU64(resp.epoch, out);
 }
 
 Status DecodeResponse(std::span<const std::byte> payload, WireResponse* out) {
@@ -174,20 +228,18 @@ Status DecodeResponse(std::span<const std::byte> payload, WireResponse* out) {
     return Status::NotSupported("unsupported protocol version");
   }
   const uint8_t status = static_cast<uint8_t>(p[3]);
-  if (status > static_cast<uint8_t>(WireStatus::kShuttingDown)) {
+  if (status > static_cast<uint8_t>(WireStatus::kConflict)) {
     return Status::Corruption("unknown response status");
   }
   const uint8_t type = static_cast<uint8_t>(p[4]);
   if (type != static_cast<uint8_t>(MessageType::kQuery) &&
-      type != static_cast<uint8_t>(MessageType::kPing)) {
+      type != static_cast<uint8_t>(MessageType::kPing) &&
+      type != static_cast<uint8_t>(MessageType::kUpdate)) {
     return Status::Corruption("unknown message type");
   }
   const uint8_t found = static_cast<uint8_t>(p[6]);
   const uint8_t memo = static_cast<uint8_t>(p[7]);
   if (found > 1 || memo > 1) return Status::Corruption("bad flag byte");
-  if (GetU64(p + 24) != 0) {
-    return Status::Corruption("nonzero reserved bytes");
-  }
   out->status = static_cast<WireStatus>(status);
   out->type = static_cast<MessageType>(type);
   out->kernel = static_cast<uint8_t>(p[5]);
@@ -197,6 +249,7 @@ Status DecodeResponse(std::span<const std::byte> payload, WireResponse* out) {
   out->result_edges = GetU32(p + 12);
   const uint64_t bits = GetU64(p + 16);
   std::memcpy(&out->significance, &bits, sizeof(out->significance));
+  out->epoch = GetU64(p + 24);
   return Status::OK();
 }
 

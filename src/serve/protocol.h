@@ -19,9 +19,22 @@ inline constexpr uint16_t kRequestMagic = 0x5141;   // 'A' 'Q'
 inline constexpr uint16_t kResponseMagic = 0x5341;  // 'A' 'S'
 
 enum class MessageType : uint8_t {
-  kQuery = 1,  ///< one community / SCS query
-  kPing = 2,   ///< liveness + drain probe; echoed as an empty OK response
+  kQuery = 1,   ///< one community / SCS query
+  kPing = 2,    ///< liveness + drain probe; echoed as an empty OK response
+  kUpdate = 3,  ///< one live-update operation (see UpdateOp)
 };
+
+/// Live-update operations carried by kUpdate frames. Values are part of
+/// the protocol — append only. Mutations accumulate invisibly in the
+/// writer's state and become visible to queries atomically at the next
+/// kCommit, which publishes a new epoch.
+enum class UpdateOp : uint8_t {
+  kInsertEdge = 0,    ///< add edge (u, v) with the given weight
+  kRemoveEdge = 1,    ///< delete edge (u, v)
+  kReweightEdge = 2,  ///< set edge (u, v)'s weight
+  kCommit = 3,        ///< publish all applied mutations as a new epoch
+};
+inline constexpr uint8_t kNumUpdateOps = 4;
 
 /// The seven CLI batch methods, numbered for the wire. Values are part of
 /// the protocol — append only.
@@ -47,12 +60,18 @@ enum class WireStatus : uint8_t {
   kBadRequest = 1,       ///< malformed payload the framing survived
   kInvalidVertex = 2,    ///< q outside the served graph's layer
   kDeadlineExceeded = 3, ///< expired in queue before a worker picked it up
-  kOverloaded = 4,       ///< admission queue full; retry with backoff
+  kOverloaded = 4,       ///< admission/update queue full; retry with backoff
   kShuttingDown = 5,     ///< server draining; connection closes after this
+  kUpdatesDisabled = 6,  ///< daemon not started with --enable-updates
+  kConflict = 7,         ///< insert of existing edge / remove of missing one
 };
 
 /// Returns a stable lowercase name ("ok", "overloaded", …).
 const char* WireStatusName(WireStatus status);
+
+/// Returns a stable lowercase name ("insert", "remove", "reweight",
+/// "commit"); null for out-of-range values.
+const char* UpdateOpName(UpdateOp op);
 
 /// One query request. `q` is a layer-local id; `lower_side` selects the
 /// layer, exactly like the CLI's batch-file lines — the client never needs
@@ -70,6 +89,19 @@ const char* WireStatusName(WireStatus status);
 ///   12  4    alpha
 ///   16  4    beta
 ///   20  4    deadline_ms (0 = server default)
+///
+/// kUpdate frames reuse the same fixed 24 bytes with a different middle:
+///   off size field
+///   0   2    magic "AQ"
+///   2   1    version
+///   3   1    type (MessageType::kUpdate)
+///   4   1    op (UpdateOp)
+///   5   1    reserved, must be 0
+///   6   2    reserved, must be 0
+///   8   4    u (upper layer-local id; 0 for kCommit)
+///   12  4    v (lower layer-local id; 0 for kCommit)
+///   16  8    weight as IEEE-754 bits (must be 0 for kRemoveEdge/kCommit;
+///            must be finite otherwise)
 struct WireRequest {
   MessageType type = MessageType::kQuery;
   WireMethod method = WireMethod::kDelta;
@@ -80,7 +112,14 @@ struct WireRequest {
   /// Queue-admission deadline: if the request waits longer than this in
   /// the scheduler, it is answered with kDeadlineExceeded instead of
   /// being executed. 0 defers to the server's configured default.
+  /// Queries only — updates are answered by the writer in arrival order.
   uint32_t deadline_ms = 0;
+
+  // kUpdate fields (ignored for kQuery/kPing).
+  UpdateOp op = UpdateOp::kInsertEdge;
+  uint32_t u = 0;       ///< upper layer-local endpoint
+  uint32_t v = 0;       ///< lower layer-local endpoint
+  double weight = 0.0;  ///< kInsertEdge / kReweightEdge only
 };
 
 inline constexpr std::size_t kRequestWireBytes = 24;
@@ -101,7 +140,9 @@ inline constexpr std::size_t kRequestWireBytes = 24;
 ///   8   4    num_edges (|C|)
 ///   12  4    result_edges (|R| for SCS methods; 0 otherwise)
 ///   16  8    significance f(R) as IEEE-754 bits (SCS methods; 0 otherwise)
-///   24  8    reserved, must be 0
+///   24  8    epoch (the snapshot epoch that answered; on kCommit the
+///            newly published epoch — 0 only from pre-update daemons,
+///            whose responses carried reserved zeros here)
 struct WireResponse {
   WireStatus status = WireStatus::kOk;
   MessageType type = MessageType::kQuery;
@@ -111,6 +152,7 @@ struct WireResponse {
   uint32_t num_edges = 0;
   uint32_t result_edges = 0;
   double significance = 0.0;
+  uint64_t epoch = 0;
 };
 
 inline constexpr std::size_t kResponseWireBytes = 32;

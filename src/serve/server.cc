@@ -68,12 +68,17 @@ Server::Server(const BipartiteGraph& g, const DeltaIndex* delta,
                             ? options.num_threads
                             : std::max(1u,
                                        std::thread::hardware_concurrency())),
-      online_engine_(g, QueryMethod::kOnline),
-      bicore_engine_(g, QueryMethod::kBicore, nullptr, bicore),
-      delta_engine_(g, QueryMethod::kDelta, delta),
       memo_(options.memo_max_entries),
       scheduler_(resolved_threads_, options.max_queue,
                  StealMode::kWorkStealing) {
+  SnapshotManagerOptions smo;
+  smo.update_queue = options.update_queue;
+  smo.compact_path = options.compact_path;
+  smo.compact_every = options.compact_every;
+  smo.publish_threads =
+      options.publish_threads ? options.publish_threads : resolved_threads_;
+  snapshots_ = std::make_unique<SnapshotManager>(g, delta, bicore,
+                                                 options.seed_decomp, smo);
   worker_states_.reserve(resolved_threads_);
   for (unsigned t = 0; t < resolved_threads_; ++t) {
     worker_states_.push_back(std::make_unique<WorkerState>());
@@ -118,6 +123,24 @@ Status Server::Start() {
   }
   port_ = ntohs(addr.sin_port);
 
+  // Align the memo with the seed snapshot before any worker can probe it.
+  memo_.SetEpoch(snapshots_->Epoch());
+  if (options_.enable_updates) {
+    snapshots_->set_publish_hook(
+        [this](const Snapshot& snap, const UpdateSummary& summary,
+               const std::vector<uint8_t>& touched) {
+          // δ growth/shrink re-bins every offset row: nothing survives.
+          memo_.AdvanceEpoch(snap.epoch(), summary.topology_changed,
+                             /*flush_all=*/summary.delta_changed, touched);
+        });
+    const Status st = snapshots_->Start();
+    if (!st.ok()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return st;
+    }
+  }
+
   started_ = true;
   accepting_.store(true);
   accept_thread_ = std::thread(&Server::AcceptLoop, this);
@@ -144,15 +167,20 @@ void Server::Shutdown() {
       if (c->reader.joinable()) c->reader.join();
     }
   }
-  // 3. Drain: every admitted request still gets executed and its response
-  //    written before the workers exit (TaskScheduler::Close hands out
-  //    queued tasks until empty).
+  // 3. Drain the update writer: every admitted update is applied, the
+  //    uncommitted tail is published and compacted, and each completion
+  //    flushes its response through the still-open connections. Readers
+  //    are joined, so no op can slip in behind the drain.
+  snapshots_->Drain();
+  // 4. Drain the query pool: every admitted request still gets executed
+  //    and its response written before the workers exit
+  //    (TaskScheduler::Close hands out queued tasks until empty).
   counters_.drained_tasks.store(scheduler_.Pending());
   scheduler_.Close();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
-  // 4. Tear down. Connection fds close when the last reference drops —
+  // 5. Tear down. Connection fds close when the last reference drops —
   //    all workers have joined, so that is here.
   {
     std::lock_guard lock(conns_mu_);
@@ -176,6 +204,12 @@ ServeStats Server::Stats() const {
   s.overloaded = counters_.overloaded.load();
   s.protocol_errors = counters_.protocol_errors.load();
   s.drained_tasks = counters_.drained_tasks.load();
+  const UpdateStats us = snapshots_->Stats();
+  s.updates_applied = us.applied;
+  s.update_conflicts = us.conflicts;
+  s.epochs_published = us.commits;
+  s.compactions = us.compactions;
+  s.update_overflows = us.overflows;
   return s;
 }
 
@@ -261,7 +295,42 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
   }
   resp.type = req.type;
   if (req.type == MessageType::kPing) {
+    resp.epoch = snapshots_->Epoch();
     Respond(conn, seq, resp);
+    return;
+  }
+  if (req.type == MessageType::kUpdate) {
+    resp.epoch = snapshots_->Epoch();
+    if (!options_.enable_updates) {
+      resp.status = WireStatus::kUpdatesDisabled;
+      Respond(conn, seq, resp);
+      return;
+    }
+    if (draining_.load()) {
+      resp.status = WireStatus::kShuttingDown;
+      Respond(conn, seq, resp);
+      return;
+    }
+    // Vertex universes are fixed across epochs (updates rewire edges, not
+    // vertex sets), so shape checks against the seed graph stay valid.
+    if (req.op != UpdateOp::kCommit &&
+        (req.u >= graph_->NumUpper() || req.v >= graph_->NumLower())) {
+      resp.status = WireStatus::kInvalidVertex;
+      Respond(conn, seq, resp);
+      return;
+    }
+    // The done callback fires exactly once: on the writer thread after
+    // application, or synchronously on rejection (queue full / draining).
+    const MessageType type = req.type;
+    snapshots_->Enqueue(req.op, req.u, req.v, req.weight,
+                        [this, conn, seq, type](WireStatus ws,
+                                                uint64_t epoch) {
+                          WireResponse r;
+                          r.type = type;
+                          r.status = ws;
+                          r.epoch = epoch;
+                          Respond(conn, seq, r);
+                        });
     return;
   }
   const uint32_t layer_size =
@@ -286,6 +355,9 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
   task.seq = seq;
   task.req = req;
   task.arrival = std::chrono::steady_clock::now();
+  // Pin the epoch at admission: the whole request executes against this
+  // frozen snapshot even if the writer publishes midway.
+  task.snap = snapshots_->Current();
   if (!scheduler_.Push(std::move(task), static_cast<unsigned>(conn->id))) {
     counters_.overloaded.fetch_add(1);
     resp.status = WireStatus::kOverloaded;
@@ -296,8 +368,10 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
 void Server::WorkerLoop(unsigned t) {
   Task task;
   while (scheduler_.Pop(t, &task)) {
+    const Snapshot& snap = *task.snap;
     WireResponse resp;
     resp.type = MessageType::kQuery;
+    resp.epoch = snap.epoch();
     const uint32_t deadline_ms = task.req.deadline_ms
                                      ? task.req.deadline_ms
                                      : options_.default_deadline_ms;
@@ -310,12 +384,12 @@ void Server::WorkerLoop(unsigned t) {
       continue;
     }
     const VertexId q = task.req.lower_side
-                           ? graph_->NumUpper() + task.req.q
+                           ? snap.graph().NumUpper() + task.req.q
                            : task.req.q;
     MemoValue value;
     if (options_.enable_memo &&
         memo_.Lookup(task.req.method, task.req.alpha, task.req.beta, q,
-                     &value)) {
+                     &value, snap.epoch())) {
       counters_.memo_hits.fetch_add(1);
       resp.found = value.found;
       resp.num_edges = value.num_edges;
@@ -324,41 +398,43 @@ void Server::WorkerLoop(unsigned t) {
       resp.significance = value.significance;
       resp.memo_hit = true;
     } else {
-      Execute(task.req, t, &resp);
+      Execute(task.req, snap, t, &resp);
       if (options_.enable_memo) {
         value = MemoValue{resp.found, resp.num_edges, resp.result_edges,
                           resp.kernel, resp.significance};
         memo_.Insert(task.req.method, task.req.alpha, task.req.beta, q,
-                     *graph_, worker_states_[t]->community, value);
+                     snap.graph(), worker_states_[t]->community, value,
+                     snap.epoch());
       }
     }
     Respond(task.conn, task.seq, resp);
   }
 }
 
-void Server::Execute(const WireRequest& req, unsigned t, WireResponse* resp) {
+void Server::Execute(const WireRequest& req, const Snapshot& snap, unsigned t,
+                     WireResponse* resp) {
   WorkerState& ws = *worker_states_[t];
-  const VertexId q =
-      req.lower_side ? graph_->NumUpper() + req.q : req.q;
+  const BipartiteGraph& g = snap.graph();
+  const VertexId q = req.lower_side ? g.NumUpper() + req.q : req.q;
   const QueryRequest qr{q, req.alpha, req.beta};
   // Retrieval first: the three plain methods answer with C itself, the
   // SCS methods retrieve C through I_δ exactly like `abcs query --batch
   // --method scs-*` before extracting R.
   switch (req.method) {
     case WireMethod::kOnline:
-      online_engine_.Query(qr, ws.scratch, &ws.community);
+      snap.online_engine().Query(qr, ws.scratch, &ws.community);
       break;
     case WireMethod::kBicore:
-      bicore_engine_.Query(qr, ws.scratch, &ws.community);
+      snap.bicore_engine().Query(qr, ws.scratch, &ws.community);
       break;
     default:
-      delta_engine_.Query(qr, ws.scratch, &ws.community);
+      snap.delta_engine().Query(qr, ws.scratch, &ws.community);
       break;
   }
   resp->num_edges = static_cast<uint32_t>(ws.community.edges.size());
   if (IsScsMethod(req.method)) {
     ScsStats stats;
-    ScsQueryInto(*graph_, ws.community, q, req.alpha, req.beta,
+    ScsQueryInto(g, ws.community, q, req.alpha, req.beta,
                  ScsAlgoOf(req.method), ScsOptions{}, &ws.scs, &stats,
                  &ws.scratch, &ws.workspace);
     resp->found = ws.scs.found;

@@ -21,6 +21,7 @@
 #include "serve/memo.h"
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
+#include "serve/snapshot.h"
 
 namespace abcs::serve {
 
@@ -38,6 +39,22 @@ struct ServerOptions {
   uint32_t default_deadline_ms = 0;
   bool enable_memo = true;
   std::size_t memo_max_entries = 1 << 16;
+  /// Accept kUpdate frames and publish new epochs (the live-update path).
+  /// Off, every update answers kUpdatesDisabled and serving is static.
+  bool enable_updates = false;
+  /// Bounded update-writer queue; a full queue answers kOverloaded.
+  std::size_t update_queue = 1024;
+  /// When nonempty, compaction rewrites the serving bundle here (atomic
+  /// temp+rename, previous bundle kept as `.prev`).
+  std::string compact_path;
+  /// Compact after every N published epochs (0 = only at drain).
+  uint32_t compact_every = 0;
+  /// Threads for the index rebuilds at publish (0 = worker count).
+  unsigned publish_threads = 1;
+  /// Optional decomposition matching the seed graph; lets the update
+  /// writer seed its maintained state without re-peeling (the bundle
+  /// restart path). Must outlive the server.
+  const BicoreDecomposition* seed_decomp = nullptr;
 };
 
 /// Monotonic counters, snapshotted for the shutdown summary and tests.
@@ -52,12 +69,26 @@ struct ServeStats {
   uint64_t overloaded = 0;
   uint64_t protocol_errors = 0;   ///< bad frames or payloads
   uint64_t drained_tasks = 0;     ///< queue depth when shutdown began
+  uint64_t updates_applied = 0;   ///< successful insert/remove/reweight
+  uint64_t update_conflicts = 0;  ///< dup insert / missing-edge remove
+  uint64_t epochs_published = 0;  ///< commits that produced a snapshot
+  uint64_t compactions = 0;       ///< bundles rewritten by the writer
+  uint64_t update_overflows = 0;  ///< updates rejected by the full queue
 };
 
 /// \brief The `abcs serve` resident daemon: accepts length-prefixed
-/// query frames over TCP and serves them from the borrowed graph +
+/// query frames over TCP and serves them from snapshot-versioned graph +
 /// indexes through a shared work-stealing worker pool with a warm
 /// (α,β) memo in front.
+///
+/// Serving is epoch-based RCU even when updates are disabled: every
+/// admitted query pins the current `Snapshot` (a shared_ptr copy) and
+/// executes against that frozen state, so a concurrent publish can never
+/// shear a reader — each response is computed entirely against the epoch
+/// it reports in `WireResponse::epoch`. With `enable_updates` a
+/// SnapshotManager writer thread applies kUpdate frames through
+/// incremental maintenance and publishes successor snapshots at commit
+/// boundaries; the memo is invalidated selectively per publish.
 ///
 /// Threading model: one accept thread, one reader thread per connection
 /// (bounded by max_connections), `num_threads` query workers. Readers
@@ -107,6 +138,8 @@ class Server {
 
   ServeStats Stats() const;
   QueryMemo& memo() { return memo_; }
+  /// The snapshot chain (always present; static serving is epoch 1).
+  SnapshotManager& snapshots() { return *snapshots_; }
 
  private:
   struct Connection;
@@ -115,6 +148,9 @@ class Server {
     uint32_t seq = 0;
     WireRequest req;
     std::chrono::steady_clock::time_point arrival;
+    /// The epoch pin: keeps the snapshot (graph, indexes, engines) alive
+    /// until this task's response is computed.
+    std::shared_ptr<const Snapshot> snap;
   };
 
   void AcceptLoop();
@@ -125,7 +161,8 @@ class Server {
   /// Encodes, frames and hands `resp` to the connection's sequencer.
   void Respond(const std::shared_ptr<Connection>& conn, uint32_t seq,
                const WireResponse& resp);
-  void Execute(const WireRequest& req, unsigned t, WireResponse* resp);
+  void Execute(const WireRequest& req, const Snapshot& snap, unsigned t,
+               WireResponse* resp);
   void ReapConnectionsLocked();
 
   const BipartiteGraph* graph_;
@@ -134,9 +171,7 @@ class Server {
   ServerOptions options_;
   unsigned resolved_threads_ = 1;
 
-  QueryEngine online_engine_;
-  QueryEngine bicore_engine_;
-  QueryEngine delta_engine_;
+  std::unique_ptr<SnapshotManager> snapshots_;
 
   QueryMemo memo_;
   TaskScheduler<Task> scheduler_;

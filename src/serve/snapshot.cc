@@ -1,0 +1,257 @@
+#include "serve/snapshot.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "io/index_bundle.h"
+
+namespace abcs::serve {
+
+Snapshot::Snapshot(uint64_t epoch, const BipartiteGraph& g,
+                   const DeltaIndex* delta, const BicoreIndex* bicore)
+    : epoch_(epoch),
+      graph_(&g),
+      delta_(delta),
+      bicore_(bicore),
+      online_engine_(g, QueryMethod::kOnline),
+      bicore_engine_(g, QueryMethod::kBicore, nullptr, bicore),
+      delta_engine_(g, QueryMethod::kDelta, delta) {}
+
+Snapshot::Snapshot(uint64_t epoch, std::shared_ptr<const BipartiteGraph> graph,
+                   std::shared_ptr<const BicoreDecomposition> decomp,
+                   std::shared_ptr<const DeltaIndex> delta,
+                   std::shared_ptr<const BicoreIndex> bicore)
+    : epoch_(epoch),
+      owned_graph_(std::move(graph)),
+      decomp_(std::move(decomp)),
+      owned_delta_(std::move(delta)),
+      owned_bicore_(std::move(bicore)),
+      graph_(owned_graph_.get()),
+      delta_(owned_delta_.get()),
+      bicore_(owned_bicore_.get()),
+      online_engine_(*graph_, QueryMethod::kOnline),
+      bicore_engine_(*graph_, QueryMethod::kBicore, nullptr, bicore_),
+      delta_engine_(*graph_, QueryMethod::kDelta, delta_) {}
+
+SnapshotManager::SnapshotManager(const BipartiteGraph& g,
+                                 const DeltaIndex* delta,
+                                 const BicoreIndex* bicore,
+                                 const BicoreDecomposition* decomp,
+                                 SnapshotManagerOptions options)
+    : seed_graph_(&g),
+      seed_delta_(delta),
+      seed_bicore_(bicore),
+      seed_decomp_(decomp),
+      options_(std::move(options)) {
+  current_ = std::make_shared<const Snapshot>(1, g, delta, bicore);
+}
+
+SnapshotManager::~SnapshotManager() { Drain(); }
+
+void SnapshotManager::set_publish_hook(PublishHook hook) {
+  publish_hook_ = std::move(hook);
+}
+
+Status SnapshotManager::Start() {
+  if (started_) return Status::InvalidArgument("manager already started");
+  // The one O(n·δ + m) fork of the served state into the writer's mutable
+  // copy; with a decomposition in hand (the bundle restart path) this is
+  // copies only, no peels.
+  dyn_ = std::make_unique<DynamicDeltaIndex>(*seed_graph_, seed_decomp_);
+  started_ = true;
+  writer_ = std::thread(&SnapshotManager::WriterLoop, this);
+  return Status::OK();
+}
+
+void SnapshotManager::Drain() {
+  if (!started_ || joined_) return;
+  draining_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  joined_ = true;
+}
+
+std::shared_ptr<const Snapshot> SnapshotManager::Current() const {
+  std::lock_guard<std::mutex> lock(current_mu_);
+  return current_;
+}
+
+bool SnapshotManager::Enqueue(UpdateOp op, uint32_t u_upper, uint32_t v_lower,
+                              double weight, DoneFn done) {
+  WireStatus reject = WireStatus::kOk;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (draining_.load(std::memory_order_acquire) || !started_) {
+      reject = WireStatus::kShuttingDown;
+    } else if (queue_.size() >= options_.update_queue) {
+      counters_.overflows.fetch_add(1, std::memory_order_relaxed);
+      reject = WireStatus::kOverloaded;
+    } else {
+      queue_.push_back(
+          PendingOp{op, u_upper, v_lower, weight, std::move(done)});
+    }
+  }
+  if (reject != WireStatus::kOk) {
+    if (done) done(reject, Epoch());
+    return false;
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+UpdateStats SnapshotManager::Stats() const {
+  UpdateStats s;
+  s.applied = counters_.applied.load(std::memory_order_relaxed);
+  s.conflicts = counters_.conflicts.load(std::memory_order_relaxed);
+  s.commits = counters_.commits.load(std::memory_order_relaxed);
+  s.compactions = counters_.compactions.load(std::memory_order_relaxed);
+  s.overflows = counters_.overflows.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SnapshotManager::WriterLoop() {
+  for (;;) {
+    PendingOp op;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        return !queue_.empty() || draining_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) break;  // draining and fully applied
+      op = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Apply(op);
+  }
+  // SIGTERM guarantee: everything admitted above was applied; publish the
+  // uncommitted tail so it is never silently lost, then persist.
+  if (ops_since_publish_ > 0) Publish();
+  MaybeCompact(/*at_drain=*/true);
+}
+
+void SnapshotManager::Apply(PendingOp& op) {
+  WireStatus ws = WireStatus::kOk;
+  uint64_t epoch = Epoch();
+  const uint32_t num_upper = dyn_->NumUpper();
+  const uint32_t num_lower = dyn_->NumVertices() - num_upper;
+  if (op.op != UpdateOp::kCommit &&
+      (op.u >= num_upper || op.v >= num_lower)) {
+    ws = WireStatus::kInvalidVertex;
+  } else {
+    switch (op.op) {
+      case UpdateOp::kInsertEdge: {
+        const Status st = dyn_->InsertEdge(op.u, num_upper + op.v, op.weight);
+        ws = st.ok() ? WireStatus::kOk : WireStatus::kConflict;
+        break;
+      }
+      case UpdateOp::kRemoveEdge: {
+        const Status st = dyn_->RemoveEdge(op.u, num_upper + op.v);
+        ws = st.ok() ? WireStatus::kOk : WireStatus::kConflict;
+        break;
+      }
+      case UpdateOp::kReweightEdge: {
+        const Status st = dyn_->UpdateWeight(op.u, num_upper + op.v, op.weight);
+        ws = st.ok() ? WireStatus::kOk : WireStatus::kConflict;
+        break;
+      }
+      case UpdateOp::kCommit: {
+        if (ops_since_publish_ > 0) {
+          epoch = Publish();
+        }
+        // An empty commit is a cheap no-op answering the current epoch.
+        break;
+      }
+    }
+    if (op.op != UpdateOp::kCommit) {
+      if (ws == WireStatus::kOk) {
+        ++ops_since_publish_;
+        counters_.applied.fetch_add(1, std::memory_order_relaxed);
+      } else if (ws == WireStatus::kConflict) {
+        counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (op.done) op.done(ws, epoch);
+}
+
+uint64_t SnapshotManager::Publish() {
+  UpdateSummary summary = dyn_->DrainSummary();
+  auto graph = std::make_shared<const BipartiteGraph>(dyn_->ExportGraph());
+  // Structural sharing: offsets are topology-only, so a weights-only batch
+  // republishes the previous decomposition untouched.
+  std::shared_ptr<const BicoreDecomposition> decomp;
+  const bool topology =
+      summary.topology_changed || summary.delta_changed || !last_decomp_;
+  if (topology) {
+    decomp = std::make_shared<const BicoreDecomposition>(
+        dyn_->ExportDecomposition());
+  } else {
+    decomp = last_decomp_;
+  }
+  last_decomp_ = decomp;
+  auto delta = std::make_shared<const DeltaIndex>(
+      DeltaIndex::Build(*graph, decomp.get(), options_.publish_threads));
+  auto bicore = std::make_shared<const BicoreIndex>(
+      BicoreIndex::Build(*graph, decomp.get(), options_.publish_threads));
+
+  const uint64_t epoch = Epoch() + 1;
+  auto snap = std::make_shared<const Snapshot>(epoch, std::move(graph),
+                                               std::move(decomp),
+                                               std::move(delta),
+                                               std::move(bicore));
+
+  // One-hop expansion in the NEW graph: a vertex can join a community
+  // whose members' own offsets never changed; the member it attaches to
+  // is a neighbour of a touched vertex.
+  const BipartiteGraph& g = snap->graph();
+  std::vector<uint8_t> touched(g.NumVertices(), 0);
+  for (const VertexId x : summary.touched) {
+    if (x < touched.size()) touched[x] = 1;
+  }
+  for (const VertexId x : summary.touched) {
+    if (x >= g.NumVertices()) continue;
+    for (const Arc& a : g.Neighbors(x)) touched[a.to] = 1;
+  }
+
+  // Memo invalidation runs before the swap; epoch-gated lookups make
+  // either order safe, this one just minimises the stale-miss window.
+  if (publish_hook_) publish_hook_(*snap, summary, touched);
+  {
+    std::lock_guard<std::mutex> lock(current_mu_);
+    current_ = std::move(snap);
+  }
+  epoch_.store(epoch, std::memory_order_release);
+  counters_.commits.fetch_add(1, std::memory_order_relaxed);
+  ops_since_publish_ = 0;
+  dirty_since_compact_ = true;
+  ++commits_since_compact_;
+  if (options_.compact_every != 0 &&
+      commits_since_compact_ >= options_.compact_every) {
+    MaybeCompact(/*at_drain=*/false);
+  }
+  return epoch;
+}
+
+void SnapshotManager::MaybeCompact(bool at_drain) {
+  (void)at_drain;
+  if (options_.compact_path.empty() || !dirty_since_compact_) return;
+  const std::shared_ptr<const Snapshot> snap = Current();
+  if (snap->decomposition() == nullptr) return;  // still the borrowed seed
+  SaveBundleOptions save_opts;
+  save_opts.keep_previous = true;
+  const Status st = SaveIndexBundle(snap->graph(), *snap->decomposition(),
+                                    *snap->delta_index(),
+                                    *snap->bicore_index(),
+                                    options_.compact_path, save_opts);
+  if (st.ok()) {
+    counters_.compactions.fetch_add(1, std::memory_order_relaxed);
+    dirty_since_compact_ = false;
+    commits_since_compact_ = 0;
+  } else {
+    // Compaction is best-effort durability, never availability: log and
+    // keep serving; the next commit retries.
+    std::fprintf(stderr, "# compaction failed: %s\n", st.ToString().c_str());
+  }
+}
+
+}  // namespace abcs::serve

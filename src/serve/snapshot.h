@@ -1,0 +1,221 @@
+#ifndef ABCS_SERVE_SNAPSHOT_H_
+#define ABCS_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "abcore/offsets.h"
+#include "common/status.h"
+#include "core/bicore_index.h"
+#include "core/delta_index.h"
+#include "core/maintenance.h"
+#include "core/query_engine.h"
+#include "graph/bipartite_graph.h"
+#include "serve/protocol.h"
+
+namespace abcs::serve {
+
+/// \brief One immutable epoch of the served state: graph + decomposition +
+/// both index layers + the three pre-wired query engines, all frozen at a
+/// commit boundary.
+///
+/// Reclamation is refcount RCU: readers pin an epoch by copying the
+/// manager's `shared_ptr<const Snapshot>` at admission and hold it for the
+/// life of the request; the writer publishes a successor and drops its own
+/// reference; the snapshot retires (frees) exactly when the last pinned
+/// reader releases it — never while pinned, never needing a grace period.
+///
+/// Structural sharing: a weights-only batch publishes a snapshot that
+/// reuses the predecessor's `BicoreDecomposition` (offsets are
+/// topology-only), so the expensive part of the chain is copy-on-write at
+/// commit granularity.
+class Snapshot {
+ public:
+  /// Borrowed form — the static-serving epoch 1. Caller guarantees the
+  /// graph and indexes outlive every pin (the daemon's startup state).
+  Snapshot(uint64_t epoch, const BipartiteGraph& g, const DeltaIndex* delta,
+           const BicoreIndex* bicore);
+
+  /// Owned form — published by the writer; members keep each other alive
+  /// (`delta`/`bicore` were built against `*graph`).
+  Snapshot(uint64_t epoch, std::shared_ptr<const BipartiteGraph> graph,
+           std::shared_ptr<const BicoreDecomposition> decomp,
+           std::shared_ptr<const DeltaIndex> delta,
+           std::shared_ptr<const BicoreIndex> bicore);
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  uint64_t epoch() const { return epoch_; }
+  const BipartiteGraph& graph() const { return *graph_; }
+  const DeltaIndex* delta_index() const { return delta_; }
+  const BicoreIndex* bicore_index() const { return bicore_; }
+  /// Non-null only for owned snapshots (compaction's input).
+  const BicoreDecomposition* decomposition() const { return decomp_.get(); }
+
+  const QueryEngine& online_engine() const { return online_engine_; }
+  const QueryEngine& bicore_engine() const { return bicore_engine_; }
+  const QueryEngine& delta_engine() const { return delta_engine_; }
+
+ private:
+  uint64_t epoch_;
+  // Keep-alives (null in the borrowed form).
+  std::shared_ptr<const BipartiteGraph> owned_graph_;
+  std::shared_ptr<const BicoreDecomposition> decomp_;
+  std::shared_ptr<const DeltaIndex> owned_delta_;
+  std::shared_ptr<const BicoreIndex> owned_bicore_;
+  // Serving pointers, valid in both forms.
+  const BipartiteGraph* graph_;
+  const DeltaIndex* delta_;
+  const BicoreIndex* bicore_;
+  QueryEngine online_engine_;
+  QueryEngine bicore_engine_;
+  QueryEngine delta_engine_;
+};
+
+struct SnapshotManagerOptions {
+  /// Bounded writer queue; a full queue answers kOverloaded (reads are
+  /// never affected by writer backpressure).
+  std::size_t update_queue = 1024;
+  /// When nonempty, compaction rewrites a fresh bundle here (atomic
+  /// temp+rename with `keep_previous` rotation).
+  std::string compact_path;
+  /// Compact after every N commits (0 = only at drain). Ignored without a
+  /// compact_path.
+  uint32_t compact_every = 0;
+  /// Threads for the index rebuilds at publish (0 = hardware).
+  unsigned publish_threads = 1;
+};
+
+/// Monotonic writer-side counters.
+struct UpdateStats {
+  uint64_t applied = 0;      ///< successful insert/remove/reweight ops
+  uint64_t conflicts = 0;    ///< duplicate insert / missing-edge remove
+  uint64_t commits = 0;      ///< published epochs (explicit + drain)
+  uint64_t compactions = 0;  ///< bundles rewritten
+  uint64_t overflows = 0;    ///< ops rejected by the full queue
+};
+
+/// \brief The single-writer epoch chain: drains a bounded update queue
+/// through `DynamicDeltaIndex` maintenance and publishes immutable
+/// snapshots.
+///
+/// Threading contract:
+///  - Any thread calls `Current()` (epoch pin) and `Enqueue()`.
+///  - Exactly one internal writer thread applies ops, answers their
+///    completion callbacks, and publishes; completion callbacks run on
+///    the writer thread and must not block on it.
+///  - `Drain()` stops admission, applies everything already queued,
+///    publishes uncommitted work as a final epoch and compacts — the
+///    SIGTERM guarantee: an admitted update is fully applied and
+///    compacted; a late one is cleanly rejected.
+class SnapshotManager {
+ public:
+  /// (status, epoch): for mutations the currently *visible* epoch (the op
+  /// itself becomes visible at the next commit); for kCommit the newly
+  /// published epoch.
+  using DoneFn = std::function<void(WireStatus, uint64_t)>;
+  /// Runs on the writer thread at every publish, BEFORE the new snapshot
+  /// becomes Current: (new snapshot, drained summary, touched bitmap
+  /// already one-hop-expanded in the new graph). The server's memo
+  /// invalidation hook.
+  using PublishHook = std::function<void(
+      const Snapshot&, const UpdateSummary&, const std::vector<uint8_t>&)>;
+
+  /// Seeds epoch 1 as a borrowed snapshot of `g` + indexes (all must
+  /// outlive the manager). `decomp`, when non-null, seeds the writer's
+  /// DynamicDeltaIndex without re-peeling (the bundle restart path).
+  SnapshotManager(const BipartiteGraph& g, const DeltaIndex* delta,
+                  const BicoreIndex* bicore, const BicoreDecomposition* decomp,
+                  SnapshotManagerOptions options);
+  ~SnapshotManager();
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  void set_publish_hook(PublishHook hook);  ///< before Start only
+
+  /// Spawns the writer thread (seeding the dynamic index happens here —
+  /// the one O(n·δ) copy of the maintained state).
+  Status Start();
+
+  /// Graceful writer shutdown (idempotent): reject new ops, apply the
+  /// backlog, publish uncommitted work, compact when configured, join.
+  void Drain();
+
+  /// Pins the current epoch: the returned snapshot stays valid (and its
+  /// arenas mapped/allocated) until the caller drops the pointer.
+  std::shared_ptr<const Snapshot> Current() const;
+
+  uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Admits one op; `done` fires on the writer thread after application
+  /// (or immediately here with kShuttingDown/kOverloaded on rejection —
+  /// the return value is false only for those rejections).
+  bool Enqueue(UpdateOp op, uint32_t u_upper, uint32_t v_lower, double weight,
+               DoneFn done);
+
+  UpdateStats Stats() const;
+
+ private:
+  struct PendingOp {
+    UpdateOp op;
+    uint32_t u;  ///< upper layer-local
+    uint32_t v;  ///< lower layer-local
+    double weight;
+    DoneFn done;
+  };
+
+  void WriterLoop();
+  void Apply(PendingOp& op);
+  /// Builds + publishes a new snapshot from the writer state; returns its
+  /// epoch.
+  uint64_t Publish();
+  void MaybeCompact(bool at_drain);
+
+  const BipartiteGraph* seed_graph_;
+  const DeltaIndex* seed_delta_;
+  const BicoreIndex* seed_bicore_;
+  const BicoreDecomposition* seed_decomp_;
+  const SnapshotManagerOptions options_;
+  PublishHook publish_hook_;
+
+  std::unique_ptr<DynamicDeltaIndex> dyn_;  ///< writer thread only
+  std::shared_ptr<const BicoreDecomposition> last_decomp_;  ///< ditto
+  uint64_t ops_since_publish_ = 0;                          ///< ditto
+  uint64_t commits_since_compact_ = 0;                      ///< ditto
+  bool dirty_since_compact_ = false;                        ///< ditto
+
+  mutable std::mutex current_mu_;
+  std::shared_ptr<const Snapshot> current_;  ///< guarded by current_mu_
+  std::atomic<uint64_t> epoch_{1};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingOp> queue_;  ///< guarded by queue_mu_
+  std::atomic<bool> draining_{false};
+  bool started_ = false;
+  bool joined_ = false;
+  std::thread writer_;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> applied{0};
+    std::atomic<uint64_t> conflicts{0};
+    std::atomic<uint64_t> commits{0};
+    std::atomic<uint64_t> compactions{0};
+    std::atomic<uint64_t> overflows{0};
+  } counters_;
+};
+
+}  // namespace abcs::serve
+
+#endif  // ABCS_SERVE_SNAPSHOT_H_

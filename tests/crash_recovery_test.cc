@@ -1,0 +1,239 @@
+// Crash-safe compaction: a fork()ed child is killed at every named fault
+// point of the bundle save path (plus short-write variants), and the
+// survivor on disk must always open as a fully verified old-or-new
+// bundle — never a torn one. Also covers truncation rejection and the
+// `.prev` fallback with its logged diagnostic.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "abcore/offsets.h"
+#include "core/bicore_index.h"
+#include "core/delta_index.h"
+#include "io/fault_inject.h"
+#include "io/index_bundle.h"
+#include "test_util.h"
+
+namespace abcs {
+namespace {
+
+using ::abcs::testing::MakeGraph;
+
+/// Everything a SaveIndexBundle call needs, built once per graph.
+struct Artifacts {
+  BipartiteGraph graph;
+  BicoreDecomposition decomp;
+  DeltaIndex delta;
+  BicoreIndex bicore;
+
+  explicit Artifacts(BipartiteGraph g)
+      : graph(std::move(g)),
+        decomp(ComputeBicoreDecomposition(graph)),
+        delta(DeltaIndex::Build(graph, &decomp)),
+        bicore(BicoreIndex::Build(graph, &decomp)) {}
+
+  Status Save(const std::string& path, bool keep_previous) const {
+    SaveBundleOptions options;
+    options.keep_previous = keep_previous;
+    return SaveIndexBundle(graph, decomp, delta, bicore, path, options);
+  }
+};
+
+BipartiteGraph GraphV1() {
+  std::vector<std::tuple<uint32_t, uint32_t, Weight>> triples;
+  for (uint32_t u = 0; u < 4; ++u) {
+    for (uint32_t v = 0; v < 4; ++v) triples.emplace_back(u, v, 1.0 + u + v);
+  }
+  return MakeGraph(triples);
+}
+
+BipartiteGraph GraphV2() {
+  std::vector<std::tuple<uint32_t, uint32_t, Weight>> triples;
+  for (uint32_t u = 0; u < 4; ++u) {
+    for (uint32_t v = 0; v < 4; ++v) triples.emplace_back(u, v, 2.0 + u + v);
+  }
+  triples.emplace_back(4, 0, 7.0);  // different topology AND weights
+  return MakeGraph(triples);
+}
+
+class CrashMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("abcs_crash_matrix_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "bundle.abcs").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Forks; the child arms the fault, saves v2 over v1 and dies (or
+  /// exits 0 when the fault never fires). Returns the child exit code.
+  int CrashingSave(const Artifacts& v2, const std::string& point,
+                   FaultInjector::Action action, uint64_t short_bytes) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      FaultInjector::Instance().Arm(point, action, short_bytes);
+      const Status st = v2.Save(path_, /*keep_previous=*/true);
+      ::_exit(st.ok() ? 0 : 1);
+    }
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+    return WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+  }
+
+  /// The survivor invariant: whatever is on disk opens (directly or via
+  /// `.prev` fallback) and verifies as exactly the old or the new state.
+  void ExpectOldOrNew(const Artifacts& v1, const Artifacts& v2,
+                      const char* context) {
+    std::unique_ptr<IndexBundle> bundle;
+    std::string diagnostic;
+    ASSERT_TRUE(OpenBundleWithFallback(path_, &bundle, {}, &diagnostic).ok())
+        << context << ": survivor did not open";
+    const uint32_t edges = bundle->graph().NumEdges();
+    if (edges == v2.graph.NumEdges()) {
+      EXPECT_TRUE(VerifyBundleMatchesGraph(*bundle, v2.graph).ok())
+          << context << ": new-state survivor failed verification";
+    } else {
+      ASSERT_EQ(edges, v1.graph.NumEdges())
+          << context << ": survivor is neither old nor new";
+      EXPECT_TRUE(VerifyBundleMatchesGraph(*bundle, v1.graph).ok())
+          << context << ": old-state survivor failed verification";
+    }
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(CrashMatrixTest, KillAtEveryFaultPointRecoversOldOrNew) {
+  const Artifacts v1(GraphV1());
+  const Artifacts v2(GraphV2());
+  for (const char* point : BundleSaveFaultPoints()) {
+    // Fresh old state for every kill point.
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    ASSERT_TRUE(v1.Save(path_, /*keep_previous=*/false).ok());
+
+    const int code =
+        CrashingSave(v2, point, FaultInjector::Action::kCrash, 0);
+    ASSERT_EQ(code, kFaultCrashExitCode)
+        << "fault point " << point << " never fired";
+    ExpectOldOrNew(v1, v2, point);
+  }
+}
+
+TEST_F(CrashMatrixTest, ShortWriteThenKillRecoversOldOrNew) {
+  const Artifacts v1(GraphV1());
+  const Artifacts v2(GraphV2());
+  const struct {
+    const char* label;
+    uint64_t bytes;
+  } cases[] = {
+      {"bundle_save.meta", 0},       // nothing lands
+      {"bundle_save.meta", 7},       // torn magic/header
+      {"bundle_save.meta", 55},      // header survives, TOC torn
+      {"bundle_save.sections", 0},   // meta only
+      {"bundle_save.sections", 33},  // first section torn mid-payload
+  };
+  for (const auto& c : cases) {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    ASSERT_TRUE(v1.Save(path_, /*keep_previous=*/false).ok());
+
+    const int code = CrashingSave(v2, c.label,
+                                  FaultInjector::Action::kShortWrite, c.bytes);
+    ASSERT_EQ(code, kFaultCrashExitCode)
+        << c.label << "=" << c.bytes << " never fired";
+    // A short write dies inside the tmp file: the live bundle is intact,
+    // so this must always recover the OLD state.
+    std::unique_ptr<IndexBundle> bundle;
+    ASSERT_TRUE(OpenBundleWithFallback(path_, &bundle, {}, nullptr).ok());
+    EXPECT_EQ(bundle->graph().NumEdges(), v1.graph.NumEdges())
+        << c.label << "=" << c.bytes;
+    EXPECT_TRUE(VerifyBundleMatchesGraph(*bundle, v1.graph).ok());
+    ExpectOldOrNew(v1, v2, c.label);
+  }
+}
+
+TEST_F(CrashMatrixTest, TruncatedBundleIsRejectedNotMisread) {
+  const Artifacts v1(GraphV1());
+  ASSERT_TRUE(v1.Save(path_, /*keep_previous=*/false).ok());
+  const auto full = std::filesystem::file_size(path_);
+  for (const std::uintmax_t keep :
+       {std::uintmax_t{0}, std::uintmax_t{7}, full / 2, full - 1}) {
+    std::filesystem::resize_file(path_, keep);
+    std::unique_ptr<IndexBundle> bundle;
+    EXPECT_FALSE(OpenIndexBundle(path_, &bundle).ok()) << "keep=" << keep;
+    // No .prev exists either: the fallback opener must fail loudly too.
+    EXPECT_FALSE(OpenBundleWithFallback(path_, &bundle, {}, nullptr).ok());
+    ASSERT_TRUE(v1.Save(path_, /*keep_previous=*/false).ok());
+  }
+}
+
+TEST_F(CrashMatrixTest, CorruptBundleFallsBackToPrevWithDiagnostic) {
+  const Artifacts v1(GraphV1());
+  const Artifacts v2(GraphV2());
+  // v1 live, then v2 over it with rotation: path = v2, path.prev = v1.
+  ASSERT_TRUE(v1.Save(path_, /*keep_previous=*/false).ok());
+  ASSERT_TRUE(v2.Save(path_, /*keep_previous=*/true).ok());
+  ASSERT_TRUE(std::filesystem::exists(path_ + ".prev"));
+
+  // Intact: opens the new state, no diagnostic.
+  {
+    std::unique_ptr<IndexBundle> bundle;
+    std::string diagnostic;
+    ASSERT_TRUE(OpenBundleWithFallback(path_, &bundle, {}, &diagnostic).ok());
+    EXPECT_TRUE(diagnostic.empty());
+    EXPECT_EQ(bundle->graph().NumEdges(), v2.graph.NumEdges());
+  }
+
+  // Corrupt the live bundle: falls back to the previous epoch, says so.
+  std::filesystem::resize_file(path_, std::filesystem::file_size(path_) / 2);
+  {
+    std::unique_ptr<IndexBundle> bundle;
+    std::string diagnostic;
+    ASSERT_TRUE(OpenBundleWithFallback(path_, &bundle, {}, &diagnostic).ok());
+    EXPECT_FALSE(diagnostic.empty());
+    EXPECT_NE(diagnostic.find("recovered from previous epoch"),
+              std::string::npos)
+        << diagnostic;
+    EXPECT_EQ(bundle->graph().NumEdges(), v1.graph.NumEdges());
+    EXPECT_TRUE(VerifyBundleMatchesGraph(*bundle, v1.graph).ok());
+  }
+
+  // Both torn: the composed error names both casualties.
+  std::filesystem::resize_file(path_ + ".prev", 9);
+  std::unique_ptr<IndexBundle> bundle;
+  std::string diagnostic;
+  EXPECT_FALSE(OpenBundleWithFallback(path_, &bundle, {}, &diagnostic).ok());
+}
+
+TEST(FaultInjectorTest, DisarmedSeamsAreTransparent) {
+  FaultInjector& fi = FaultInjector::Instance();
+  fi.Disarm();
+  EXPECT_FALSE(fi.armed());
+  FaultPoint("bundle_save.after_meta");  // must not crash
+  EXPECT_EQ(FaultWriteBudget("bundle_save.meta", 128u), 128u);
+
+  // Armed at a different point: still transparent here.
+  fi.Arm("bundle_save.sections", FaultInjector::Action::kShortWrite, 5);
+  EXPECT_TRUE(fi.armed());
+  EXPECT_EQ(FaultWriteBudget("bundle_save.meta", 128u), 128u);
+  EXPECT_EQ(FaultWriteBudget("bundle_save.sections", 128u), 5u);
+  fi.Disarm();
+  EXPECT_EQ(FaultWriteBudget("bundle_save.sections", 128u), 128u);
+}
+
+}  // namespace
+}  // namespace abcs

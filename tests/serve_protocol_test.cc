@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -184,6 +185,7 @@ TEST(ProtocolTest, ResponseRoundTrip) {
   resp.num_edges = 777;
   resp.result_edges = 42;
   resp.significance = 96.0625;
+  resp.epoch = 0x0102030405060708ull;
   std::vector<std::byte> payload;
   EncodeResponse(resp, &payload);
   ASSERT_EQ(payload.size(), kResponseWireBytes);
@@ -196,6 +198,7 @@ TEST(ProtocolTest, ResponseRoundTrip) {
   EXPECT_EQ(got.num_edges, resp.num_edges);
   EXPECT_EQ(got.result_edges, resp.result_edges);
   EXPECT_EQ(got.significance, resp.significance);  // exact IEEE bits
+  EXPECT_EQ(got.epoch, resp.epoch);
 }
 
 TEST(ProtocolTest, RejectsEveryMalformedRequest) {
@@ -266,10 +269,94 @@ TEST(ProtocolTest, RejectsMalformedResponse) {
   EXPECT_FALSE(corrupt(2, 9).ok());      // version
   EXPECT_FALSE(corrupt(3, 200).ok());    // status range
   EXPECT_FALSE(corrupt(4, 0).ok());      // type
-  EXPECT_FALSE(corrupt(6, 2).ok());      // found flag
-  EXPECT_FALSE(corrupt(7, 7).ok());      // memo flag
-  EXPECT_FALSE(corrupt(24, 1).ok());     // reserved
-  EXPECT_FALSE(corrupt(31, 0xff).ok());  // reserved
+  EXPECT_FALSE(corrupt(6, 2).ok());  // found flag
+  EXPECT_FALSE(corrupt(7, 7).ok());  // memo flag
+  // Bytes 24-31 carry the epoch now: any value decodes.
+  EXPECT_TRUE(corrupt(24, 1).ok());
+  EXPECT_EQ(out.epoch, 1u);
+  EXPECT_TRUE(corrupt(31, 0xff).ok());
+  EXPECT_EQ(out.epoch, 0xff00000000000000ull);
+}
+
+// ------------------------------------------------------------- updates --
+
+WireRequest SampleUpdate(UpdateOp op) {
+  WireRequest req;
+  req.type = MessageType::kUpdate;
+  req.op = op;
+  if (op != UpdateOp::kCommit) {
+    req.u = 17;
+    req.v = 23;
+  }
+  if (op == UpdateOp::kInsertEdge || op == UpdateOp::kReweightEdge) {
+    req.weight = 2.5;
+  }
+  return req;
+}
+
+TEST(ProtocolTest, UpdateRequestRoundTripEveryOp) {
+  for (uint8_t o = 0; o < kNumUpdateOps; ++o) {
+    const UpdateOp op = static_cast<UpdateOp>(o);
+    const WireRequest req = SampleUpdate(op);
+    std::vector<std::byte> payload;
+    EncodeRequest(req, &payload);
+    ASSERT_EQ(payload.size(), kRequestWireBytes);
+    WireRequest got;
+    ASSERT_TRUE(DecodeRequest(payload, &got).ok()) << UpdateOpName(op);
+    EXPECT_EQ(got.type, MessageType::kUpdate);
+    EXPECT_EQ(got.op, op);
+    EXPECT_EQ(got.u, req.u);
+    EXPECT_EQ(got.v, req.v);
+    EXPECT_EQ(got.weight, req.weight);  // exact IEEE bits
+  }
+}
+
+TEST(ProtocolTest, RejectsEveryMalformedUpdate) {
+  std::vector<std::byte> good;
+  EncodeRequest(SampleUpdate(UpdateOp::kInsertEdge), &good);
+  WireRequest out;
+  ASSERT_TRUE(DecodeRequest(good, &out).ok());
+  auto corrupt = [&](std::size_t off, uint8_t value) {
+    std::vector<std::byte> bad = good;
+    bad[off] = static_cast<std::byte>(value);
+    return DecodeRequest(bad, &out);
+  };
+  EXPECT_FALSE(corrupt(4, kNumUpdateOps).ok());  // op range
+  EXPECT_FALSE(corrupt(4, 0xff).ok());
+  EXPECT_FALSE(corrupt(5, 1).ok());  // reserved byte
+  EXPECT_FALSE(corrupt(6, 1).ok());  // reserved u16
+  EXPECT_FALSE(corrupt(7, 0x80).ok());
+
+  // Non-finite weights never reach the writer.
+  WireRequest nan = SampleUpdate(UpdateOp::kInsertEdge);
+  nan.weight = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::byte> payload;
+  EncodeRequest(nan, &payload);
+  EXPECT_FALSE(DecodeRequest(payload, &out).ok());
+  nan.weight = std::numeric_limits<double>::infinity();
+  payload.clear();
+  EncodeRequest(nan, &payload);
+  EXPECT_FALSE(DecodeRequest(payload, &out).ok());
+
+  // Remove/commit must encode weight bits as zero.
+  WireRequest bad_remove = SampleUpdate(UpdateOp::kRemoveEdge);
+  bad_remove.weight = 1.0;
+  payload.clear();
+  EncodeRequest(bad_remove, &payload);
+  EXPECT_FALSE(DecodeRequest(payload, &out).ok());
+
+  // Commit carries no vertices.
+  WireRequest bad_commit = SampleUpdate(UpdateOp::kCommit);
+  bad_commit.u = 1;
+  payload.clear();
+  EncodeRequest(bad_commit, &payload);
+  EXPECT_FALSE(DecodeRequest(payload, &out).ok());
+
+  // A well-formed commit decodes.
+  payload.clear();
+  EncodeRequest(SampleUpdate(UpdateOp::kCommit), &payload);
+  EXPECT_TRUE(DecodeRequest(payload, &out).ok());
+  EXPECT_EQ(out.op, UpdateOp::kCommit);
 }
 
 TEST(ProtocolTest, MethodNamesRoundTrip) {
@@ -381,6 +468,89 @@ TEST(MemoTest, FlushOnPressureKeepsWorking) {
   // The last insert always lands (flush happens before inserting).
   MemoValue out;
   EXPECT_TRUE(memo.Lookup(WireMethod::kDelta, 64, 1, 0, &out));
+}
+
+// Epoch alignment: a lookup or insert carrying a stale pinned epoch is
+// ignored — the retired-worker poisoning guard.
+TEST(MemoTest, EpochGatingBlocksStaleReadersAndWriters) {
+  const BipartiteGraph g = RandomWeightedGraph(10, 10, 60, 39);
+  QueryMemo memo;
+  memo.SetEpoch(5);
+  Subgraph empty;
+  MemoValue value;
+  value.found = false;
+  MemoValue out;
+
+  memo.Insert(WireMethod::kDelta, 1, 1, 3, g, empty, value, /*epoch=*/4);
+  EXPECT_FALSE(memo.Lookup(WireMethod::kDelta, 1, 1, 3, &out, 5))
+      << "stale-epoch insert must be dropped";
+
+  memo.Insert(WireMethod::kDelta, 1, 1, 3, g, empty, value, /*epoch=*/5);
+  EXPECT_TRUE(memo.Lookup(WireMethod::kDelta, 1, 1, 3, &out, 5));
+  EXPECT_FALSE(memo.Lookup(WireMethod::kDelta, 1, 1, 3, &out, 4))
+      << "stale-epoch lookup must miss";
+}
+
+// Selective invalidation: a topology publish drops exactly the entries
+// with a registered member in the touched set (plus every SCS entry);
+// untouched components stay warm across the epoch.
+TEST(MemoTest, AdvanceEpochKeepsUntouchedComponentsWarm) {
+  // Two disjoint communities: upper {0,1} x lower {0,1} and
+  // upper {2,3} x lower {2,3} (unified lower ids offset by NumUpper = 4).
+  std::vector<std::tuple<uint32_t, uint32_t, Weight>> triples;
+  for (uint32_t u : {0u, 1u}) {
+    for (uint32_t v : {0u, 1u}) triples.emplace_back(u, v, 1.0);
+  }
+  for (uint32_t u : {2u, 3u}) {
+    for (uint32_t v : {2u, 3u}) triples.emplace_back(u, v, 1.0);
+  }
+  const BipartiteGraph g = ::abcs::testing::MakeGraph(triples);
+  const DeltaIndex delta = DeltaIndex::Build(g);
+  QueryMemo memo;
+  memo.SetEpoch(1);
+
+  auto insert_community = [&](VertexId q, uint64_t epoch) {
+    const Subgraph c = delta.QueryCommunity(q, 2, 2);
+    ASSERT_FALSE(c.edges.empty());
+    MemoValue value;
+    value.found = true;
+    value.num_edges = static_cast<uint32_t>(c.edges.size());
+    memo.Insert(WireMethod::kDelta, 2, 2, q, g, c, value, epoch);
+  };
+  insert_community(0, 1);  // first component
+  insert_community(2, 1);  // second component
+  MemoValue scs;
+  scs.found = true;
+  memo.Insert(WireMethod::kScsAuto, 2, 2, 0, g,
+              delta.QueryCommunity(0, 2, 2), scs, 1);
+
+  // Publish epoch 2 touching only the first component (upper 0).
+  std::vector<uint8_t> touched(g.NumVertices(), 0);
+  touched[0] = 1;
+  memo.AdvanceEpoch(2, /*topology_changed=*/true, /*flush_all=*/false,
+                    touched);
+
+  MemoValue out;
+  EXPECT_FALSE(memo.Lookup(WireMethod::kDelta, 2, 2, 0, &out, 2))
+      << "touched component must be dropped";
+  EXPECT_FALSE(memo.Lookup(WireMethod::kScsAuto, 2, 2, 0, &out, 2))
+      << "SCS entries die on every publish";
+  EXPECT_TRUE(memo.Lookup(WireMethod::kDelta, 2, 2, 2, &out, 2))
+      << "untouched component must stay warm";
+  EXPECT_TRUE(memo.Lookup(WireMethod::kDelta, 2, 2, 3, &out, 2))
+      << "sharing of the warm entry survives too";
+
+  // A weights-only publish keeps even previously-touched retrieval
+  // entries that were re-inserted, and drops nothing shared.
+  insert_community(0, 2);
+  memo.AdvanceEpoch(3, /*topology_changed=*/false, /*flush_all=*/false,
+                    touched);
+  EXPECT_TRUE(memo.Lookup(WireMethod::kDelta, 2, 2, 0, &out, 3));
+  EXPECT_TRUE(memo.Lookup(WireMethod::kDelta, 2, 2, 2, &out, 3));
+
+  // flush_all (δ changed) drops everything.
+  memo.AdvanceEpoch(4, true, /*flush_all=*/true, touched);
+  EXPECT_FALSE(memo.Lookup(WireMethod::kDelta, 2, 2, 2, &out, 4));
 }
 
 // ---------------------------------------------------- work stealing ----

@@ -33,9 +33,17 @@
 //   abcs gen    <name> <graph-out>            write a registry dataset
 //   abcs serve  <graph>|--bundle FILE [--host H] [--port N] [--threads N]
 //               [--port-file F] [--max-connections N] [--max-queue N]
-//               [--deadline-ms N] [--no-memo]
+//               [--deadline-ms N] [--no-memo] [--enable-updates]
+//               [--update-queue N] [--compact-path F] [--compact-every N]
 //                                             resident query daemon over TCP
-//                                             (SIGTERM/SIGINT drain cleanly)
+//                                             (SIGTERM/SIGINT drain cleanly);
+//                                             --enable-updates accepts live
+//                                             edge updates and serves each
+//                                             query from a pinned snapshot
+//                                             epoch; --compact-path persists
+//                                             the served state as a bundle
+//                                             (crash-safe temp+rename, prior
+//                                             bundle kept as .prev)
 //   abcs client [--host H] --port N --ping
 //   abcs client [--host H] --port N <q> <alpha> <beta> [--method M]
 //               [--side u|l] [--deadline-ms N]
@@ -46,6 +54,14 @@
 //   abcs client [--host H] --port N --batch <file> --connections N
 //               --duration S [...]            soak: N concurrent connections
 //                                             loop the batch for S seconds
+//   abcs client [--host H] --port N (--insert u v w | --remove u v |
+//               --reweight u v w)... [--commit]
+//                                             live updates, applied in order;
+//                                             --commit publishes them as one
+//                                             new epoch
+//   abcs client [--host H] --port N --update-file F
+//                                             batch updates: lines `i u v w`,
+//                                             `r u v`, `w u v w`, `c`
 //
 // <graph> is a whitespace edge list `u v [w]` with 0-based layer-local ids
 // (lines starting with % or # ignored). <q> is a layer-local id; --side
@@ -87,6 +103,7 @@
 #include "core/profile.h"
 #include "graph/datasets.h"
 #include "graph/graph_io.h"
+#include "io/fault_inject.h"
 #include "io/index_bundle.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -110,10 +127,16 @@ int Usage() {
                "  abcs gen   <name> <graph-out>\n"
                "  abcs serve <graph>|--bundle FILE [--host H] [--port N] "
                "[--threads N] [--port-file F] [--max-connections N] "
-               "[--max-queue N] [--deadline-ms N] [--no-memo]\n"
+               "[--max-queue N] [--deadline-ms N] [--no-memo] "
+               "[--enable-updates] [--update-queue N] [--compact-path F] "
+               "[--compact-every N]\n"
                "  abcs client [--host H] --port N (--ping | <q> <alpha> "
                "<beta> | --batch FILE [--connections N --duration S]) "
-               "[--method M] [--side u|l] [--deadline-ms N]\n");
+               "[--method M] [--side u|l] [--deadline-ms N]\n"
+               "  abcs client [--host H] --port N (--insert u v w | "
+               "--remove u v | --reweight u v w)... [--commit]\n"
+               "  abcs client [--host H] --port N --update-file F   "
+               "(lines: i u v w | r u v | w u v w | c)\n");
   return 2;
 }
 
@@ -203,7 +226,14 @@ struct Session {
 
 abcs::Status LoadSession(const QueryArgs& args, Session* s) {
   if (!args.bundle_path.empty()) {
-    ABCS_RETURN_NOT_OK(abcs::OpenIndexBundle(args.bundle_path, &s->bundle));
+    // Recovery path: a bundle torn by a crash mid-compaction falls back to
+    // the `.prev` epoch the writer rotated aside, with a logged diagnostic.
+    std::string diagnostic;
+    ABCS_RETURN_NOT_OK(abcs::OpenBundleWithFallback(
+        args.bundle_path, &s->bundle, {}, &diagnostic));
+    if (!diagnostic.empty()) {
+      std::fprintf(stderr, "# %s\n", diagnostic.c_str());
+    }
     s->graph = &s->bundle->graph();
     return abcs::Status::OK();
   }
@@ -704,11 +734,24 @@ bool ParseServeArgs(int argc, char** argv, ServeArgs* args) {
       args->options.default_deadline_ms = static_cast<uint32_t>(n);
     } else if (std::strcmp(argv[i], "--no-memo") == 0) {
       args->options.enable_memo = false;
+    } else if (std::strcmp(argv[i], "--enable-updates") == 0) {
+      args->options.enable_updates = true;
+    } else if (std::strcmp(argv[i], "--update-queue") == 0) {
+      if (!parse_u32(&i, 1 << 24, &n) || n == 0) return false;
+      args->options.update_queue = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--compact-path") == 0 && i + 1 < argc) {
+      args->options.compact_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--compact-every") == 0) {
+      if (!parse_u32(&i, 1 << 24, &n)) return false;
+      args->options.compact_every = static_cast<uint32_t>(n);
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       return false;
     } else {
       pos.push_back(argv[i]);
     }
+  }
+  if (!args->options.compact_path.empty() && !args->options.enable_updates) {
+    return false;  // compaction is the update writer's job
   }
   if (args->bundle_path.empty()) {
     if (pos.size() != 1) return false;
@@ -743,7 +786,12 @@ int CmdServe(const ServeArgs& args) {
     bicore = &owned_bicore;
   }
 
-  abcs::serve::Server server(g, delta, bicore, args.options);
+  abcs::serve::ServerOptions options = args.options;
+  if (session.bundle != nullptr) {
+    // Seeds the update writer's maintained state without re-peeling.
+    options.seed_decomp = &session.bundle->decomposition();
+  }
+  abcs::serve::Server server(g, delta, bicore, options);
   st = server.Start();
   if (!st.ok()) return Fail(st);
 
@@ -761,9 +809,12 @@ int CmdServe(const ServeArgs& args) {
       return Fail(abcs::Status::IOError("cannot write " + args.port_file));
     }
   }
-  std::fprintf(stderr, "# serving %s:%u (|E|=%u, memo=%s); SIGTERM drains\n",
-               args.options.host.c_str(), server.port(), g.NumEdges(),
-               args.options.enable_memo ? "on" : "off");
+  std::fprintf(stderr,
+               "# serving %s:%u (|E|=%u, memo=%s, updates=%s); SIGTERM "
+               "drains\n",
+               options.host.c_str(), server.port(), g.NumEdges(),
+               options.enable_memo ? "on" : "off",
+               options.enable_updates ? "on" : "off");
 
   server.WaitForShutdownRequest();
   server.Shutdown();
@@ -782,6 +833,17 @@ int CmdServe(const ServeArgs& args) {
                static_cast<unsigned long long>(s.overloaded),
                static_cast<unsigned long long>(s.protocol_errors),
                static_cast<unsigned long long>(s.drained_tasks));
+  if (options.enable_updates) {
+    std::fprintf(stderr,
+                 "# updates: applied=%llu conflicts=%llu epochs=%llu "
+                 "compactions=%llu overflows=%llu final_epoch=%llu\n",
+                 static_cast<unsigned long long>(s.updates_applied),
+                 static_cast<unsigned long long>(s.update_conflicts),
+                 static_cast<unsigned long long>(s.epochs_published),
+                 static_cast<unsigned long long>(s.compactions),
+                 static_cast<unsigned long long>(s.update_overflows),
+                 static_cast<unsigned long long>(server.snapshots().Epoch()));
+  }
   g_serve_instance = nullptr;
   return 0;
 }
@@ -802,6 +864,13 @@ struct ClientArgs {
   double duration_s = 0.0;
   uint32_t q = 0, alpha = 0, beta = 0;
   bool single = false;
+  struct UpdateSpec {
+    abcs::serve::UpdateOp op = abcs::serve::UpdateOp::kCommit;
+    uint32_t u = 0, v = 0;
+    double weight = 0.0;
+  };
+  std::vector<UpdateSpec> updates;  ///< applied in command-line order
+  std::string update_file;
 };
 
 bool ParseClientArgs(int argc, char** argv, ClientArgs* args) {
@@ -827,6 +896,30 @@ bool ParseClientArgs(int argc, char** argv, ClientArgs* args) {
       args->connections = static_cast<unsigned>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
       args->duration_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--insert") == 0 && i + 3 < argc) {
+      ClientArgs::UpdateSpec s;
+      s.op = abcs::serve::UpdateOp::kInsertEdge;
+      s.u = static_cast<uint32_t>(std::atol(argv[++i]));
+      s.v = static_cast<uint32_t>(std::atol(argv[++i]));
+      s.weight = std::atof(argv[++i]);
+      args->updates.push_back(s);
+    } else if (std::strcmp(argv[i], "--remove") == 0 && i + 2 < argc) {
+      ClientArgs::UpdateSpec s;
+      s.op = abcs::serve::UpdateOp::kRemoveEdge;
+      s.u = static_cast<uint32_t>(std::atol(argv[++i]));
+      s.v = static_cast<uint32_t>(std::atol(argv[++i]));
+      args->updates.push_back(s);
+    } else if (std::strcmp(argv[i], "--reweight") == 0 && i + 3 < argc) {
+      ClientArgs::UpdateSpec s;
+      s.op = abcs::serve::UpdateOp::kReweightEdge;
+      s.u = static_cast<uint32_t>(std::atol(argv[++i]));
+      s.v = static_cast<uint32_t>(std::atol(argv[++i]));
+      s.weight = std::atof(argv[++i]);
+      args->updates.push_back(s);
+    } else if (std::strcmp(argv[i], "--commit") == 0) {
+      args->updates.push_back(ClientArgs::UpdateSpec{});  // kCommit
+    } else if (std::strcmp(argv[i], "--update-file") == 0 && i + 1 < argc) {
+      args->update_file = argv[++i];
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       return false;
     } else {
@@ -834,7 +927,16 @@ bool ParseClientArgs(int argc, char** argv, ClientArgs* args) {
     }
   }
   if (args->port < 1 || args->port > 65535) return false;
-  if (args->ping) return pos.empty() && args->batch_path.empty();
+  const bool update_mode = !args->updates.empty() || !args->update_file.empty();
+  if (args->ping) {
+    return pos.empty() && args->batch_path.empty() && !update_mode;
+  }
+  if (update_mode) {
+    // One mode per invocation; a file and inline ops would have an
+    // ambiguous ordering.
+    return pos.empty() && args->batch_path.empty() &&
+           (args->updates.empty() || args->update_file.empty());
+  }
   if (!args->batch_path.empty()) {
     if (!pos.empty()) return false;
     // Soak needs both knobs; a lone --connections or --duration is a typo.
@@ -1029,15 +1131,110 @@ int RunClientSoak(const ClientArgs& args,
   return total_errors.load() == 0 ? 0 : 1;
 }
 
+// Update-file lines, one op each: `i u v w`, `r u v`, `w u v w`, `c`
+// (layer-local ids; % and # comment lines ignored).
+abcs::Status ParseUpdateFile(const std::string& path,
+                             std::vector<ClientArgs::UpdateSpec>* out) {
+  std::ifstream in(path);
+  if (!in) return abcs::Status::NotFound("cannot open update file " + path);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#' ||
+        line[first] == '%') {
+      continue;
+    }
+    ClientArgs::UpdateSpec s;
+    char tag = 0;
+    char junk[2];
+    unsigned long u = 0, v = 0;
+    double w = 0.0;
+    bool ok = false;
+    switch (line[first]) {
+      case 'i':
+      case 'w':
+        ok = std::sscanf(line.c_str(), " %c %lu %lu %lf %1s", &tag, &u, &v,
+                         &w, junk) == 4;
+        s.op = line[first] == 'i' ? abcs::serve::UpdateOp::kInsertEdge
+                                  : abcs::serve::UpdateOp::kReweightEdge;
+        break;
+      case 'r':
+        ok = std::sscanf(line.c_str(), " %c %lu %lu %1s", &tag, &u, &v,
+                         junk) == 3;
+        s.op = abcs::serve::UpdateOp::kRemoveEdge;
+        break;
+      case 'c':
+        ok = std::sscanf(line.c_str(), " %c %1s", &tag, junk) == 1;
+        s.op = abcs::serve::UpdateOp::kCommit;
+        break;
+      default:
+        break;
+    }
+    if (!ok || u > 0xffffffffUL || v > 0xffffffffUL) {
+      return abcs::Status::InvalidArgument(
+          path + ":" + std::to_string(lineno) +
+          ": expected `i u v w`, `r u v`, `w u v w` or `c`, got `" + line +
+          "`");
+    }
+    s.u = static_cast<uint32_t>(u);
+    s.v = static_cast<uint32_t>(v);
+    s.weight = w;
+    out->push_back(s);
+  }
+  return abcs::Status::OK();
+}
+
+int RunClientUpdates(const ClientArgs& args,
+                     const std::vector<ClientArgs::UpdateSpec>& updates) {
+  abcs::serve::Client client;
+  abcs::Status st = client.Connect(args.host, static_cast<uint16_t>(args.port));
+  if (!st.ok()) return Fail(st);
+  int failures = 0;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const ClientArgs::UpdateSpec& s = updates[i];
+    abcs::serve::WireResponse resp;
+    st = client.Update(s.op, s.u, s.v, s.weight, &resp);
+    if (!st.ok()) return Fail(st);
+    if (s.op == abcs::serve::UpdateOp::kCommit) {
+      std::printf("%zu commit %s epoch=%llu\n", i,
+                  abcs::serve::WireStatusName(resp.status),
+                  static_cast<unsigned long long>(resp.epoch));
+    } else if (s.op == abcs::serve::UpdateOp::kRemoveEdge) {
+      std::printf("%zu %s %u %u %s\n", i, abcs::serve::UpdateOpName(s.op),
+                  s.u, s.v, abcs::serve::WireStatusName(resp.status));
+    } else {
+      std::printf("%zu %s %u %u %g %s\n", i, abcs::serve::UpdateOpName(s.op),
+                  s.u, s.v, s.weight,
+                  abcs::serve::WireStatusName(resp.status));
+    }
+    if (resp.status != abcs::serve::WireStatus::kOk) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int CmdClient(const ClientArgs& args) {
   if (args.ping) {
     abcs::serve::Client client;
     abcs::Status st =
         client.Connect(args.host, static_cast<uint16_t>(args.port));
-    if (st.ok()) st = client.Ping();
+    uint64_t epoch = 0;
+    if (st.ok()) st = client.Ping(&epoch);
     if (!st.ok()) return Fail(st);
-    std::printf("pong\n");
+    std::printf("pong epoch=%llu\n", static_cast<unsigned long long>(epoch));
     return 0;
+  }
+  if (!args.updates.empty() || !args.update_file.empty()) {
+    std::vector<ClientArgs::UpdateSpec> updates = args.updates;
+    if (!args.update_file.empty()) {
+      const abcs::Status st = ParseUpdateFile(args.update_file, &updates);
+      if (!st.ok()) return Fail(st);
+    }
+    if (updates.empty()) {
+      return Fail(abcs::Status::InvalidArgument("empty update file"));
+    }
+    return RunClientUpdates(args, updates);
   }
   if (!args.batch_path.empty()) {
     std::vector<abcs::serve::WireRequest> requests;
@@ -1069,6 +1266,9 @@ int CmdClient(const ClientArgs& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Crash/short-write fault points for the recovery tests; a no-op branch
+  // unless ABCS_FAULT_INJECT is set.
+  abcs::FaultInjector::Instance().ArmFromEnv();
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   if (cmd == "stats" && argc == 3) return CmdStats(argv[2]);
