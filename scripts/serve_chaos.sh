@@ -1,0 +1,229 @@
+#!/usr/bin/env bash
+# Serve-tier chaos soak: drives the daemon and its client through the
+# armed net.* fault points (io/fault_inject.h) and asserts the resilience
+# contract end to end:
+#   - server-side socket faults (short sends, resets, EINTR storms) are
+#     invisible to a retrying client — batch output stays bit-identical
+#     to the offline runner,
+#   - client-side faults are absorbed by reconnect + resume,
+#   - a writer delayed past the client's I/O deadline yields a typed
+#     timeout with no retries, and succeeds once retries are allowed,
+#   - a flooding never-reading client is shed (slow_dropped > 0) while a
+#     paired fast client keeps completing within a hard latency bound,
+#   - SIGTERM still drains cleanly (exit 0 + `# drained:` summary) with
+#     faults armed.
+#
+# Usage: scripts/serve_chaos.sh [path/to/abcs]
+#   CHAOS_SECONDS  minimum wall-clock spent on the fault-identity loop
+#                  (default 10)
+set -euo pipefail
+
+ABCS=${1:-build/tools/abcs}
+CHAOS_SECONDS=${CHAOS_SECONDS:-10}
+
+if [[ ! -x "$ABCS" ]]; then
+  echo "serve_chaos: abcs binary not found at $ABCS" >&2
+  exit 1
+fi
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -KILL "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+GRAPH=$WORK/bs.txt
+BUNDLE=$WORK/bs.idx
+BATCH=$WORK/batch.txt
+
+echo "== generating dataset and index"
+"$ABCS" gen BS "$GRAPH" >/dev/null
+"$ABCS" index "$GRAPH" "$BUNDLE" >/dev/null
+cat > "$BATCH" <<'EOF'
+1 2 2
+0 1 1 l
+2 3 3
+5 2 3
+3 2 2 u
+7 1 2 l
+4 4 4
+EOF
+
+# Offline ground truth, minus the touched-work diagnostics the wire
+# protocol deliberately omits.
+"$ABCS" query --bundle "$BUNDLE" --batch "$BATCH" --method delta \
+  --threads 2 2>/dev/null \
+  | sed -e 's/ touched=[0-9]*//' -e 's/ touched_arcs=[0-9]*//' \
+  > "$WORK/offline.delta"
+
+# start_server <log> <port-file> [extra serve args...]; sets SERVER_PID
+# and PORT. ABCS_FAULT_INJECT in the environment arms the daemon.
+start_server() {
+  local log=$1 port_file=$2
+  shift 2
+  "$ABCS" serve --bundle "$BUNDLE" --port 0 --port-file "$port_file" \
+    --threads 2 "$@" 2>"$log" &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$port_file" ]] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      echo "serve_chaos: daemon died during startup:" >&2
+      cat "$log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [[ ! -s "$port_file" ]]; then
+    echo "serve_chaos: daemon never wrote its port file" >&2
+    exit 1
+  fi
+  PORT=$(cat "$port_file")
+}
+
+# stop_server <log>: SIGTERM, assert clean drain summary.
+stop_server() {
+  local log=$1
+  kill -TERM "$SERVER_PID"
+  local rc=0
+  wait "$SERVER_PID" || rc=$?
+  SERVER_PID=""
+  if [[ "$rc" -ne 0 ]]; then
+    echo "serve_chaos: daemon exited $rc after SIGTERM:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  if ! grep -q "^# drained:" "$log"; then
+    echo "serve_chaos: no drain summary in daemon log:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  grep "^# drained:" "$log"
+}
+
+# ------------------------------------------------- server-side faults --
+# Short sends split response frames, resets kill connections mid-stream,
+# EINTR storms hit the reader — the retrying client must still produce
+# bit-identical batch output, for at least CHAOS_SECONDS of wall clock.
+echo "== phase 1: server-side socket faults vs retrying client"
+ABCS_FAULT_INJECT="net.server_send=short:5@7,net.server_send=reset@41,net.server_recv=eintr:2@13" \
+  start_server "$WORK/server1.log" "$WORK/port1"
+"$ABCS" client --port "$PORT" --ping >/dev/null
+"$ABCS" client --port "$PORT" --health | grep -q "state=live" || {
+  echo "serve_chaos: health probe did not report live" >&2
+  exit 1
+}
+PASSES=0
+PHASE_START=$SECONDS
+while (( SECONDS - PHASE_START < CHAOS_SECONDS )); do
+  "$ABCS" client --port "$PORT" --batch "$BATCH" --method delta \
+    --retries 6 2>"$WORK/client1.err" > "$WORK/served1"
+  if ! diff -u "$WORK/offline.delta" "$WORK/served1"; then
+    echo "serve_chaos: served batch diverges from offline under faults" >&2
+    exit 1
+  fi
+  PASSES=$((PASSES + 1))
+done
+echo "   ok: $PASSES passes bit-identical under server-side faults"
+stop_server "$WORK/server1.log"
+
+# ------------------------------------------------- client-side faults --
+# Resets and EINTR storms on the client's own socket calls; CallAll must
+# reconnect and resume the unanswered suffix, output unchanged. The batch
+# is big enough (200 requests ≈ 7 KiB of responses) that one attempt
+# spans several recv syscalls, so the @3 reset cadence genuinely fires.
+# NB: keep every EINTR storm shorter than its cadence (here 2 < 9) —
+# a storm that spans the gap makes *every* syscall fail, forever.
+echo "== phase 2: client-side socket faults (reconnect + resume)"
+BATCH2=$WORK/batch2.txt
+for i in $(seq 0 199); do
+  echo "$((i % 8)) $((1 + i % 4)) $((1 + (i / 4) % 4))"
+done > "$BATCH2"
+"$ABCS" query --bundle "$BUNDLE" --batch "$BATCH2" --method delta \
+  --threads 2 2>/dev/null \
+  | sed -e 's/ touched=[0-9]*//' -e 's/ touched_arcs=[0-9]*//' \
+  > "$WORK/offline2.delta"
+start_server "$WORK/server2.log" "$WORK/port2"
+: > "$WORK/client2.err"
+for _ in $(seq 1 5); do
+  ABCS_FAULT_INJECT="net.client_recv=reset@3,net.client_send=eintr:2@9" \
+    "$ABCS" client --port "$PORT" --batch "$BATCH2" --method delta \
+    --retries 8 2>>"$WORK/client2.err" > "$WORK/served2"
+  if ! diff -u "$WORK/offline2.delta" "$WORK/served2"; then
+    echo "serve_chaos: client-side faults leaked into batch output" >&2
+    exit 1
+  fi
+done
+# The injected resets really exercised the reconnect path.
+if ! grep -qE "^# client: reconnects=[1-9]" "$WORK/client2.err"; then
+  echo "serve_chaos: client never reported retry telemetry:" >&2
+  cat "$WORK/client2.err" >&2
+  exit 1
+fi
+echo "   ok: batch identical across injected client faults;" \
+  "$(grep -m1 '^# client:' "$WORK/client2.err")"
+stop_server "$WORK/server2.log"
+
+# -------------------------------------------- delay past the deadline --
+# A server writer delayed beyond the client's I/O deadline must produce
+# a typed timeout (exit != 0, "timed out" on stderr) when retries are
+# off, and a success when the deadline comfortably covers the delay.
+echo "== phase 3: injected write delay vs client deadline"
+ABCS_FAULT_INJECT="net.server_send=delay:400" \
+  start_server "$WORK/server3.log" "$WORK/port3"
+RC=0
+timeout 30 "$ABCS" client --port "$PORT" 1 2 2 \
+  --io-timeout-ms 100 --retries 1 >/dev/null 2>"$WORK/client3.err" || RC=$?
+if [[ "$RC" -eq 0 || "$RC" -eq 124 ]]; then
+  echo "serve_chaos: delayed writer did not yield a typed timeout (rc=$RC)" >&2
+  cat "$WORK/client3.err" >&2
+  exit 1
+fi
+grep -q "timed out" "$WORK/client3.err" || {
+  echo "serve_chaos: timeout error is not typed:" >&2
+  cat "$WORK/client3.err" >&2
+  exit 1
+}
+# Same query with a deadline that covers the 400ms delay: succeeds.
+timeout 30 "$ABCS" client --port "$PORT" 1 2 2 \
+  --io-timeout-ms 2000 --retries 4 >/dev/null
+echo "   ok: typed timeout without retries, success with headroom"
+stop_server "$WORK/server3.log"
+
+# ------------------------------------------------- slow-client shed --
+# A flooding never-reading client must be shed (slow_dropped > 0 in the
+# drain summary) while a paired fast client completes a batch within a
+# hard wall-clock bound — one wedged peer cannot stall the tier.
+echo "== phase 4: slow-client flood vs paired fast client"
+start_server "$WORK/server4.log" "$WORK/port4" \
+  --write-deadline-ms 200 --max-out-kb 32 --sndbuf-kb 8 --max-queue 16384
+"$ABCS" client --port "$PORT" 1 1 1 --flood 5000 --hold-ms 3000 \
+  --rcvbuf-kb 4 > "$WORK/flood.out" &
+FLOOD_PID=$!
+sleep 0.3  # let the flood wedge its connection first
+FAST_START=$SECONDS
+timeout 20 "$ABCS" client --port "$PORT" --batch "$BATCH" --method delta \
+  2>/dev/null > "$WORK/served4"
+FAST_ELAPSED=$((SECONDS - FAST_START))
+if ! diff -u "$WORK/offline.delta" "$WORK/served4"; then
+  echo "serve_chaos: fast client answers diverged beside a slow peer" >&2
+  exit 1
+fi
+if (( FAST_ELAPSED > 5 )); then
+  echo "serve_chaos: fast client took ${FAST_ELAPSED}s beside a slow peer" >&2
+  exit 1
+fi
+wait "$FLOOD_PID" || true
+cat "$WORK/flood.out"
+stop_server "$WORK/server4.log"
+if ! grep "^# drained:" "$WORK/server4.log" | grep -qE "slow_dropped=[1-9]"; then
+  echo "serve_chaos: flood was never shed (slow_dropped=0):" >&2
+  grep "^# drained:" "$WORK/server4.log" >&2
+  exit 1
+fi
+echo "   ok: flood shed, fast client bounded (${FAST_ELAPSED}s)"
+
+echo "serve_chaos: PASS"

@@ -115,6 +115,11 @@ if ! grep -q "^# drained:" "$SERVER_LOG"; then
   exit 1
 fi
 grep "^# drained:" "$SERVER_LOG"
+# Well-behaved clients must never trip the slow-client shed.
+if ! grep "^# drained:" "$SERVER_LOG" | grep -q "slow_dropped=0 "; then
+  echo "serve_soak: slow-client sheds under normal load" >&2
+  exit 1
+fi
 
 # ---------------------------------------------------------------- live updates
 # Second daemon phase: --enable-updates with a compaction target. Update

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -9,6 +10,7 @@ namespace abcs {
 
 namespace fault_detail {
 std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_net_enabled{false};
 }  // namespace fault_detail
 
 FaultInjector& FaultInjector::Instance() {
@@ -28,21 +30,42 @@ void FaultInjector::Arm(const std::string& point, Action action,
 }
 
 void FaultInjector::ArmFromEnv() {
-  const char* spec = std::getenv("ABCS_FAULT_INJECT");
-  if (spec == nullptr || *spec == '\0') return;
-  const std::string s(spec);
-  const std::size_t eq = s.find('=');
-  if (eq == std::string::npos) {
-    Arm(s, Action::kCrash);
-    return;
-  }
-  const std::string point = s.substr(0, eq);
-  const std::string what = s.substr(eq + 1);
-  if (what.rfind("short:", 0) == 0) {
-    Arm(point, Action::kShortWrite,
-        std::strtoull(what.c_str() + 6, nullptr, 10));
-  } else {
-    Arm(point, Action::kCrash);
+  const char* env = std::getenv("ABCS_FAULT_INJECT");
+  if (env == nullptr || *env == '\0') return;
+  // Comma-separated specs; "net."-prefixed points arm the (non-crashing)
+  // socket injector, anything else the crash injector. The crash injector
+  // holds a single fault, so the last non-net spec wins.
+  const std::string all(env);
+  std::size_t start = 0;
+  while (start <= all.size()) {
+    std::size_t comma = all.find(',', start);
+    if (comma == std::string::npos) comma = all.size();
+    const std::string s = all.substr(start, comma - start);
+    start = comma + 1;
+    if (s.empty()) continue;
+    if (s.rfind("net.", 0) == 0) {
+      // A malformed net spec is a test-harness bug; fail loudly rather
+      // than silently running the chaos soak with nothing armed.
+      const Status st = NetFaultInjector::Instance().ArmSpec(s);
+      if (!st.ok()) {
+        std::fprintf(stderr, "ABCS_FAULT_INJECT: %s\n", st.ToString().c_str());
+        ::_exit(2);
+      }
+      continue;
+    }
+    const std::size_t eq = s.find('=');
+    if (eq == std::string::npos) {
+      Arm(s, Action::kCrash);
+      continue;
+    }
+    const std::string point = s.substr(0, eq);
+    const std::string what = s.substr(eq + 1);
+    if (what.rfind("short:", 0) == 0) {
+      Arm(point, Action::kShortWrite,
+          std::strtoull(what.c_str() + 6, nullptr, 10));
+    } else {
+      Arm(point, Action::kCrash);
+    }
   }
 }
 
@@ -72,6 +95,98 @@ void FaultInjector::CrashNow() { ::_exit(kFaultCrashExitCode); }
 
 bool FaultInjector::armed() const {
   return fault_detail::g_enabled.load(std::memory_order_acquire);
+}
+
+NetFaultInjector& NetFaultInjector::Instance() {
+  static NetFaultInjector* instance = new NetFaultInjector();
+  return *instance;
+}
+
+Status NetFaultInjector::ArmSpec(const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("net fault spec needs point=action: " +
+                                   spec);
+  }
+  Fault f;
+  f.point = spec.substr(0, eq);
+  std::string action = spec.substr(eq + 1);
+  const std::size_t at = action.find('@');
+  if (at != std::string::npos) {
+    char* end = nullptr;
+    f.every = std::strtoull(action.c_str() + at + 1, &end, 10);
+    if (f.every == 0 || end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad @every in net fault spec: " + spec);
+    }
+    action.resize(at);
+  }
+  const std::size_t colon = action.find(':');
+  std::string name = action.substr(0, colon);
+  uint64_t arg = 0;
+  if (colon != std::string::npos) {
+    char* end = nullptr;
+    arg = std::strtoull(action.c_str() + colon + 1, &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad argument in net fault spec: " +
+                                     spec);
+    }
+  }
+  if (name == "reset") {
+    f.kind = ActionKind::kReset;
+  } else if (name == "short") {
+    f.kind = ActionKind::kShort;
+    f.arg = arg ? arg : 1;
+  } else if (name == "eintr") {
+    f.kind = ActionKind::kEintr;
+    f.arg = arg ? arg : 1;
+  } else if (name == "delay") {
+    f.kind = ActionKind::kDelay;
+    f.arg = arg;
+  } else {
+    return Status::InvalidArgument("unknown net fault action: " + spec);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    faults_.push_back(std::move(f));
+  }
+  fault_detail::g_net_enabled.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void NetFaultInjector::Disarm() {
+  fault_detail::g_net_enabled.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.clear();
+}
+
+NetFaultInjector::Decision NetFaultInjector::Consult(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Fault& f : faults_) {
+    if (f.point != point) continue;
+    ++f.visits;
+    if (f.storm_left > 0) {
+      --f.storm_left;
+      ++f.fired;
+      return {ActionKind::kEintr, 0};
+    }
+    if (f.visits % f.every != 0) continue;
+    ++f.fired;
+    if (f.kind == ActionKind::kEintr) {
+      f.storm_left = f.arg - 1;  // this visit is the storm's first EINTR
+      return {ActionKind::kEintr, 0};
+    }
+    return {f.kind, f.arg};
+  }
+  return {};
+}
+
+uint64_t NetFaultInjector::fired(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const Fault& f : faults_) {
+    if (f.point == point) n += f.fired;
+  }
+  return n;
 }
 
 }  // namespace abcs

@@ -5,6 +5,9 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <vector>
+
+#include "common/status.h"
 
 namespace abcs {
 
@@ -85,6 +88,86 @@ inline uint64_t FaultWriteBudget(const char* point, uint64_t want) {
     return FaultInjector::Instance().WriteBudget(point, want);
   }
   return want;
+}
+
+/// \brief Non-crashing socket-fault injection for the serve tier's wire
+/// path (`net.*` points in client.cc / server.cc via serve/net_ops.h).
+///
+/// Where FaultInjector kills the process to emulate power loss, this seam
+/// perturbs individual socket calls to emulate a hostile network:
+/// connection resets, short send/recv, EINTR storms and injected delays —
+/// all deterministic, so chaos tests can assert exact recovery behavior.
+///
+/// Armed through the same `ABCS_FAULT_INJECT` environment variable
+/// (specs whose point starts with "net." route here; comma-separated
+/// specs arm several points at once) or programmatically via ArmSpec:
+///
+///     net.server_send=short:7@3     # every 3rd send truncated to 7 bytes
+///     net.client_recv=eintr:2@5     # every 5th recv starts a 2-EINTR storm
+///     net.client_send=reset@17      # every 17th send dies with ECONNRESET
+///     net.server_send=delay:250     # sleep 250ms before every send
+///
+/// `@N` fires the action on every Nth visit of that point (default 1).
+/// Multiple specs may target distinct points; the registry consults them
+/// all. Disarmed cost is one relaxed atomic-bool load per point.
+class NetFaultInjector {
+ public:
+  enum class ActionKind : uint8_t {
+    kNone,   ///< no fault at this visit
+    kReset,  ///< fail the call with ECONNRESET (ECONNREFUSED for connect)
+    kShort,  ///< truncate the attempted send/recv length to `arg` bytes
+    kEintr,  ///< fail the call (and the next arg-1 visits) with EINTR
+    kDelay,  ///< sleep `arg` milliseconds, then perform the call normally
+  };
+
+  struct Decision {
+    ActionKind kind = ActionKind::kNone;
+    uint64_t arg = 0;
+  };
+
+  static NetFaultInjector& Instance();
+
+  /// Parses and arms one `point=action[:arg][@everyN]` spec (additive —
+  /// call repeatedly to arm several points). The point should carry the
+  /// conventional "net." prefix so env routing finds it.
+  Status ArmSpec(const std::string& spec);
+
+  /// Drops every armed fault.
+  void Disarm();
+
+  /// Counts a visit of `point` and returns the action to apply, if any.
+  Decision Consult(const char* point);
+
+  /// How many times a fault at `point` has actually fired (tests).
+  uint64_t fired(const std::string& point) const;
+
+ private:
+  NetFaultInjector() = default;
+
+  struct Fault {
+    std::string point;
+    ActionKind kind = ActionKind::kNone;
+    uint64_t arg = 0;
+    uint64_t every = 1;
+    uint64_t visits = 0;
+    uint64_t storm_left = 0;  ///< remaining EINTRs in the current storm
+    uint64_t fired = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Fault> faults_;
+};
+
+namespace fault_detail {
+extern std::atomic<bool> g_net_enabled;
+}  // namespace fault_detail
+
+/// Zero-cost-when-disarmed socket fault point (see NetFaultInjector).
+inline NetFaultInjector::Decision NetFaultPoint(const char* point) {
+  if (fault_detail::g_net_enabled.load(std::memory_order_relaxed)) {
+    return NetFaultInjector::Instance().Consult(point);
+  }
+  return {};
 }
 
 }  // namespace abcs

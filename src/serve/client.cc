@@ -1,13 +1,21 @@
 #include "serve/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
+#include <thread>
+
+#include "common/rng.h"
+#include "serve/net_ops.h"
 
 namespace abcs::serve {
 
@@ -17,22 +25,72 @@ std::string ErrnoMessage(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
+int RemainingMs(std::chrono::steady_clock::time_point deadline) {
+  if (deadline == std::chrono::steady_clock::time_point::max()) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  if (left.count() <= 0) return 0;
+  return static_cast<int>(
+      std::min<int64_t>(left.count(), std::numeric_limits<int>::max()));
+}
+
 }  // namespace
 
 Client::~Client() { Close(); }
 
+Client::TimePoint Client::DeadlineIn(uint32_t ms) {
+  if (ms == 0) return TimePoint::max();
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+}
+
 Status Client::Connect(const std::string& host, uint16_t port) {
+  host_ = host;
+  port_ = port;
+  return ConnectNow();
+}
+
+Status Client::ConnectNow() {
   Close();
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  // The fd stays non-blocking for its whole life: connect, send and recv
+  // all wait through poll with explicit deadlines, which is what makes
+  // every call bounded and EINTR-correct.
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd_ < 0) return Status::IOError(ErrnoMessage("socket"));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
     Close();
-    return Status::InvalidArgument("cannot parse host " + host);
+    return Status::InvalidArgument("cannot parse host " + host_);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (options_.so_rcvbuf > 0) {
+    // Must land before connect so the advertised window reflects it.
+    const int sz = static_cast<int>(options_.so_rcvbuf);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &sz, sizeof(sz));
+  }
+  const TimePoint deadline = DeadlineIn(options_.connect_timeout_ms);
+  for (;;) {
+    const int rc = NetConnect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                              sizeof(addr), "net.client_connect");
+    if (rc == 0 || errno == EISCONN) break;
+    if (errno == EINTR) {
+      if (RemainingMs(deadline) == 0) {
+        ++stats_.timeouts;
+        Close();
+        return Status::IOError("connect timed out after " +
+                               std::to_string(options_.connect_timeout_ms) +
+                               "ms");
+      }
+      continue;
+    }
+    if (errno == EINPROGRESS || errno == EALREADY) {
+      ABCS_RETURN_NOT_OK(WaitFd(POLLOUT, deadline, "connect"));
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err == 0) break;
+      errno = err;
+    }
     const Status st = Status::IOError(ErrnoMessage("connect"));
     Close();
     return st;
@@ -40,6 +98,8 @@ Status Client::Connect(const std::string& host, uint16_t port) {
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   reader_ = FrameReader();
+  ++stats_.connects;
+  if (stats_.connects > 1) ++stats_.reconnects;
   return Status::OK();
 }
 
@@ -50,9 +110,143 @@ void Client::Close() {
   }
 }
 
+Status Client::WaitFd(short events, TimePoint deadline, const char* what) {
+  for (;;) {
+    pollfd pfd{fd_, events, 0};
+    const int remaining = RemainingMs(deadline);
+    const int rc = NetPoll(&pfd, 1, remaining, "net.client_poll");
+    if (rc > 0) return Status::OK();  // ready, error or hangup: let the
+                                      // next syscall report which
+    if (rc == 0) {
+      ++stats_.timeouts;
+      const Status st =
+          Status::IOError(std::string(what) + " timed out after " +
+                          std::to_string(options_.io_timeout_ms) + "ms");
+      Close();
+      return st;
+    }
+    if (errno == EINTR) continue;
+    const Status st = Status::IOError(ErrnoMessage("poll"));
+    Close();
+    return st;
+  }
+}
+
+Status Client::SendBytes(std::span<const std::byte> bytes) {
+  const TimePoint deadline = DeadlineIn(options_.io_timeout_ms);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = NetSend(fd_, bytes.data() + sent, bytes.size() - sent,
+                              "net.client_send");
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      ABCS_RETURN_NOT_OK(WaitFd(POLLOUT, deadline, "send"));
+      continue;
+    }
+    const Status st = Status::IOError(ErrnoMessage("send"));
+    Close();  // mid-burst failure: the stream position is unknown
+    return st;
+  }
+  return Status::OK();
+}
+
 Status Client::Call(const WireRequest& req, WireResponse* resp) {
-  ABCS_RETURN_NOT_OK(SendAll({&req, 1}));
-  return ReceiveOne(resp);
+  if (req.type == MessageType::kUpdate) {
+    // Updates are not idempotent; once the frame may have reached the
+    // server, retrying could apply it twice. Exactly one transport
+    // attempt — the caller decides what an unknown outcome means.
+    if (!connected()) ABCS_RETURN_NOT_OK(ConnectNow());
+    Status st = SendAll({&req, 1});
+    if (st.ok()) st = ReceiveOne(resp);
+    if (!st.ok()) {
+      Close();
+      return Status::IOError(st.message() +
+                             " (update outcome unknown; not auto-retried)");
+    }
+    return Status::OK();
+  }
+  return RetryIdempotent([&]() -> Status {
+    ABCS_RETURN_NOT_OK(SendAll({&req, 1}));
+    return ReceiveOne(resp);
+  });
+}
+
+Status Client::RetryIdempotent(const std::function<Status()>& once) {
+  const uint32_t attempts = std::max<uint32_t>(1, options_.max_attempts);
+  Status last;
+  for (uint32_t attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      ++stats_.retries;
+      BackoffSleep(attempt - 1);
+    }
+    if (!connected()) {
+      last = ConnectNow();
+      if (!last.ok()) continue;
+    }
+    last = once();
+    if (last.ok()) return last;
+    Close();  // poison-safe: never reuse a stream after a failure
+  }
+  return last;
+}
+
+void Client::BackoffSleep(uint32_t retry) {
+  const uint64_t base = std::max<uint64_t>(1, options_.backoff_base_ms);
+  const uint64_t cap = std::max<uint64_t>(base, options_.backoff_max_ms);
+  const uint64_t exp = std::min<uint32_t>(retry > 0 ? retry - 1 : 0, 20);
+  const uint64_t full = std::min(cap, base << exp);
+  // Deterministic decorrelation: jitter shaves up to half the interval.
+  Rng rng(options_.jitter_seed * 0x9e3779b97f4a7c15ull + stats_.retries);
+  const uint64_t ms = full - rng.NextBounded(full / 2 + 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+Status Client::CallAll(std::span<const WireRequest> requests,
+                       std::vector<WireResponse>* out) {
+  out->clear();
+  out->reserve(requests.size());
+  for (const WireRequest& req : requests) {
+    if (req.type == MessageType::kUpdate) {
+      return Status::InvalidArgument(
+          "CallAll is for idempotent traffic; send updates via Update");
+    }
+  }
+  const uint32_t attempts = std::max<uint32_t>(1, options_.max_attempts);
+  uint32_t failures_since_progress = 0;
+  Status last;
+  while (out->size() < requests.size()) {
+    if (failures_since_progress > 0) {
+      ++stats_.retries;
+      BackoffSleep(failures_since_progress);
+    }
+    if (!connected()) {
+      last = ConnectNow();
+      if (!last.ok()) {
+        if (++failures_since_progress >= attempts) return last;
+        continue;
+      }
+    }
+    // Resume: only the unanswered suffix is (re-)sent; answered
+    // responses stay, so a retried batch is bit-identical to an
+    // uninterrupted one.
+    const std::size_t done_before = out->size();
+    last = SendAll(requests.subspan(done_before));
+    while (last.ok() && out->size() < requests.size()) {
+      WireResponse resp;
+      last = ReceiveOne(&resp);
+      if (last.ok()) out->push_back(resp);
+    }
+    if (out->size() == requests.size()) return Status::OK();
+    Close();
+    failures_since_progress =
+        out->size() > done_before ? 1 : failures_since_progress + 1;
+    if (failures_since_progress >= attempts) return last;
+  }
+  return Status::OK();
 }
 
 Status Client::SendAll(std::span<const WireRequest> requests) {
@@ -65,14 +259,7 @@ Status Client::SendAll(std::span<const WireRequest> requests) {
     EncodeRequest(req, &payload);
     AppendFrame(payload, &framed);
   }
-  std::size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return Status::IOError(ErrnoMessage("send"));
-    sent += static_cast<std::size_t>(n);
-  }
-  return Status::OK();
+  return SendBytes(framed);
 }
 
 Status Client::ReceiveAll(std::size_t n, std::vector<WireResponse>* out) {
@@ -96,6 +283,17 @@ Status Client::Ping(uint64_t* epoch) {
   }
   if (epoch != nullptr) *epoch = resp.epoch;
   return Status::OK();
+}
+
+Status Client::Health(WireHealth* out) {
+  WireRequest req;
+  req.type = MessageType::kHealth;
+  return RetryIdempotent([&]() -> Status {
+    ABCS_RETURN_NOT_OK(SendAll({&req, 1}));
+    std::vector<std::byte> payload;
+    ABCS_RETURN_NOT_OK(ReceiveFrame(&payload));
+    return DecodeHealthResponse(payload, out);
+  });
 }
 
 Status Client::Update(UpdateOp op, uint32_t u, uint32_t v, double weight,
@@ -123,22 +321,39 @@ Status Client::Commit(uint64_t* epoch) {
   return Status::OK();
 }
 
-Status Client::ReceiveOne(WireResponse* resp) {
+Status Client::ReceiveFrame(std::vector<std::byte>* payload) {
   if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  const TimePoint deadline = DeadlineIn(options_.io_timeout_ms);
   std::byte buf[4096];
   for (;;) {
-    std::span<const std::byte> payload;
-    if (reader_.Next(&payload)) return DecodeResponse(payload, resp);
+    std::span<const std::byte> view;
+    if (reader_.Next(&view)) {
+      payload->assign(view.begin(), view.end());
+      return Status::OK();
+    }
     if (reader_.Poisoned()) {
       return Status::Corruption("response stream poisoned");
     }
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    const ssize_t n = NetRecv(fd_, buf, sizeof(buf), "net.client_recv");
     if (n == 0) {
       return Status::IOError("connection closed by server");
     }
-    if (n < 0) return Status::IOError(ErrnoMessage("recv"));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        ABCS_RETURN_NOT_OK(WaitFd(POLLIN, deadline, "recv"));
+        continue;
+      }
+      return Status::IOError(ErrnoMessage("recv"));
+    }
     ABCS_RETURN_NOT_OK(reader_.Append({buf, static_cast<std::size_t>(n)}));
   }
+}
+
+Status Client::ReceiveOne(WireResponse* resp) {
+  std::vector<std::byte> payload;
+  ABCS_RETURN_NOT_OK(ReceiveFrame(&payload));
+  return DecodeResponse(payload, resp);
 }
 
 }  // namespace abcs::serve

@@ -1,7 +1,9 @@
 #ifndef ABCS_SERVE_CLIENT_H_
 #define ABCS_SERVE_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -12,28 +14,82 @@
 
 namespace abcs::serve {
 
-/// \brief Small blocking client for the `abcs serve` wire protocol.
+/// Transport knobs for Client. Defaults suit an interactive CLI: bounded
+/// waits everywhere, a few transparent retries for idempotent calls.
+struct ClientOptions {
+  /// Non-blocking connect + poll; a blackholed host fails after this.
+  uint32_t connect_timeout_ms = 5000;
+  /// Per-call I/O deadline: each send burst and each awaited response
+  /// must make progress to completion within this. 0 waits forever.
+  uint32_t io_timeout_ms = 30000;
+  /// Total tries for idempotent calls (queries, pings, health); 1
+  /// disables retry. Updates never use this (see Call).
+  uint32_t max_attempts = 4;
+  /// Capped exponential backoff between retries: attempt k sleeps
+  /// roughly backoff_base_ms * 2^(k-1), capped and jittered down by up
+  /// to half to avoid thundering herds.
+  uint32_t backoff_base_ms = 20;
+  uint32_t backoff_max_ms = 1000;
+  /// Seed for the deterministic backoff jitter.
+  uint64_t jitter_seed = 1;
+  /// When nonzero, shrink SO_RCVBUF before connecting (chaos tooling:
+  /// a tiny receive window makes a non-reading client back-pressure the
+  /// server quickly).
+  uint32_t so_rcvbuf = 0;
+};
+
+/// Transport-level telemetry, monotone over the client's lifetime.
+struct ClientStats {
+  uint64_t connects = 0;    ///< successful connection establishments
+  uint64_t reconnects = 0;  ///< connects after the first (retry path)
+  uint64_t retries = 0;     ///< idempotent attempts after a failure
+  uint64_t timeouts = 0;    ///< connect/send/recv deadline expiries
+};
+
+/// \brief Blocking client for the `abcs serve` wire protocol with
+/// production transport semantics.
 ///
-/// One TCP connection, synchronous calls. `Call` is one round trip;
-/// `SendAll` + `ReceiveAll` pipeline a whole batch in two syscall bursts —
-/// the server's per-connection sequencer guarantees responses come back
-/// in request order, so response i answers request i.
+/// One TCP connection, synchronous calls. Every socket operation runs
+/// non-blocking under a poll deadline (`io_timeout_ms`), retries EINTR,
+/// and surfaces failures as typed Status — a Client call can never hang
+/// forever and never returns a torn frame.
+///
+/// Retry policy: queries, pings and health probes are read-only and
+/// idempotent, so `Call`/`CallAll` transparently reconnect (capped
+/// exponential backoff + jitter) and re-send unanswered requests.
+/// Updates are NOT idempotent: once an update frame may have reached the
+/// server, the outcome is unknown (the ack is the only boundary), so
+/// update calls are never auto-retried — the transport error comes back
+/// to the caller, mirroring how kConflict surfaces semantic collisions.
+///
+/// `SendAll` + `ReceiveAll` remain the raw single-attempt pipelining
+/// primitives; `CallAll` is the retrying batch driver built on them.
 ///
 /// Not thread-safe; use one Client per thread (they are cheap).
 class Client {
  public:
   Client() = default;
+  explicit Client(const ClientOptions& options) : options_(options) {}
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
   Client(Client&& other) noexcept
-      : fd_(other.fd_), reader_(std::move(other.reader_)) {
+      : options_(other.options_),
+        stats_(other.stats_),
+        host_(std::move(other.host_)),
+        port_(other.port_),
+        fd_(other.fd_),
+        reader_(std::move(other.reader_)) {
     other.fd_ = -1;
   }
   Client& operator=(Client&& other) noexcept {
     if (this != &other) {
       Close();
+      options_ = other.options_;
+      stats_ = other.stats_;
+      host_ = std::move(other.host_);
+      port_ = other.port_;
       fd_ = other.fd_;
       reader_ = std::move(other.reader_);
       other.fd_ = -1;
@@ -41,27 +97,43 @@ class Client {
     return *this;
   }
 
+  /// Remembers the endpoint (for reconnects) and connects, bounded by
+  /// connect_timeout_ms.
   Status Connect(const std::string& host, uint16_t port);
   void Close();
   bool connected() const { return fd_ >= 0; }
 
-  /// One request, one response.
+  /// One request, one response. Idempotent types retry transparently;
+  /// kUpdate gets exactly one transport attempt (see class comment).
   Status Call(const WireRequest& req, WireResponse* resp);
 
-  /// Writes every request as one framed burst (pipelining).
+  /// Pipelines the whole batch with transparent resume: on a transport
+  /// failure mid-batch, reconnects and re-sends only the unanswered
+  /// suffix. Rejects batches containing kUpdate frames. `out` holds the
+  /// responses in request order.
+  Status CallAll(std::span<const WireRequest> requests,
+                 std::vector<WireResponse>* out);
+
+  /// Writes every request as one framed burst (pipelining). Single
+  /// attempt on the current connection.
   Status SendAll(std::span<const WireRequest> requests);
 
-  /// Reads exactly `n` responses, in request order.
+  /// Reads exactly `n` responses, in request order. Single attempt.
   Status ReceiveAll(std::size_t n, std::vector<WireResponse>* out);
 
   /// Liveness probe: a kPing round trip. `epoch`, when non-null, receives
   /// the server's current snapshot epoch.
   Status Ping(uint64_t* epoch = nullptr);
 
+  /// Health probe: a kHealth round trip answered with the watchdog's
+  /// snapshot (state, queue depth, inflight, epoch, memo stats).
+  Status Health(WireHealth* out);
+
   /// One live-update round trip. `u`/`v` are layer-local ids (upper,
   /// lower); `weight` is ignored for remove/commit. The wire status
   /// (kOk / kConflict / kOverloaded / ...) comes back in `resp->status`;
-  /// the Status return only reports transport failures.
+  /// the Status return only reports transport failures — which are never
+  /// auto-retried for updates (the outcome may have been applied).
   Status Update(UpdateOp op, uint32_t u, uint32_t v, double weight,
                 WireResponse* resp);
 
@@ -69,9 +141,31 @@ class Client {
   /// `*epoch` (when non-null) is the newly visible epoch.
   Status Commit(uint64_t* epoch = nullptr);
 
+  const ClientStats& stats() const { return stats_; }
+  const ClientOptions& options() const { return options_; }
+
  private:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// steady_clock::time_point::max() when `ms` is 0 (wait forever).
+  static TimePoint DeadlineIn(uint32_t ms);
+
+  Status ConnectNow();
+  /// Runs `once` (connect included) up to max_attempts times with
+  /// backoff; only for idempotent traffic.
+  Status RetryIdempotent(const std::function<Status()>& once);
+  void BackoffSleep(uint32_t attempt);
+  /// Polls `fd_` for `events` until ready or `deadline`; EINTR-correct.
+  Status WaitFd(short events, TimePoint deadline, const char* what);
+  Status SendBytes(std::span<const std::byte> bytes);
+  /// Reads one frame payload into `payload` under the I/O deadline.
+  Status ReceiveFrame(std::vector<std::byte>* payload);
   Status ReceiveOne(WireResponse* resp);
 
+  ClientOptions options_;
+  ClientStats stats_;
+  std::string host_;
+  uint16_t port_ = 0;
   int fd_ = -1;
   FrameReader reader_;
 };

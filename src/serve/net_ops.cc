@@ -1,0 +1,92 @@
+#include "serve/net_ops.h"
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "io/fault_inject.h"
+
+namespace abcs::serve {
+
+namespace {
+
+using Decision = NetFaultInjector::Decision;
+using ActionKind = NetFaultInjector::ActionKind;
+
+void MaybeSleep(const Decision& d) {
+  if (d.kind == ActionKind::kDelay && d.arg > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(d.arg));
+  }
+}
+
+}  // namespace
+
+ssize_t NetSend(int fd, const void* buf, std::size_t len, const char* point) {
+  const Decision d = NetFaultPoint(point);
+  switch (d.kind) {
+    case ActionKind::kReset:
+      errno = ECONNRESET;
+      return -1;
+    case ActionKind::kEintr:
+      errno = EINTR;
+      return -1;
+    case ActionKind::kShort:
+      // Truncating the attempted length (never below one byte) forces the
+      // caller's continuation loop to run; the peer still receives every
+      // byte eventually, so a correct loop yields untorn frames.
+      if (d.arg < len) len = d.arg;
+      break;
+    default:
+      MaybeSleep(d);
+      break;
+  }
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+ssize_t NetRecv(int fd, void* buf, std::size_t len, const char* point) {
+  const Decision d = NetFaultPoint(point);
+  switch (d.kind) {
+    case ActionKind::kReset:
+      errno = ECONNRESET;
+      return -1;
+    case ActionKind::kEintr:
+      errno = EINTR;
+      return -1;
+    case ActionKind::kShort:
+      if (d.arg < len) len = d.arg;
+      break;
+    default:
+      MaybeSleep(d);
+      break;
+  }
+  return ::recv(fd, buf, len, 0);
+}
+
+int NetPoll(pollfd* fds, nfds_t nfds, int timeout_ms, const char* point) {
+  const Decision d = NetFaultPoint(point);
+  if (d.kind == ActionKind::kEintr) {
+    errno = EINTR;
+    return -1;
+  }
+  MaybeSleep(d);
+  return ::poll(fds, nfds, timeout_ms);
+}
+
+int NetConnect(int fd, const sockaddr* addr, socklen_t len,
+               const char* point) {
+  const Decision d = NetFaultPoint(point);
+  switch (d.kind) {
+    case ActionKind::kReset:
+      errno = ECONNREFUSED;
+      return -1;
+    case ActionKind::kEintr:
+      errno = EINTR;
+      return -1;
+    default:
+      MaybeSleep(d);
+      break;
+  }
+  return ::connect(fd, addr, len);
+}
+
+}  // namespace abcs::serve

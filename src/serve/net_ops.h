@@ -1,0 +1,43 @@
+#ifndef ABCS_SERVE_NET_OPS_H_
+#define ABCS_SERVE_NET_OPS_H_
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace abcs::serve {
+
+/// \brief Fault-injectable veneers over the serve tier's socket calls.
+///
+/// Every send/recv/poll/connect on the wire path goes through these
+/// wrappers instead of the raw syscalls so the NetFaultInjector (see
+/// io/fault_inject.h) can deterministically perturb them: fail with
+/// ECONNRESET, truncate the attempted length, return EINTR without doing
+/// the call, or sleep first. Disarmed, each wrapper costs one relaxed
+/// atomic load on top of the syscall.
+///
+/// `point` names the call site for the injector ("net.client_send",
+/// "net.server_recv", ...). Callers keep their normal errno handling —
+/// an injected failure is indistinguishable from a real one, which is
+/// the point.
+
+/// send(fd, buf, len, MSG_NOSIGNAL | flags) behind the `point` seam.
+ssize_t NetSend(int fd, const void* buf, std::size_t len, const char* point);
+
+/// recv(fd, buf, len, 0) behind the `point` seam.
+ssize_t NetRecv(int fd, void* buf, std::size_t len, const char* point);
+
+/// poll(fds, nfds, timeout_ms) behind the `point` seam (reset/short do
+/// not apply to poll and are ignored).
+int NetPoll(pollfd* fds, nfds_t nfds, int timeout_ms, const char* point);
+
+/// connect(fd, addr, len) behind the `point` seam; an injected reset
+/// surfaces as ECONNREFUSED (the realistic connect-time failure).
+int NetConnect(int fd, const sockaddr* addr, socklen_t len,
+               const char* point);
+
+}  // namespace abcs::serve
+
+#endif  // ABCS_SERVE_NET_OPS_H_

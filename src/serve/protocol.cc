@@ -79,6 +79,18 @@ const char* UpdateOpName(UpdateOp op) {
   return nullptr;
 }
 
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kLive:
+      return "live";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
 const char* WireMethodName(WireMethod method) {
   switch (method) {
     case WireMethod::kOnline:
@@ -150,7 +162,8 @@ Status DecodeRequest(std::span<const std::byte> payload, WireRequest* out) {
   const uint8_t type = static_cast<uint8_t>(p[3]);
   if (type != static_cast<uint8_t>(MessageType::kQuery) &&
       type != static_cast<uint8_t>(MessageType::kPing) &&
-      type != static_cast<uint8_t>(MessageType::kUpdate)) {
+      type != static_cast<uint8_t>(MessageType::kUpdate) &&
+      type != static_cast<uint8_t>(MessageType::kHealth)) {
     return Status::Corruption("unknown message type");
   }
   if (type == static_cast<uint8_t>(MessageType::kUpdate)) {
@@ -250,6 +263,61 @@ Status DecodeResponse(std::span<const std::byte> payload, WireResponse* out) {
   const uint64_t bits = GetU64(p + 16);
   std::memcpy(&out->significance, &bits, sizeof(out->significance));
   out->epoch = GetU64(p + 24);
+  return Status::OK();
+}
+
+void EncodeHealthResponse(const WireHealth& health,
+                          std::vector<std::byte>* out) {
+  out->reserve(out->size() + kHealthWireBytes);
+  PutU16(kResponseMagic, out);
+  out->push_back(static_cast<std::byte>(kWireVersion));
+  out->push_back(static_cast<std::byte>(WireStatus::kOk));
+  out->push_back(static_cast<std::byte>(MessageType::kHealth));
+  out->push_back(static_cast<std::byte>(health.state));
+  PutU16(0, out);  // reserved
+  PutU32(health.queue_depth, out);
+  PutU32(health.inflight, out);
+  PutU32(health.connections, out);
+  PutU32(health.slow_client_dropped, out);
+  PutU64(health.epoch, out);
+  PutU64(health.memo_hits, out);
+  PutU64(health.requests, out);
+}
+
+Status DecodeHealthResponse(std::span<const std::byte> payload,
+                            WireHealth* out) {
+  if (payload.size() != kHealthWireBytes) {
+    return Status::Corruption("health payload has wrong size");
+  }
+  const std::byte* p = payload.data();
+  if (GetU16(p) != kResponseMagic) {
+    return Status::Corruption("bad response magic");
+  }
+  if (static_cast<uint8_t>(p[2]) != kWireVersion) {
+    return Status::NotSupported("unsupported protocol version");
+  }
+  if (static_cast<uint8_t>(p[3]) != static_cast<uint8_t>(WireStatus::kOk)) {
+    return Status::Corruption("health response must carry status ok");
+  }
+  if (static_cast<uint8_t>(p[4]) !=
+      static_cast<uint8_t>(MessageType::kHealth)) {
+    return Status::Corruption("unknown message type");
+  }
+  const uint8_t state = static_cast<uint8_t>(p[5]);
+  if (state > static_cast<uint8_t>(HealthState::kDraining)) {
+    return Status::Corruption("unknown health state");
+  }
+  if (GetU16(p + 6) != 0) {
+    return Status::Corruption("nonzero reserved bytes");
+  }
+  out->state = static_cast<HealthState>(state);
+  out->queue_depth = GetU32(p + 8);
+  out->inflight = GetU32(p + 12);
+  out->connections = GetU32(p + 16);
+  out->slow_client_dropped = GetU32(p + 20);
+  out->epoch = GetU64(p + 24);
+  out->memo_hits = GetU64(p + 32);
+  out->requests = GetU64(p + 40);
   return Status::OK();
 }
 

@@ -22,6 +22,7 @@ enum class MessageType : uint8_t {
   kQuery = 1,   ///< one community / SCS query
   kPing = 2,    ///< liveness + drain probe; echoed as an empty OK response
   kUpdate = 3,  ///< one live-update operation (see UpdateOp)
+  kHealth = 4,  ///< health probe; answered with the extended health frame
 };
 
 /// Live-update operations carried by kUpdate frames. Values are part of
@@ -170,6 +171,58 @@ void EncodeResponse(const WireResponse& resp, std::vector<std::byte>* out);
 
 /// Strict bounds-checked parse of one response payload (client side).
 Status DecodeResponse(std::span<const std::byte> payload, WireResponse* out);
+
+/// Server condition reported by a health response. Values are part of
+/// the protocol — append only.
+enum class HealthState : uint8_t {
+  kLive = 0,      ///< accepting and keeping up
+  kDegraded = 1,  ///< serving, but the queue is deep or progress stalled
+  kDraining = 2,  ///< shutdown in progress; finish and reconnect elsewhere
+};
+
+/// Returns a stable lowercase name ("live", "degraded", "draining").
+const char* HealthStateName(HealthState state);
+
+/// The watchdog's exported snapshot, answered to kHealth probes. Its own
+/// 48-byte layout (distinguished from WireResponse by size and type byte)
+/// keeps the hot 32-byte response untouched; like every other payload it
+/// is parsed strictly — exact size, no don't-care bytes.
+///
+/// Wire layout (little-endian, fixed 48 bytes):
+///   off size field
+///   0   2    magic "AS"
+///   2   1    version
+///   3   1    status (WireStatus)
+///   4   1    type (MessageType::kHealth)
+///   5   1    state (HealthState)
+///   6   2    reserved, must be 0
+///   8   4    queue_depth (tasks admitted but not yet picked up)
+///   12  4    inflight (tasks currently executing on workers)
+///   16  4    connections (live client connections)
+///   20  4    slow_client_dropped (connections shed by the write deadline)
+///   24  8    epoch (current snapshot epoch)
+///   32  8    memo_hits (warm-memo hits since start)
+///   40  8    requests (decoded frames since start, probes included)
+struct WireHealth {
+  HealthState state = HealthState::kLive;
+  uint32_t queue_depth = 0;
+  uint32_t inflight = 0;
+  uint32_t connections = 0;
+  uint32_t slow_client_dropped = 0;
+  uint64_t epoch = 0;
+  uint64_t memo_hits = 0;
+  uint64_t requests = 0;
+};
+
+inline constexpr std::size_t kHealthWireBytes = 48;
+
+/// Appends the 48-byte health payload (unframed) to `out`.
+void EncodeHealthResponse(const WireHealth& health,
+                          std::vector<std::byte>* out);
+
+/// Strict bounds-checked parse of one health payload (client side).
+Status DecodeHealthResponse(std::span<const std::byte> payload,
+                            WireHealth* out);
 
 /// Wire name of a method ("online", …, "scs-binary"), matching the CLI's
 /// --method spellings; null for out-of-range values.

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -10,8 +11,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 
 #include "core/scs_auto.h"
+#include "serve/net_ops.h"
 
 namespace abcs::serve {
 
@@ -51,7 +54,18 @@ struct Server::Connection {
   std::mutex write_mu;
   uint32_t next_seq = 0;  ///< guarded by write_mu
   std::map<uint32_t, std::vector<std::byte>> out_of_order;  ///< ditto
-  bool dead = false;  ///< write failed once; drop later writes. ditto
+  bool dead = false;  ///< shed or write-failed; drop later writes. ditto
+
+  // Bounded output buffer for bytes the non-blocking socket would not
+  // take immediately: [out_off, outbuf.size()) is unsent. All guarded by
+  // write_mu; the flusher thread drains it and enforces the write
+  // deadline, so a slow peer never blocks a worker.
+  std::vector<std::byte> outbuf;
+  std::size_t out_off = 0;
+  /// When the current backlog began (outbuf went nonempty); the write
+  /// deadline counts from here and resets only on a full drain.
+  std::chrono::steady_clock::time_point out_since;
+  bool in_flusher = false;  ///< queued for the flusher thread
 
   ~Connection() {
     if (fd >= 0) ::close(fd);
@@ -141,12 +155,23 @@ Status Server::Start() {
     }
   }
 
+  if (::pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    const Status st = Status::IOError(ErrnoMessage("pipe2"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+
   started_ = true;
   accepting_.store(true);
   accept_thread_ = std::thread(&Server::AcceptLoop, this);
   workers_.reserve(resolved_threads_);
   for (unsigned t = 0; t < resolved_threads_; ++t) {
     workers_.emplace_back(&Server::WorkerLoop, this, t);
+  }
+  flusher_ = std::thread(&Server::FlusherLoop, this);
+  if (options_.watchdog_interval_ms > 0) {
+    watchdog_ = std::thread(&Server::WatchdogLoop, this);
   }
   return Status::OK();
 }
@@ -180,11 +205,32 @@ void Server::Shutdown() {
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
-  // 5. Tear down. Connection fds close when the last reference drops —
-  //    all workers have joined, so that is here.
+  // 5. Final flush: no thread can submit frames anymore, so the flusher
+  //    drains every pending output buffer (bounded — a peer that still
+  //    won't read is shed by the write deadline) and exits.
+  flusher_stop_.store(true);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (flusher_.joinable()) flusher_.join();
+  {
+    std::lock_guard lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  // 6. Tear down. Connection fds close when the last reference drops —
+  //    all workers and the flusher have joined, so that is here.
   {
     std::lock_guard lock(conns_mu_);
     conns_.clear();
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -203,6 +249,8 @@ ServeStats Server::Stats() const {
   s.deadline_expired = counters_.deadline_expired.load();
   s.overloaded = counters_.overloaded.load();
   s.protocol_errors = counters_.protocol_errors.load();
+  s.slow_client_dropped = counters_.slow_client_dropped.load();
+  s.health_probes = counters_.health_probes.load();
   s.drained_tasks = counters_.drained_tasks.load();
   const UpdateStats us = snapshots_->Stats();
   s.updates_applied = us.applied;
@@ -216,13 +264,19 @@ ServeStats Server::Stats() const {
 void Server::AcceptLoop() {
   while (accepting_.load()) {
     pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    // A negative return here is EINTR or a transient kernel hiccup;
+    // either way the right move is the same as a timeout: reap and
+    // re-poll, never exit the accept loop.
+    const int ready = NetPoll(&pfd, 1, /*timeout_ms=*/100, "net.accept_poll");
     {
       std::lock_guard lock(conns_mu_);
       ReapConnectionsLocked();
     }
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    // Non-blocking from birth: responses go through the bounded output
+    // buffer + flusher, and a ready-reported but already-lost connection
+    // cannot hang the accept thread.
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
     if (fd < 0) continue;
     std::lock_guard lock(conns_mu_);
     if (draining_.load() || conns_.size() >= options_.max_connections) {
@@ -232,10 +286,15 @@ void Server::AcceptLoop() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.so_sndbuf > 0) {
+      const int sz = static_cast<int>(options_.so_sndbuf);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sz, sizeof(sz));
+    }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     conn->id = next_conn_id_++;
     counters_.connections_accepted.fetch_add(1);
+    active_conns_.fetch_add(1);
     conn->reader = std::thread(&Server::ReaderLoop, this, conn);
     conns_.push_back(std::move(conn));
   }
@@ -247,6 +306,7 @@ void Server::ReapConnectionsLocked() {
       if ((*it)->reader.joinable()) (*it)->reader.join();
       // In-flight tasks keep the Connection alive through their
       // shared_ptr; the fd closes when the last response is delivered.
+      active_conns_.fetch_sub(1);
       it = conns_.erase(it);
     } else {
       ++it;
@@ -258,8 +318,24 @@ void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
   FrameReader reader;
   std::byte buf[4096];
   for (;;) {
-    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+    // The socket is non-blocking, so pace reads with poll; the timeout
+    // doubles as the exit check for shed connections (shutdown(2) on the
+    // fd turns the next recv into EOF).
+    pollfd pfd{conn->fd, POLLIN, 0};
+    const int ready = NetPoll(&pfd, 1, /*timeout_ms=*/100,
+                              "net.server_recv_poll");
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const ssize_t n = NetRecv(conn->fd, buf, sizeof(buf), "net.server_recv");
+    if (n == 0) break;
+    if (n < 0) {
+      // EINTR/EAGAIN are re-pollable, not connection death (the bug this
+      // loop used to share with the response writer).
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      break;
+    }
     if (!reader.Append({buf, static_cast<std::size_t>(n)}).ok()) {
       counters_.protocol_errors.fetch_add(1);
       break;  // framing is unrecoverable: kill the connection
@@ -297,6 +373,17 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
   if (req.type == MessageType::kPing) {
     resp.epoch = snapshots_->Epoch();
     Respond(conn, seq, resp);
+    return;
+  }
+  if (req.type == MessageType::kHealth) {
+    // Answered inline like ping, but with the watchdog's extended frame.
+    counters_.health_probes.fetch_add(1);
+    counters_.responses_ok.fetch_add(1);
+    std::vector<std::byte> payload;
+    EncodeHealthResponse(BuildHealth(), &payload);
+    std::vector<std::byte> framed;
+    AppendFrame(payload, &framed);
+    SubmitFrame(conn, seq, std::move(framed));
     return;
   }
   if (req.type == MessageType::kUpdate) {
@@ -368,6 +455,7 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
 void Server::WorkerLoop(unsigned t) {
   Task task;
   while (scheduler_.Pop(t, &task)) {
+    inflight_.fetch_add(1);
     const Snapshot& snap = *task.snap;
     WireResponse resp;
     resp.type = MessageType::kQuery;
@@ -381,6 +469,7 @@ void Server::WorkerLoop(unsigned t) {
       counters_.deadline_expired.fetch_add(1);
       resp.status = WireStatus::kDeadlineExceeded;
       Respond(task.conn, task.seq, resp);
+      inflight_.fetch_sub(1);
       continue;
     }
     const VertexId q = task.req.lower_side
@@ -408,6 +497,7 @@ void Server::WorkerLoop(unsigned t) {
       }
     }
     Respond(task.conn, task.seq, resp);
+    inflight_.fetch_sub(1);
   }
 }
 
@@ -457,32 +547,178 @@ void Server::Respond(const std::shared_ptr<Connection>& conn, uint32_t seq,
   EncodeResponse(resp, &payload);
   std::vector<std::byte> framed;
   AppendFrame(payload, &framed);
+  SubmitFrame(conn, seq, std::move(framed));
+}
 
-  std::lock_guard lock(conn->write_mu);
-  conn->out_of_order[seq] = std::move(framed);
-  // Flush the in-order prefix. Writes are blocking; a failed write marks
-  // the connection dead and later completions are swallowed (the peer is
-  // gone — correctness only requires that sequence numbers keep
-  // advancing so the map drains).
-  auto it = conn->out_of_order.begin();
-  while (it != conn->out_of_order.end() && it->first == conn->next_seq) {
-    if (!conn->dead) {
-      const std::vector<std::byte>& bytes = it->second;
-      std::size_t sent = 0;
-      while (sent < bytes.size()) {
-        const ssize_t n =
-            ::send(conn->fd, bytes.data() + sent, bytes.size() - sent,
-                   MSG_NOSIGNAL);
-        if (n <= 0) {
-          conn->dead = true;
-          break;
+void Server::SubmitFrame(const std::shared_ptr<Connection>& conn,
+                         uint32_t seq, std::vector<std::byte> framed) {
+  bool enqueue = false;
+  {
+    std::lock_guard lock(conn->write_mu);
+    conn->out_of_order[seq] = std::move(framed);
+    // Move the in-order prefix into the output buffer. Dead connections
+    // still advance the sequencer (the map must drain); their bytes are
+    // simply dropped.
+    auto it = conn->out_of_order.begin();
+    while (it != conn->out_of_order.end() && it->first == conn->next_seq) {
+      if (!conn->dead) {
+        if (conn->out_off == conn->outbuf.size()) {
+          conn->outbuf.clear();
+          conn->out_off = 0;
+          conn->out_since = std::chrono::steady_clock::now();
         }
-        sent += static_cast<std::size_t>(n);
+        conn->outbuf.insert(conn->outbuf.end(), it->second.begin(),
+                            it->second.end());
+      }
+      it = conn->out_of_order.erase(it);
+      ++conn->next_seq;
+    }
+    if (!conn->dead) FlushLocked(conn.get());
+    enqueue = !conn->dead && conn->out_off < conn->outbuf.size() &&
+              !conn->in_flusher;
+    if (enqueue) conn->in_flusher = true;
+  }
+  if (enqueue) {
+    {
+      std::lock_guard lock(flush_mu_);
+      flush_pending_.push_back(conn);
+    }
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::FlushLocked(Connection* conn) {
+  while (conn->out_off < conn->outbuf.size()) {
+    const ssize_t n =
+        NetSend(conn->fd, conn->outbuf.data() + conn->out_off,
+                conn->outbuf.size() - conn->out_off, "net.server_send");
+    if (n > 0) {
+      conn->out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    // EINTR used to mark the connection dead here, dropping every
+    // remaining in-order response; it is just a retry.
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    KillLocked(conn);
+    return;
+  }
+  if (conn->out_off == conn->outbuf.size()) {
+    conn->outbuf.clear();
+    conn->out_off = 0;
+    return;
+  }
+  if (conn->outbuf.size() - conn->out_off > options_.max_output_buffer) {
+    counters_.slow_client_dropped.fetch_add(1);
+    KillLocked(conn);
+  }
+}
+
+void Server::KillLocked(Connection* conn) {
+  if (conn->dead) return;
+  conn->dead = true;
+  conn->outbuf.clear();
+  conn->out_off = 0;
+  // Wakes the reader (its next recv sees EOF) and tells the peer.
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void Server::FlusherLoop() {
+  std::vector<std::shared_ptr<Connection>> watched;
+  std::vector<pollfd> fds;
+  for (;;) {
+    {
+      std::lock_guard lock(flush_mu_);
+      for (auto& c : flush_pending_) watched.push_back(std::move(c));
+      flush_pending_.clear();
+    }
+    if (watched.empty() && flusher_stop_.load()) {
+      // No submitter is alive once the stop flag is set, so an empty
+      // watch set is final.
+      std::lock_guard lock(flush_mu_);
+      if (flush_pending_.empty()) break;
+      continue;
+    }
+    fds.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    for (const auto& c : watched) fds.push_back({c->fd, POLLOUT, 0});
+    // The 50ms cap bounds how late a write-deadline check can run.
+    const int ready = NetPoll(fds.data(), static_cast<nfds_t>(fds.size()),
+                              /*timeout_ms=*/50, "net.flush_poll");
+    if (ready < 0) continue;  // EINTR: re-build and re-poll
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
       }
     }
-    it = conn->out_of_order.erase(it);
-    ++conn->next_seq;
+    const auto now = std::chrono::steady_clock::now();
+    // write_deadline_ms = 0 disables shedding while serving, but the
+    // final drain must stay bounded: a peer that won't read during
+    // shutdown is shed after 1s so Shutdown() cannot hang.
+    uint32_t deadline_ms = options_.write_deadline_ms;
+    if (flusher_stop_.load() && deadline_ms == 0) deadline_ms = 1000;
+    const auto deadline = std::chrono::milliseconds(deadline_ms);
+    for (std::size_t i = 0; i < watched.size();) {
+      Connection* conn = watched[i].get();
+      bool done;
+      {
+        std::lock_guard lock(conn->write_mu);
+        if (!conn->dead) FlushLocked(conn);
+        if (!conn->dead && conn->out_off < conn->outbuf.size() &&
+            deadline_ms > 0 && now - conn->out_since > deadline) {
+          // The peer stopped reading: shed it rather than buffer forever.
+          counters_.slow_client_dropped.fetch_add(1);
+          KillLocked(conn);
+        }
+        done = conn->dead || conn->out_off >= conn->outbuf.size();
+        if (done) conn->in_flusher = false;
+      }
+      if (done) {
+        watched[i] = std::move(watched.back());
+        watched.pop_back();
+      } else {
+        ++i;
+      }
+    }
   }
+}
+
+void Server::WatchdogLoop() {
+  uint64_t last_completed = 0;
+  std::unique_lock lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.watchdog_interval_ms));
+    if (watchdog_stop_) break;
+    const uint64_t completed =
+        counters_.responses_ok.load() + counters_.responses_error.load();
+    // Stall = admitted work exists but nothing completed all interval.
+    stalled_.store(scheduler_.Pending() > 0 && completed == last_completed);
+    last_completed = completed;
+  }
+}
+
+WireHealth Server::BuildHealth() {
+  WireHealth h;
+  const std::size_t depth = scheduler_.Pending();
+  h.queue_depth = static_cast<uint32_t>(
+      std::min<std::size_t>(depth, std::numeric_limits<uint32_t>::max()));
+  h.inflight = static_cast<uint32_t>(inflight_.load());
+  h.connections = static_cast<uint32_t>(active_conns_.load());
+  h.slow_client_dropped =
+      static_cast<uint32_t>(counters_.slow_client_dropped.load());
+  h.epoch = snapshots_->Epoch();
+  h.memo_hits = memo_.hits();
+  h.requests = counters_.requests.load();
+  if (draining_.load()) {
+    h.state = HealthState::kDraining;
+  } else if (stalled_.load() || depth > options_.max_queue / 2) {
+    h.state = HealthState::kDegraded;
+  } else {
+    h.state = HealthState::kLive;
+  }
+  return h;
 }
 
 }  // namespace abcs::serve

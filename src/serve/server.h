@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -55,6 +56,19 @@ struct ServerOptions {
   /// writer seed its maintained state without re-peeling (the bundle
   /// restart path). Must outlive the server.
   const BicoreDecomposition* seed_decomp = nullptr;
+  /// Slow-client protection: a connection whose oldest buffered response
+  /// byte stays unsent this long is shed (never blocks a worker).
+  uint32_t write_deadline_ms = 5000;
+  /// Per-connection cap on buffered unsent response bytes; exceeding it
+  /// sheds the connection immediately.
+  std::size_t max_output_buffer = 4u << 20;
+  /// Watchdog sampling period for the health state (0 disables the
+  /// thread; health probes then never report a stall).
+  uint32_t watchdog_interval_ms = 500;
+  /// When nonzero, shrink SO_SNDBUF on accepted connections (chaos
+  /// tooling: a small kernel buffer makes slow-client back-pressure
+  /// reach the flusher's deadline quickly).
+  uint32_t so_sndbuf = 0;
 };
 
 /// Monotonic counters, snapshotted for the shutdown summary and tests.
@@ -68,6 +82,9 @@ struct ServeStats {
   uint64_t deadline_expired = 0;
   uint64_t overloaded = 0;
   uint64_t protocol_errors = 0;   ///< bad frames or payloads
+  uint64_t slow_client_dropped = 0;  ///< connections shed by the write
+                                     ///< deadline or output-buffer cap
+  uint64_t health_probes = 0;     ///< kHealth frames answered
   uint64_t drained_tasks = 0;     ///< queue depth when shutdown began
   uint64_t updates_applied = 0;   ///< successful insert/remove/reweight
   uint64_t update_conflicts = 0;  ///< dup insert / missing-edge remove
@@ -91,12 +108,22 @@ struct ServeStats {
 /// boundaries; the memo is invalidated selectively per publish.
 ///
 /// Threading model: one accept thread, one reader thread per connection
-/// (bounded by max_connections), `num_threads` query workers. Readers
-/// decode frames and push tasks onto the TaskScheduler with connection
-/// affinity; workers own a QueryScratch/ScsWorkspace each and execute
-/// with zero steady-state allocations; responses flow back through a
-/// per-connection sequencer so pipelined requests are answered strictly
-/// in order even when stealing reorders their execution.
+/// (bounded by max_connections), `num_threads` query workers, one
+/// flusher and one watchdog. Readers decode frames and push tasks onto
+/// the TaskScheduler with connection affinity; workers own a
+/// QueryScratch/ScsWorkspace each and execute with zero steady-state
+/// allocations; responses flow back through a per-connection sequencer
+/// so pipelined requests are answered strictly in order even when
+/// stealing reorders their execution.
+///
+/// Slow-client protection: connection sockets are non-blocking; a
+/// response the socket won't take immediately lands in a bounded
+/// per-connection output buffer owned by the flusher thread, which
+/// polls for writability and sheds any connection whose oldest unsent
+/// byte outlives `write_deadline_ms` (or whose buffer exceeds
+/// `max_output_buffer`) — so one stalled peer can never wedge a worker
+/// or delay other connections. The watchdog samples progress each
+/// interval and exports live/degraded/draining through kHealth probes.
 ///
 /// Lifecycle: `Start` binds and spawns; `Shutdown` drains gracefully —
 /// stop accepting, half-close every connection's read side, let workers
@@ -156,11 +183,28 @@ class Server {
   void AcceptLoop();
   void ReaderLoop(std::shared_ptr<Connection> conn);
   void WorkerLoop(unsigned t);
+  /// Polls pending output buffers and sheds connections that miss the
+  /// write deadline or overflow the buffer cap.
+  void FlusherLoop();
+  /// Samples progress each interval; flags a stall (queued work but no
+  /// completions) for the health state.
+  void WatchdogLoop();
   void HandleFrame(const std::shared_ptr<Connection>& conn,
                    std::span<const std::byte> payload);
   /// Encodes, frames and hands `resp` to the connection's sequencer.
   void Respond(const std::shared_ptr<Connection>& conn, uint32_t seq,
                const WireResponse& resp);
+  /// Sequencer tail shared by responses and health frames: parks the
+  /// framed bytes under `seq`, appends the in-order prefix to the output
+  /// buffer, flushes what the socket accepts and hands the rest to the
+  /// flusher thread.
+  void SubmitFrame(const std::shared_ptr<Connection>& conn, uint32_t seq,
+                   std::vector<std::byte> framed);
+  /// Non-blocking drain of conn->outbuf (requires conn->write_mu).
+  void FlushLocked(Connection* conn);
+  /// Marks the connection dead and wakes its reader (ditto).
+  void KillLocked(Connection* conn);
+  WireHealth BuildHealth();
   void Execute(const WireRequest& req, const Snapshot& snap, unsigned t,
                WireResponse* resp);
   void ReapConnectionsLocked();
@@ -194,6 +238,24 @@ class Server {
   std::vector<std::shared_ptr<Connection>> conns_;
   uint64_t next_conn_id_ = 0;
 
+  // Slow-client flusher: connections with unsent response bytes queue
+  // here; the flusher polls them for writability and enforces the write
+  // deadline. The pipe wakes its poll when a new connection arrives.
+  std::thread flusher_;
+  std::mutex flush_mu_;
+  std::vector<std::shared_ptr<Connection>> flush_pending_;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> flusher_stop_{false};
+
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;      ///< guarded by watchdog_mu_
+  std::atomic<bool> stalled_{false};
+
+  std::atomic<uint64_t> inflight_{0};
+  std::atomic<uint64_t> active_conns_{0};
+
   std::atomic<bool> accepting_{false};
   std::atomic<bool> draining_{false};
   std::atomic<bool> shutdown_requested_{false};
@@ -210,6 +272,8 @@ class Server {
     std::atomic<uint64_t> deadline_expired{0};
     std::atomic<uint64_t> overloaded{0};
     std::atomic<uint64_t> protocol_errors{0};
+    std::atomic<uint64_t> slow_client_dropped{0};
+    std::atomic<uint64_t> health_probes{0};
     std::atomic<uint64_t> drained_tasks{0};
   } counters_;
 };

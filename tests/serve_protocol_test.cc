@@ -278,6 +278,105 @@ TEST(ProtocolTest, RejectsMalformedResponse) {
   EXPECT_EQ(out.epoch, 0xff00000000000000ull);
 }
 
+// -------------------------------------------------------------- health --
+
+WireHealth SampleHealth() {
+  WireHealth h;
+  h.state = HealthState::kDegraded;
+  h.queue_depth = 1234;
+  h.inflight = 7;
+  h.connections = 12;
+  h.slow_client_dropped = 3;
+  h.epoch = 0x1112131415161718ull;
+  h.memo_hits = 99999;
+  h.requests = 0xfedcba9876543210ull;
+  return h;
+}
+
+TEST(ProtocolTest, HealthRequestIsValidWithoutParameters) {
+  // Like kPing, a kHealth request carries no query parameters.
+  WireRequest req;
+  req.type = MessageType::kHealth;
+  req.alpha = 0;
+  req.beta = 0;
+  std::vector<std::byte> payload;
+  EncodeRequest(req, &payload);
+  WireRequest out;
+  ASSERT_TRUE(DecodeRequest(payload, &out).ok());
+  EXPECT_EQ(out.type, MessageType::kHealth);
+}
+
+TEST(ProtocolTest, HealthResponseRoundTrip) {
+  const WireHealth h = SampleHealth();
+  std::vector<std::byte> payload;
+  EncodeHealthResponse(h, &payload);
+  ASSERT_EQ(payload.size(), kHealthWireBytes);
+  WireHealth got;
+  ASSERT_TRUE(DecodeHealthResponse(payload, &got).ok());
+  EXPECT_EQ(got.state, h.state);
+  EXPECT_EQ(got.queue_depth, h.queue_depth);
+  EXPECT_EQ(got.inflight, h.inflight);
+  EXPECT_EQ(got.connections, h.connections);
+  EXPECT_EQ(got.slow_client_dropped, h.slow_client_dropped);
+  EXPECT_EQ(got.epoch, h.epoch);
+  EXPECT_EQ(got.memo_hits, h.memo_hits);
+  EXPECT_EQ(got.requests, h.requests);
+
+  // Every state name resolves (the CLI prints them).
+  EXPECT_STREQ(HealthStateName(HealthState::kLive), "live");
+  EXPECT_STREQ(HealthStateName(HealthState::kDegraded), "degraded");
+  EXPECT_STREQ(HealthStateName(HealthState::kDraining), "draining");
+}
+
+TEST(ProtocolTest, RejectsMalformedHealthResponse) {
+  std::vector<std::byte> good;
+  EncodeHealthResponse(SampleHealth(), &good);
+  WireHealth out;
+  ASSERT_TRUE(DecodeHealthResponse(good, &out).ok());
+
+  // Wrong sizes — notably the 32-byte regular-response size, so a query
+  // response can never be mistaken for a health frame.
+  EXPECT_FALSE(DecodeHealthResponse({good.data(), 0}, &out).ok());
+  EXPECT_FALSE(
+      DecodeHealthResponse({good.data(), kResponseWireBytes}, &out).ok());
+  EXPECT_FALSE(
+      DecodeHealthResponse({good.data(), good.size() - 1}, &out).ok());
+  std::vector<std::byte> big = good;
+  big.push_back(std::byte{0});
+  EXPECT_FALSE(DecodeHealthResponse(big, &out).ok());
+
+  auto corrupt = [&](std::size_t off, uint8_t value) {
+    std::vector<std::byte> bad = good;
+    bad[off] = static_cast<std::byte>(value);
+    return DecodeHealthResponse(bad, &out);
+  };
+  EXPECT_FALSE(corrupt(0, 0x42).ok());              // magic
+  EXPECT_FALSE(corrupt(2, kWireVersion + 1).ok());  // version
+  EXPECT_FALSE(corrupt(3, 1).ok());                 // status must be kOk
+  EXPECT_FALSE(corrupt(4, 1).ok());                 // type must be kHealth
+  EXPECT_FALSE(corrupt(5, 3).ok());                 // state range
+  EXPECT_FALSE(corrupt(6, 1).ok());                 // reserved
+  EXPECT_FALSE(corrupt(7, 0x80).ok());              // reserved
+  // Counter bytes are unconstrained: any value decodes.
+  EXPECT_TRUE(corrupt(8, 0xff).ok());
+  EXPECT_TRUE(corrupt(47, 0xff).ok());
+}
+
+// A query/ping response decoder must not accept health frames and vice
+// versa — the type byte and the size both disagree.
+TEST(ProtocolTest, HealthAndResponseFramesDoNotCrossDecode) {
+  std::vector<std::byte> health;
+  EncodeHealthResponse(SampleHealth(), &health);
+  WireResponse resp_out;
+  EXPECT_FALSE(DecodeResponse(health, &resp_out).ok());
+
+  WireResponse resp;
+  std::vector<std::byte> regular;
+  EncodeResponse(resp, &regular);
+  WireHealth health_out;
+  EXPECT_FALSE(DecodeHealthResponse(regular, &health_out).ok());
+}
+
 // ------------------------------------------------------------- updates --
 
 WireRequest SampleUpdate(UpdateOp op) {

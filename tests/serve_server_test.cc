@@ -310,6 +310,41 @@ TEST(ServeServerTest, GracefulShutdownDrainsAdmittedRequests) {
   EXPECT_EQ(stats.responses_ok, requests.size());
 }
 
+TEST(ServeServerTest, HealthProbeReportsLiveStateAndCounters) {
+  Harness h;
+  Client client = h.Connect();
+  // Some traffic first so the counters have moved.
+  WireResponse resp;
+  ASSERT_TRUE(client.Call(h.Request(0, 1, 1), &resp).ok());
+
+  WireHealth health;
+  ASSERT_TRUE(client.Health(&health).ok());
+  EXPECT_EQ(health.state, HealthState::kLive);
+  EXPECT_EQ(health.connections, 1u);
+  EXPECT_GE(health.requests, 1u);
+  EXPECT_EQ(health.epoch, 1u);  // static serving publishes epoch 1
+  EXPECT_EQ(health.slow_client_dropped, 0u);
+  EXPECT_GE(h.server->Stats().health_probes, 1u);
+
+  // Health interleaves with pipelined queries through the sequencer, and
+  // the regular query stream keeps decoding around the bigger frame.
+  ASSERT_TRUE(client.Call(h.Request(0, 1, 1), &resp).ok());
+  EXPECT_EQ(resp.status, WireStatus::kOk);
+  ASSERT_TRUE(client.Health(&health).ok());
+  EXPECT_EQ(health.state, HealthState::kLive);
+}
+
+TEST(ServeServerTest, ConnectRefusedAndConnectTimeoutAreTyped) {
+  // Refused: nothing listens on the reserved port 1 on loopback.
+  ClientOptions copts;
+  copts.connect_timeout_ms = 2000;
+  copts.max_attempts = 1;
+  Client client(copts);
+  const Status st = client.Connect("127.0.0.1", 1);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(client.connected());
+}
+
 TEST(ServeServerTest, RequestShutdownFlagIsObservable) {
   Harness h;
   EXPECT_FALSE(h.server->ShutdownRequested());

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "core/bicore_index.h"
 #include "core/delta_index.h"
+#include "io/fault_inject.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "test_util.h"
@@ -131,6 +132,174 @@ TEST(ServeStressTest, ShutdownRacesLiveTraffic) {
   stop.store(true);
   for (std::thread& t : clients) t.join();
   EXPECT_EQ(hard_failures.load(), 0u);
+}
+
+// --------------------------------------------------------------- chaos --
+// Socket-fault injection via the net.* seam (see io/fault_inject.h).
+// The injector is process-global, so every chaos test disarms on exit.
+
+struct NetFaultGuard {
+  ~NetFaultGuard() { NetFaultInjector::Instance().Disarm(); }
+};
+
+// A hostile network — truncated server sends (split frames), EINTR
+// storms on both recv paths, connection resets mid-stream in both
+// directions — must stay invisible to a retrying client: every answer
+// still matches a fresh direct query and no call errors out.
+TEST(ServeChaosTest, InjectedSocketFaultsAreInvisibleToRetryingClient) {
+  NetFaultGuard guard;
+  const BipartiteGraph g = RandomWeightedGraph(60, 60, 700, 6464);
+  const DeltaIndex delta = DeltaIndex::Build(g);
+  ServerOptions options;
+  options.num_threads = 2;
+  Server server(g, &delta, nullptr, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  NetFaultInjector& inj = NetFaultInjector::Instance();
+  ASSERT_TRUE(inj.ArmSpec("net.server_send=short:5@7").ok());
+  ASSERT_TRUE(inj.ArmSpec("net.server_send=reset@23").ok());
+  ASSERT_TRUE(inj.ArmSpec("net.server_recv=eintr:3@11").ok());
+  ASSERT_TRUE(inj.ArmSpec("net.client_recv=eintr:2@9").ok());
+  ASSERT_TRUE(inj.ArmSpec("net.client_send=reset@31").ok());
+
+  ClientOptions copts;
+  copts.max_attempts = 6;
+  copts.backoff_base_ms = 1;
+  copts.backoff_max_ms = 5;
+  Client client(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  Rng rng(99);
+  for (int i = 0; i < 150; ++i) {
+    const VertexId q = static_cast<VertexId>(rng.NextBounded(g.NumUpper()));
+    const uint32_t alpha = 1 + static_cast<uint32_t>(rng.NextBounded(4));
+    const uint32_t beta = 1 + static_cast<uint32_t>(rng.NextBounded(4));
+    WireRequest req;
+    req.q = q;
+    req.alpha = alpha;
+    req.beta = beta;
+    WireResponse resp;
+    const Status st = client.Call(req, &resp);
+    ASSERT_TRUE(st.ok()) << "call " << i << ": " << st.ToString();
+    ASSERT_EQ(resp.status, WireStatus::kOk) << i;
+    const Subgraph expect = delta.QueryCommunity(q, alpha, beta);
+    ASSERT_EQ(resp.num_edges, expect.edges.size()) << i;
+    ASSERT_EQ(resp.found, !expect.edges.empty()) << i;
+  }
+  // The injected resets really fired and the client really recovered.
+  EXPECT_GT(inj.fired("net.server_send"), 0u);
+  EXPECT_GT(client.stats().retries, 0u);
+  EXPECT_GT(client.stats().reconnects, 0u);
+  inj.Disarm();
+  server.Shutdown();
+}
+
+// A server whose response writer is delayed past the client's I/O
+// deadline yields a typed timeout (no hang, no torn frame) — and once
+// the fault clears, the same client object recovers on the next call.
+TEST(ServeChaosTest, DelayPastClientDeadlineIsTypedThenRecovers) {
+  NetFaultGuard guard;
+  const BipartiteGraph g = RandomWeightedGraph(40, 40, 400, 7575);
+  const DeltaIndex delta = DeltaIndex::Build(g);
+  ServerOptions options;
+  // The injected delay sleeps inside the syscall wrapper, pinning one
+  // worker mid-send; a second worker keeps the recovery call servable
+  // even on a single-core machine.
+  options.num_threads = 2;
+  Server server(g, &delta, nullptr, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  NetFaultInjector& inj = NetFaultInjector::Instance();
+  ASSERT_TRUE(inj.ArmSpec("net.server_send=delay:400").ok());
+
+  ClientOptions copts;
+  copts.io_timeout_ms = 100;
+  copts.max_attempts = 1;  // surface the timeout instead of retrying
+  Client client(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  WireRequest req;
+  req.q = 0;
+  req.alpha = 1;
+  req.beta = 1;
+  WireResponse resp;
+  const Status st = client.Call(req, &resp);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("timed out"), std::string::npos)
+      << st.ToString();
+  EXPECT_GE(client.stats().timeouts, 1u);
+
+  inj.Disarm();
+  // Same client object: reconnects and completes normally.
+  const Status recovered = client.Call(req, &resp);
+  ASSERT_TRUE(recovered.ok()) << recovered.ToString();
+  EXPECT_EQ(resp.status, WireStatus::kOk);
+  EXPECT_EQ(resp.num_edges, delta.QueryCommunity(0, 1, 1).edges.size());
+  server.Shutdown();
+}
+
+// A peer that floods requests and never reads must be shed (bounded
+// output buffer + write deadline) without wedging a worker: a paired
+// well-behaved client keeps completing calls throughout, and the slow
+// connection's teardown is a typed error, not a hang.
+TEST(ServeChaosTest, SlowClientIsShedWhileFastClientProgresses) {
+  const BipartiteGraph g = RandomWeightedGraph(60, 60, 700, 8686);
+  const DeltaIndex delta = DeltaIndex::Build(g);
+  ServerOptions options;
+  options.num_threads = 2;
+  options.write_deadline_ms = 150;
+  options.max_output_buffer = 32u << 10;
+  options.so_sndbuf = 8u << 10;  // small kernel buffer: back-pressure fast
+  options.max_queue = 16384;     // flood must hit the outbuf, not admission
+  Server server(g, &delta, nullptr, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions slow_opts;
+  slow_opts.so_rcvbuf = 4096;  // tiny receive window
+  Client slow(slow_opts);
+  ASSERT_TRUE(slow.Connect("127.0.0.1", server.port()).ok());
+  // ~5000 responses (36 framed bytes each) dwarf the kernel windows plus
+  // the 32 KiB buffer cap; the flusher must shed this connection.
+  WireRequest req;
+  req.q = 0;
+  req.alpha = 1;
+  req.beta = 1;
+  const std::vector<WireRequest> flood(5000, req);
+  ASSERT_TRUE(slow.SendAll(flood).ok());
+  // Deliberately not reading.
+
+  // A fast client makes steady progress while the slow peer is wedged.
+  Client fast;
+  ASSERT_TRUE(fast.Connect("127.0.0.1", server.port()).ok());
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    WireRequest r;
+    r.q = static_cast<uint32_t>(rng.NextBounded(g.NumUpper()));
+    r.alpha = 1 + static_cast<uint32_t>(rng.NextBounded(3));
+    r.beta = 1 + static_cast<uint32_t>(rng.NextBounded(3));
+    WireResponse resp;
+    ASSERT_TRUE(fast.Call(r, &resp).ok()) << i;
+    ASSERT_EQ(resp.status, WireStatus::kOk) << i;
+  }
+
+  // The shed is asynchronous (write deadline / buffer cap in the
+  // flusher); wait bounded, not forever.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.Stats().slow_client_dropped == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server.Stats().slow_client_dropped, 1u);
+
+  // The slow client's connection was torn down: draining now fails with
+  // a typed error once the buffered prefix runs out — it cannot hang.
+  std::vector<WireResponse> responses;
+  EXPECT_FALSE(slow.ReceiveAll(flood.size(), &responses).ok());
+
+  // The fast connection is still healthy.
+  ASSERT_TRUE(fast.Ping().ok());
+  server.Shutdown();
 }
 
 }  // namespace

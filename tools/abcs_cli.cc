@@ -129,10 +129,15 @@ int Usage() {
                "[--threads N] [--port-file F] [--max-connections N] "
                "[--max-queue N] [--deadline-ms N] [--no-memo] "
                "[--enable-updates] [--update-queue N] [--compact-path F] "
-               "[--compact-every N]\n"
-               "  abcs client [--host H] --port N (--ping | <q> <alpha> "
-               "<beta> | --batch FILE [--connections N --duration S]) "
+               "[--compact-every N] [--write-deadline-ms N] [--max-out-kb N] "
+               "[--watchdog-interval-ms N] [--sndbuf-kb N]\n"
+               "  abcs client [--host H] --port N (--ping | --health | <q> "
+               "<alpha> <beta> | --batch FILE [--connections N --duration S]) "
                "[--method M] [--side u|l] [--deadline-ms N]\n"
+               "  abcs client ... [--connect-timeout-ms N] [--io-timeout-ms "
+               "N] [--retries N]   (transport knobs, any mode)\n"
+               "  abcs client --port N <q> <alpha> <beta> --flood N "
+               "[--hold-ms N] [--rcvbuf-kb N]   (slow-client chaos probe)\n"
                "  abcs client [--host H] --port N (--insert u v w | "
                "--remove u v | --reweight u v w)... [--commit]\n"
                "  abcs client [--host H] --port N --update-file F   "
@@ -744,6 +749,18 @@ bool ParseServeArgs(int argc, char** argv, ServeArgs* args) {
     } else if (std::strcmp(argv[i], "--compact-every") == 0) {
       if (!parse_u32(&i, 1 << 24, &n)) return false;
       args->options.compact_every = static_cast<uint32_t>(n);
+    } else if (std::strcmp(argv[i], "--write-deadline-ms") == 0) {
+      if (!parse_u32(&i, 1L << 30, &n)) return false;
+      args->options.write_deadline_ms = static_cast<uint32_t>(n);
+    } else if (std::strcmp(argv[i], "--max-out-kb") == 0) {
+      if (!parse_u32(&i, 1 << 22, &n) || n == 0) return false;
+      args->options.max_output_buffer = static_cast<std::size_t>(n) << 10;
+    } else if (std::strcmp(argv[i], "--watchdog-interval-ms") == 0) {
+      if (!parse_u32(&i, 1L << 30, &n)) return false;
+      args->options.watchdog_interval_ms = static_cast<uint32_t>(n);
+    } else if (std::strcmp(argv[i], "--sndbuf-kb") == 0) {
+      if (!parse_u32(&i, 1 << 20, &n) || n == 0) return false;
+      args->options.so_sndbuf = static_cast<uint32_t>(n) << 10;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       return false;
     } else {
@@ -822,7 +839,8 @@ int CmdServe(const ServeArgs& args) {
   std::fprintf(stderr,
                "# drained: conns=%llu rejected=%llu requests=%llu ok=%llu "
                "errors=%llu memo_hits=%llu deadline=%llu overload=%llu "
-               "protocol=%llu queued_at_shutdown=%llu\n",
+               "protocol=%llu slow_dropped=%llu health_probes=%llu "
+               "queued_at_shutdown=%llu\n",
                static_cast<unsigned long long>(s.connections_accepted),
                static_cast<unsigned long long>(s.connections_rejected),
                static_cast<unsigned long long>(s.requests),
@@ -832,6 +850,8 @@ int CmdServe(const ServeArgs& args) {
                static_cast<unsigned long long>(s.deadline_expired),
                static_cast<unsigned long long>(s.overloaded),
                static_cast<unsigned long long>(s.protocol_errors),
+               static_cast<unsigned long long>(s.slow_client_dropped),
+               static_cast<unsigned long long>(s.health_probes),
                static_cast<unsigned long long>(s.drained_tasks));
   if (options.enable_updates) {
     std::fprintf(stderr,
@@ -856,6 +876,7 @@ struct ClientArgs {
   std::string host = "127.0.0.1";
   long port = -1;
   bool ping = false;
+  bool health = false;
   abcs::serve::WireMethod method = abcs::serve::WireMethod::kDelta;
   bool lower_side = false;
   uint32_t deadline_ms = 0;
@@ -864,6 +885,13 @@ struct ClientArgs {
   double duration_s = 0.0;
   uint32_t q = 0, alpha = 0, beta = 0;
   bool single = false;
+  /// Transport knobs, forwarded into ClientOptions for every mode.
+  abcs::serve::ClientOptions transport;
+  /// Chaos probe: pipeline this many copies of the single query, hold
+  /// without reading for hold_ms, then drain — exercises the server's
+  /// slow-client shedding.
+  unsigned flood = 0;
+  uint32_t hold_ms = 2000;
   struct UpdateSpec {
     abcs::serve::UpdateOp op = abcs::serve::UpdateOp::kCommit;
     uint32_t u = 0, v = 0;
@@ -882,6 +910,29 @@ bool ParseClientArgs(int argc, char** argv, ClientArgs* args) {
       args->port = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--ping") == 0) {
       args->ping = true;
+    } else if (std::strcmp(argv[i], "--health") == 0) {
+      args->health = true;
+    } else if (std::strcmp(argv[i], "--connect-timeout-ms") == 0 &&
+               i + 1 < argc) {
+      args->transport.connect_timeout_ms =
+          static_cast<uint32_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--io-timeout-ms") == 0 && i + 1 < argc) {
+      args->transport.io_timeout_ms =
+          static_cast<uint32_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      const long n = std::atol(argv[++i]);
+      if (n < 1) return false;
+      args->transport.max_attempts = static_cast<uint32_t>(n);
+    } else if (std::strcmp(argv[i], "--rcvbuf-kb") == 0 && i + 1 < argc) {
+      const long n = std::atol(argv[++i]);
+      if (n < 1) return false;
+      args->transport.so_rcvbuf = static_cast<uint32_t>(n) << 10;
+    } else if (std::strcmp(argv[i], "--flood") == 0 && i + 1 < argc) {
+      const long n = std::atol(argv[++i]);
+      if (n < 1) return false;
+      args->flood = static_cast<unsigned>(n);
+    } else if (std::strcmp(argv[i], "--hold-ms") == 0 && i + 1 < argc) {
+      args->hold_ms = static_cast<uint32_t>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--method") == 0 && i + 1 < argc) {
       if (!abcs::serve::ParseWireMethod(argv[++i], &args->method)) {
         return false;
@@ -928,17 +979,18 @@ bool ParseClientArgs(int argc, char** argv, ClientArgs* args) {
   }
   if (args->port < 1 || args->port > 65535) return false;
   const bool update_mode = !args->updates.empty() || !args->update_file.empty();
-  if (args->ping) {
-    return pos.empty() && args->batch_path.empty() && !update_mode;
+  if (args->ping || args->health) {
+    return !(args->ping && args->health) && pos.empty() &&
+           args->batch_path.empty() && !update_mode && args->flood == 0;
   }
   if (update_mode) {
     // One mode per invocation; a file and inline ops would have an
     // ambiguous ordering.
-    return pos.empty() && args->batch_path.empty() &&
+    return pos.empty() && args->batch_path.empty() && args->flood == 0 &&
            (args->updates.empty() || args->update_file.empty());
   }
   if (!args->batch_path.empty()) {
-    if (!pos.empty()) return false;
+    if (!pos.empty() || args->flood != 0) return false;
     // Soak needs both knobs; a lone --connections or --duration is a typo.
     if ((args->connections != 0) != (args->duration_s > 0)) return false;
     return true;
@@ -1033,16 +1085,27 @@ void PrintClientResponse(std::size_t i, const abcs::serve::WireRequest& req,
   }
 }
 
+// Prints transport telemetry when anything eventful happened (stderr, so
+// stdout stays bit-comparable with the offline batch runner).
+void PrintClientStats(const abcs::serve::Client& client) {
+  const abcs::serve::ClientStats& cs = client.stats();
+  if (cs.reconnects == 0 && cs.retries == 0 && cs.timeouts == 0) return;
+  std::fprintf(stderr, "# client: reconnects=%llu retries=%llu timeouts=%llu\n",
+               static_cast<unsigned long long>(cs.reconnects),
+               static_cast<unsigned long long>(cs.retries),
+               static_cast<unsigned long long>(cs.timeouts));
+}
+
 int RunClientBatch(const ClientArgs& args,
                    const std::vector<abcs::serve::WireRequest>& requests) {
-  abcs::serve::Client client;
+  abcs::serve::Client client(args.transport);
   abcs::Status st = client.Connect(args.host, static_cast<uint16_t>(args.port));
   if (!st.ok()) return Fail(st);
-  // One pipelined burst: the server's sequencer guarantees request order.
-  st = client.SendAll(requests);
-  if (!st.ok()) return Fail(st);
+  // One pipelined burst; CallAll resumes the unanswered suffix across
+  // reconnects and the server's sequencer guarantees request order.
   std::vector<abcs::serve::WireResponse> responses;
-  st = client.ReceiveAll(requests.size(), &responses);
+  st = client.CallAll(requests, &responses);
+  PrintClientStats(client);
   if (!st.ok()) return Fail(st);
 
   const bool scs = abcs::serve::IsScsMethod(args.method);
@@ -1097,7 +1160,7 @@ int RunClientSoak(const ClientArgs& args,
   threads.reserve(args.connections);
   for (unsigned c = 0; c < args.connections; ++c) {
     threads.emplace_back([&, c] {
-      abcs::serve::Client client;
+      abcs::serve::Client client(args.transport);
       if (!client.Connect(args.host, static_cast<uint16_t>(args.port)).ok()) {
         total_errors.fetch_add(1);
         return;
@@ -1188,7 +1251,7 @@ abcs::Status ParseUpdateFile(const std::string& path,
 
 int RunClientUpdates(const ClientArgs& args,
                      const std::vector<ClientArgs::UpdateSpec>& updates) {
-  abcs::serve::Client client;
+  abcs::serve::Client client(args.transport);
   abcs::Status st = client.Connect(args.host, static_cast<uint16_t>(args.port));
   if (!st.ok()) return Fail(st);
   int failures = 0;
@@ -1214,9 +1277,42 @@ int RunClientUpdates(const ClientArgs& args,
   return failures == 0 ? 0 : 1;
 }
 
+// Slow-client chaos probe: pipeline a burst, then deliberately stop
+// reading for hold_ms so responses pile up in the server's bounded
+// per-connection buffer (and the kernel windows). A healthy server sheds
+// this connection instead of stalling a worker; both outcomes print and
+// exit 0 — the server's slow_dropped counter is the assertion surface.
+int RunClientFlood(const ClientArgs& args) {
+  abcs::serve::WireRequest req;
+  req.method = args.method;
+  req.lower_side = args.lower_side;
+  req.q = args.q;
+  req.alpha = args.alpha;
+  req.beta = args.beta;
+  req.deadline_ms = args.deadline_ms;
+  abcs::serve::Client client(args.transport);
+  abcs::Status st = client.Connect(args.host, static_cast<uint16_t>(args.port));
+  if (!st.ok()) return Fail(st);
+  const std::vector<abcs::serve::WireRequest> burst(args.flood, req);
+  st = client.SendAll(burst);
+  if (st.ok()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.hold_ms));
+    std::vector<abcs::serve::WireResponse> responses;
+    st = client.ReceiveAll(burst.size(), &responses);
+    if (st.ok()) {
+      std::printf("# flood sent=%u held=%ums drained=%zu (not shed)\n",
+                  args.flood, args.hold_ms, responses.size());
+      return 0;
+    }
+  }
+  std::printf("# flood sent=%u held=%ums shed: %s\n", args.flood, args.hold_ms,
+              st.ToString().c_str());
+  return 0;
+}
+
 int CmdClient(const ClientArgs& args) {
   if (args.ping) {
-    abcs::serve::Client client;
+    abcs::serve::Client client(args.transport);
     abcs::Status st =
         client.Connect(args.host, static_cast<uint16_t>(args.port));
     uint64_t epoch = 0;
@@ -1224,6 +1320,23 @@ int CmdClient(const ClientArgs& args) {
     if (!st.ok()) return Fail(st);
     std::printf("pong epoch=%llu\n", static_cast<unsigned long long>(epoch));
     return 0;
+  }
+  if (args.health) {
+    abcs::serve::Client client(args.transport);
+    abcs::Status st =
+        client.Connect(args.host, static_cast<uint16_t>(args.port));
+    abcs::serve::WireHealth h;
+    if (st.ok()) st = client.Health(&h);
+    if (!st.ok()) return Fail(st);
+    std::printf(
+        "health state=%s queue=%u inflight=%u conns=%u slow_dropped=%u "
+        "epoch=%llu memo_hits=%llu requests=%llu\n",
+        abcs::serve::HealthStateName(h.state), h.queue_depth, h.inflight,
+        h.connections, h.slow_client_dropped,
+        static_cast<unsigned long long>(h.epoch),
+        static_cast<unsigned long long>(h.memo_hits),
+        static_cast<unsigned long long>(h.requests));
+    return h.state == abcs::serve::HealthState::kLive ? 0 : 1;
   }
   if (!args.updates.empty() || !args.update_file.empty()) {
     std::vector<ClientArgs::UpdateSpec> updates = args.updates;
@@ -1246,6 +1359,7 @@ int CmdClient(const ClientArgs& args) {
     return args.connections > 0 ? RunClientSoak(args, requests)
                                 : RunClientBatch(args, requests);
   }
+  if (args.flood > 0) return RunClientFlood(args);
   abcs::serve::WireRequest req;
   req.method = args.method;
   req.lower_side = args.lower_side;
@@ -1253,11 +1367,12 @@ int CmdClient(const ClientArgs& args) {
   req.alpha = args.alpha;
   req.beta = args.beta;
   req.deadline_ms = args.deadline_ms;
-  abcs::serve::Client client;
+  abcs::serve::Client client(args.transport);
   abcs::Status st = client.Connect(args.host, static_cast<uint16_t>(args.port));
   if (!st.ok()) return Fail(st);
   abcs::serve::WireResponse resp;
   st = client.Call(req, &resp);
+  PrintClientStats(client);
   if (!st.ok()) return Fail(st);
   PrintClientResponse(0, req, resp);
   return resp.status == abcs::serve::WireStatus::kOk ? 0 : 1;
