@@ -1,10 +1,14 @@
 // Startup-latency benchmark: time-to-first-query of a cold index build vs
-// reopening a persisted ABCSPAK1 bundle (legacy ABCSIDX load, read-mode
-// open, mmap open — verified and unverified). This is the restart story
-// the bundle format exists for: the O(δ·m) construction cost is paid once
-// at save time, and every process start afterwards is an O(file) open (or
-// O(1) copies + lazy page faults for unverified mmap). Emits
-// BENCH_load.json for the CI bench-smoke artifact.
+// reopening a persisted ABCSPAK2 bundle (legacy ABCSIDX load, read-mode
+// open, mmap open — verified and unverified), at every compression level
+// (none / fast / max). This is the restart story the bundle format exists
+// for: the O(δ·m) construction cost is paid once at save time, and every
+// process start afterwards is an O(file) open (or O(1) copies + lazy page
+// faults for unverified mmap); compressed rows additionally report the
+// encode cost, the raw-vs-compressed byte ratio and the decode-to-first-
+// query time. Emits BENCH_load.json (rows keyed dataset × compression,
+// with bundle_bytes / compression_ratio checked warn-only against the
+// committed baseline) for the CI bench-smoke artifact.
 //
 // Usage: bench_load_startup [out.json]
 // ABCS_BENCH_DATASETS / ABCS_BENCH_DATASET: registry names (default BS),
@@ -80,14 +84,16 @@ std::vector<abcs::DatasetSpec> SelectedDatasets() {
 
 struct Row {
   std::string name;
+  std::string compression;  ///< "none" / "fast" / "max"
   uint32_t n = 0, m = 0, delta = 0;
   std::size_t bundle_bytes = 0;
-  double save_seconds = 0;
+  double compression_ratio = 1.0;  ///< raw bundle bytes / this bundle bytes
+  double save_seconds = 0;    ///< encode (at this level) + crash-safe write
   double cold_build_1t = 0;   ///< serial decomposition + I_δ + first query
   double cold_build_mt = 0;   ///< all-cores decomposition + I_δ + query
   double legacy_load = 0;     ///< ABCSIDX LoadDeltaIndex + first query
-  double open_read = 0;       ///< bundle kRead open + first query
-  double open_mmap = 0;       ///< bundle kMmap open + first query
+  double open_read = 0;       ///< bundle kRead open (+decode) + first query
+  double open_mmap = 0;       ///< bundle kMmap open (+decode) + first query
   double open_mmap_unverified = 0;  ///< mmap open, checksums skipped
 };
 
@@ -97,18 +103,13 @@ int main(int argc, char** argv) {
   const char* out_path = argc > 1 ? argv[1] : "BENCH_load.json";
   const std::vector<abcs::DatasetSpec> specs = SelectedDatasets();
 
-  std::printf("%-5s %8s %8s %6s %9s %10s %10s %10s %10s %10s %8s\n", "name",
-              "n", "m", "delta", "MB", "build1t", "buildMT", "legacy",
-              "read", "mmap", "speedup");
+  std::printf("%-5s %-5s %8s %8s %6s %9s %7s %9s %10s %10s %10s %10s %8s\n",
+              "name", "comp", "n", "m", "delta", "MB", "ratio", "save",
+              "buildMT", "legacy", "read", "mmap", "speedup");
   std::vector<Row> rows;
   for (const abcs::DatasetSpec& spec : specs) {
     const abcs::bench::PreparedDataset ds = abcs::bench::Prepare(spec);
     const abcs::BipartiteGraph& g = ds.graph;
-    Row row;
-    row.name = spec.name;
-    row.n = g.NumVertices();
-    row.m = g.NumEdges();
-    row.delta = ds.delta();
 
     // Time-to-first-query probe: one typical-point community retrieval,
     // identical on every path (and checked identical below).
@@ -124,16 +125,6 @@ int main(int argc, char** argv) {
 
     const std::string bundle_path = "bench_load_startup.tmp.abcs";
     const std::string legacy_path = "bench_load_startup.tmp.idx";
-    {
-      abcs::Timer timer;
-      const abcs::Status st =
-          abcs::SaveIndexBundle(g, ds.decomp, built, bicore, bundle_path);
-      row.save_seconds = timer.Seconds();
-      if (!st.ok()) {
-        std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
-        return 1;
-      }
-    }
     if (!abcs::SaveDeltaIndex(built, g, legacy_path).ok()) return 1;
 
     bool identical = true;
@@ -141,38 +132,87 @@ int main(int argc, char** argv) {
       identical = identical && got == want;
     };
 
-    row.cold_build_1t = TimeBest(1, [&] {
+    // The cold-build and legacy-load baselines are per-dataset; measure
+    // once and repeat them on every compression row for self-contained
+    // JSON records.
+    const double cold_build_1t = TimeBest(1, [&] {
       const abcs::DeltaIndex index =
           abcs::DeltaIndex::Build(g, nullptr, /*num_threads=*/1);
       check(index.QueryCommunity(q, ab, ab).edges);
     });
-    row.cold_build_mt = TimeBest(1, [&] {
+    const double cold_build_mt = TimeBest(1, [&] {
       const abcs::DeltaIndex index =
           abcs::DeltaIndex::Build(g, nullptr, /*num_threads=*/0);
       check(index.QueryCommunity(q, ab, ab).edges);
     });
-    row.legacy_load = TimeBest(3, [&] {
+    const double legacy_load = TimeBest(3, [&] {
       abcs::DeltaIndex index;
       if (!abcs::LoadDeltaIndex(legacy_path, g, &index).ok()) std::exit(1);
       check(index.QueryCommunity(q, ab, ab).edges);
     });
-    auto open_and_query = [&](abcs::BundleOpenMode mode, bool verify) {
-      std::unique_ptr<abcs::IndexBundle> bundle;
-      abcs::BundleOpenOptions options;
-      options.mode = mode;
-      options.verify_checksums = verify;
-      if (!abcs::OpenIndexBundle(bundle_path, &bundle, options).ok()) {
-        std::exit(1);
+
+    std::size_t raw_bytes = 0;
+    for (const abcs::BundleCompression level :
+         {abcs::BundleCompression::kNone, abcs::BundleCompression::kFast,
+          abcs::BundleCompression::kMax}) {
+      Row row;
+      row.name = spec.name;
+      row.compression = abcs::BundleCompressionName(level);
+      row.n = g.NumVertices();
+      row.m = g.NumEdges();
+      row.delta = ds.delta();
+      row.cold_build_1t = cold_build_1t;
+      row.cold_build_mt = cold_build_mt;
+      row.legacy_load = legacy_load;
+      {
+        abcs::Timer timer;
+        abcs::SaveBundleOptions save;
+        save.compression = level;
+        const abcs::Status st = abcs::SaveIndexBundle(g, ds.decomp, built,
+                                                      bicore, bundle_path,
+                                                      save);
+        row.save_seconds = timer.Seconds();
+        if (!st.ok()) {
+          std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+          return 1;
+        }
       }
-      row.bundle_bytes = bundle->FileBytes();
-      check(bundle->delta_index().QueryCommunity(q, ab, ab).edges);
-    };
-    row.open_read =
-        TimeBest(3, [&] { open_and_query(abcs::BundleOpenMode::kRead, true); });
-    row.open_mmap =
-        TimeBest(3, [&] { open_and_query(abcs::BundleOpenMode::kMmap, true); });
-    row.open_mmap_unverified = TimeBest(
-        3, [&] { open_and_query(abcs::BundleOpenMode::kMmap, false); });
+
+      auto open_and_query = [&](abcs::BundleOpenMode mode, bool verify) {
+        std::unique_ptr<abcs::IndexBundle> bundle;
+        abcs::BundleOpenOptions options;
+        options.mode = mode;
+        options.verify_checksums = verify;
+        if (!abcs::OpenIndexBundle(bundle_path, &bundle, options).ok()) {
+          std::exit(1);
+        }
+        row.bundle_bytes = bundle->FileBytes();
+        check(bundle->delta_index().QueryCommunity(q, ab, ab).edges);
+      };
+      row.open_read = TimeBest(
+          3, [&] { open_and_query(abcs::BundleOpenMode::kRead, true); });
+      row.open_mmap = TimeBest(
+          3, [&] { open_and_query(abcs::BundleOpenMode::kMmap, true); });
+      row.open_mmap_unverified = TimeBest(
+          3, [&] { open_and_query(abcs::BundleOpenMode::kMmap, false); });
+
+      if (level == abcs::BundleCompression::kNone) raw_bytes = row.bundle_bytes;
+      row.compression_ratio =
+          row.bundle_bytes > 0
+              ? static_cast<double>(raw_bytes) / row.bundle_bytes
+              : 1.0;
+
+      constexpr double kMb = 1024.0 * 1024.0;
+      std::printf(
+          "%-5s %-5s %8u %8u %6u %9.2f %6.2fx %9.4f %10.4f %10.4f %10.4f "
+          "%10.4f %7.1fx\n",
+          row.name.c_str(), row.compression.c_str(), row.n, row.m, row.delta,
+          static_cast<double>(row.bundle_bytes) / kMb, row.compression_ratio,
+          row.save_seconds, row.cold_build_mt, row.legacy_load, row.open_read,
+          row.open_mmap,
+          row.open_mmap > 0 ? row.cold_build_mt / row.open_mmap : 0.0);
+      rows.push_back(std::move(row));
+    }
 
     std::remove(bundle_path.c_str());
     std::remove(legacy_path.c_str());
@@ -182,15 +222,6 @@ int main(int argc, char** argv) {
                    spec.name.c_str());
       return 1;
     }
-
-    constexpr double kMb = 1024.0 * 1024.0;
-    std::printf(
-        "%-5s %8u %8u %6u %9.2f %10.4f %10.4f %10.4f %10.4f %10.4f %7.1fx\n",
-        row.name.c_str(), row.n, row.m, row.delta,
-        static_cast<double>(row.bundle_bytes) / kMb, row.cold_build_1t,
-        row.cold_build_mt, row.legacy_load, row.open_read, row.open_mmap,
-        row.open_mmap > 0 ? row.cold_build_mt / row.open_mmap : 0.0);
-    rows.push_back(std::move(row));
   }
 
   std::FILE* out = std::fopen(out_path, "w");
@@ -198,22 +229,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", out_path);
     return 1;
   }
-  std::fprintf(out, "{\n  \"bench\": \"load_startup\",\n  \"datasets\": [\n");
+  std::fprintf(out, "{\n  \"bench\": \"load_startup\",\n  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(
         out,
-        "    {\"name\": \"%s\", \"n\": %u, \"m\": %u, \"delta\": %u,\n"
-        "     \"bundle_bytes\": %zu, \"save_seconds\": %.6f,\n"
+        "    {\"dataset\": \"%s\", \"compression\": \"%s\",\n"
+        "     \"n\": %u, \"m\": %u, \"delta\": %u,\n"
+        "     \"bundle_bytes\": %zu, \"compression_ratio\": %.4f,\n"
+        "     \"save_seconds\": %.6f,\n"
         "     \"cold_build_1t_seconds\": %.6f, "
         "\"cold_build_mt_seconds\": %.6f,\n"
         "     \"legacy_load_seconds\": %.6f, \"open_read_seconds\": %.6f,\n"
         "     \"open_mmap_seconds\": %.6f, "
         "\"open_mmap_unverified_seconds\": %.6f,\n"
         "     \"ttfq_speedup_mmap_vs_cold_build\": %.2f}%s\n",
-        r.name.c_str(), r.n, r.m, r.delta, r.bundle_bytes, r.save_seconds,
-        r.cold_build_1t, r.cold_build_mt, r.legacy_load, r.open_read,
-        r.open_mmap, r.open_mmap_unverified,
+        r.name.c_str(), r.compression.c_str(), r.n, r.m, r.delta,
+        r.bundle_bytes, r.compression_ratio, r.save_seconds, r.cold_build_1t,
+        r.cold_build_mt, r.legacy_load, r.open_read, r.open_mmap,
+        r.open_mmap_unverified,
         r.open_mmap > 0 ? r.cold_build_mt / r.open_mmap : 0.0,
         i + 1 < rows.size() ? "," : "");
   }

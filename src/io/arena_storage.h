@@ -28,6 +28,8 @@ namespace abcs {
 template <typename T>
 class ArenaStorage {
  public:
+  using value_type = T;
+
   ArenaStorage() = default;
 
   /// Owning storage, adopted from a vector (the builder path).

@@ -1,0 +1,133 @@
+#ifndef ABCS_IO_CODEC_H_
+#define ABCS_IO_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace abcs {
+
+/// \brief Per-section codecs for the ABCSPAK2 index bundle.
+///
+/// Every bundle section is a flat array of trivially-copyable elements
+/// whose size is a multiple of 4 bytes, so the codecs view a payload as
+/// `lanes = element_size / 4` interleaved little-endian u32 columns and
+/// encode each column independently — the `to` lane of an entry array
+/// bit-packs to ⌈log₂ n⌉ bits while its `eid` lane gets its own width,
+/// instead of both paying for the larger of the two.
+///
+/// Encoded streams are self-contained given (lanes, decoded byte count):
+/// both are recorded in the bundle TOC, so a decoder never trusts the
+/// stream for its own shape. Decoding arbitrary bytes under any tag is
+/// memory-safe and returns a clean `Status` (fuzzed by
+/// fuzz/fuzz_section_codec.cc).
+enum class SectionCodec : uint32_t {
+  kRaw = 0,          ///< verbatim bytes, served zero-copy from the mapping
+  kDeltaVarint = 1,  ///< per-lane zigzag delta + LEB128 varint (sorted and
+                     ///< slowly-varying columns: start arrays, level bounds,
+                     ///< sorted neighbour ids)
+  kBitPack = 2,      ///< per-lane fixed-width bit packing (bounded columns:
+                     ///< vertex/edge ids, offset levels, degrees)
+};
+inline constexpr uint32_t kNumSectionCodecs = 3;
+
+/// Stable lower-case name for CLI/json output ("raw", "delta-varint",
+/// "bit-pack"); "codec-N" for out-of-range values.
+const char* SectionCodecName(SectionCodec codec);
+
+/// Encodes `decoded_bytes` bytes of `data` (an array whose elements span
+/// `lanes` u32 columns) under `codec` into `*out` (cleared first).
+/// `codec` must not be `kRaw` (raw sections are written verbatim without a
+/// codec buffer). Fails with `InvalidArgument` when `decoded_bytes` is not
+/// a multiple of `4 * lanes` or `lanes` is 0.
+Status EncodeU32Section(SectionCodec codec, const void* data,
+                        std::size_t decoded_bytes, uint32_t lanes,
+                        std::vector<std::byte>* out);
+
+/// Decodes `encoded_bytes` bytes of `encoded` into exactly `decoded_bytes`
+/// bytes at `out` (caller-allocated, 4-byte aligned). Total over arbitrary
+/// input: every malformed stream — truncation, varint overrun past the
+/// buffer, implausible bit widths, trailing garbage, values outside u32
+/// range — fails with `Corruption` before any out-of-bounds access, and
+/// `out` is fully written only on OK.
+Status DecodeU32Section(SectionCodec codec, const std::byte* encoded,
+                        std::size_t encoded_bytes, uint32_t lanes, void* out,
+                        std::size_t decoded_bytes);
+
+/// Smallest width (0..32) holding `max_value`.
+uint32_t BitWidthFor(uint32_t max_value);
+
+/// Bytes of one bit-packed lane of `count` values at `width` bits each.
+constexpr std::size_t BitPackedBytes(std::size_t count, uint32_t width) {
+  return (count * width + 7) / 8;
+}
+
+/// \brief A fixed-width bit-packed u32 array — the decoded-side twin of a
+/// `kBitPack` lane, and the "packed form" the batch-decrement peel kernel
+/// consumes directly (abcore/peel_kernel.h, ThresholdPeelPacked).
+///
+/// Values live `width` bits apart in a u64 word array; `Get`/`Set` are
+/// branch-light shift/mask read-modify-writes. A degree array packed at
+/// ⌈log₂(maxdeg+1)⌉ bits is 3–6× smaller than a u32 vector, so a whole
+/// peel's working set often fits a cache level it otherwise misses.
+class PackedU32Array {
+ public:
+  PackedU32Array() = default;
+
+  /// Packs `values[0, count)` at the tightest width covering their max.
+  void Assign(const uint32_t* values, std::size_t count);
+
+  std::size_t size() const { return size_; }
+  uint32_t width() const { return width_; }
+  /// Bytes held by the word array (the packed footprint).
+  std::size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  uint32_t Get(std::size_t i) const {
+    const std::size_t bit = i * width_;
+    const std::size_t word = bit >> 6;
+    const uint32_t shift = static_cast<uint32_t>(bit & 63);
+    // One guard word is always allocated, so the straddling read is safe.
+    uint64_t v = words_[word] >> shift;
+    if (shift + width_ > 64) v |= words_[word + 1] << (64 - shift);
+    return static_cast<uint32_t>(v & mask_);
+  }
+
+  /// `v` must fit in `width()` bits (guaranteed for degree counters, which
+  /// only ever decrease from the packed maximum).
+  void Set(std::size_t i, uint32_t v) {
+    const std::size_t bit = i * width_;
+    const std::size_t word = bit >> 6;
+    const uint32_t shift = static_cast<uint32_t>(bit & 63);
+    words_[word] = (words_[word] & ~(mask_ << shift)) |
+                   (static_cast<uint64_t>(v) << shift);
+    if (shift + width_ > 64) {
+      const uint32_t spill = 64 - shift;
+      words_[word + 1] = (words_[word + 1] & ~(mask_ >> spill)) |
+                         (static_cast<uint64_t>(v) >> spill);
+    }
+  }
+
+  /// Decrements element `i` by one and returns the new value. The packed
+  /// peel kernel's inner decrement: one RMW, no unpack round trip.
+  uint32_t Decrement(std::size_t i) {
+    const uint32_t v = Get(i) - 1;
+    Set(i, v);
+    return v;
+  }
+
+  /// Unpacks `[first, first + n)` into `out` — the batch form the packed
+  /// peel kernel's seed scan uses (word-at-a-time, amortised shifts).
+  void GetBatch(std::size_t first, std::size_t n, uint32_t* out) const;
+
+ private:
+  std::vector<uint64_t> words_;  ///< packed bits + one guard word
+  std::size_t size_ = 0;
+  uint32_t width_ = 0;
+  uint64_t mask_ = 0;  ///< (1 << width_) - 1, cached for Get/Set
+};
+
+}  // namespace abcs
+
+#endif  // ABCS_IO_CODEC_H_

@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <type_traits>
 
 #include "common/fnv.h"
 #include "core/index_io.h"
@@ -19,14 +20,19 @@ namespace abcs {
 
 namespace {
 
-// "ABCSPAK1": the versioned multi-section container, successor of the
-// single-structure "ABCSIDX" dumps. The trailing character is cosmetic —
-// real versioning lives in the header's version field.
-constexpr char kMagic[8] = {'A', 'B', 'C', 'S', 'P', 'A', 'K', '1'};
-constexpr uint32_t kFormatVersion = 1;
+// "ABCSPAK2": the versioned multi-section container, successor of the
+// single-structure "ABCSIDX" dumps. v2 added per-section codec tags and
+// encoded/decoded lengths to the TOC; v1 files (all-raw 40-byte records)
+// remain readable on the same verified-mmap fast path. The trailing magic
+// character tracks the header's version field — readers check both agree.
+constexpr char kMagicV1[8] = {'A', 'B', 'C', 'S', 'P', 'A', 'K', '1'};
+constexpr char kMagicV2[8] = {'A', 'B', 'C', 'S', 'P', 'A', 'K', '2'};
+constexpr uint32_t kFormatVersionV1 = 1;
+constexpr uint32_t kFormatVersionV2 = 2;
 constexpr uint64_t kAlign = 8;     ///< section payload alignment
 constexpr uint32_t kMaxSections = 64;
 constexpr uint64_t kAnyCount = ~0ull;
+constexpr std::size_t kMagicBytes = sizeof(kMagicV2);
 
 static_assert(std::endian::native == std::endian::little,
               "ABCSPAK1 bundles are little-endian; big-endian hosts would "
@@ -47,15 +53,49 @@ struct BundleHeader {
 static_assert(sizeof(BundleHeader) == 48);
 static_assert(std::is_trivially_copyable_v<BundleHeader>);
 
-/// One TOC entry: a named byte range plus a content checksum.
-struct SectionRecord {
+/// One v1 TOC entry: a named byte range plus a content checksum. All v1
+/// sections are raw.
+struct SectionRecordV1 {
   char name[16] = {};
   uint64_t offset = 0;    ///< absolute file offset, kAlign-aligned
   uint64_t length = 0;    ///< payload bytes (excludes padding)
   uint64_t checksum = 0;  ///< BundleChecksum of the payload
 };
-static_assert(sizeof(SectionRecord) == 40);
-static_assert(std::is_trivially_copyable_v<SectionRecord>);
+static_assert(sizeof(SectionRecordV1) == 40);
+static_assert(std::is_trivially_copyable_v<SectionRecordV1>);
+
+/// One v2 TOC entry: the byte range now carries the *stored* (possibly
+/// encoded) length, the codec tag, and the decoded length — the checksum
+/// covers the stored bytes, so corruption is caught before decode.
+struct SectionRecordV2 {
+  char name[16] = {};
+  uint64_t offset = 0;          ///< absolute file offset, kAlign-aligned
+  uint64_t stored_length = 0;   ///< bytes on disk (excludes padding)
+  uint64_t decoded_length = 0;  ///< bytes after decode (== stored for raw)
+  uint64_t checksum = 0;        ///< BundleChecksum of the stored bytes
+  uint32_t codec = 0;           ///< SectionCodec tag
+  uint32_t reserved = 0;        ///< must be 0
+};
+static_assert(sizeof(SectionRecordV2) == 56);
+static_assert(std::is_trivially_copyable_v<SectionRecordV2>);
+
+/// A TOC record normalised across format versions, plus the pooled decode
+/// destination assigned to encoded sections.
+struct SectionMeta {
+  char name[16] = {};
+  uint64_t offset = 0;
+  uint64_t stored_length = 0;
+  uint64_t decoded_length = 0;
+  uint64_t checksum = 0;
+  SectionCodec codec = SectionCodec::kRaw;
+  std::byte* decode_dst = nullptr;  ///< pool slice; null for raw sections
+};
+
+/// `name` fields are NUL-padded but a crafted file can fill all 16 bytes;
+/// never assume termination when building a diagnostic.
+std::string SectionName(const char (&name)[16]) {
+  return std::string(name, strnlen(name, sizeof(name)));
+}
 
 constexpr uint64_t AlignUp(uint64_t x) {
   return (x + kAlign - 1) & ~(kAlign - 1);
@@ -65,7 +105,7 @@ constexpr uint64_t AlignUp(uint64_t x) {
 struct OpenCtx {
   const std::byte* base = nullptr;
   uint64_t file_size = 0;
-  std::vector<SectionRecord> toc;
+  std::vector<SectionMeta> toc;
   const std::string* path = nullptr;
   bool verify = true;
 
@@ -75,17 +115,19 @@ struct OpenCtx {
 };
 
 /// Locates section `name` and wires `*out` as a borrowed span over its
-/// payload. `expect_count` pins the element count (kAnyCount skips; the
-/// caller then validates against sibling sections). Byte ranges were
-/// bounds-checked against the file when the TOC was parsed, so a mapped
-/// span can never read past the backing region.
+/// payload: raw sections view the backing bytes in place; encoded sections
+/// decode once into their pre-assigned pool slice and the span views that.
+/// `expect_count` pins the element count (kAnyCount skips; the caller then
+/// validates against sibling sections). Byte ranges were bounds-checked
+/// against the file when the TOC was parsed, so neither the checksum scan
+/// nor the decoder can read past the backing region.
 template <typename T>
 Status MapSection(const OpenCtx& ctx, const char* name, uint64_t expect_count,
                   ArenaStorage<T>* out) {
   static_assert(std::is_trivially_copyable_v<T>);
   static_assert(alignof(T) <= kAlign);
-  const SectionRecord* rec = nullptr;
-  for (const SectionRecord& r : ctx.toc) {
+  const SectionMeta* rec = nullptr;
+  for (const SectionMeta& r : ctx.toc) {
     if (std::strncmp(r.name, name, sizeof(r.name)) == 0) {
       rec = &r;
       break;
@@ -94,22 +136,44 @@ Status MapSection(const OpenCtx& ctx, const char* name, uint64_t expect_count,
   if (rec == nullptr) {
     return ctx.Corrupt(std::string("missing section ") + name);
   }
-  if (rec->length % sizeof(T) != 0) {
+  if (rec->decoded_length % sizeof(T) != 0) {
     return ctx.Corrupt(std::string("section ") + name +
                        " is not a whole number of elements");
   }
-  const uint64_t count = rec->length / sizeof(T);
+  const uint64_t count = rec->decoded_length / sizeof(T);
   if (expect_count != kAnyCount && count != expect_count) {
     return ctx.Corrupt(std::string("section ") + name +
                        " has the wrong element count");
   }
-  if (ctx.verify &&
-      BundleChecksum(ctx.base + rec->offset, rec->length) != rec->checksum) {
+  // The content checksum always covers the stored bytes: for an encoded
+  // section a flipped disk byte is rejected here, before the decoder ever
+  // sees the stream.
+  if (ctx.verify && BundleChecksum(ctx.base + rec->offset,
+                                   rec->stored_length) != rec->checksum) {
     return ctx.Corrupt(std::string("checksum mismatch in section ") + name);
   }
-  *out = ArenaStorage<T>::Borrowed(
-      reinterpret_cast<const T*>(ctx.base + rec->offset), count);
-  return Status::OK();
+  if (rec->codec == SectionCodec::kRaw) {
+    *out = ArenaStorage<T>::Borrowed(
+        reinterpret_cast<const T*>(ctx.base + rec->offset), count);
+    return Status::OK();
+  }
+  if constexpr (sizeof(T) % 4 != 0) {
+    return ctx.Corrupt(std::string("section ") + name +
+                       " cannot carry a codec (element size not a multiple "
+                       "of 4)");
+  } else {
+    const Status st = DecodeU32Section(
+        rec->codec, ctx.base + rec->offset, rec->stored_length,
+        sizeof(T) / 4, rec->decode_dst, rec->decoded_length);
+    if (!st.ok()) {
+      return ctx.Corrupt(std::string("section ") + name + " (" +
+                         SectionCodecName(rec->codec) +
+                         "): " + std::string(st.message()));
+    }
+    *out = ArenaStorage<T>::Borrowed(
+        reinterpret_cast<const T*>(rec->decode_dst), count);
+    return Status::OK();
+  }
 }
 
 /// `start`-style arrays must begin at 0 and be non-decreasing for the
@@ -149,9 +213,22 @@ uint64_t BundleChecksum(const void* data, std::size_t size) {
 
 bool LooksLikeIndexBundle(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  char magic[sizeof(kMagic)] = {};
+  char magic[kMagicBytes] = {};
   in.read(magic, sizeof(magic));
-  return in && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+  return in && (std::memcmp(magic, kMagicV2, kMagicBytes) == 0 ||
+                std::memcmp(magic, kMagicV1, kMagicBytes) == 0);
+}
+
+const char* BundleCompressionName(BundleCompression level) {
+  switch (level) {
+    case BundleCompression::kNone:
+      return "none";
+    case BundleCompression::kFast:
+      return "fast";
+    case BundleCompression::kMax:
+      return "max";
+  }
+  return "compression-?";
 }
 
 /// Private-member bridge: the one type befriended by BipartiteGraph,
@@ -256,28 +333,73 @@ Status BundleAccess::Save(const BipartiteGraph& g,
   struct Sec {
     const char* name;
     const void* data;
-    uint64_t bytes;
+    uint64_t bytes;      ///< decoded (in-memory) size
+    uint32_t lanes;      ///< u32 columns per element; 0 → never encode
+    SectionCodec codec = SectionCodec::kRaw;
+    std::vector<std::byte> encoded;  ///< stored bytes when codec != kRaw
   };
   std::vector<Sec> secs;
   ForEachSection(g, d, di, bi, [&secs](const char* name, const auto& arr) {
-    secs.push_back(Sec{name, arr.data(), arr.SizeBytes()});
+    using T = typename std::decay_t<decltype(arr)>::value_type;
+    constexpr uint32_t lanes = sizeof(T) % 4 == 0 ? sizeof(T) / 4 : 0;
+    secs.push_back(Sec{name, arr.data(), arr.SizeBytes(), lanes});
   });
 
+  // Compression policy: for each candidate codec of the requested level,
+  // measure the actual encoded size and keep the smallest — but only when
+  // the win is real (≥ raw/8 saved). Tiny sections and losing codecs stay
+  // raw, so a compressed save can never produce a larger bundle.
+  if (opts.compression != BundleCompression::kNone) {
+    std::vector<SectionCodec> candidates = {SectionCodec::kBitPack};
+    if (opts.compression == BundleCompression::kMax) {
+      candidates.push_back(SectionCodec::kDeltaVarint);
+    }
+    for (Sec& sec : secs) {
+      if (sec.lanes == 0 || sec.bytes < 64) continue;
+      std::vector<std::byte> trial;
+      for (const SectionCodec codec : candidates) {
+        const Status st =
+            EncodeU32Section(codec, sec.data, sec.bytes, sec.lanes, &trial);
+        if (!st.ok()) continue;  // shape mismatch: leave the section raw
+        const uint64_t best =
+            sec.codec == SectionCodec::kRaw ? sec.bytes : sec.encoded.size();
+        if (trial.size() <= sec.bytes - sec.bytes / 8 &&
+            trial.size() < best) {
+          sec.codec = codec;
+          sec.encoded = std::move(trial);
+          trial = {};
+        }
+      }
+    }
+  }
+
+  const auto stored_bytes = [](const Sec& sec) {
+    return sec.codec == SectionCodec::kRaw ? sec.bytes
+                                           : uint64_t{sec.encoded.size()};
+  };
+  const auto stored_data = [](const Sec& sec) {
+    return sec.codec == SectionCodec::kRaw
+               ? sec.data
+               : static_cast<const void*>(sec.encoded.data());
+  };
+
   const uint32_t count = static_cast<uint32_t>(secs.size());
-  std::vector<SectionRecord> toc(count);
+  std::vector<SectionRecordV2> toc(count);
   uint64_t cursor =
-      sizeof(kMagic) + sizeof(BundleHeader) + count * sizeof(SectionRecord);
+      kMagicBytes + sizeof(BundleHeader) + count * sizeof(SectionRecordV2);
   for (uint32_t i = 0; i < count; ++i) {
-    SectionRecord& rec = toc[i];
+    SectionRecordV2& rec = toc[i];
     std::strncpy(rec.name, secs[i].name, sizeof(rec.name) - 1);
     rec.offset = cursor;
-    rec.length = secs[i].bytes;
-    rec.checksum = BundleChecksum(secs[i].data, secs[i].bytes);
-    cursor += AlignUp(secs[i].bytes);
+    rec.stored_length = stored_bytes(secs[i]);
+    rec.decoded_length = secs[i].bytes;
+    rec.checksum = BundleChecksum(stored_data(secs[i]), rec.stored_length);
+    rec.codec = static_cast<uint32_t>(secs[i].codec);
+    cursor += AlignUp(rec.stored_length);
   }
 
   BundleHeader hdr;
-  hdr.version = kFormatVersion;
+  hdr.version = kFormatVersionV2;
   hdr.section_count = count;
   hdr.num_upper = g.NumUpper();
   hdr.num_lower = g.NumLower();
@@ -287,10 +409,10 @@ Status BundleAccess::Save(const BipartiteGraph& g,
   hdr.weight_digest = GraphWeightChecksum(g);
   {
     std::vector<unsigned char> meta(sizeof(hdr) +
-                                    count * sizeof(SectionRecord));
+                                    count * sizeof(SectionRecordV2));
     std::memcpy(meta.data(), &hdr, sizeof(hdr));
     std::memcpy(meta.data() + sizeof(hdr), toc.data(),
-                count * sizeof(SectionRecord));
+                count * sizeof(SectionRecordV2));
     hdr.meta_checksum = BundleChecksum(meta.data(), meta.size());
   }
 
@@ -314,23 +436,25 @@ Status BundleAccess::Save(const BipartiteGraph& g,
   {
     // Magic + header + TOC written as one buffer so a short meta write
     // models a torn header.
-    std::vector<char> meta(sizeof(kMagic) + sizeof(hdr) +
-                           count * sizeof(SectionRecord));
-    std::memcpy(meta.data(), kMagic, sizeof(kMagic));
-    std::memcpy(meta.data() + sizeof(kMagic), &hdr, sizeof(hdr));
-    std::memcpy(meta.data() + sizeof(kMagic) + sizeof(hdr), toc.data(),
-                count * sizeof(SectionRecord));
+    std::vector<char> meta(kMagicBytes + sizeof(hdr) +
+                           count * sizeof(SectionRecordV2));
+    std::memcpy(meta.data(), kMagicV2, kMagicBytes);
+    std::memcpy(meta.data() + kMagicBytes, &hdr, sizeof(hdr));
+    std::memcpy(meta.data() + kMagicBytes + sizeof(hdr), toc.data(),
+                count * sizeof(SectionRecordV2));
     Status st = WriteFully(fd, meta.data(), meta.size(), "bundle_save.meta");
     if (!st.ok()) return fail(std::move(st));
   }
   FaultPoint("bundle_save.after_meta");
   const char pad[kAlign] = {};
   for (const Sec& sec : secs) {
-    if (sec.bytes != 0) {
-      Status st = WriteFully(fd, sec.data, sec.bytes, "bundle_save.sections");
+    const uint64_t bytes = stored_bytes(sec);
+    if (bytes != 0) {
+      Status st =
+          WriteFully(fd, stored_data(sec), bytes, "bundle_save.sections");
       if (!st.ok()) return fail(std::move(st));
     }
-    const uint64_t padding = AlignUp(sec.bytes) - sec.bytes;
+    const uint64_t padding = AlignUp(bytes) - bytes;
     if (padding != 0) {
       Status st = WriteFully(fd, pad, padding, "bundle_save.sections");
       if (!st.ok()) return fail(std::move(st));
@@ -418,31 +542,41 @@ Status BundleAccess::Open(const std::string& path,
   ctx.path = &path;
   ctx.verify = opts.verify_checksums;
 
-  if (ctx.file_size < sizeof(kMagic) + sizeof(BundleHeader)) {
+  if (ctx.file_size < kMagicBytes + sizeof(BundleHeader)) {
     return ctx.Corrupt("truncated header");
   }
-  if (std::memcmp(ctx.base, kMagic, sizeof(kMagic)) != 0) {
-    return ctx.Corrupt("bad magic (not an ABCSPAK1 bundle)");
+  uint32_t magic_version = 0;
+  if (std::memcmp(ctx.base, kMagicV2, kMagicBytes) == 0) {
+    magic_version = kFormatVersionV2;
+  } else if (std::memcmp(ctx.base, kMagicV1, kMagicBytes) == 0) {
+    magic_version = kFormatVersionV1;
+  } else {
+    return ctx.Corrupt("bad magic (not an ABCSPAK bundle)");
   }
   BundleHeader hdr;
-  std::memcpy(&hdr, ctx.base + sizeof(kMagic), sizeof(hdr));
-  if (hdr.version != kFormatVersion) {
+  std::memcpy(&hdr, ctx.base + kMagicBytes, sizeof(hdr));
+  if (hdr.version != magic_version) {
     return ctx.Corrupt("unsupported format version " +
-                       std::to_string(hdr.version));
+                       std::to_string(hdr.version) +
+                       " (magic and header disagree)");
   }
   if (hdr.section_count == 0 || hdr.section_count > kMaxSections) {
     return ctx.Corrupt("implausible section count");
   }
-  const uint64_t toc_end = sizeof(kMagic) + sizeof(BundleHeader) +
-                           uint64_t{hdr.section_count} * sizeof(SectionRecord);
+  const uint64_t record_bytes = hdr.version == kFormatVersionV1
+                                    ? sizeof(SectionRecordV1)
+                                    : sizeof(SectionRecordV2);
+  const uint64_t toc_end = kMagicBytes + sizeof(BundleHeader) +
+                           uint64_t{hdr.section_count} * record_bytes;
   if (toc_end > ctx.file_size) return ctx.Corrupt("truncated TOC");
 
   // The meta checksum covers the header (with its own field zeroed) and
   // the TOC, so a flipped byte anywhere in the metadata — including a
-  // tampered section range — is caught before any range is trusted.
+  // tampered section range or codec tag — is caught before any range is
+  // trusted.
   {
-    std::vector<unsigned char> meta(toc_end - sizeof(kMagic));
-    std::memcpy(meta.data(), ctx.base + sizeof(kMagic), meta.size());
+    std::vector<unsigned char> meta(toc_end - kMagicBytes);
+    std::memcpy(meta.data(), ctx.base + kMagicBytes, meta.size());
     BundleHeader zeroed = hdr;
     zeroed.meta_checksum = 0;
     std::memcpy(meta.data(), &zeroed, sizeof(zeroed));
@@ -451,18 +585,85 @@ Status BundleAccess::Open(const std::string& path,
     }
   }
 
+  // Normalise both TOC layouts into SectionMeta (a v1 record is a raw
+  // section whose stored and decoded lengths coincide).
   ctx.toc.resize(hdr.section_count);
-  std::memcpy(ctx.toc.data(), ctx.base + sizeof(kMagic) + sizeof(BundleHeader),
-              hdr.section_count * sizeof(SectionRecord));
-  // Byte-range sanity for every record before anything is mapped: a
-  // section must lie after the TOC and inside the file (overflow-safe).
-  for (const SectionRecord& rec : ctx.toc) {
-    if (rec.offset % kAlign != 0) {
-      return ctx.Corrupt("misaligned section payload");
+  const std::byte* toc_base = ctx.base + kMagicBytes + sizeof(BundleHeader);
+  for (uint32_t i = 0; i < hdr.section_count; ++i) {
+    SectionMeta& meta = ctx.toc[i];
+    if (hdr.version == kFormatVersionV1) {
+      SectionRecordV1 rec;
+      std::memcpy(&rec, toc_base + i * sizeof(rec), sizeof(rec));
+      std::memcpy(meta.name, rec.name, sizeof(meta.name));
+      meta.offset = rec.offset;
+      meta.stored_length = rec.length;
+      meta.decoded_length = rec.length;
+      meta.checksum = rec.checksum;
+      meta.codec = SectionCodec::kRaw;
+    } else {
+      SectionRecordV2 rec;
+      std::memcpy(&rec, toc_base + i * sizeof(rec), sizeof(rec));
+      std::memcpy(meta.name, rec.name, sizeof(meta.name));
+      meta.offset = rec.offset;
+      meta.stored_length = rec.stored_length;
+      meta.decoded_length = rec.decoded_length;
+      meta.checksum = rec.checksum;
+      if (rec.codec >= kNumSectionCodecs || rec.reserved != 0) {
+        return ctx.Corrupt("section " + SectionName(rec.name) +
+                           " claims an unknown codec tag " +
+                           std::to_string(rec.codec));
+      }
+      meta.codec = static_cast<SectionCodec>(rec.codec);
+      if (meta.codec == SectionCodec::kRaw &&
+          meta.stored_length != meta.decoded_length) {
+        return ctx.Corrupt("section " + SectionName(rec.name) +
+                           " is raw but its stored and decoded lengths "
+                           "disagree");
+      }
+      // An encoded stream cannot legitimately expand by more than the
+      // worst-case codec blowup; an absurd decoded length in a crafted
+      // TOC must not be able to demand an arbitrarily large pool.
+      if (meta.decoded_length > meta.stored_length * 64 + 1024) {
+        return ctx.Corrupt("section " + SectionName(rec.name) +
+                           " claims an implausible decoded length");
+      }
     }
-    if (rec.offset < toc_end || rec.offset > ctx.file_size ||
-        rec.length > ctx.file_size - rec.offset) {
-      return ctx.Corrupt("section range outside file (TOC overrun)");
+    // Byte-range sanity before anything is mapped: a section must lie
+    // after the TOC and inside the file (overflow-safe).
+    if (meta.offset % kAlign != 0) {
+      return ctx.Corrupt("section " + SectionName(meta.name) +
+                         " has a misaligned payload");
+    }
+    if (meta.offset < toc_end || meta.offset > ctx.file_size ||
+        meta.stored_length > ctx.file_size - meta.offset) {
+      return ctx.Corrupt("section " + SectionName(meta.name) +
+                         " range outside file (TOC overrun)");
+    }
+  }
+
+  // One pooled arena for every encoded section: sized once from the TOC's
+  // decoded lengths, u64-backed so each AlignUp slice is 8-aligned, then
+  // handed out as decode destinations — no per-section mallocs.
+  uint64_t pool_bytes = 0;
+  for (const SectionMeta& meta : ctx.toc) {
+    if (meta.codec != SectionCodec::kRaw) {
+      pool_bytes += AlignUp(meta.decoded_length);
+    }
+  }
+  b->format_version_ = hdr.version;
+  b->pool_.assign(pool_bytes / sizeof(uint64_t), 0);
+  {
+    std::byte* slice = reinterpret_cast<std::byte*>(b->pool_.data());
+    b->sections_.clear();
+    b->sections_.reserve(ctx.toc.size());
+    for (SectionMeta& meta : ctx.toc) {
+      if (meta.codec != SectionCodec::kRaw) {
+        meta.decode_dst = slice;
+        slice += AlignUp(meta.decoded_length);
+      }
+      b->sections_.push_back(BundleSectionInfo{SectionName(meta.name),
+                                               meta.codec, meta.stored_length,
+                                               meta.decoded_length});
     }
   }
 

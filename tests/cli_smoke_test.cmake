@@ -131,6 +131,74 @@ if(NOT batch_bundle STREQUAL batch_out_1)
 endif()
 message(STATUS "ok: bundle-served batch identical to graph-served batch")
 
+# Compressed-bundle round trip: a --compress bundle (bare flag = max) must
+# answer every batch byte-identically to the raw bundle across all methods,
+# and `abcs inspect` must show the v2 TOC with at least one coded section.
+set(CINDEX ${WORK_DIR}/bs_compressed.idx)
+run_abcs("compression=max" index ${GRAPH} ${CINDEX} --compress)
+run_abcs("compression=fast" index ${GRAPH} ${WORK_DIR}/bs_fast.idx
+  --compress=fast)
+run_abcs("ABCSPAK2" inspect ${CINDEX})
+execute_process(
+  COMMAND ${ABCS_CLI} inspect ${CINDEX}
+  OUTPUT_VARIABLE inspect_out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "abcs inspect failed: ${err}")
+endif()
+if(NOT inspect_out MATCHES "delta-varint" AND NOT inspect_out MATCHES "bit-pack")
+  message(FATAL_ERROR "max-compressed bundle has no coded sections:\n"
+    "${inspect_out}")
+endif()
+message(STATUS "ok: abcs inspect shows coded sections")
+foreach(method delta bicore online)
+  execute_process(
+    COMMAND ${ABCS_CLI} query --bundle ${CINDEX} --batch ${BATCH}
+      --method ${method} --threads 2
+    OUTPUT_VARIABLE compressed_out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "abcs query --bundle (compressed) --method ${method} "
+      "failed: ${err}")
+  endif()
+  execute_process(
+    COMMAND ${ABCS_CLI} query --bundle ${INDEX} --batch ${BATCH}
+      --method ${method} --threads 2
+    OUTPUT_VARIABLE raw_out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "abcs query --bundle (raw) --method ${method} "
+      "failed: ${err}")
+  endif()
+  if(NOT compressed_out STREQUAL raw_out)
+    message(FATAL_ERROR "compressed bundle answers differ from raw bundle "
+      "(method=${method}):\n--- raw\n${raw_out}\n--- compressed\n"
+      "${compressed_out}")
+  endif()
+endforeach()
+message(STATUS "ok: compressed bundle batch-identical to raw across methods")
+foreach(method scs-auto scs-peel scs-expand scs-binary)
+  execute_process(
+    COMMAND ${ABCS_CLI} query ${GRAPH} --batch ${BATCH} --method ${method}
+      --threads 2 --index ${CINDEX}
+    OUTPUT_VARIABLE compressed_out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "abcs query --index (compressed) --method ${method} "
+      "failed: ${err}")
+  endif()
+  execute_process(
+    COMMAND ${ABCS_CLI} query ${GRAPH} --batch ${BATCH} --method ${method}
+      --threads 2 --index ${INDEX}
+    OUTPUT_VARIABLE raw_out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "abcs query --index (raw) --method ${method} "
+      "failed: ${err}")
+  endif()
+  if(NOT compressed_out STREQUAL raw_out)
+    message(FATAL_ERROR "compressed index answers differ from raw index "
+      "(method=${method}):\n--- raw\n${raw_out}\n--- compressed\n"
+      "${compressed_out}")
+  endif()
+endforeach()
+message(STATUS "ok: compressed scs batches identical to raw across kernels")
+
 # SCS batches: the full two-step paradigm per query through the engine —
 # stdout (planner decisions included) must be byte-identical for any
 # --threads value, and every kernel must agree on the batch aggregates.

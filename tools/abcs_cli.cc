@@ -114,8 +114,13 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  abcs stats <graph>\n"
-               "  abcs index <graph> [--out] <bundle-out>   (alias: build;\n"
-               "      writes the ABCSPAK1 bundle; phase timing on stderr)\n"
+               "  abcs index <graph> [--out] <bundle-out> "
+               "[--compress[=none|fast|max]]\n"
+               "      (alias: build; writes the ABCSPAK2 bundle; bare "
+               "--compress means max;\n"
+               "      phase timing on stderr)\n"
+               "  abcs inspect <bundle>   (per-section codec, stored/decoded "
+               "bytes, ratio)\n"
                "  abcs query <graph> <q> <alpha> <beta> [--index FILE] "
                "[--side u|l]\n"
                "  abcs query --bundle FILE <q> <alpha> <beta> [--side u|l]\n"
@@ -301,7 +306,8 @@ int CmdStats(const std::string& path) {
   return 0;
 }
 
-int CmdIndex(const std::string& graph_path, const std::string& out_path) {
+int CmdIndex(const std::string& graph_path, const std::string& out_path,
+             abcs::BundleCompression compression) {
   abcs::BipartiteGraph g;
   abcs::Status st = abcs::LoadEdgeList(graph_path, &g, /*zero_based=*/true);
   if (!st.ok()) return Fail(st);
@@ -325,7 +331,9 @@ int CmdIndex(const std::string& graph_path, const std::string& out_path) {
               decomp_s + entries_s,
               static_cast<double>(index.MemoryBytes()) / (1024.0 * 1024.0));
   timer.Reset();
-  st = abcs::SaveIndexBundle(g, decomp, index, bicore, out_path);
+  abcs::SaveBundleOptions save;
+  save.compression = compression;
+  st = abcs::SaveIndexBundle(g, decomp, index, bicore, out_path, save);
   if (!st.ok()) return Fail(st);
   const double save_s = timer.Seconds();
   std::fprintf(stderr,
@@ -336,10 +344,47 @@ int CmdIndex(const std::string& graph_path, const std::string& out_path) {
                entries_s, bicore_s, save_s);
   std::error_code ec;
   const auto bundle_bytes = std::filesystem::file_size(out_path, ec);
-  std::printf("saved to %s (%.2f MB bundle: graph + decomposition + "
-              "I_delta + I_v)\n",
+  std::printf("saved to %s (%.2f MB bundle, compression=%s: graph + "
+              "decomposition + I_delta + I_v)\n",
               out_path.c_str(),
-              ec ? 0.0 : static_cast<double>(bundle_bytes) / (1024.0 * 1024.0));
+              ec ? 0.0 : static_cast<double>(bundle_bytes) / (1024.0 * 1024.0),
+              abcs::BundleCompressionName(compression));
+  return 0;
+}
+
+// Prints the bundle TOC: one row per section with its codec tag, stored
+// (on-disk) and decoded byte counts, and the per-section ratio — the
+// ground truth for "what did --compress actually buy on this dataset".
+int CmdInspect(const std::string& bundle_path) {
+  std::unique_ptr<abcs::IndexBundle> bundle;
+  abcs::Status st = abcs::OpenIndexBundle(bundle_path, &bundle);
+  if (!st.ok()) return Fail(st);
+  std::printf("%s: ABCSPAK%u, %zu sections\n", bundle_path.c_str(),
+              bundle->FormatVersion(), bundle->Sections().size());
+  std::printf("%-18s %-14s %12s %12s %7s\n", "section", "codec", "stored",
+              "decoded", "ratio");
+  uint64_t stored_total = 0, decoded_total = 0;
+  for (const abcs::BundleSectionInfo& info : bundle->Sections()) {
+    stored_total += info.stored_bytes;
+    decoded_total += info.decoded_bytes;
+    const double ratio =
+        info.stored_bytes > 0 ? static_cast<double>(info.decoded_bytes) /
+                                    static_cast<double>(info.stored_bytes)
+                              : 1.0;
+    std::printf("%-18s %-14s %12llu %12llu %6.2fx\n", info.name.c_str(),
+                abcs::SectionCodecName(info.codec),
+                static_cast<unsigned long long>(info.stored_bytes),
+                static_cast<unsigned long long>(info.decoded_bytes), ratio);
+  }
+  std::printf("%-18s %-14s %12llu %12llu %6.2fx\n", "total", "",
+              static_cast<unsigned long long>(stored_total),
+              static_cast<unsigned long long>(decoded_total),
+              stored_total > 0 ? static_cast<double>(decoded_total) /
+                                     static_cast<double>(stored_total)
+                               : 1.0);
+  std::printf("file bytes: %zu   decode pool: %zu bytes   zero-copy: %s\n",
+              bundle->FileBytes(), bundle->DecodePoolBytes(),
+              bundle->ZeroCopy() ? "yes" : "no");
   return 0;
 }
 
@@ -1388,13 +1433,28 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "stats" && argc == 3) return CmdStats(argv[2]);
   if (cmd == "index" || cmd == "build") {
-    // `abcs index <graph> <bundle-out>` or `abcs index <graph> --out FILE`.
+    // `abcs index <graph> <bundle-out>` or `abcs index <graph> --out FILE`,
+    // optionally `--compress[=none|fast|max]` (bare --compress = max).
     std::string graph_path, out_path;
+    abcs::BundleCompression compression = abcs::BundleCompression::kNone;
     bool ok = true;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
         ok = ok && out_path.empty();
         out_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--compress") == 0) {
+        compression = abcs::BundleCompression::kMax;
+      } else if (std::strncmp(argv[i], "--compress=", 11) == 0) {
+        const std::string level = argv[i] + 11;
+        if (level == "none") {
+          compression = abcs::BundleCompression::kNone;
+        } else if (level == "fast") {
+          compression = abcs::BundleCompression::kFast;
+        } else if (level == "max") {
+          compression = abcs::BundleCompression::kMax;
+        } else {
+          ok = false;
+        }
       } else if (std::strncmp(argv[i], "--", 2) == 0) {
         ok = false;
       } else if (graph_path.empty()) {
@@ -1406,8 +1466,9 @@ int main(int argc, char** argv) {
       }
     }
     if (!ok || graph_path.empty() || out_path.empty()) return Usage();
-    return CmdIndex(graph_path, out_path);
+    return CmdIndex(graph_path, out_path, compression);
   }
+  if (cmd == "inspect" && argc == 3) return CmdInspect(argv[2]);
   if (cmd == "gen" && argc == 4) return CmdGen(argv[2], argv[3]);
   if (cmd == "serve") {
     ServeArgs args;
