@@ -226,4 +226,86 @@ if ! grep "^# drained:" "$WORK/server4.log" | grep -qE "slow_dropped=[1-9]"; the
 fi
 echo "   ok: flood shed, fast client bounded (${FAST_ELAPSED}s)"
 
+# ------------------------------------- slow-query storm vs deadlines --
+# Every request in a 200-query online-method storm carries a 50 ms
+# end-to-end budget. The contract: every request is answered (ok or
+# deadline_exceeded — never silence), the daemon drains cleanly, and the
+# watchdog never had to shoot a worker (stuck_cancelled=0): cooperative
+# cancellation, not escalation, is what frees the workers.
+echo "== phase 5: slow-query storm with 50ms deadlines"
+start_server "$WORK/server5.log" "$WORK/port5"
+RC=0
+timeout 60 "$ABCS" client --port "$PORT" --batch "$BATCH2" \
+  --method online --deadline-ms 50 2>/dev/null > "$WORK/served5" || RC=$?
+if [[ "$RC" -eq 124 ]]; then
+  echo "serve_chaos: deadline storm hung the client" >&2
+  exit 1
+fi
+ANSWERED=$(grep -cv '^#' "$WORK/served5" || true)
+if (( ANSWERED != 200 )); then
+  echo "serve_chaos: storm answered $ANSWERED of 200 requests:" >&2
+  tail -5 "$WORK/served5" >&2
+  exit 1
+fi
+stop_server "$WORK/server5.log"
+if ! grep "^# drained:" "$WORK/server5.log" | grep -q "stuck_cancelled=0"; then
+  echo "serve_chaos: watchdog escalated during a cooperative storm:" >&2
+  grep "^# drained:" "$WORK/server5.log" >&2
+  exit 1
+fi
+echo "   ok: all 200 budgeted queries answered, zero stuck workers"
+
+# ------------------------------------------------- live bundle scrub --
+# The scrubber's own fault point corrupts the mapped bundle file before
+# a verification pass (flipbyte at a payload offset). The daemon must
+# detect the checksum mismatch, quarantine the file, recover from the
+# .prev epoch and keep answering bit-identically to the offline runner.
+echo "== phase 6: scrub detects injected bit-flip, recovers from .prev"
+SCRUB_DIR=$WORK/scrub
+mkdir -p "$SCRUB_DIR"
+cp "$BUNDLE" "$SCRUB_DIR/bs.idx"
+cp "$BUNDLE" "$SCRUB_DIR/bs.idx.prev"
+BUNDLE_SIZE=$(stat -c %s "$SCRUB_DIR/bs.idx")
+FLIP_AT=$((BUNDLE_SIZE / 2))
+SAVED_BUNDLE=$BUNDLE
+BUNDLE=$SCRUB_DIR/bs.idx
+ABCS_FAULT_INJECT="scrub.before_pass=flipbyte:$FLIP_AT@1" \
+  start_server "$WORK/server6.log" "$WORK/port6" --scrub-interval-ms 100
+BUNDLE=$SAVED_BUNDLE
+# Wait for the recovery publish: the health probe reports epoch=2 once
+# the .prev bundle is serving (exit code ignored — the probe may catch
+# the degraded window, which is itself correct behaviour).
+RECOVERED=0
+for _ in $(seq 1 100); do
+  "$ABCS" client --port "$PORT" --health > "$WORK/health6" 2>/dev/null || true
+  if grep -q "epoch=2" "$WORK/health6"; then
+    RECOVERED=1
+    break
+  fi
+  sleep 0.1
+done
+if (( ! RECOVERED )); then
+  echo "serve_chaos: scrubber never recovered from the bit-flip:" >&2
+  cat "$WORK/server6.log" >&2
+  exit 1
+fi
+if [[ ! -e "$SCRUB_DIR/bs.idx.quarantined" ]]; then
+  echo "serve_chaos: corrupt bundle was not quarantined" >&2
+  exit 1
+fi
+# Served answers off the recovered epoch are bit-identical to offline.
+timeout 30 "$ABCS" client --port "$PORT" --batch "$BATCH" --method delta \
+  2>/dev/null > "$WORK/served6"
+if ! diff -u "$WORK/offline.delta" "$WORK/served6"; then
+  echo "serve_chaos: post-recovery answers diverge from offline" >&2
+  exit 1
+fi
+stop_server "$WORK/server6.log"
+if ! grep "^# scrub:" "$WORK/server6.log" | grep -qE "recoveries=[1-9]"; then
+  echo "serve_chaos: drain summary reports no scrub recovery:" >&2
+  cat "$WORK/server6.log" >&2
+  exit 1
+fi
+echo "   ok: bit-flip detected, .prev recovery served bit-identical answers"
+
 echo "serve_chaos: PASS"

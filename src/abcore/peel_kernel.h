@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/cancel.h"
 #include "graph/bipartite_graph.h"
 #include "io/codec.h"
 
@@ -37,6 +38,11 @@ namespace abcs {
 /// adjacency). Incremental callers — e.g. the nested-core decomposition
 /// tightening the (τ,1)-core to the (τ+1,1)-core — pass the surviving
 /// frontier instead of re-scanning all of [0, n).
+///
+/// `cancel` (optional) is ticked once per seed-scan vertex and once per
+/// cascaded arc; an armed stop abandons the peel mid-fixed-point, leaving
+/// `deg`/`alive` in a torn state the caller must discard (the query paths
+/// re-assign both per query, so abandonment is free).
 template <typename VertexRange, typename ForEachNeighbor, typename Threshold,
           typename OnRemove>
 void ThresholdPeelRange(const VertexRange& vertices,
@@ -44,7 +50,8 @@ void ThresholdPeelRange(const VertexRange& vertices,
                         std::vector<uint8_t>& alive,
                         ForEachNeighbor&& for_each, Threshold&& threshold,
                         OnRemove&& on_remove,
-                        std::vector<VertexId>* queue_storage = nullptr) {
+                        std::vector<VertexId>* queue_storage = nullptr,
+                        CancelToken* cancel = nullptr) {
   // Callers on an allocation-free steady state (QueryScratch) lend the
   // work-queue buffer; everyone else gets a local one.
   std::vector<VertexId> local_queue;
@@ -52,16 +59,19 @@ void ThresholdPeelRange(const VertexRange& vertices,
   queue.clear();
   queue.reserve(64);
   for (const VertexId v : vertices) {
+    if (cancel != nullptr && cancel->Tick()) return;
     if (alive[v] && deg[v] < threshold(v)) {
       alive[v] = 0;
       queue.push_back(v);
     }
   }
   while (!queue.empty()) {
+    if (cancel != nullptr && cancel->Stopped()) return;
     const VertexId v = queue.back();
     queue.pop_back();
     on_remove(v);
     for_each(v, [&](VertexId w) {
+      if (cancel != nullptr) cancel->Tick();
       if (!alive[w]) return;
       if (--deg[w] < threshold(w)) {
         alive[w] = 0;
@@ -76,11 +86,12 @@ template <typename ForEachNeighbor, typename Threshold, typename OnRemove>
 void ThresholdPeel(uint32_t num_vertices, std::vector<uint32_t>& deg,
                    std::vector<uint8_t>& alive, ForEachNeighbor&& for_each,
                    Threshold&& threshold, OnRemove&& on_remove,
-                   std::vector<VertexId>* queue_storage = nullptr) {
+                   std::vector<VertexId>* queue_storage = nullptr,
+                   CancelToken* cancel = nullptr) {
   ThresholdPeelRange(std::views::iota(VertexId{0}, num_vertices), deg, alive,
                      std::forward<ForEachNeighbor>(for_each),
                      std::forward<Threshold>(threshold),
-                     std::forward<OnRemove>(on_remove), queue_storage);
+                     std::forward<OnRemove>(on_remove), queue_storage, cancel);
 }
 
 /// \brief Packed-form whole-graph threshold peel: identical fixed point to
@@ -97,7 +108,8 @@ void ThresholdPeelPacked(uint32_t num_vertices, PackedU32Array& deg,
                          std::vector<uint8_t>& alive,
                          ForEachNeighbor&& for_each, Threshold&& threshold,
                          OnRemove&& on_remove,
-                         std::vector<VertexId>* queue_storage = nullptr) {
+                         std::vector<VertexId>* queue_storage = nullptr,
+                         CancelToken* cancel = nullptr) {
   std::vector<VertexId> local_queue;
   std::vector<VertexId>& queue = queue_storage ? *queue_storage : local_queue;
   queue.clear();
@@ -106,6 +118,9 @@ void ThresholdPeelPacked(uint32_t num_vertices, PackedU32Array& deg,
   uint32_t degs[kSeedBatch];
   for (uint32_t base = 0; base < num_vertices;
        base += static_cast<uint32_t>(kSeedBatch)) {
+    // One tick per unpacked seed batch keeps the packed scan's word-at-a-
+    // time cadence; 256 ops of slack is well inside the check interval.
+    if (cancel != nullptr && cancel->Tick()) return;
     const std::size_t n =
         std::min<std::size_t>(kSeedBatch, num_vertices - base);
     deg.GetBatch(base, n, degs);
@@ -118,10 +133,12 @@ void ThresholdPeelPacked(uint32_t num_vertices, PackedU32Array& deg,
     }
   }
   while (!queue.empty()) {
+    if (cancel != nullptr && cancel->Stopped()) return;
     const VertexId v = queue.back();
     queue.pop_back();
     on_remove(v);
     for_each(v, [&](VertexId w) {
+      if (cancel != nullptr) cancel->Tick();
       if (!alive[w]) return;
       if (deg.Decrement(w) < threshold(w)) {
         alive[w] = 0;

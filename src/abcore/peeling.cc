@@ -7,14 +7,14 @@ namespace abcs {
 void PeelInPlace(const BipartiteGraph& g, uint32_t alpha, uint32_t beta,
                  std::vector<uint32_t>& deg, std::vector<uint8_t>& alive,
                  std::vector<VertexId>* removed,
-                 std::vector<VertexId>* queue_storage) {
+                 std::vector<VertexId>* queue_storage, CancelToken* cancel) {
   ThresholdPeel(
       g.NumVertices(), deg, alive, GraphNeighbors(g),
       [&](VertexId v) { return g.IsUpper(v) ? alpha : beta; },
       [&](VertexId v) {
         if (removed) removed->push_back(v);
       },
-      queue_storage);
+      queue_storage, cancel);
 }
 
 CoreResult ComputeAlphaBetaCore(const BipartiteGraph& g, uint32_t alpha,

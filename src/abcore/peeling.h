@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/cancel.h"
 #include "graph/bipartite_graph.h"
 
 namespace abcs {
@@ -33,11 +34,14 @@ CoreResult ComputeAlphaBetaCore(const BipartiteGraph& g, uint32_t alpha,
 /// alive lower vertex has deg ≥ beta; updates `deg`/`alive` and appends the
 /// removed vertices to `removed` if non-null. `queue_storage`, when
 /// non-null, lends the internal work-queue buffer so repeated peels reuse
-/// its capacity (allocation-free steady state).
+/// its capacity (allocation-free steady state). An armed `cancel` token
+/// stops the peel mid-cascade; `deg`/`alive` are then torn and must be
+/// discarded (per-query callers re-assign both anyway).
 void PeelInPlace(const BipartiteGraph& g, uint32_t alpha, uint32_t beta,
                  std::vector<uint32_t>& deg, std::vector<uint8_t>& alive,
                  std::vector<VertexId>* removed = nullptr,
-                 std::vector<VertexId>* queue_storage = nullptr);
+                 std::vector<VertexId>* queue_storage = nullptr,
+                 CancelToken* cancel = nullptr);
 
 }  // namespace abcs
 

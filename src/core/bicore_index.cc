@@ -139,10 +139,12 @@ void BicoreIndex::QueryCommunity(VertexId q, uint32_t alpha, uint32_t beta,
   scratch.BeginQuery(g.NumVertices());
   scratch.EnsureInCore(g.NumVertices());
   for (const Entry* entry = first; entry != last; ++entry) {
+    scratch.CancelTick();
     if (stats) ++stats->touched_arcs;
     if (entry->offset < need) break;
     scratch.MarkInCore(entry->v);
   }
+  if (scratch.CancelStopped()) return;
 
   // BFS from q over the original adjacency; arcs to vertices outside the
   // core are inspected (and counted) but not followed — the overhead Qopt
@@ -150,11 +152,13 @@ void BicoreIndex::QueryCommunity(VertexId q, uint32_t alpha, uint32_t beta,
   CollectCommunityBfs(scratch, g, q, out->edges,
                       [&](VertexId v, auto&& visit) {
                         for (const Arc& a : g.Neighbors(v)) {
+                          scratch.CancelTick();
                           if (stats) ++stats->touched_arcs;
                           if (!scratch.InCore(a.to)) continue;
                           visit(a.to, a.eid);
                         }
                       });
+  if (scratch.CancelStopped()) out->edges.clear();  // drop partial walk
 }
 
 Subgraph BicoreIndex::QueryCommunity(VertexId q, uint32_t alpha,

@@ -1,0 +1,150 @@
+#ifndef ABCS_CORE_CANCEL_H_
+#define ABCS_CORE_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace abcs {
+
+/// \brief Cooperative cancellation for in-flight queries: a deadline, an
+/// external cancel request and a monotonically increasing work counter,
+/// checked every `kCheckInterval` edge-operations inside the kernels.
+///
+/// The serve tier's admission deadline used to stop mattering the moment
+/// a worker dequeued the request — an adversarial (α,β) pair could wedge
+/// the worker for the full community size. Threading a token through
+/// `QueryScratch` into every kernel turns that deadline into an
+/// end-to-end budget and gives the watchdog a lever to free a stuck
+/// worker without killing the process.
+///
+/// Cost contract, pinned by the BENCH_query warn-only check:
+///  - *Disarmed* (the offline default): `Tick()` is one relaxed atomic
+///    load and a branch. Batch runs without a deadline stay bit-identical
+///    and within noise of the pre-token engine.
+///  - *Armed*: the fast path additionally bumps a thread-local op count;
+///    only every 512th tick reads the clock and publishes the work
+///    counter (one relaxed store the watchdog samples).
+///
+/// Threading contract: exactly one worker thread owns the token and calls
+/// `Arm`/`Tick`/`Finish`; any other thread may call `CancelGeneration` or
+/// `work()`. Cancellation is *generation-fenced*: `Arm` bumps an atomic
+/// generation and a cancel names the generation it observed, so a
+/// watchdog racing a worker's re-arm can never kill the next query — a
+/// stale cancel is simply ignored.
+///
+/// Once a stop is observed it is sticky until the next `Arm`: the kernels
+/// unwind through many layers and every layer's `Stopped()` check must
+/// agree. `reason()` distinguishes a blown deadline from an external
+/// cancel so the server can count `deadline_expired` and
+/// `stuck_cancelled` separately.
+class CancelToken {
+ public:
+  /// Why an armed query was stopped.
+  enum class StopReason : uint8_t {
+    kNone = 0,
+    kDeadline,   ///< the armed deadline elapsed
+    kCancelled,  ///< CancelGeneration() hit the live generation
+  };
+
+  /// Ticks between slow-path checks. Power of two; small enough that a
+  /// 1ms deadline is honored within tens of microseconds of kernel time,
+  /// large enough that the clock read vanishes from profiles.
+  static constexpr uint32_t kCheckInterval = 512;
+
+  /// Arms the token for one query. `deadline_ms == 0` means no deadline —
+  /// the query can then only be stopped by `CancelGeneration`. Returns
+  /// the new generation (hand it to whoever may need to cancel).
+  uint64_t Arm(uint32_t deadline_ms) {
+    const uint64_t gen =
+        generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+    stopped_ = false;
+    reason_ = StopReason::kNone;
+    local_ops_ = 0;
+    has_deadline_ = deadline_ms > 0;
+    if (has_deadline_) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(deadline_ms);
+    }
+    // The release pairs with CancelGeneration's acquire load: a cancel
+    // that reads this generation targets exactly this query.
+    armed_.store(true, std::memory_order_release);
+    return gen;
+  }
+
+  /// Disarms after the query completes (or unwinds). Ticks between
+  /// queries go back to the single-load fast path.
+  void Finish() { armed_.store(false, std::memory_order_release); }
+
+  /// The query's work heartbeat *and* stop check, called from the kernels
+  /// once per edge-operation. Returns true iff the query must unwind.
+  bool Tick() {
+    if (!armed_.load(std::memory_order_relaxed)) return false;
+    if (stopped_) return true;
+    if ((++local_ops_ & (kCheckInterval - 1)) != 0) return false;
+    return SlowCheck();
+  }
+
+  /// Sticky result of the last slow check — cheap enough for per-level
+  /// loop guards that must not consume an op tick.
+  bool Stopped() const {
+    return armed_.load(std::memory_order_relaxed) && stopped_;
+  }
+
+  StopReason reason() const { return reason_; }
+
+  /// Whether a query is currently armed (watchdog side: only an armed
+  /// token with a frozen work counter indicates a stuck worker).
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  /// Current generation (watchdog side: sample, then cancel by value).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Total ops published by armed queries; only advances while the owner
+  /// makes progress, which is exactly what the stuck-worker watchdog
+  /// samples.
+  uint64_t work() const { return work_.load(std::memory_order_relaxed); }
+
+  /// Requests cancellation of generation `gen` specifically. A request
+  /// naming any other generation (the query already finished and the
+  /// worker re-armed) is a no-op — the race is benign by construction.
+  void CancelGeneration(uint64_t gen) {
+    cancel_gen_.store(gen, std::memory_order_release);
+  }
+
+ private:
+  bool SlowCheck() {
+    work_.fetch_add(kCheckInterval, std::memory_order_relaxed);
+    if (cancel_gen_.load(std::memory_order_acquire) ==
+        generation_.load(std::memory_order_relaxed)) {
+      stopped_ = true;
+      reason_ = StopReason::kCancelled;
+      return true;
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      stopped_ = true;
+      reason_ = StopReason::kDeadline;
+      return true;
+    }
+    return false;
+  }
+
+  // Owner-thread state (no concurrent access).
+  uint32_t local_ops_ = 0;
+  bool stopped_ = false;
+  bool has_deadline_ = false;
+  StopReason reason_ = StopReason::kNone;
+  std::chrono::steady_clock::time_point deadline_;
+
+  // Shared with watchdog/canceller threads.
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<uint64_t> cancel_gen_{0};
+  std::atomic<uint64_t> work_{0};
+};
+
+}  // namespace abcs
+
+#endif  // ABCS_CORE_CANCEL_H_

@@ -83,11 +83,13 @@ void DeltaIndex::QueryImpl(VertexId q, uint32_t level, uint32_t need,
         const uint32_t end = half.level_start[table + 1];
         for (uint32_t i = begin; i < end; ++i) {
           const Entry& entry = half.entries[i];
+          scratch.CancelTick();
           ++touched;
           if (entry.offset < need) break;  // sorted: early terminate
           visit(entry.to, entry.eid);
         }
       });
+  if (scratch.CancelStopped()) out->edges.clear();  // drop partial walk
   if (stats) stats->touched_arcs += touched;
 }
 

@@ -18,19 +18,22 @@ void QueryCommunityOnline(const BipartiteGraph& g, VertexId q, uint32_t alpha,
   std::vector<uint8_t>& alive = scratch.U8(QueryScratch::kSlotAlive);
   alive.assign(n, 1);
   PeelInPlace(g, alpha, beta, deg, alive, /*removed=*/nullptr,
-              &scratch.U32(QueryScratch::kSlotQueue));
+              &scratch.U32(QueryScratch::kSlotQueue), scratch.cancel_token());
   if (stats) stats->touched_arcs += 2ull * g.NumEdges();  // full peel cost
+  if (scratch.CancelStopped()) return;  // torn peel state: answer nothing
   if (!alive[q]) return;
 
   // BFS from q within the core; collect each edge from its lower endpoint.
   CollectCommunityBfs(scratch, g, q, out->edges,
                       [&](VertexId v, auto&& visit) {
                         for (const Arc& a : g.Neighbors(v)) {
+                          scratch.CancelTick();
                           if (stats) ++stats->touched_arcs;
                           if (!alive[a.to]) continue;
                           visit(a.to, a.eid);
                         }
                       });
+  if (scratch.CancelStopped()) out->edges.clear();  // drop partial walk
 }
 
 Subgraph QueryCommunityOnline(const BipartiteGraph& g, VertexId q,

@@ -122,10 +122,16 @@ BatchResult QueryEngine::RunBatch(std::span<const QueryRequest> requests,
   struct WorkerState {
     QueryScratch scratch;
     Subgraph out;
+    CancelToken token;  ///< deadline budget; disarmed when deadline_ms = 0
   };
   std::vector<WorkerState> states(num_threads);
   auto body = [&](unsigned t, std::size_t i) {
     WorkerState& ws = states[t];
+    const bool budgeted = options.deadline_ms > 0;
+    if (budgeted) {
+      ws.scratch.set_cancel_token(&ws.token);
+      ws.token.Arm(options.deadline_ms);
+    }
     QueryStats stats;
     Timer timer;
     Query(requests[i], ws.scratch, &ws.out, &stats);
@@ -133,6 +139,11 @@ BatchResult QueryEngine::RunBatch(std::span<const QueryRequest> requests,
     outcome.seconds = timer.Seconds();
     outcome.num_edges = static_cast<uint32_t>(ws.out.edges.size());
     outcome.touched_arcs = stats.touched_arcs;
+    if (budgeted) {
+      outcome.deadline_exceeded = ws.token.Stopped();
+      ws.token.Finish();
+      ws.scratch.set_cancel_token(nullptr);
+    }
     if (options.keep_communities) result.communities[i] = ws.out;
   };
 
@@ -182,11 +193,17 @@ ScsBatchResult QueryEngine::RunScsBatch(std::span<const QueryRequest> requests,
     ScsWorkspace workspace;
     Subgraph community;
     ScsResult scs;
+    CancelToken token;  ///< deadline budget; disarmed when deadline_ms = 0
   };
   std::vector<WorkerState> states(num_threads);
   auto body = [&](unsigned t, std::size_t i) {
     WorkerState& ws = states[t];
     const QueryRequest& r = requests[i];
+    const bool budgeted = options.deadline_ms > 0;
+    if (budgeted) {
+      ws.scratch.set_cancel_token(&ws.token);
+      ws.token.Arm(options.deadline_ms);
+    }
     Timer timer;
     Query(r, ws.scratch, &ws.community, nullptr);
     const double retrieve_s = timer.Seconds();
@@ -196,6 +213,21 @@ ScsBatchResult QueryEngine::RunScsBatch(std::span<const QueryRequest> requests,
     ScsOutcome& o = result.outcomes[i];
     o.seconds = timer.Seconds();
     o.retrieve_seconds = retrieve_s;
+    if (budgeted) {
+      o.deadline_exceeded = ws.token.Stopped();
+      ws.token.Finish();
+      ws.scratch.set_cancel_token(nullptr);
+      if (o.deadline_exceeded) {
+        // "Stopped" is authoritative even when a kernel had already
+        // committed a result (the deadline can fire between the final
+        // extraction and the outer loop's guard): a budget-blown query
+        // always answers empty, so callers never see a possibly
+        // suboptimal R from an abandoned probe sequence.
+        ws.scs.found = false;
+        ws.scs.community.edges.clear();
+        ws.scs.significance = 0;
+      }
+    }
     o.found = ws.scs.found;
     o.community_edges = static_cast<uint32_t>(ws.community.edges.size());
     o.result_edges = static_cast<uint32_t>(ws.scs.community.edges.size());

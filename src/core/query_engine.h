@@ -51,6 +51,11 @@ struct QueryOutcome {
   uint32_t num_edges = 0;      ///< size(C_{α,β}(q))
   uint64_t touched_arcs = 0;   ///< work counter (see QueryStats)
   double seconds = 0.0;        ///< per-query latency
+  /// The per-query deadline fired mid-execution: the query unwound
+  /// cooperatively and answered empty. Always false when
+  /// `BatchOptions::deadline_ms` is 0 (the default), so undeadlined
+  /// batches stay bit-identical to the pre-cancellation engine.
+  bool deadline_exceeded = false;
 };
 
 /// Aggregates over one batch.
@@ -73,6 +78,12 @@ struct BatchOptions {
   /// Retain every community's edge set in `BatchResult::communities`
   /// (costs one allocation per non-empty result; off for throughput runs).
   bool keep_communities = false;
+  /// Per-query execution budget in milliseconds, enforced cooperatively
+  /// inside the kernels (`CancelToken` through `QueryScratch`). 0 (the
+  /// default) disarms the token entirely — one relaxed load per edge-op,
+  /// bit-identical results. An overrunning query stops, answers empty and
+  /// sets `QueryOutcome::deadline_exceeded`.
+  uint32_t deadline_ms = 0;
 };
 
 /// Result of a batch run. `outcomes[i]` corresponds to `requests[i]`
@@ -103,6 +114,9 @@ struct ScsBatchOptions {
   ScsOptions scs;
   /// Retain every R edge set in `ScsBatchResult::communities`.
   bool keep_communities = false;
+  /// Per-query budget over retrieval + SCS together (see
+  /// `BatchOptions::deadline_ms`). 0 = disarmed.
+  uint32_t deadline_ms = 0;
 };
 
 /// Deterministic per-query SCS outcome (latency excluded from determinism).
@@ -117,6 +131,8 @@ struct ScsOutcome {
   uint64_t edges_processed = 0;
   double seconds = 0.0;           ///< retrieval + SCS latency
   double retrieve_seconds = 0.0;  ///< retrieval share of `seconds`
+  /// The per-query deadline fired mid-execution (see QueryOutcome).
+  bool deadline_exceeded = false;
 };
 
 /// Aggregates over one SCS batch.

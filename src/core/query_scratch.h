@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/cancel.h"
 #include "graph/bipartite_graph.h"
 
 namespace abcs {
@@ -97,8 +98,23 @@ class QueryScratch {
   /// after more queries to prove the steady state allocates nothing.
   std::size_t CapacityBytes() const;
 
+  /// Attaches (or detaches, with nullptr) a cooperative cancel token. The
+  /// scratch is how a token reaches the scratch-taking kernels without a
+  /// signature change on every retrieval path; the owner arms/disarms it.
+  void set_cancel_token(CancelToken* token) { cancel_ = token; }
+  CancelToken* cancel_token() const { return cancel_; }
+
+  /// Kernel-side stop check: one relaxed load when no token is attached
+  /// or the token is disarmed. True means unwind now.
+  bool CancelTick() { return cancel_ != nullptr && cancel_->Tick(); }
+  /// Sticky variant for loop guards that must not consume an op tick.
+  bool CancelStopped() const {
+    return cancel_ != nullptr && cancel_->Stopped();
+  }
+
  private:
   uint32_t epoch_ = 0;
+  CancelToken* cancel_ = nullptr;  ///< borrowed; null = never cancelled
   std::vector<uint32_t> visited_;
   std::vector<uint32_t> in_core_;
   std::vector<uint32_t> queue_;
@@ -118,6 +134,10 @@ class QueryScratch {
 /// the kernel owns edge emission (each community edge is collected from
 /// its lower endpoint, the library-wide convention) and frontier
 /// expansion. `scratch.BeginQuery` must have been called by the caller.
+///
+/// Cancellation: an attached armed token stops the walk at the next
+/// frontier pop; the caller observes the partial result through
+/// `CancelStopped()` and must discard it.
 template <typename NeighborsFn>
 void CollectCommunityBfs(QueryScratch& scratch, const BipartiteGraph& g,
                          VertexId q, std::vector<EdgeId>& out_edges,
@@ -125,6 +145,7 @@ void CollectCommunityBfs(QueryScratch& scratch, const BipartiteGraph& g,
   scratch.TryVisit(q);
   scratch.Push(q);
   while (!scratch.QueueEmpty()) {
+    if (scratch.CancelStopped()) return;
     const VertexId u = scratch.Pop();
     const bool emit = !g.IsUpper(u);
     neighbors(u, [&](VertexId to, EdgeId eid) {

@@ -62,9 +62,11 @@ void ScsQueryInto(const BipartiteGraph& g, const Subgraph& community,
   }
   QueryScratch local_scratch;
   QueryScratch& s = scratch ? *scratch : local_scratch;
+  if (s.CancelStopped()) return;  // budget already blown on retrieval
   ScsWorkspace local_ws;
   ScsWorkspace& ws = workspace ? *workspace : local_ws;
   ws.lg.BuildFrom(g, community.edges);
+  if (s.CancelStopped()) return;
   if (algo == ScsAlgo::kAuto) algo = PlanScsAlgo(ws.lg, q, alpha, beta);
   switch (algo) {
     case ScsAlgo::kPeel:

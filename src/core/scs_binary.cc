@@ -215,6 +215,7 @@ void ScsBinaryOnLocal(const LocalGraph& lg, VertexId q, uint32_t alpha,
   alive.assign(m, 1);
   cascade.clear();
   auto kill = [&](uint32_t r, std::vector<uint32_t>* sink) {
+    s.CancelTick();
     const LocalGraph::LocalEdge& le = lg.edges()[r];
     alive[r] = 0;
     if (sink) sink->push_back(r);
@@ -239,6 +240,7 @@ void ScsBinaryOnLocal(const LocalGraph& lg, VertexId q, uint32_t alpha,
   }
   run_cascade(nullptr);
   if (stats) ++stats->validations;
+  if (s.CancelStopped()) return;  // per-query state: abandonment is free
   if (deg[lq] < threshold(lq)) return;  // infeasible even on the whole pool
 
   // Binary search over distinct-weight indices (descending weights, so
@@ -272,6 +274,11 @@ void ScsBinaryOnLocal(const LocalGraph& lg, VertexId q, uint32_t alpha,
 
   uint32_t lo = 0, hi = lg.NumDistinctWeights() - 1;
   while (lo < hi) {
+    // A cancel mid-probe abandons the search with `found = false`; every
+    // peel structure here is a per-query scratch slot (re-`assign`ed on
+    // the next query), so no unwind beyond the probe's own journal is
+    // needed and the workspace stays reusable bit-identically.
+    if (s.CancelStopped()) return;
     const uint32_t mid = lo + (hi - lo) / 2;  // mid < hi
     if (probe(lg.PrefixEnd(mid))) {
       hi = mid;
@@ -279,6 +286,7 @@ void ScsBinaryOnLocal(const LocalGraph& lg, VertexId q, uint32_t alpha,
       lo = mid + 1;
     }
   }
+  if (s.CancelStopped()) return;
   ExtractAliveComponent(lg, lq, alive, lg.DistinctWeight(hi), s, out);
 }
 

@@ -262,6 +262,7 @@ void PeelToSignificantInto(const LocalGraph& lg, VertexId q, uint32_t alpha,
   cascade.clear();
   auto kill_edges_of = [&](uint32_t x, std::vector<uint32_t>* sink) {
     for (const LocalGraph::LocalArc& a : lg.Neighbors(x)) {
+      s.CancelTick();
       if (!alive[a.pos]) continue;
       alive[a.pos] = 0;
       if (sink) sink->push_back(a.pos);
@@ -287,6 +288,7 @@ void PeelToSignificantInto(const LocalGraph& lg, VertexId q, uint32_t alpha,
   }
   run_cascade(nullptr);
   if (stats) ++stats->validations;
+  if (s.CancelStopped()) return;  // deg/alive are re-assigned per query
   if (deg[lq] < threshold(lq)) return;
 
   // Remove rank batches back-to-front (minimum weight first); each batch is
@@ -294,9 +296,14 @@ void PeelToSignificantInto(const LocalGraph& lg, VertexId q, uint32_t alpha,
   std::vector<uint32_t>& batch_removed =
       s.U32(QueryScratch::kSlotBatch);  // the paper's edge set S
   for (uint32_t di = lg.NumDistinctWeights(); di-- > 0;) {
+    if (s.CancelStopped()) return;  // abandon: answer not found
     const Weight wmin = lg.DistinctWeight(di);
     batch_removed.clear();
     for (uint32_t r = lg.PrefixBegin(di); r < lg.PrefixEnd(di); ++r) {
+      // At low thresholds cascades are rare and this loop carries nearly
+      // every edge-op, so it must heartbeat too or a budgeted peel could
+      // run an entire batch sweep blind to its deadline.
+      s.CancelTick();
       if (!alive[r]) continue;
       const LocalGraph::LocalEdge& le = lg.edges()[r];
       alive[r] = 0;

@@ -32,6 +32,7 @@ void ScsExpandOnLocal(const LocalGraph& lg, VertexId q, uint32_t alpha,
   aux.agg.assign(n, ScsComponentAgg{});
 
   auto kill = [&](uint32_t r, std::vector<uint32_t>* sink) {
+    s.CancelTick();
     const LocalGraph::LocalEdge& le = lg.edges()[r];
     alive[r] = 0;
     sink->push_back(r);
@@ -92,6 +93,12 @@ void ScsExpandOnLocal(const LocalGraph& lg, VertexId q, uint32_t alpha,
     // component (DSU roots only coarsen during expansion, never split, so
     // the filter is a sound superset test).
     for (uint32_t di = last_di + 1; di-- > 0;) {
+      // Cancel mid-validation: abandon with found=false. The expansion
+      // state is torn past repair-worthiness (several committed batch
+      // peels deep), but every structure here is per-query scratch that
+      // the next query re-`assign`s, so no restore is owed — the caller
+      // must check CancelStopped() before trusting the expansion state.
+      if (s.CancelStopped()) return false;
       const Weight wmin = lg.DistinctWeight(di);
       batch_removed.clear();
       for (uint32_t r = lg.PrefixBegin(di); r < lg.PrefixEnd(di); ++r) {
@@ -113,8 +120,10 @@ void ScsExpandOnLocal(const LocalGraph& lg, VertexId q, uint32_t alpha,
   uint64_t pre_size = 0;
   const uint32_t num_distinct = lg.NumDistinctWeights();
   for (uint32_t di = 0; di < num_distinct; ++di) {
+    if (s.CancelStopped()) return;
     // Add the rank batch of the next distinct weight.
     for (uint32_t r = lg.PrefixBegin(di); r < lg.PrefixEnd(di); ++r) {
+      s.CancelTick();
       const LocalGraph::LocalEdge& le = lg.edges()[r];
       alive[r] = 1;
       if (stats) ++stats->edges_processed;
@@ -173,12 +182,13 @@ void ScsExpandOnLocal(const LocalGraph& lg, VertexId q, uint32_t alpha,
     }
     pre_size = a.edges;
     if (validate(di)) return;
+    if (s.CancelStopped()) return;  // torn validate state: stop expanding
   }
 
   // All edges added; force a final validation (the ε gate may have skipped
   // the last state, which equals the full pool restricted to q's
   // component).
-  if (deg[lq] > 0) validate(num_distinct - 1);
+  if (deg[lq] > 0 && !s.CancelStopped()) validate(num_distinct - 1);
 }
 
 ScsResult ScsExpand(const BipartiteGraph& g, const Subgraph& community,

@@ -32,9 +32,9 @@ void FaultInjector::Arm(const std::string& point, Action action,
 void FaultInjector::ArmFromEnv() {
   const char* env = std::getenv("ABCS_FAULT_INJECT");
   if (env == nullptr || *env == '\0') return;
-  // Comma-separated specs; "net."-prefixed points arm the (non-crashing)
-  // socket injector, anything else the crash injector. The crash injector
-  // holds a single fault, so the last non-net spec wins.
+  // Comma-separated specs; "net."- and "scrub."-prefixed points arm the
+  // (non-crashing) counting injector, anything else the crash injector.
+  // The crash injector holds a single fault, so the last non-net spec wins.
   const std::string all(env);
   std::size_t start = 0;
   while (start <= all.size()) {
@@ -43,7 +43,7 @@ void FaultInjector::ArmFromEnv() {
     const std::string s = all.substr(start, comma - start);
     start = comma + 1;
     if (s.empty()) continue;
-    if (s.rfind("net.", 0) == 0) {
+    if (s.rfind("net.", 0) == 0 || s.rfind("scrub.", 0) == 0) {
       // A malformed net spec is a test-harness bug; fail loudly rather
       // than silently running the chaos soak with nothing armed.
       const Status st = NetFaultInjector::Instance().ArmSpec(s);
@@ -141,6 +141,12 @@ Status NetFaultInjector::ArmSpec(const std::string& spec) {
     f.arg = arg ? arg : 1;
   } else if (name == "delay") {
     f.kind = ActionKind::kDelay;
+    f.arg = arg;
+  } else if (name == "flipbyte") {
+    f.kind = ActionKind::kFlipByte;
+    f.arg = arg;
+  } else if (name == "truncate") {
+    f.kind = ActionKind::kTruncate;
     f.arg = arg;
   } else {
     return Status::InvalidArgument("unknown net fault action: " + spec);

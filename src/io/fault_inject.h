@@ -106,6 +106,13 @@ inline uint64_t FaultWriteBudget(const char* point, uint64_t want) {
 ///     net.client_recv=eintr:2@5     # every 5th recv starts a 2-EINTR storm
 ///     net.client_send=reset@17      # every 17th send dies with ECONNRESET
 ///     net.server_send=delay:250     # sleep 250ms before every send
+///     scrub.before_pass=flipbyte:4096@2  # 2nd scrub pass: flip byte 4096
+///     scrub.before_pass=truncate:64      # truncate the bundle to 64 bytes
+///
+/// "scrub." points route here too: the daemon's bundle scrubber consults
+/// them before each verification pass and corrupts its own file on disk,
+/// so the detect → quarantine → `.prev` recovery path runs deterministically
+/// under test (see server.cc ScrubberLoop).
 ///
 /// `@N` fires the action on every Nth visit of that point (default 1).
 /// Multiple specs may target distinct points; the registry consults them
@@ -118,6 +125,8 @@ class NetFaultInjector {
     kShort,  ///< truncate the attempted send/recv length to `arg` bytes
     kEintr,  ///< fail the call (and the next arg-1 visits) with EINTR
     kDelay,  ///< sleep `arg` milliseconds, then perform the call normally
+    kFlipByte,  ///< scrub points: XOR the byte at file offset `arg`
+    kTruncate,  ///< scrub points: truncate the file to `arg` bytes
   };
 
   struct Decision {

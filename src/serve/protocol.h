@@ -110,9 +110,11 @@ struct WireRequest {
   uint32_t q = 0;
   uint32_t alpha = 1;
   uint32_t beta = 1;
-  /// Queue-admission deadline: if the request waits longer than this in
-  /// the scheduler, it is answered with kDeadlineExceeded instead of
-  /// being executed. 0 defers to the server's configured default.
+  /// End-to-end budget: queue wait counts against it at pickup, and the
+  /// remainder is armed on the worker's CancelToken so an overrunning
+  /// execution unwinds cooperatively mid-kernel. Either way the request
+  /// is answered kDeadlineExceeded with an empty result — never a
+  /// partial. 0 defers to the server's configured default.
   /// Queries only — updates are answered by the writer in arrival order.
   uint32_t deadline_ms = 0;
 

@@ -10,10 +10,13 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 
 #include "core/scs_auto.h"
+#include "io/fault_inject.h"
+#include "io/index_bundle.h"
 #include "serve/net_ops.h"
 
 namespace abcs::serve {
@@ -162,6 +165,22 @@ Status Server::Start() {
     return st;
   }
 
+  if (options_.scrub_interval_ms > 0) {
+    // The scrubber republishes through PublishRecovery, which must never
+    // race the update writer's own Publish.
+    if (options_.bundle_path.empty()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::InvalidArgument("scrubbing requires a bundle path");
+    }
+    if (options_.enable_updates) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::InvalidArgument(
+          "scrubbing requires static serving (updates disabled)");
+    }
+  }
+
   started_ = true;
   accepting_.store(true);
   accept_thread_ = std::thread(&Server::AcceptLoop, this);
@@ -172,6 +191,10 @@ Status Server::Start() {
   flusher_ = std::thread(&Server::FlusherLoop, this);
   if (options_.watchdog_interval_ms > 0) {
     watchdog_ = std::thread(&Server::WatchdogLoop, this);
+  }
+  if (options_.scrub_interval_ms > 0) {
+    scrub_path_ = options_.bundle_path;
+    scrubber_ = std::thread(&Server::ScrubberLoop, this);
   }
   return Status::OK();
 }
@@ -199,7 +222,11 @@ void Server::Shutdown() {
   snapshots_->Drain();
   // 4. Drain the query pool: every admitted request still gets executed
   //    and its response written before the workers exit
-  //    (TaskScheduler::Close hands out queued tasks until empty).
+  //    (TaskScheduler::Close hands out queued tasks until empty). With
+  //    fast_drain the backlog is answered kDeadlineExceeded instead —
+  //    every admitted request still gets *a* response, just not a
+  //    computed one.
+  if (options_.fast_drain) fast_drain_.store(true);
   counters_.drained_tasks.store(scheduler_.Pending());
   scheduler_.Close();
   for (std::thread& w : workers_) {
@@ -220,6 +247,12 @@ void Server::Shutdown() {
   }
   watchdog_cv_.notify_all();
   if (watchdog_.joinable()) watchdog_.join();
+  {
+    std::lock_guard lock(scrub_mu_);
+    scrub_stop_ = true;
+  }
+  scrub_cv_.notify_all();
+  if (scrubber_.joinable()) scrubber_.join();
   // 6. Tear down. Connection fds close when the last reference drops —
   //    all workers and the flusher have joined, so that is here.
   {
@@ -247,11 +280,15 @@ ServeStats Server::Stats() const {
   s.responses_error = counters_.responses_error.load();
   s.memo_hits = counters_.memo_hits.load();
   s.deadline_expired = counters_.deadline_expired.load();
+  s.stuck_cancelled = counters_.stuck_cancelled.load();
   s.overloaded = counters_.overloaded.load();
   s.protocol_errors = counters_.protocol_errors.load();
   s.slow_client_dropped = counters_.slow_client_dropped.load();
   s.health_probes = counters_.health_probes.load();
   s.drained_tasks = counters_.drained_tasks.load();
+  s.scrub_passes = counters_.scrub_passes.load();
+  s.scrub_corruptions = counters_.scrub_corruptions.load();
+  s.scrub_recoveries = counters_.scrub_recoveries.load();
   const UpdateStats us = snapshots_->Stats();
   s.updates_applied = us.applied;
   s.update_conflicts = us.conflicts;
@@ -454,6 +491,7 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
 
 void Server::WorkerLoop(unsigned t) {
   Task task;
+  WorkerState& ws = *worker_states_[t];
   while (scheduler_.Pop(t, &task)) {
     inflight_.fetch_add(1);
     const Snapshot& snap = *task.snap;
@@ -463,9 +501,10 @@ void Server::WorkerLoop(unsigned t) {
     const uint32_t deadline_ms = task.req.deadline_ms
                                      ? task.req.deadline_ms
                                      : options_.default_deadline_ms;
-    if (deadline_ms > 0 &&
-        std::chrono::steady_clock::now() - task.arrival >
-            std::chrono::milliseconds(deadline_ms)) {
+    const auto waited = std::chrono::steady_clock::now() - task.arrival;
+    const bool expired_in_queue =
+        deadline_ms > 0 && waited > std::chrono::milliseconds(deadline_ms);
+    if (expired_in_queue || fast_drain_.load(std::memory_order_acquire)) {
       counters_.deadline_expired.fetch_add(1);
       resp.status = WireStatus::kDeadlineExceeded;
       Respond(task.conn, task.seq, resp);
@@ -487,13 +526,41 @@ void Server::WorkerLoop(unsigned t) {
       resp.significance = value.significance;
       resp.memo_hit = true;
     } else {
+      // Arm the worker's token around the execution: the queue wait
+      // already consumed part of the budget, so the kernels get only the
+      // remainder. Armed even without a deadline (remaining_ms = 0 means
+      // deadline-free) so the watchdog can always cancel a stuck query.
+      uint32_t remaining_ms = 0;
+      if (deadline_ms > 0) {
+        const auto left = std::chrono::milliseconds(deadline_ms) - waited;
+        remaining_ms = static_cast<uint32_t>(std::max<int64_t>(
+            1, std::chrono::duration_cast<std::chrono::milliseconds>(left)
+                   .count()));
+      }
+      ws.scratch.set_cancel_token(&ws.token);
+      ws.token.Arm(remaining_ms);
       Execute(task.req, snap, t, &resp);
-      if (options_.enable_memo) {
+      const bool stopped = ws.token.Stopped();
+      const CancelToken::StopReason reason = ws.token.reason();
+      ws.token.Finish();
+      ws.scratch.set_cancel_token(nullptr);
+      if (stopped) {
+        // The kernels unwound mid-query: the partial answer is meaningless
+        // and must not poison the memo. Count by who pulled the trigger.
+        if (reason == CancelToken::StopReason::kCancelled) {
+          counters_.stuck_cancelled.fetch_add(1);
+        } else {
+          counters_.deadline_expired.fetch_add(1);
+        }
+        resp = WireResponse{};
+        resp.type = MessageType::kQuery;
+        resp.epoch = snap.epoch();
+        resp.status = WireStatus::kDeadlineExceeded;
+      } else if (options_.enable_memo) {
         value = MemoValue{resp.found, resp.num_edges, resp.result_edges,
                           resp.kernel, resp.significance};
         memo_.Insert(task.req.method, task.req.alpha, task.req.beta, q,
-                     snap.graph(), worker_states_[t]->community, value,
-                     snap.epoch());
+                     snap.graph(), ws.community, value, snap.epoch());
       }
     }
     Respond(task.conn, task.seq, resp);
@@ -686,6 +753,18 @@ void Server::FlusherLoop() {
 
 void Server::WatchdogLoop() {
   uint64_t last_completed = 0;
+  // Per-worker progress samples: a worker whose token stays armed on the
+  // same generation with a frozen work counter across one full interval
+  // is executing a query that makes no kernel progress — cancel exactly
+  // that generation (a finished-and-rearmed query has a new one, so the
+  // race is benign) and degrade health until it unwinds.
+  struct WorkerSample {
+    uint64_t gen = 0;
+    uint64_t work = 0;
+    uint64_t cancelled_gen = 0;  ///< last generation we escalated
+    bool armed = false;
+  };
+  std::vector<WorkerSample> last(worker_states_.size());
   std::unique_lock lock(watchdog_mu_);
   while (!watchdog_stop_) {
     watchdog_cv_.wait_for(
@@ -696,7 +775,117 @@ void Server::WatchdogLoop() {
     // Stall = admitted work exists but nothing completed all interval.
     stalled_.store(scheduler_.Pending() > 0 && completed == last_completed);
     last_completed = completed;
+    bool any_stuck = false;
+    for (std::size_t t = 0; t < worker_states_.size(); ++t) {
+      CancelToken& token = worker_states_[t]->token;
+      const bool armed = token.armed();
+      const uint64_t gen = token.generation();
+      const uint64_t work = token.work();
+      WorkerSample& s = last[t];
+      if (armed && s.armed && gen == s.gen && work == s.work) {
+        any_stuck = true;
+        if (s.cancelled_gen != gen) {
+          // Counted at escalation, once per query; the worker's own
+          // unwind path answers the client kDeadlineExceeded.
+          token.CancelGeneration(gen);
+          s.cancelled_gen = gen;
+          counters_.stuck_cancelled.fetch_add(1);
+        }
+      }
+      s.gen = gen;
+      s.work = work;
+      s.armed = armed;
+    }
+    stuck_.store(any_stuck);
   }
+}
+
+void Server::ScrubberLoop() {
+  std::unique_lock lock(scrub_mu_);
+  while (!scrub_stop_) {
+    scrub_cv_.wait_for(lock,
+                       std::chrono::milliseconds(options_.scrub_interval_ms));
+    if (scrub_stop_) break;
+    lock.unlock();
+    ScrubPass();
+    lock.lock();
+  }
+}
+
+void Server::ScrubPass() {
+  // Deterministic corruption seam for the chaos harness: the scrubber
+  // damages its *own* file right before verifying it, so detection and
+  // recovery run on a real on-disk fault with no timing dependence.
+  const NetFaultInjector::Decision d = NetFaultPoint("scrub.before_pass");
+  if (d.kind == NetFaultInjector::ActionKind::kFlipByte) {
+    const int fd = ::open(scrub_path_.c_str(), O_RDWR);
+    if (fd >= 0) {
+      std::byte b{};
+      if (::pread(fd, &b, 1, static_cast<off_t>(d.arg)) == 1) {
+        b ^= std::byte{0xff};
+        [[maybe_unused]] const ssize_t w =
+            ::pwrite(fd, &b, 1, static_cast<off_t>(d.arg));
+      }
+      ::close(fd);
+    }
+  } else if (d.kind == NetFaultInjector::ActionKind::kTruncate) {
+    [[maybe_unused]] const int rc =
+        ::truncate(scrub_path_.c_str(), static_cast<off_t>(d.arg));
+  }
+
+  counters_.scrub_passes.fetch_add(1);
+  // kRead, not kMmap: a concurrently truncated file then fails with a
+  // clean Corruption/IOError instead of a SIGBUS on a vanished page.
+  BundleOpenOptions verify_opts;
+  verify_opts.mode = BundleOpenMode::kRead;
+  verify_opts.verify_checksums = true;
+  std::unique_ptr<IndexBundle> probe;
+  const Status st = OpenIndexBundle(scrub_path_, &probe, verify_opts);
+  if (st.ok()) {
+    scrub_corrupt_.store(false);
+    return;
+  }
+  counters_.scrub_corruptions.fetch_add(1);
+  scrub_corrupt_.store(true);
+  std::fprintf(stderr, "# scrub: %s failed verification: %s\n",
+               scrub_path_.c_str(), st.ToString().c_str());
+
+  // Quarantine the damaged file (the rename moves the name, not the
+  // inode — readers pinned on the old epoch keep their mapping and drain
+  // untouched), then recover the newest verifiable epoch via the same
+  // `.prev` fallback the startup path uses.
+  const std::string quarantine = scrub_path_ + ".quarantined";
+  if (std::rename(scrub_path_.c_str(), quarantine.c_str()) != 0) {
+    std::fprintf(stderr, "# scrub: quarantine rename failed: %s\n",
+                 std::strerror(errno));
+  }
+  std::unique_ptr<IndexBundle> recovered;
+  std::string diagnostic;
+  const Status rst = OpenBundleWithFallback(options_.bundle_path, &recovered,
+                                            BundleOpenOptions{}, &diagnostic);
+  if (!rst.ok()) {
+    // No verifiable epoch on disk: stay degraded, keep serving the pinned
+    // in-memory state, retry next pass.
+    std::fprintf(stderr, "# scrub: recovery failed: %s\n",
+                 rst.ToString().c_str());
+    return;
+  }
+  std::shared_ptr<const IndexBundle> owner(std::move(recovered));
+  const BipartiteGraph& g = owner->graph();
+  const DeltaIndex* delta = &owner->delta_index();
+  const BicoreIndex* bicore = &owner->bicore_index();
+  const uint64_t epoch = snapshots_->PublishRecovery(
+      std::shared_ptr<const void>(owner), g, delta, bicore);
+  // The recovered epoch may be an older commit than the corrupted one:
+  // nothing cached is trustworthy, flush everything and re-align.
+  memo_.Invalidate();
+  memo_.SetEpoch(epoch);
+  scrub_path_ = options_.bundle_path + ".prev";
+  counters_.scrub_recoveries.fetch_add(1);
+  scrub_corrupt_.store(false);
+  std::fprintf(stderr, "# scrub: recovered epoch %llu from %s (%s)\n",
+               static_cast<unsigned long long>(epoch), scrub_path_.c_str(),
+               diagnostic.c_str());
 }
 
 WireHealth Server::BuildHealth() {
@@ -713,7 +902,8 @@ WireHealth Server::BuildHealth() {
   h.requests = counters_.requests.load();
   if (draining_.load()) {
     h.state = HealthState::kDraining;
-  } else if (stalled_.load() || depth > options_.max_queue / 2) {
+  } else if (stalled_.load() || stuck_.load() || scrub_corrupt_.load() ||
+             depth > options_.max_queue / 2) {
     h.state = HealthState::kDegraded;
   } else {
     h.state = HealthState::kLive;

@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "core/bicore_index.h"
+#include "core/cancel.h"
 #include "core/delta_index.h"
 #include "core/query_engine.h"
 #include "core/scs_common.h"
@@ -69,6 +70,20 @@ struct ServerOptions {
   /// tooling: a small kernel buffer makes slow-client back-pressure
   /// reach the flusher's deadline quickly).
   uint32_t so_sndbuf = 0;
+  /// Fast drain: at shutdown, admitted-but-unstarted queries answer
+  /// kDeadlineExceeded instead of executing. Off by default — the
+  /// graceful-drain guarantee (every admitted request is fully executed)
+  /// stays intact unless the operator opts into a bounded-latency exit.
+  bool fast_drain = false;
+  /// Path of the bundle this daemon serves from; enables the background
+  /// scrubber together with scrub_interval_ms.
+  std::string bundle_path;
+  /// Cadence for re-verifying the serving bundle's section checksums on
+  /// disk (0 disables the scrubber thread). Requires bundle_path and
+  /// static serving (enable_updates off): on corruption the damaged file
+  /// is quarantined and the rotated `.prev` epoch is re-opened and
+  /// published, while readers pinned on the old epoch drain untouched.
+  uint32_t scrub_interval_ms = 0;
 };
 
 /// Monotonic counters, snapshotted for the shutdown summary and tests.
@@ -80,6 +95,7 @@ struct ServeStats {
   uint64_t responses_error = 0;   ///< any non-kOk status
   uint64_t memo_hits = 0;
   uint64_t deadline_expired = 0;
+  uint64_t stuck_cancelled = 0;   ///< in-flight queries the watchdog killed
   uint64_t overloaded = 0;
   uint64_t protocol_errors = 0;   ///< bad frames or payloads
   uint64_t slow_client_dropped = 0;  ///< connections shed by the write
@@ -91,6 +107,9 @@ struct ServeStats {
   uint64_t epochs_published = 0;  ///< commits that produced a snapshot
   uint64_t compactions = 0;       ///< bundles rewritten by the writer
   uint64_t update_overflows = 0;  ///< updates rejected by the full queue
+  uint64_t scrub_passes = 0;       ///< completed bundle verification passes
+  uint64_t scrub_corruptions = 0;  ///< passes that found the bundle corrupt
+  uint64_t scrub_recoveries = 0;   ///< successful `.prev` recovery publishes
 };
 
 /// \brief The `abcs serve` resident daemon: accepts length-prefixed
@@ -187,8 +206,14 @@ class Server {
   /// write deadline or overflow the buffer cap.
   void FlusherLoop();
   /// Samples progress each interval; flags a stall (queued work but no
-  /// completions) for the health state.
+  /// completions) for the health state, and escalates per-worker: a
+  /// worker whose armed token made zero kernel progress across a full
+  /// interval gets its generation cancelled (`stuck_cancelled`).
   void WatchdogLoop();
+  /// Re-verifies the serving bundle's section checksums each interval;
+  /// quarantines a corrupt file and republishes from `.prev`.
+  void ScrubberLoop();
+  void ScrubPass();
   void HandleFrame(const std::shared_ptr<Connection>& conn,
                    std::span<const std::byte> payload);
   /// Encodes, frames and hands `resp` to the connection's sequencer.
@@ -227,6 +252,10 @@ class Server {
     ScsWorkspace workspace;
     Subgraph community;
     ScsResult scs;
+    /// Armed around every Execute (with the request's remaining budget,
+    /// or deadline-free so the watchdog can still cancel). Sampled by the
+    /// watchdog for stuck detection; owned by worker thread t otherwise.
+    CancelToken token;
   };
   std::vector<std::unique_ptr<WorkerState>> worker_states_;
 
@@ -252,6 +281,18 @@ class Server {
   std::condition_variable watchdog_cv_;
   bool watchdog_stop_ = false;      ///< guarded by watchdog_mu_
   std::atomic<bool> stalled_{false};
+  std::atomic<bool> stuck_{false};  ///< a worker is armed with no progress
+
+  std::thread scrubber_;
+  std::mutex scrub_mu_;
+  std::condition_variable scrub_cv_;
+  bool scrub_stop_ = false;  ///< guarded by scrub_mu_
+  /// The file the scrubber verifies; starts at bundle_path, moves to the
+  /// `.prev` epoch after a recovery. Scrubber thread only.
+  std::string scrub_path_;
+  std::atomic<bool> scrub_corrupt_{false};  ///< detected, not yet recovered
+
+  std::atomic<bool> fast_drain_{false};
 
   std::atomic<uint64_t> inflight_{0};
   std::atomic<uint64_t> active_conns_{0};
@@ -270,11 +311,15 @@ class Server {
     std::atomic<uint64_t> responses_error{0};
     std::atomic<uint64_t> memo_hits{0};
     std::atomic<uint64_t> deadline_expired{0};
+    std::atomic<uint64_t> stuck_cancelled{0};
     std::atomic<uint64_t> overloaded{0};
     std::atomic<uint64_t> protocol_errors{0};
     std::atomic<uint64_t> slow_client_dropped{0};
     std::atomic<uint64_t> health_probes{0};
     std::atomic<uint64_t> drained_tasks{0};
+    std::atomic<uint64_t> scrub_passes{0};
+    std::atomic<uint64_t> scrub_corruptions{0};
+    std::atomic<uint64_t> scrub_recoveries{0};
   } counters_;
 };
 

@@ -33,6 +33,18 @@ Snapshot::Snapshot(uint64_t epoch, std::shared_ptr<const BipartiteGraph> graph,
       bicore_engine_(*graph_, QueryMethod::kBicore, nullptr, bicore_),
       delta_engine_(*graph_, QueryMethod::kDelta, delta_) {}
 
+Snapshot::Snapshot(uint64_t epoch, std::shared_ptr<const void> keepalive,
+                   const BipartiteGraph& g, const DeltaIndex* delta,
+                   const BicoreIndex* bicore)
+    : epoch_(epoch),
+      keepalive_(std::move(keepalive)),
+      graph_(&g),
+      delta_(delta),
+      bicore_(bicore),
+      online_engine_(g, QueryMethod::kOnline),
+      bicore_engine_(g, QueryMethod::kBicore, nullptr, bicore),
+      delta_engine_(g, QueryMethod::kDelta, delta) {}
+
 SnapshotManager::SnapshotManager(const BipartiteGraph& g,
                                  const DeltaIndex* delta,
                                  const BicoreIndex* bicore,
@@ -97,6 +109,21 @@ bool SnapshotManager::Enqueue(UpdateOp op, uint32_t u_upper, uint32_t v_lower,
   }
   queue_cv_.notify_one();
   return true;
+}
+
+uint64_t SnapshotManager::PublishRecovery(std::shared_ptr<const void> keepalive,
+                                          const BipartiteGraph& g,
+                                          const DeltaIndex* delta,
+                                          const BicoreIndex* bicore) {
+  const uint64_t epoch = Epoch() + 1;
+  auto snap = std::make_shared<const Snapshot>(epoch, std::move(keepalive), g,
+                                               delta, bicore);
+  {
+    std::lock_guard<std::mutex> lock(current_mu_);
+    current_ = std::move(snap);
+  }
+  epoch_.store(epoch, std::memory_order_release);
+  return epoch;
 }
 
 UpdateStats SnapshotManager::Stats() const {

@@ -51,6 +51,13 @@ class Snapshot {
            std::shared_ptr<const DeltaIndex> delta,
            std::shared_ptr<const BicoreIndex> bicore);
 
+  /// Keepalive form — borrowed serving pointers whose backing storage is a
+  /// type-erased owner (the scrubber's recovered `IndexBundle`): the bundle
+  /// stays mapped until the last pinned reader releases this epoch.
+  Snapshot(uint64_t epoch, std::shared_ptr<const void> keepalive,
+           const BipartiteGraph& g, const DeltaIndex* delta,
+           const BicoreIndex* bicore);
+
   Snapshot(const Snapshot&) = delete;
   Snapshot& operator=(const Snapshot&) = delete;
 
@@ -68,6 +75,7 @@ class Snapshot {
  private:
   uint64_t epoch_;
   // Keep-alives (null in the borrowed form).
+  std::shared_ptr<const void> keepalive_;  ///< recovered-bundle owner
   std::shared_ptr<const BipartiteGraph> owned_graph_;
   std::shared_ptr<const BicoreDecomposition> decomp_;
   std::shared_ptr<const DeltaIndex> owned_delta_;
@@ -163,6 +171,16 @@ class SnapshotManager {
   /// the return value is false only for those rejections).
   bool Enqueue(UpdateOp op, uint32_t u_upper, uint32_t v_lower, double weight,
                DoneFn done);
+
+  /// Publishes a keepalive snapshot over a recovered bundle and returns
+  /// its epoch — the scrubber's quarantine path. Readers pinned on the
+  /// corrupt epoch keep their (already-validated) mapping until they
+  /// drain; new admissions pin the recovered state. Only valid while live
+  /// updates are disabled (the writer thread was never started), so it
+  /// never races `Publish()`.
+  uint64_t PublishRecovery(std::shared_ptr<const void> keepalive,
+                           const BipartiteGraph& g, const DeltaIndex* delta,
+                           const BicoreIndex* bicore);
 
   UpdateStats Stats() const;
 

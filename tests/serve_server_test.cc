@@ -6,17 +6,22 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <chrono>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "abcore/offsets.h"
 #include "core/bicore_index.h"
 #include "core/delta_index.h"
+#include "io/index_bundle.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "test_util.h"
@@ -343,6 +348,191 @@ TEST(ServeServerTest, ConnectRefusedAndConnectTimeoutAreTyped) {
   const Status st = client.Connect("127.0.0.1", 1);
   EXPECT_FALSE(st.ok());
   EXPECT_FALSE(client.connected());
+}
+
+TEST(ServeServerTest, InFlightDeadlineBudgetAnswersEverythingAndWorkerLives) {
+  ServerOptions options;
+  options.num_threads = 1;  // one worker: the budget is what frees it
+  options.enable_memo = false;
+  Harness h(options, 120, 120, 2500);
+  Client client = h.Connect();
+
+  // Every request carries a 1 ms end-to-end budget over the slow method.
+  // The head of the line blows it inside the kernel, the tail expires in
+  // the queue — either way each request is answered, nothing hangs.
+  std::vector<WireRequest> requests;
+  for (int i = 0; i < 64; ++i) {
+    WireRequest req = h.Request(
+        static_cast<VertexId>(i % h.graph.NumVertices()), 1, 1,
+        WireMethod::kOnline);
+    req.deadline_ms = 1;
+    requests.push_back(req);
+  }
+  ASSERT_TRUE(client.SendAll(requests).ok());
+  std::vector<WireResponse> responses;
+  ASSERT_TRUE(client.ReceiveAll(requests.size(), &responses).ok());
+  uint64_t exceeded = 0;
+  for (const WireResponse& resp : responses) {
+    ASSERT_TRUE(resp.status == WireStatus::kOk ||
+                resp.status == WireStatus::kDeadlineExceeded);
+    if (resp.status == WireStatus::kDeadlineExceeded) {
+      ++exceeded;
+      EXPECT_EQ(resp.num_edges, 0u);  // budget-blown queries answer empty
+      EXPECT_FALSE(resp.found);
+    }
+  }
+  EXPECT_GE(exceeded, 1u);
+  EXPECT_EQ(h.server->Stats().deadline_expired, exceeded);
+
+  // The worker survived the unwinds: an undeadlined query on the same
+  // connection answers bit-identically to the direct engine.
+  const VertexId probe = 5;
+  const Subgraph expect = h.delta.QueryCommunity(probe, 2, 2);
+  WireResponse resp;
+  ASSERT_TRUE(client.Call(h.Request(probe, 2, 2), &resp).ok());
+  EXPECT_EQ(resp.status, WireStatus::kOk);
+  EXPECT_EQ(resp.num_edges, expect.edges.size());
+  EXPECT_EQ(h.server->Stats().stuck_cancelled, 0u);
+}
+
+TEST(ServeServerTest, FastDrainAnswersBacklogWithDeadlineExceeded) {
+  ServerOptions options;
+  options.num_threads = 1;
+  options.enable_memo = false;
+  options.fast_drain = true;
+  // Big enough that 2000 online queries are several hundred ms of compute
+  // for the single worker: the backlog cannot clear inside Shutdown's
+  // pre-drain steps, so queued tasks remain when the fast-drain flag
+  // flips.
+  Harness h(options, 200, 200, 8000);
+  Client client = h.Connect();
+  std::vector<WireRequest> requests;
+  for (int i = 0; i < 2000; ++i) {
+    requests.push_back(h.Request(static_cast<VertexId>(
+                                     i % h.graph.NumVertices()),
+                                 1, 1, WireMethod::kOnline));
+  }
+  ASSERT_TRUE(client.SendAll(requests).ok());
+  // Wait for full admission so the drain path — not the reader — decides
+  // every fate.
+  while (h.server->Stats().requests < requests.size()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  h.server->Shutdown();
+
+  // Fast drain keeps the every-admitted-request-gets-a-response
+  // guarantee; the backlog is answered kDeadlineExceeded instead of
+  // computed, so the drain completes in bounded time.
+  std::vector<WireResponse> responses;
+  ASSERT_TRUE(client.ReceiveAll(requests.size(), &responses).ok());
+  uint64_t ok = 0, exceeded = 0;
+  for (const WireResponse& resp : responses) {
+    ASSERT_TRUE(resp.status == WireStatus::kOk ||
+                resp.status == WireStatus::kDeadlineExceeded);
+    ++(resp.status == WireStatus::kOk ? ok : exceeded);
+  }
+  EXPECT_EQ(ok + exceeded, requests.size());
+  // A single worker cannot outrun the reader on 300 slow queries; the
+  // bulk of the backlog must have been fast-drained.
+  EXPECT_GE(exceeded, 1u);
+  EXPECT_GE(h.server->Stats().deadline_expired, exceeded);
+}
+
+TEST(ServeServerTest, ScrubberQuarantinesCorruptBundleAndRecoversFromPrev) {
+  const BipartiteGraph graph = RandomWeightedGraph(60, 60, 700, 1729);
+  const BicoreDecomposition decomp = ComputeBicoreDecomposition(graph);
+  const DeltaIndex delta = DeltaIndex::Build(graph, &decomp);
+  const BicoreIndex bicore = BicoreIndex::Build(graph, &decomp);
+
+  const std::string path = ::testing::TempDir() + "abcs_scrub_test.bundle";
+  ::unlink(path.c_str());
+  ::unlink((path + ".prev").c_str());
+  ::unlink((path + ".quarantined").c_str());
+  SaveBundleOptions save;
+  ASSERT_TRUE(SaveIndexBundle(graph, decomp, delta, bicore, path, save).ok());
+  save.keep_previous = true;  // second save rotates the first to .prev
+  ASSERT_TRUE(SaveIndexBundle(graph, decomp, delta, bicore, path, save).ok());
+
+  ServerOptions options;
+  options.enable_memo = false;
+  options.bundle_path = path;
+  options.scrub_interval_ms = 10;
+  Server server(graph, &delta, &bicore, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // At least one clean pass first: scrubbing a healthy bundle is silent.
+  const auto wait_until = [&](auto pred) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!pred() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return pred();
+  };
+  ASSERT_TRUE(wait_until([&] { return server.Stats().scrub_passes >= 1; }));
+  EXPECT_EQ(server.Stats().scrub_corruptions, 0u);
+
+  // Flip one payload byte in the primary. The next pass must detect the
+  // checksum mismatch, quarantine the file and re-open from .prev while
+  // the pinned in-memory snapshot keeps serving.
+  {
+    struct stat st{};
+    ASSERT_EQ(::stat(path.c_str(), &st), 0);
+    const int fd = ::open(path.c_str(), O_RDWR);
+    ASSERT_GE(fd, 0);
+    const off_t target = st.st_size / 2;
+    char byte = 0;
+    ASSERT_EQ(::pread(fd, &byte, 1, target), 1);
+    byte = static_cast<char>(byte ^ 0xff);
+    ASSERT_EQ(::pwrite(fd, &byte, 1, target), 1);
+    ::close(fd);
+  }
+  ASSERT_TRUE(wait_until([&] { return server.Stats().scrub_recoveries >= 1; }));
+  const ServeStats stats = server.Stats();
+  EXPECT_GE(stats.scrub_corruptions, 1u);
+  EXPECT_EQ(server.snapshots().Epoch(), 2u);  // recovery published epoch 2
+  struct stat st{};
+  EXPECT_EQ(::stat((path + ".quarantined").c_str(), &st), 0)
+      << "corrupt bundle was not quarantined";
+
+  // Queries on the recovered snapshot match the direct engine, and the
+  // probe reports live again (the corruption flag cleared on recovery).
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  for (VertexId q = 0; q < graph.NumVertices(); q += 11) {
+    WireRequest req;
+    req.method = WireMethod::kDelta;
+    req.lower_side = !graph.IsUpper(q);
+    req.q = req.lower_side ? q - graph.NumUpper() : q;
+    req.alpha = 2;
+    req.beta = 2;
+    WireResponse resp;
+    ASSERT_TRUE(client.Call(req, &resp).ok());
+    ASSERT_EQ(resp.status, WireStatus::kOk);
+    ASSERT_EQ(resp.num_edges, delta.QueryCommunity(q, 2, 2).edges.size())
+        << "q=" << q;
+    ASSERT_EQ(resp.epoch, 2u);
+  }
+  WireHealth health;
+  ASSERT_TRUE(client.Health(&health).ok());
+  EXPECT_EQ(health.state, HealthState::kLive);
+
+  server.Shutdown();
+  ::unlink(path.c_str());
+  ::unlink((path + ".prev").c_str());
+  ::unlink((path + ".quarantined").c_str());
+}
+
+TEST(ServeServerTest, ScrubberConfigIsValidatedAtStart) {
+  const BipartiteGraph graph = RandomWeightedGraph(20, 20, 80, 7);
+  const DeltaIndex delta = DeltaIndex::Build(graph);
+  const BicoreIndex bicore = BicoreIndex::Build(graph);
+  ServerOptions options;
+  options.scrub_interval_ms = 10;  // no bundle_path: nothing to scrub
+  Server server(graph, &delta, &bicore, options);
+  const Status st = server.Start();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument) << st.ToString();
 }
 
 TEST(ServeServerTest, RequestShutdownFlagIsObservable) {

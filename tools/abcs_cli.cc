@@ -135,7 +135,8 @@ int Usage() {
                "[--max-queue N] [--deadline-ms N] [--no-memo] "
                "[--enable-updates] [--update-queue N] [--compact-path F] "
                "[--compact-every N] [--write-deadline-ms N] [--max-out-kb N] "
-               "[--watchdog-interval-ms N] [--sndbuf-kb N]\n"
+               "[--watchdog-interval-ms N] [--sndbuf-kb N] [--fast-drain] "
+               "[--scrub-interval-ms N]\n"
                "  abcs client [--host H] --port N (--ping | --health | <q> "
                "<alpha> <beta> | --batch FILE [--connections N --duration S]) "
                "[--method M] [--side u|l] [--deadline-ms N]\n"
@@ -806,6 +807,11 @@ bool ParseServeArgs(int argc, char** argv, ServeArgs* args) {
     } else if (std::strcmp(argv[i], "--sndbuf-kb") == 0) {
       if (!parse_u32(&i, 1 << 20, &n) || n == 0) return false;
       args->options.so_sndbuf = static_cast<uint32_t>(n) << 10;
+    } else if (std::strcmp(argv[i], "--fast-drain") == 0) {
+      args->options.fast_drain = true;
+    } else if (std::strcmp(argv[i], "--scrub-interval-ms") == 0) {
+      if (!parse_u32(&i, 1L << 30, &n) || n == 0) return false;
+      args->options.scrub_interval_ms = static_cast<uint32_t>(n);
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       return false;
     } else {
@@ -814,6 +820,12 @@ bool ParseServeArgs(int argc, char** argv, ServeArgs* args) {
   }
   if (!args->options.compact_path.empty() && !args->options.enable_updates) {
     return false;  // compaction is the update writer's job
+  }
+  if (args->options.scrub_interval_ms > 0 &&
+      (args->bundle_path.empty() || args->options.enable_updates)) {
+    // The scrubber verifies a bundle file and republishes via the static
+    // recovery path; it cannot coexist with the update writer.
+    return false;
   }
   if (args->bundle_path.empty()) {
     if (pos.size() != 1) return false;
@@ -849,6 +861,7 @@ int CmdServe(const ServeArgs& args) {
   }
 
   abcs::serve::ServerOptions options = args.options;
+  options.bundle_path = args.bundle_path;
   if (session.bundle != nullptr) {
     // Seeds the update writer's maintained state without re-peeling.
     options.seed_decomp = &session.bundle->decomposition();
@@ -883,9 +896,9 @@ int CmdServe(const ServeArgs& args) {
   const abcs::serve::ServeStats s = server.Stats();
   std::fprintf(stderr,
                "# drained: conns=%llu rejected=%llu requests=%llu ok=%llu "
-               "errors=%llu memo_hits=%llu deadline=%llu overload=%llu "
-               "protocol=%llu slow_dropped=%llu health_probes=%llu "
-               "queued_at_shutdown=%llu\n",
+               "errors=%llu memo_hits=%llu deadline=%llu stuck_cancelled=%llu "
+               "overload=%llu protocol=%llu slow_dropped=%llu "
+               "health_probes=%llu queued_at_shutdown=%llu\n",
                static_cast<unsigned long long>(s.connections_accepted),
                static_cast<unsigned long long>(s.connections_rejected),
                static_cast<unsigned long long>(s.requests),
@@ -893,11 +906,19 @@ int CmdServe(const ServeArgs& args) {
                static_cast<unsigned long long>(s.responses_error),
                static_cast<unsigned long long>(s.memo_hits),
                static_cast<unsigned long long>(s.deadline_expired),
+               static_cast<unsigned long long>(s.stuck_cancelled),
                static_cast<unsigned long long>(s.overloaded),
                static_cast<unsigned long long>(s.protocol_errors),
                static_cast<unsigned long long>(s.slow_client_dropped),
                static_cast<unsigned long long>(s.health_probes),
                static_cast<unsigned long long>(s.drained_tasks));
+  if (options.scrub_interval_ms > 0) {
+    std::fprintf(stderr,
+                 "# scrub: passes=%llu corruptions=%llu recoveries=%llu\n",
+                 static_cast<unsigned long long>(s.scrub_passes),
+                 static_cast<unsigned long long>(s.scrub_corruptions),
+                 static_cast<unsigned long long>(s.scrub_recoveries));
+  }
   if (options.enable_updates) {
     std::fprintf(stderr,
                  "# updates: applied=%llu conflicts=%llu epochs=%llu "
@@ -1381,7 +1402,9 @@ int CmdClient(const ClientArgs& args) {
         static_cast<unsigned long long>(h.epoch),
         static_cast<unsigned long long>(h.memo_hits),
         static_cast<unsigned long long>(h.requests));
-    return h.state == abcs::serve::HealthState::kLive ? 0 : 1;
+    // Distinct exit codes for probe scripting: 0 = live, 2 = reachable
+    // but degraded/draining, 1 = unreachable (the Fail path above).
+    return h.state == abcs::serve::HealthState::kLive ? 0 : 2;
   }
   if (!args.updates.empty() || !args.update_file.empty()) {
     std::vector<ClientArgs::UpdateSpec> updates = args.updates;
